@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark prints the rows/series it regenerates, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's tables on stdout while pytest-benchmark records the
+timing distributions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-tables",
+        action="store_true",
+        default=False,
+        help="run every Table 1/2 circuit (minutes) instead of the quick sets",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_tables(request):
+    return request.config.getoption("--full-tables")

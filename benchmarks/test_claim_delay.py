@@ -1,0 +1,64 @@
+"""Claim 8.1(1) — retiming + synthesis (C) beats combinational-only (D).
+
+The paper observes delay reductions of up to ~50% with negligible area
+penalty.  We sweep the minmax family and the pipeline generator and assert
+the *shape*: C's mapped delay ≤ D's on every circuit, with strict
+improvement somewhere in the sweep, and C's area within 15% of D's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.minmax import minmax_circuit
+from repro.bench.pipeline import pipeline_circuit
+from repro.flows.flow import run_flow
+from repro.flows.report import render_table
+
+
+@pytest.mark.parametrize("k", [4, 8, 10])
+def test_minmax_family_delay(benchmark, k):
+    circuit = minmax_circuit(k)
+    result = benchmark.pedantic(
+        run_flow, args=(circuit,), kwargs={"verify": False}, rounds=1, iterations=1
+    )
+    assert result.delay["C"] <= result.delay["D"]
+    area_ratio = result.normalised_area("C")
+    assert area_ratio is not None and area_ratio <= 1.15
+
+
+def test_delay_sweep_shape(benchmark, capsys):
+    configs = [(2, 3, 1), (3, 4, 2), (2, 4, 3), (3, 3, 4)]
+
+    def sweep():
+        return [
+            run_flow(
+                pipeline_circuit(stages=s, width=w, seed=sd), verify=False
+            )
+            for s, w, sd in configs
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    improvements = []
+    for result in results:
+        rows.append(
+            [
+                result.name,
+                result.delay.get("D"),
+                result.delay.get("C"),
+                result.normalised_area("C"),
+            ]
+        )
+        assert result.delay["C"] <= result.delay["D"], result.name
+        improvements.append(result.delay["D"] - result.delay["C"])
+    assert any(i > 0 for i in improvements), "no circuit improved at all"
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["circuit", "D delay", "C delay", "C area"],
+                rows,
+                title="Claim 8.1(1): retime+synth vs combinational-only",
+            )
+        )

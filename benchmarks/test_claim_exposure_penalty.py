@@ -1,0 +1,64 @@
+"""Claim 8.1(4) — the optimisation penalty of exposing latches is small.
+
+The paper compares C vs F (min-period with/without exposure) and E vs G
+(min-area at D's delay with/without exposure): "the penalty paid in terms
+of reduced optimization capability was not significant in most of the
+cases".  We assert C stays within a modest factor of F on both delay and
+area across the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.iscas_like import build_table1_circuit
+from repro.bench.minmax import minmax_circuit
+from repro.flows.flow import run_flow
+from repro.flows.report import render_table
+
+_CIRCUITS = ["minmax10", "s400", "s641", "s953"]
+
+
+@pytest.mark.parametrize("name", _CIRCUITS)
+def test_exposure_penalty_small(benchmark, name):
+    circuit = build_table1_circuit(name)
+    result = benchmark.pedantic(
+        run_flow, args=(circuit,), kwargs={"verify": False}, rounds=1, iterations=1
+    )
+    if "F" in result.delay:
+        # Exposure may cost delay but by at most ~30% on this suite.
+        assert result.delay["C"] <= max(result.delay["F"] * 1.3, result.delay["F"] + 2)
+    if result.normalised_area("C") and result.normalised_area("F"):
+        assert result.normalised_area("C") <= result.normalised_area("F") * 1.3
+
+
+def test_penalty_table(benchmark, capsys):
+    results = benchmark.pedantic(
+        lambda: [
+            run_flow(build_table1_circuit(name), verify=False)
+            for name in _CIRCUITS
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, result in zip(_CIRCUITS, results):
+        rows.append(
+            [
+                name,
+                round(result.pct_exposed),
+                result.delay.get("F"),
+                result.delay.get("C"),
+                result.normalised_area("F"),
+                result.normalised_area("C"),
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["circuit", "%exp", "F delay", "C delay", "F area", "C area"],
+                rows,
+                title="Claim 8.1(4): exposure penalty (C vs F)",
+            )
+        )

@@ -1,0 +1,100 @@
+"""Claim 8.1(3) — combinational verification is fast; traversal is not.
+
+The paper: "The verification times were quite reasonable... Note that, for
+only few of these sequential circuits the state-space can be traversed, and
+for fewer yet the state-space of the product machine can be traversed."
+
+We benchmark the paper's reduction against the classic BDD product-machine
+reachability baseline on a family of growing pipelines:
+
+* the combinational reduction's time grows mildly with circuit size;
+* the baseline's cost explodes with the state count (we cap it with a BDD
+  node limit and record the crossover).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.pipeline import pipeline_circuit
+from repro.core.verify import check_sequential_equivalence
+from repro.flows.report import render_table
+from repro.retime.apply import retime_min_period
+from repro.seqver.reach import check_reset_equivalence
+from repro.synth.script import optimize_sequential_delay
+
+
+def _pair(stages, width, seed):
+    circuit = pipeline_circuit(stages=stages, width=width, seed=seed)
+    optimised = optimize_sequential_delay(circuit)
+    retimed, _, _ = retime_min_period(optimised)
+    return circuit, optimised, retimed
+
+
+@pytest.mark.parametrize("width", [3, 5, 7])
+def test_combinational_reduction_speed(benchmark, width):
+    circuit, _, retimed = _pair(stages=3, width=width, seed=width)
+    result = benchmark(check_sequential_equivalence, circuit, retimed)
+    assert result.equivalent
+
+
+def test_reduction_vs_traversal_crossover(benchmark, capsys):
+    """Our check stays fast while the baseline blows past its node budget."""
+
+    def sweep():
+        rows = []
+        baseline_died_at = None
+        for width in (2, 3, 4, 6, 8):
+            circuit, optimised, _ = _pair(stages=3, width=width, seed=width)
+            t0 = time.perf_counter()
+            ours = check_sequential_equivalence(circuit, optimised)
+            ours_t = time.perf_counter() - t0
+            assert ours.equivalent
+
+            latches = circuit.num_latches()
+            if baseline_died_at is None:
+                t0 = time.perf_counter()
+                try:
+                    base = check_reset_equivalence(
+                        circuit, optimised, node_limit=300_000
+                    )
+                    base_t = time.perf_counter() - t0
+                    base_note = f"{base_t:.2f}s"
+                    assert base.equivalent
+                except MemoryError:
+                    base_t = time.perf_counter() - t0
+                    base_note = f">budget ({base_t:.2f}s)"
+                    baseline_died_at = latches
+            else:
+                base_note = "skipped (already diverged)"
+            rows.append(
+                [f"pipe3x{width}", latches, f"{ours_t:.3f}s", base_note]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["circuit", "latches", "CBF reduction", "BDD traversal"],
+                rows,
+                title="Claim 8.1(3): verification time, reduction vs traversal",
+            )
+        )
+
+
+def test_minmax_verification_under_a_minute(benchmark):
+    """The paper's Table 1 point: most circuits verify in seconds."""
+    from repro.bench.minmax import minmax_circuit
+    from repro.core.expose import prepare_circuit
+
+    circuit = minmax_circuit(10)
+    prep = prepare_circuit(circuit, use_unateness=False)
+    optimised = optimize_sequential_delay(prep.circuit)
+    result = benchmark(
+        check_sequential_equivalence, prep.circuit, optimised
+    )
+    assert result.equivalent

@@ -1,0 +1,44 @@
+"""Table 2 — latches exposed on industrial-style circuits.
+
+Regenerates the paper's Table 2: the structural feedback analysis on the
+Fig. 20-topology circuits must expose exactly the paper's counts (the
+generators are parameterised to the same feedback regime), and the
+positive-unateness refinement must never expose more.  The benchmarked
+quantity is the analysis itself (graph construction + MFVS heuristic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.industrial import TABLE2_CIRCUITS, build_table2_circuit
+from repro.core.expose import choose_latches_to_expose
+from repro.flows.table2 import format_table2, table2_row
+
+_QUICK = [e[0] for e in TABLE2_CIRCUITS if e[1] <= 700]
+
+
+@pytest.mark.parametrize("name", _QUICK)
+def test_table2_analysis(benchmark, name):
+    entry = next(e for e in TABLE2_CIRCUITS if e[0] == name)
+    circuit = build_table2_circuit(name)
+
+    exposed, _ = benchmark(
+        choose_latches_to_expose, circuit, use_unateness=False
+    )
+    assert len(exposed) == entry[2], (name, len(exposed), entry[2])
+    # Sec. 8.1(5): never more than ~50% needs exposing, as low as 2%.
+    assert len(exposed) <= 0.62 * circuit.num_latches()
+
+
+def test_table2_full(benchmark, full_tables, capsys):
+    names = [e[0] for e in TABLE2_CIRCUITS] if full_tables else _QUICK
+    rows = benchmark.pedantic(
+        lambda: [table2_row(name) for name in names], rounds=1, iterations=1
+    )
+    for row in rows:
+        assert row.exposed_structural == row.paper_exposed, row.name
+        assert row.exposed_unate <= row.exposed_structural, row.name
+    with capsys.disabled():
+        print()
+        print(format_table2(rows))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Feedback handling: unate remodelling and latch exposure (paper Sec. 6-7).
+
+The minmax benchmark family has two kinds of latches: an acyclic input
+register, and MIN/MAX registers with compare-and-select feedback loops.
+This example shows the paper's two tools on it:
+
+* the structural analysis finds the minimal latch set to *expose* (the
+  minimum feedback vertex set heuristic, Fig. 15);
+* latches whose next-state function is positive unate in their own output
+  are instead *remodelled* as load-enabled latches (Lemma 6.1, Figs 12-13)
+  — demonstrated on a conditional-update register (Fig. 14).
+
+After either treatment the circuit is acyclic and the CBF/EDBF machinery
+applies.
+"""
+
+from repro import CircuitBuilder
+from repro.bench.counterex import fig14_conditional_update
+from repro.bench.minmax import minmax_circuit
+from repro.core.expose import choose_latches_to_expose, prepare_circuit
+from repro.core.feedback import analyze_feedback_latch
+from repro.netlist.graph import feedback_latches, latch_sccs
+
+
+def main():
+    # ------------------------------------------------------------------
+    print("== minmax12: structural exposure ==")
+    circuit = minmax_circuit(12)
+    fb = feedback_latches(circuit)
+    print(f"latches: {circuit.num_latches()}, on feedback paths: {len(fb)}")
+    print(f"latch-level SCCs: {len(latch_sccs(circuit))}")
+
+    exposed, remodelled = choose_latches_to_expose(circuit, use_unateness=False)
+    pct = 100 * len(exposed) / circuit.num_latches()
+    print(f"exposed (structural only): {len(exposed)} ({pct:.0f}%) — the "
+          f"paper reports 66% for this family")
+
+    prepared = prepare_circuit(circuit, use_unateness=False)
+    assert not feedback_latches(prepared.circuit)
+    print(f"after exposure the circuit is acyclic: "
+          f"{prepared.circuit.num_latches()} movable latches remain\n")
+
+    # ------------------------------------------------------------------
+    print("== conditional-update register (Fig. 14): unate remodelling ==")
+    cond = fig14_conditional_update(width=4)
+    print(f"latches: {cond.num_latches()}, all with MUX feedback loops")
+    for latch in sorted(cond.latches)[:1]:
+        analysis = analyze_feedback_latch(cond, latch)
+        print(f"  {latch}: positive unate = {analysis.positive_unate}, "
+              f"disjoint-support decomposition = {analysis.canonical}")
+        mgr = analysis.manager
+        print(f"  enable support: {sorted(mgr.support(analysis.enable_bdd))}, "
+              f"data support: {sorted(mgr.support(analysis.data_bdd))}")
+
+    prepared = prepare_circuit(cond, use_unateness=True)
+    print(f"remodelled as load-enabled latches: {prepared.remodelled}")
+    print(f"exposed: {len(prepared.exposed)} (none needed — no optimisation "
+          f"penalty, unlike exposure)")
+    assert not feedback_latches(prepared.circuit)
+
+    # The same circuit under structural-only analysis must expose instead:
+    prepared2 = prepare_circuit(cond, use_unateness=False)
+    print(f"structural-only would expose {len(prepared2.exposed)} latches — "
+          f"the functional analysis the paper recommends saves all of them")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: build a sequential circuit, retime it, verify combinationally.
+
+This walks the paper's headline loop on a toy pipeline:
+
+1. build a circuit with the :class:`~repro.netlist.build.CircuitBuilder`;
+2. optimise it with the SIS-style delay script;
+3. retime it to the minimum clock period;
+4. prove sequential equivalence via the CBF reduction (Theorem 5.1) — a
+   purely combinational check.
+"""
+
+from repro import CircuitBuilder, check_sequential_equivalence
+from repro.retime import retime_min_period
+from repro.synth import optimize_sequential_delay
+from repro.synth.techmap import mapped_stats, tech_map
+
+
+def build_pipeline():
+    """A 4-bit two-stage datapath with an input register wall."""
+    b = CircuitBuilder("demo")
+    ins = b.input_bus("in", 4)
+    regs = [b.latch(x) for x in ins]
+    # Stage 1: some arithmetic-ish logic.
+    s1 = b.XOR(regs[0], regs[1])
+    s2 = b.AND(regs[2], regs[3])
+    s3 = b.OR(s1, s2)
+    s4 = b.XOR(s3, regs[0])
+    s5 = b.AND(s4, regs[2])
+    out = b.latch(s5)
+    b.output(out, name="result")
+    return b.circuit
+
+
+def main():
+    original = build_pipeline()
+    print(f"original: {original}")
+
+    optimised = optimize_sequential_delay(original)
+    retimed, old_period, new_period = retime_min_period(optimised)
+    retimed = optimize_sequential_delay(retimed)
+    print(f"clock period: {old_period} -> {new_period} (unit gate delays)")
+
+    for name, circuit in [("original", original), ("retimed", retimed)]:
+        stats = mapped_stats(tech_map(circuit))
+        print(f"{name:>9}: {stats}")
+
+    result = check_sequential_equivalence(original, retimed)
+    print(f"verification: {result.verdict.value} via {result.method.upper()} "
+          f"in {result.stats['total_time']:.3f}s")
+    assert result.equivalent
+    print("the retimed circuit is sequentially equivalent — QED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""And-Inverter Graph with structural hashing.
+
+* :mod:`repro.aig.aig` — the :class:`AIG` container, circuit import, and
+  bit-parallel simulation;
+"""
+
+from repro.aig.aig import AIG, aig_from_circuit, aig_to_circuit
+
+__all__ = ["AIG", "aig_from_circuit", "aig_to_circuit"]

@@ -1,0 +1,25 @@
+"""Reduced Ordered Binary Decision Diagram package (from scratch).
+
+* :mod:`repro.bdd.bdd` — the :class:`BDD` manager: hash-consed nodes, ``ite``
+  with memoisation, cofactors, composition, quantification, support,
+  satisfiability helpers, unateness tests;
+* :mod:`repro.bdd.order` — static variable-ordering heuristics;
+* :mod:`repro.bdd.circuit2bdd` — building signal BDDs of a combinational
+  circuit;
+* :mod:`repro.bdd.synth` — lowering a BDD back to a gate network (ISOP and
+  Shannon-multiplexer strategies) — used by the feedback remodelling step.
+"""
+
+from repro.bdd.bdd import BDD
+from repro.bdd.circuit2bdd import circuit_bdds, output_bdds
+from repro.bdd.order import dfs_variable_order
+from repro.bdd.synth import bdd_to_gates, sop_from_bdd
+
+__all__ = [
+    "BDD",
+    "circuit_bdds",
+    "output_bdds",
+    "dfs_variable_order",
+    "bdd_to_gates",
+    "sop_from_bdd",
+]

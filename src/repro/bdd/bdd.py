@@ -1,0 +1,540 @@
+"""A reduced ordered BDD manager.
+
+Nodes are integers.  ``ZERO = 0`` and ``ONE = 1`` are the terminals; every
+other node ``n`` has a level (variable), a low child (else) and a high child
+(then), stored in parallel lists.  Reduction invariants: no node has
+``low == high``, and ``(level, low, high)`` triples are unique.
+
+The manager is deliberately simple — no complement edges, no garbage
+collection, no dynamic reordering by default — which keeps every operation
+easy to audit.  Performance is adequate for the circuit sizes used in the
+paper's flow (levels are created on demand; ``ite`` is memoised).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["BDD"]
+
+
+class BDD:
+    """A BDD manager over named variables."""
+
+    ZERO = 0
+    ONE = 1
+
+    def __init__(self, variables: Iterable[str] = ()) -> None:
+        # Parallel node arrays; entries 0/1 are terminal placeholders.
+        self._level: List[int] = [-1, -1]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._var_names: List[str] = []
+        self._var_index: Dict[str, int] = {}
+        for name in variables:
+            self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> int:
+        """Declare a variable (idempotent); returns its node."""
+        if name not in self._var_index:
+            self._var_index[name] = len(self._var_names)
+            self._var_names.append(name)
+        return self.var(name)
+
+    def var(self, name: str) -> int:
+        """The node for variable ``name`` (declares it if new)."""
+        if name not in self._var_index:
+            return self.add_var(name)
+        level = self._var_index[name]
+        return self._mk(level, self.ZERO, self.ONE)
+
+    def nvar(self, name: str) -> int:
+        """The node for the complement of variable ``name``."""
+        if name not in self._var_index:
+            self.add_var(name)
+        level = self._var_index[name]
+        return self._mk(level, self.ONE, self.ZERO)
+
+    @property
+    def var_names(self) -> List[str]:
+        """Declared variable names in level order."""
+        return list(self._var_names)
+
+    def level_of(self, name: str) -> int:
+        """The level (order position) of a variable."""
+        return self._var_index[name]
+
+    def name_of_level(self, level: int) -> str:
+        """The variable name at a level."""
+        return self._var_names[level]
+
+    def num_nodes(self) -> int:
+        """Total nodes allocated (including terminals)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def node_level(self, f: int) -> int:
+        """The variable level of a non-terminal node."""
+        return self._level[f]
+
+    def node_low(self, f: int) -> int:
+        """The else-child of a node."""
+        return self._low[f]
+
+    def node_high(self, f: int) -> int:
+        """The then-child of a node."""
+        return self._high[f]
+
+    def is_terminal(self, f: int) -> bool:
+        """True for the 0/1 terminal nodes."""
+        return f <= 1
+
+    # ------------------------------------------------------------------
+    # core algorithm: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``f ? g : h`` — the universal ternary operator, iterative."""
+        # Terminal shortcuts that need no recursion.
+        stack: List[Tuple] = [("call", f, g, h, None)]
+        results: List[int] = []
+        # Manual recursion to avoid Python depth limits on deep BDDs.
+        # Frames: ("call", f, g, h) computes ite and pushes the result;
+        #         ("combine", level, key) pops two results and makes a node.
+        while stack:
+            frame = stack.pop()
+            if frame[0] == "call":
+                _, f, g, h, _ = frame
+                shortcut = self._ite_terminal(f, g, h)
+                if shortcut is not None:
+                    results.append(shortcut)
+                    continue
+                f, g, h = self._ite_normalize(f, g, h)
+                shortcut = self._ite_terminal(f, g, h)
+                if shortcut is not None:
+                    results.append(shortcut)
+                    continue
+                key = (f, g, h)
+                cached = self._ite_cache.get(key)
+                if cached is not None:
+                    results.append(cached)
+                    continue
+                level = min(
+                    lv
+                    for lv in (
+                        self._level[f] if f > 1 else None,
+                        self._level[g] if g > 1 else None,
+                        self._level[h] if h > 1 else None,
+                    )
+                    if lv is not None
+                )
+                f0, f1 = self._cofactors_at(f, level)
+                g0, g1 = self._cofactors_at(g, level)
+                h0, h1 = self._cofactors_at(h, level)
+                stack.append(("combine", level, key))
+                stack.append(("call", f1, g1, h1, None))
+                stack.append(("call", f0, g0, h0, None))
+            else:
+                _, level, key = frame
+                low = results.pop(-2)
+                high = results.pop()
+                node = self._mk(level, low, high)
+                self._ite_cache[key] = node
+                results.append(node)
+        assert len(results) == 1
+        return results[0]
+
+    def _ite_terminal(self, f: int, g: int, h: int) -> Optional[int]:
+        if f == self.ONE:
+            return g
+        if f == self.ZERO:
+            return h
+        if g == h:
+            return g
+        if g == self.ONE and h == self.ZERO:
+            return f
+        return None
+
+    def _ite_normalize(self, f: int, g: int, h: int) -> Tuple[int, int, int]:
+        """Standard-triple normalisation (partial, without complement edges)."""
+        if f == g:
+            g = self.ONE
+        elif f == h:
+            h = self.ZERO
+        return f, g, h
+
+    def _cofactors_at(self, f: int, level: int) -> Tuple[int, int]:
+        if f > 1 and self._level[f] == level:
+            return self._low[f], self._high[f]
+        return f, f
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        """Complement of ``f``."""
+        return self.ite(f, self.ZERO, self.ONE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction of two nodes."""
+        return self.ite(f, g, self.ZERO)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction of two nodes."""
+        return self.ite(f, self.ONE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive-or of two nodes."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_xnor(self, f: int, g: int) -> int:
+        """Complemented exclusive-or of two nodes."""
+        return self.ite(f, g, self.apply_not(g))
+
+    def apply_implies(self, f: int, g: int) -> int:
+        """Implication ``f -> g``."""
+        return self.ite(f, g, self.ONE)
+
+    def and_all(self, nodes: Iterable[int]) -> int:
+        """Conjunction over many nodes (short-circuits on 0)."""
+        acc = self.ONE
+        for n in nodes:
+            acc = self.apply_and(acc, n)
+            if acc == self.ZERO:
+                break
+        return acc
+
+    def or_all(self, nodes: Iterable[int]) -> int:
+        """Disjunction over many nodes (short-circuits on 1)."""
+        acc = self.ZERO
+        for n in nodes:
+            acc = self.apply_or(acc, n)
+            if acc == self.ONE:
+                break
+        return acc
+
+    # ------------------------------------------------------------------
+    # cofactors / composition / quantification
+    # ------------------------------------------------------------------
+    def cofactor(self, f: int, name: str, phase: bool) -> int:
+        """Shannon cofactor against variable ``name``."""
+        level = self._var_index[name]
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1 or self._level[node] > level:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            if self._level[node] == level:
+                result = self._high[node] if phase else self._low[node]
+            else:
+                result = self._mk(
+                    self._level[node],
+                    walk(self._low[node]),
+                    walk(self._high[node]),
+                )
+            cache[node] = result
+            return result
+
+        return self._walk_iterative(f, walk)
+
+    def _walk_iterative(self, root: int, walk) -> int:
+        """Run a recursive walker with a raised recursion limit."""
+        import sys
+
+        old = sys.getrecursionlimit()
+        needed = len(self._var_names) * 4 + 10000
+        if old < needed:
+            sys.setrecursionlimit(needed)
+        try:
+            return walk(root)
+        finally:
+            sys.setrecursionlimit(old)
+
+    def restrict(self, f: int, assignment: Dict[str, bool]) -> int:
+        """Cofactor against several variables at once."""
+        for name, phase in assignment.items():
+            f = self.cofactor(f, name, phase)
+        return f
+
+    def compose(self, f: int, name: str, g: int) -> int:
+        """Substitute BDD ``g`` for variable ``name`` in ``f``."""
+        level = self._var_index[name]
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1 or self._level[node] > level:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            if self._level[node] == level:
+                result = self.ite(g, self._high[node], self._low[node])
+            else:
+                low = walk(self._low[node])
+                high = walk(self._high[node])
+                var_node = self._mk(self._level[node], self.ZERO, self.ONE)
+                result = self.ite(var_node, high, low)
+            cache[node] = result
+            return result
+
+        return self._walk_iterative(f, walk)
+
+    def compose_many(self, f: int, substitution: Dict[str, int]) -> int:
+        """Simultaneous composition (applied bottom-up level by level)."""
+        # Apply from the deepest level upward so earlier substitutions do not
+        # disturb later ones; since substituted functions may mention any
+        # variables, sequential composition deepest-first is correct for
+        # acyclic substitutions (our use: signal cones over leaf variables).
+        order = sorted(
+            substitution, key=lambda n: self._var_index[n], reverse=True
+        )
+        for name in order:
+            f = self.compose(f, name, substitution[name])
+        return f
+
+    def exists(self, f: int, names: Iterable[str]) -> int:
+        """Existential quantification over the named variables."""
+        for name in names:
+            f = self.apply_or(
+                self.cofactor(f, name, False), self.cofactor(f, name, True)
+            )
+        return f
+
+    def forall(self, f: int, names: Iterable[str]) -> int:
+        """Universal quantification over the named variables."""
+        for name in names:
+            f = self.apply_and(
+                self.cofactor(f, name, False), self.cofactor(f, name, True)
+            )
+        return f
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def support(self, f: int) -> FrozenSet[str]:
+        """The set of variable names ``f`` depends on."""
+        seen: Set[int] = set()
+        levels: Set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            levels.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return frozenset(self._var_names[lv] for lv in levels)
+
+    def eval(self, f: int, assignment: Dict[str, bool]) -> bool:
+        """Evaluate ``f`` under a complete variable assignment."""
+        node = f
+        while node > 1:
+            name = self._var_names[self._level[node]]
+            node = self._high[node] if assignment[name] else self._low[node]
+        return node == self.ONE
+
+    def implies(self, f: int, g: int) -> bool:
+        """True if ``f <= g`` as functions."""
+        return self.apply_and(f, self.apply_not(g)) == self.ZERO
+
+    def equiv(self, f: int, g: int) -> bool:
+        """True if the nodes denote the same function (canonical ids)."""
+        return f == g
+
+    def is_positive_unate(self, f: int, name: str) -> bool:
+        """True if ``f`` is positive unate in ``name``: f|x=0 ≤ f|x=1."""
+        return self.implies(
+            self.cofactor(f, name, False), self.cofactor(f, name, True)
+        )
+
+    def is_negative_unate(self, f: int, name: str) -> bool:
+        """True if ``f`` is negative unate in ``name``."""
+        return self.implies(
+            self.cofactor(f, name, True), self.cofactor(f, name, False)
+        )
+
+    def sat_count(self, f: int, nvars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables.
+
+        ``nvars`` defaults to (and must be at least) the number of declared
+        variables.
+        """
+        total_vars = len(self._var_names)
+        if nvars is None:
+            nvars = total_vars
+        if nvars < total_vars:
+            raise ValueError("nvars smaller than the declared variable count")
+        if f == self.ZERO:
+            return 0
+        if f == self.ONE:
+            return 1 << nvars
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            # Counts assignments over variables strictly below node's level.
+            if node == self.ZERO:
+                return 0
+            if node == self.ONE:
+                return 1
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            lo, hi = self._low[node], self._high[node]
+            lo_count = walk(lo) << self._gap(lo, level)
+            hi_count = walk(hi) << self._gap(hi, level)
+            result = lo_count + hi_count
+            cache[node] = result
+            return result
+
+        return (walk(f) << self._level[f]) << (nvars - total_vars)
+
+    def _gap(self, child: int, parent_level: int) -> int:
+        child_level = (
+            self._level[child] if child > 1 else len(self._var_names)
+        )
+        return child_level - parent_level - 1
+
+    def pick_minterm(self, f: int) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment over the support; ``None`` if f = 0."""
+        if f == self.ZERO:
+            return None
+        assignment: Dict[str, bool] = {}
+        node = f
+        while node > 1:
+            name = self._var_names[self._level[node]]
+            if self._high[node] != self.ZERO:
+                assignment[name] = True
+                node = self._high[node]
+            else:
+                assignment[name] = False
+                node = self._low[node]
+        return assignment
+
+    def iter_minterms(self, f: int, over: Sequence[str]) -> Iterable[Dict[str, bool]]:
+        """Iterate all satisfying assignments over the given variables."""
+        over_levels = sorted(self._var_index[name] for name in over)
+        names = [self._var_names[lv] for lv in over_levels]
+
+        def rec(node: int, idx: int, partial: Dict[str, bool]):
+            if idx == len(names):
+                if node == self.ONE:
+                    yield dict(partial)
+                return
+            if node == self.ZERO:
+                return
+            name = names[idx]
+            level = over_levels[idx]
+            if node > 1 and self._level[node] == level:
+                lo, hi = self._low[node], self._high[node]
+            else:
+                lo = hi = node
+            partial[name] = False
+            yield from rec(lo, idx + 1, partial)
+            partial[name] = True
+            yield from rec(hi, idx + 1, partial)
+            del partial[name]
+
+        yield from rec(f, 0, {})
+
+    # ------------------------------------------------------------------
+    # SOP extraction (Minato-Morreale irredundant SOP)
+    # ------------------------------------------------------------------
+    def isop(self, f: int) -> List[Dict[str, bool]]:
+        """An irredundant SOP cover of ``f`` as literal dictionaries."""
+        cover, _ = self._isop(f, f, {})
+        return cover
+
+    def _isop(self, lower: int, upper: int, cache: Dict) -> Tuple[List[Dict[str, bool]], int]:
+        """Minato-Morreale ISOP over the interval [lower, upper]."""
+        if lower == self.ZERO:
+            return [], self.ZERO
+        if upper == self.ONE:
+            return [{}], self.ONE
+        key = (lower, upper)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        level = min(
+            lv
+            for lv in (
+                self._level[lower] if lower > 1 else None,
+                self._level[upper] if upper > 1 else None,
+            )
+            if lv is not None
+        )
+        name = self._var_names[level]
+        l0, l1 = self._cofactors_at(lower, level)
+        u0, u1 = self._cofactors_at(upper, level)
+        # Cubes that must contain literal ~x.
+        cover0, bdd0 = self._isop(self.apply_and(l0, self.apply_not(u1)), u0, cache)
+        # Cubes that must contain literal x.
+        cover1, bdd1 = self._isop(self.apply_and(l1, self.apply_not(u0)), u1, cache)
+        # Remainder handled without a literal on x.
+        rem0 = self.apply_and(l0, self.apply_not(bdd0))
+        rem1 = self.apply_and(l1, self.apply_not(bdd1))
+        lower_star = self.apply_or(rem0, rem1)
+        upper_star = self.apply_and(u0, u1)
+        cover_star, bdd_star = self._isop(lower_star, upper_star, cache)
+        cover = (
+            [dict(c, **{name: False}) for c in cover0]
+            + [dict(c, **{name: True}) for c in cover1]
+            + cover_star
+        )
+        var_node = self._mk(level, self.ZERO, self.ONE)
+        result_bdd = self.or_all(
+            [
+                self.apply_and(self.apply_not(var_node), bdd0),
+                self.apply_and(var_node, bdd1),
+                bdd_star,
+            ]
+        )
+        cache[key] = (cover, result_bdd)
+        return cover, result_bdd
+
+    # ------------------------------------------------------------------
+    # helpers for building from other representations
+    # ------------------------------------------------------------------
+    def from_sop(self, sop, fanin_nodes: Sequence[int]) -> int:
+        """Build the BDD of an :class:`~repro.netlist.cube.Sop` cover."""
+        acc = self.ZERO
+        for cube in sop.cubes:
+            term = self.ONE
+            for i, ch in enumerate(cube):
+                if ch == "1":
+                    term = self.apply_and(term, fanin_nodes[i])
+                elif ch == "0":
+                    term = self.apply_and(term, self.apply_not(fanin_nodes[i]))
+                if term == self.ZERO:
+                    break
+            acc = self.apply_or(acc, term)
+            if acc == self.ONE:
+                break
+        return acc
+
+    def clear_caches(self) -> None:
+        """Drop the ite memo table (frees memory between phases)."""
+        self._ite_cache.clear()

@@ -1,0 +1,58 @@
+"""Building BDDs for the signals of a circuit.
+
+The leaf variables are the primary inputs plus latch outputs (the
+combinational cut).  :func:`circuit_bdds` returns a node for every signal;
+:func:`output_bdds` just the primary outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bdd.bdd import BDD
+from repro.bdd.order import dfs_variable_order
+from repro.netlist.circuit import Circuit
+
+__all__ = ["circuit_bdds", "output_bdds"]
+
+
+def circuit_bdds(
+    circuit: Circuit,
+    manager: Optional[BDD] = None,
+    order: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """BDD node for every signal of the circuit.
+
+    Latch outputs are treated as free variables (the combinational view).
+    A shared ``manager`` may be supplied to combine several circuits in one
+    variable space; variables are created for any leaf not yet declared.
+    """
+    if manager is None:
+        manager = BDD()
+    if order is None:
+        order = dfs_variable_order(circuit)
+    nodes: Dict[str, int] = {}
+    for leaf in order:
+        nodes[leaf] = manager.add_var(leaf)
+    for pi in circuit.inputs:
+        if pi not in nodes:
+            nodes[pi] = manager.add_var(pi)
+    for latch in circuit.latches:
+        if latch not in nodes:
+            nodes[latch] = manager.add_var(latch)
+    for gate in circuit.topo_gates():
+        fanins = [nodes[s] for s in gate.inputs]
+        nodes[gate.output] = manager.from_sop(gate.sop, fanins)
+    return nodes
+
+
+def output_bdds(
+    circuit: Circuit,
+    manager: Optional[BDD] = None,
+    order: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """BDD node for each primary output."""
+    if manager is None:
+        manager = BDD()
+    nodes = circuit_bdds(circuit, manager, order)
+    return {o: nodes[o] for o in circuit.outputs}

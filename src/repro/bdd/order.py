@@ -1,0 +1,59 @@
+"""Static variable-ordering heuristics for circuit BDDs.
+
+The classic depth-first fanin heuristic: walk the combinational fanin of
+each output depth-first and append primary inputs in first-visit order.
+Inputs never reached are appended at the end in declaration order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.netlist.circuit import Circuit
+
+__all__ = ["dfs_variable_order"]
+
+
+def dfs_variable_order(
+    circuit: Circuit,
+    leaves: Optional[Sequence[str]] = None,
+    roots: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Order the ``leaves`` (default: PIs + latch outputs) by DFS from roots.
+
+    ``roots`` defaults to the primary outputs plus latch data/enable nets so
+    the order covers next-state logic as well.
+    """
+    if leaves is None:
+        leaf_list = list(circuit.inputs) + list(circuit.latches)
+    else:
+        leaf_list = list(leaves)
+    leaf_set: Set[str] = set(leaf_list)
+    if roots is None:
+        roots = list(circuit.outputs)
+        for latch in circuit.latches.values():
+            roots.append(latch.data)
+            if latch.enable is not None:
+                roots.append(latch.enable)
+
+    order: List[str] = []
+    placed: Set[str] = set()
+    visited: Set[str] = set()
+    for root in roots:
+        stack = [root]
+        while stack:
+            sig = stack.pop()
+            if sig in visited:
+                continue
+            visited.add(sig)
+            if sig in leaf_set and sig not in placed:
+                placed.add(sig)
+                order.append(sig)
+            if sig in circuit.gates:
+                # Reverse so the first fanin is explored first.
+                stack.extend(reversed(circuit.gates[sig].inputs))
+    for leaf in leaf_list:
+        if leaf not in placed:
+            order.append(leaf)
+            placed.add(leaf)
+    return order

@@ -1,0 +1,126 @@
+"""Variable-order improvement for circuit BDDs.
+
+The manager in :mod:`repro.bdd.bdd` uses a static order fixed at variable
+creation.  This module provides order *selection*: build the same functions
+under several candidate orders and keep the smallest result —
+
+* the fanin-DFS order (the classic netlist heuristic),
+* its reverse,
+* a breadth-first (level-interleaved) order,
+* optionally caller-supplied orders,
+
+plus :func:`transfer`, which rebuilds BDD nodes under a different manager
+(used by the search and useful on its own for isolating sub-problems).
+
+A full dynamic sifting implementation is intentionally out of scope: the
+paper's flow only needs BDDs for next-state cones and small predicates,
+where static-order selection already keeps sizes tame.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bdd.bdd import BDD
+from repro.bdd.order import dfs_variable_order
+from repro.netlist.circuit import Circuit
+
+__all__ = ["transfer", "bfs_variable_order", "choose_best_order", "build_with_best_order"]
+
+
+def transfer(source: BDD, roots: Sequence[int], target: BDD) -> List[int]:
+    """Rebuild nodes of ``source`` inside ``target`` (by variable name).
+
+    Variables are created in ``target`` on demand (so pre-declare them to
+    control the order).  Returns the corresponding root nodes.
+    """
+    cache: Dict[int, int] = {
+        source.ZERO: target.ZERO,
+        source.ONE: target.ONE,
+    }
+    # Iterative post-order over source nodes.
+    for root in roots:
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in cache:
+                continue
+            low = source.node_low(node)
+            high = source.node_high(node)
+            if expanded:
+                name = source.name_of_level(source.node_level(node))
+                var = target.add_var(name)
+                cache[node] = target.ite(var, cache[high], cache[low])
+            else:
+                stack.append((node, True))
+                for child in (low, high):
+                    if child not in cache:
+                        stack.append((child, False))
+    return [cache[r] for r in roots]
+
+
+def bfs_variable_order(
+    circuit: Circuit, roots: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Breadth-first (level-interleaving) leaf order from the outputs."""
+    if roots is None:
+        roots = list(circuit.outputs)
+        for latch in circuit.latches.values():
+            roots.append(latch.data)
+            if latch.enable is not None:
+                roots.append(latch.enable)
+    leaves = set(circuit.inputs) | set(circuit.latches)
+    order: List[str] = []
+    seen: set = set()
+    queue = deque(roots)
+    while queue:
+        sig = queue.popleft()
+        if sig in seen:
+            continue
+        seen.add(sig)
+        if sig in leaves and sig not in order:
+            order.append(sig)
+        if sig in circuit.gates:
+            queue.extend(circuit.gates[sig].inputs)
+    for leaf in list(circuit.inputs) + list(circuit.latches):
+        if leaf not in order:
+            order.append(leaf)
+    return order
+
+
+def choose_best_order(
+    circuit: Circuit,
+    extra_orders: Iterable[Sequence[str]] = (),
+) -> Tuple[List[str], int]:
+    """Try candidate leaf orders; return (best order, its node count)."""
+    from repro.bdd.circuit2bdd import circuit_bdds
+
+    dfs = dfs_variable_order(circuit)
+    candidates: List[List[str]] = [
+        dfs,
+        list(reversed(dfs)),
+        bfs_variable_order(circuit),
+    ]
+    for extra in extra_orders:
+        candidates.append(list(extra))
+    best_order: Optional[List[str]] = None
+    best_size = -1
+    for order in candidates:
+        manager = BDD()
+        circuit_bdds(circuit, manager, order=order)
+        size = manager.num_nodes()
+        if best_order is None or size < best_size:
+            best_order, best_size = order, size
+    assert best_order is not None
+    return best_order, best_size
+
+
+def build_with_best_order(circuit: Circuit) -> Tuple[BDD, Dict[str, int]]:
+    """Build all signal BDDs under the best candidate order."""
+    from repro.bdd.circuit2bdd import circuit_bdds
+
+    order, _ = choose_best_order(circuit)
+    manager = BDD()
+    nodes = circuit_bdds(circuit, manager, order=order)
+    return manager, nodes

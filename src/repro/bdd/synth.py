@@ -1,0 +1,110 @@
+"""Lowering BDDs back into gate networks.
+
+Used by the feedback-remodelling step (paper Sec. 6): after decomposing a
+latch's next-state function into enable/data parts as BDDs, those parts must
+become actual logic in the circuit.  Two strategies:
+
+* :func:`sop_from_bdd` — extract an irredundant SOP (Minato-Morreale) and
+  emit a single :class:`~repro.netlist.cube.Sop` gate;
+* :func:`bdd_to_gates` — a Shannon multiplexer tree (one MUX per BDD node),
+  better for functions whose SOP blows up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.bdd import BDD
+from repro.netlist.circuit import Circuit
+from repro.netlist.cube import Sop
+
+__all__ = ["sop_from_bdd", "bdd_to_gates"]
+
+_SOP_CUBE_LIMIT = 256
+
+
+def sop_from_bdd(
+    manager: BDD, f: int, fanins: Sequence[str]
+) -> Optional[Tuple[Sop, Tuple[str, ...]]]:
+    """Extract ``f`` as a single SOP over the given fanin signals.
+
+    Returns ``None`` if the ISOP exceeds the cube limit (caller should fall
+    back to :func:`bdd_to_gates`).  ``fanins`` must cover the support of
+    ``f``; unused fanins are dropped from the returned tuple.
+    """
+    support = manager.support(f)
+    used = [s for s in fanins if s in support]
+    missing = support - set(fanins)
+    if missing:
+        raise ValueError(f"fanins missing support variables: {sorted(missing)}")
+    cover = manager.isop(f)
+    if len(cover) > _SOP_CUBE_LIMIT:
+        return None
+    index = {s: i for i, s in enumerate(used)}
+    cubes: List[str] = []
+    for cube_dict in cover:
+        chars = ["-"] * len(used)
+        for name, phase in cube_dict.items():
+            chars[index[name]] = "1" if phase else "0"
+        cubes.append("".join(chars))
+    if not cover:
+        return Sop.const0(len(used)), tuple(used)
+    return Sop(len(used), tuple(cubes)), tuple(used)
+
+
+def bdd_to_gates(
+    manager: BDD,
+    f: int,
+    circuit: Circuit,
+    name_base: str,
+) -> str:
+    """Materialise ``f`` as a MUX tree inside ``circuit``.
+
+    BDD variable names must be driven signals of ``circuit`` (or PIs).
+    Returns the signal holding the function value.  Shared BDD nodes become
+    shared gates.
+    """
+    if f == manager.ZERO:
+        const = circuit.fresh_signal(name_base + "_const0")
+        circuit.add_gate(const, (), Sop.const0(0))
+        return const
+    if f == manager.ONE:
+        const = circuit.fresh_signal(name_base + "_const1")
+        circuit.add_gate(const, (), Sop.const1(0))
+        return const
+
+    memo: Dict[int, str] = {}
+    const0: Optional[str] = None
+    const1: Optional[str] = None
+
+    def signal_for(node: int) -> str:
+        nonlocal const0, const1
+        if node == manager.ZERO:
+            if const0 is None:
+                const0 = circuit.fresh_signal(name_base + "_c0")
+                circuit.add_gate(const0, (), Sop.const0(0))
+            return const0
+        if node == manager.ONE:
+            if const1 is None:
+                const1 = circuit.fresh_signal(name_base + "_c1")
+                circuit.add_gate(const1, (), Sop.const1(0))
+            return const1
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        var = manager.name_of_level(manager.node_level(node))
+        lo = manager.node_low(node)
+        hi = manager.node_high(node)
+        out = circuit.fresh_signal(f"{name_base}_n{node}")
+        if lo == manager.ZERO and hi == manager.ONE:
+            circuit.add_gate(out, (var,), Sop.and_all(1))
+        elif lo == manager.ONE and hi == manager.ZERO:
+            circuit.add_gate(out, (var,), Sop.and_all(1, [False]))
+        else:
+            lo_sig = signal_for(lo)
+            hi_sig = signal_for(hi)
+            circuit.add_gate(out, (var, hi_sig, lo_sig), Sop.mux())
+        memo[node] = out
+        return out
+
+    return signal_for(f)

@@ -1,0 +1,118 @@
+"""The paper's illustrative circuit pairs (Figs. 1, 10, 11, 14).
+
+Each function returns circuits used as executable regression tests of the
+corresponding claim:
+
+* Fig. 1 — a pair that conservative 3-valued simulation calls different
+  but that is exact-3-valued equivalent (the XOR of one latch with itself
+  vs the constant 0);
+* Fig. 10 — sequentially equivalent enabled-latch circuits whose raw EDBFs
+  differ; the Eq. 5 rewrite reconciles them;
+* Fig. 11 — sequentially equivalent circuits the EDBF method cannot
+  reconcile even with rewriting (enable/data interaction), the documented
+  source of conservatism;
+* Fig. 14 — the conditional-update latch template (positive unate
+  feedback).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+__all__ = ["fig1_pair", "fig10_pair", "fig11_pair", "fig14_conditional_update"]
+
+
+def fig1_pair() -> Tuple[Circuit, Circuit]:
+    """Circuits equivalent under Def. 1 but not under 3-valued simulation.
+
+    (a) ``o = q XOR q`` for a latch ``q`` (always 0, but a 3-valued
+    simulator scores it X because it cannot correlate the two X's);
+    (b) ``o = 0``.
+    """
+    b1 = CircuitBuilder("fig1a")
+    (i,) = b1.inputs("i")
+    q = b1.latch(i, name="q")
+    b1.output(b1.XOR(q, q), name="o")
+
+    b2 = CircuitBuilder("fig1b")
+    (i,) = b2.inputs("i")
+    q = b2.latch(i, name="q")  # same latch structure, unused in the output
+    z = b2.CONST0()
+    b2.output(b2.AND(z, z), name="o")
+    return b1.circuit, b2.circuit
+
+
+def fig10_pair() -> Tuple[Circuit, Circuit]:
+    """Enabled-latch pair whose EDBFs match only with the Eq. 5 rewrite.
+
+    (a) samples ``c`` through an inner latch enabled by ``a`` and an outer
+    latch enabled by ``a·b``; (b) samples ``c`` through a single latch
+    enabled by ``a·b``.  The raw events are ``[a, a·b]`` vs ``[a·b]``;
+    since ``a·b ⇒ a``, Eq. 5 drops the redundant inner predicate of (a)
+    and the EDBFs coincide.
+
+    The pair is equivalent under the transparent-enable reading the rule
+    presumes (when the outer latch loads, ``a`` also holds, so the inner
+    latch loaded at that very instant); under strict edge-triggered
+    semantics the inner latch adds a real sampling step and the circuits
+    are distinguishable — the regression tests exercise both readings.
+    """
+    b1 = CircuitBuilder("fig10a")
+    a, bb, c = b1.inputs("a", "b", "c")
+    ab = b1.AND(a, bb, name="ab")
+    l1 = b1.latch(c, enable=a, name="L1")
+    l2 = b1.latch(l1, enable=ab, name="L2")
+    b1.output(l2, name="o")
+
+    b2 = CircuitBuilder("fig10b")
+    a, bb, c = b2.inputs("a", "b", "c")
+    ab = b2.AND(a, bb, name="ab")
+    l3 = b2.latch(c, enable=ab, name="L3")
+    b2.output(l3, name="o")
+    return b1.circuit, b2.circuit
+
+
+def fig11_pair() -> Tuple[Circuit, Circuit]:
+    """The enable/data interaction pair (EDBF false negative, Fig. 11).
+
+    Both latches are enabled by ``b``.  (a) stores data ``b``; (b) stores
+    data ``a + b``.  The circuits are sequentially equivalent: the latch
+    only ever loads when ``b = 1``, and at such instants both data values
+    are 1.  But as *formal* EDBFs the data functions ``b(η[b])`` and
+    ``(a+b)(η[b])`` differ — the method cannot see the interaction between
+    the enable and the data (the paper's Sec. 5.2 discussion), so the
+    verdict is conservative (INCONCLUSIVE) even with the Eq. 5 rewrite.
+    This is the exact failure mode Fig. 11 documents; the paper leaves
+    handling event/data interaction as future work.
+    """
+    b1 = CircuitBuilder("fig11a")
+    a, bb = b1.inputs("a", "b")
+    l1 = b1.latch(bb, enable=bb, name="L1")
+    b1.output(l1, name="o")
+
+    b2 = CircuitBuilder("fig11b")
+    a, bb = b2.inputs("a", "b")
+    ab = b2.OR(a, bb, name="apb")
+    l2 = b2.latch(ab, enable=bb, name="L2")
+    b2.output(l2, name="o")
+    return b1.circuit, b2.circuit
+
+
+def fig14_conditional_update(width: int = 2) -> Circuit:
+    """Fig. 14: latches that update when a condition holds, else hold.
+
+    ``q_i' = cond·d_i + cond̄·q_i`` built structurally with a MUX feedback
+    loop (not as a load-enabled latch) — the shape Sec. 6 remodels.
+    """
+    b = CircuitBuilder("fig14")
+    conds = b.inputs(*[f"e{i}" for i in range(width)])
+    datas = b.inputs(*[f"d{i}" for i in range(width)])
+    for i in range(width):
+        q = f"q{i}"
+        b.circuit.add_latch(q, f"nxt{i}")
+        b.MUX(conds[i], datas[i], q, name=f"nxt{i}")
+        b.output(q, name=f"o{i}")
+    return b.circuit

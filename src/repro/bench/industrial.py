@@ -1,0 +1,134 @@
+"""Industrial-style circuits for Table 2 (Fig. 20 topology).
+
+The paper analysed 12 proprietary control-intensive circuits with
+load-enabled latches: FSM clusters interacting through an acyclic network
+of pipeline latches, with extra feedback paths through a memory /
+communication layer (Fig. 20).  ``TABLE2_CIRCUITS`` carries the paper's
+(#latches, #exposed) pairs; the generator reproduces that structural
+regime — including load enables, which is why Table 2 is an analysis-only
+experiment (the paper had no retiming tool for enabled latches, Sec. 8).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Optional, Tuple
+
+from repro.bench.iscas_like import _feedback_budget
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.circuit import Circuit
+from repro.netlist.cube import Sop
+
+__all__ = ["industrial_circuit", "TABLE2_CIRCUITS", "build_table2_circuit"]
+
+def _stable_seed(name: str) -> int:
+    """Process-independent seed from a name (``hash()`` is salted)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+# (name, #latches, #exposed) — paper Table 2.
+TABLE2_CIRCUITS: List[Tuple[str, int, int]] = [
+    ("ex1", 2157, 934),
+    ("ex2", 160, 16),
+    ("ex3", 146, 56),
+    ("ex4", 1437, 835),
+    ("ex5", 672, 305),
+    ("ex6", 412, 250),
+    ("ex7", 453, 81),
+    ("ex8", 968, 470),
+    ("ex9", 783, 15),
+    ("ex10", 634, 174),
+    ("ex11", 792, 369),
+    ("ex12", 2206, 691),
+]
+
+
+def industrial_circuit(
+    name: str,
+    n_latches: int,
+    n_exposed: int,
+    n_enable_classes: int = 3,
+    seed: int = 0,
+) -> Circuit:
+    """A Fig. 20-style circuit: FSM clusters + acyclic glue + enables.
+
+    ``n_exposed`` of the latches lie on feedback paths that the MFVS
+    heuristic must break (FSM state bits and memory-layer loops); the rest
+    are acyclic interface/pipeline registers.  A fraction of the acyclic
+    latches carry load enables drawn from ``n_enable_classes`` enable PIs
+    (industrial designs are dominated by such latches, Sec. 1).
+    """
+    pct = round(100 * n_exposed / max(1, n_latches))
+    rng = random.Random(seed if seed else _stable_seed(name) & 0xFFFF)
+    rings, selfloops, acyclic = _feedback_budget(n_latches, pct)
+    # _feedback_budget rounds via pct; correct to the exact exposure count.
+    target = n_exposed
+    while rings + selfloops > target and selfloops > 0:
+        selfloops -= 1
+        acyclic += 1
+    while rings + selfloops < target and acyclic > 0:
+        selfloops += 1
+        acyclic -= 1
+
+    b = CircuitBuilder(name)
+    n_inputs = max(8, min(48, n_latches // 16))
+    pis = list(b.inputs(*[f"i{k}" for k in range(n_inputs)]))
+    enables = list(b.inputs(*[f"ld{c}" for c in range(n_enable_classes)]))
+    pool: List[str] = list(pis)
+
+    def glue(n: int) -> None:
+        for _ in range(n):
+            k = rng.randint(2, min(3, len(pool)))
+            fanins = rng.sample(pool, k)
+            cubes = tuple(
+                "".join(rng.choice("011--") for _ in range(k))
+                for _ in range(rng.randint(1, 2))
+            )
+            pool.append(b.gate(Sop(k, cubes), fanins))
+
+    glue(max(8, n_latches // 4))
+
+    # FSM clusters: self-loop state bits (control FSMs, Fig. 20).
+    for i in range(selfloops):
+        q = f"fsm{i}"
+        b.circuit.add_latch(q, f"fsm_nxt{i}")
+        g, h = rng.sample(pool, 2)
+        b.XOR(q, b.AND(g, h), name=f"fsm_nxt{i}")
+        pool.append(q)
+
+    # Memory/communication-layer loops: three-latch rings (the feedback
+    # the paper notes designers would cut at the memory boundary).
+    for i in range(rings):
+        q0, q1, q2 = f"mem{i}_0", f"mem{i}_1", f"mem{i}_2"
+        b.circuit.add_latch(q0, f"mem_nxt{i}")
+        b.circuit.add_latch(q1, q0)
+        b.circuit.add_latch(q2, q1)
+        b.XOR(q2, rng.choice(pool), name=f"mem_nxt{i}")
+        pool.extend([q0, q1, q2])
+
+    glue(max(8, n_latches // 4))
+
+    # Acyclic interface registers, most of them load-enabled.
+    for i in range(acyclic):
+        src = rng.choice(pool)
+        en = rng.choice(enables) if rng.random() < 0.8 else None
+        pool.append(b.latch(src, enable=en, name=f"p{i}"))
+
+    glue(max(8, n_latches // 4))
+
+    n_outputs = max(4, min(32, n_latches // 24))
+    for j in range(n_outputs):
+        b.output(pool[-(j + 1)], name=f"o{j}")
+    return b.circuit
+
+
+def build_table2_circuit(name: str, seed: int = 0) -> Circuit:
+    """Build the stand-in for one Table 2 row by name."""
+    entry = next((e for e in TABLE2_CIRCUITS if e[0] == name), None)
+    if entry is None:
+        raise KeyError(f"unknown Table 2 circuit {name!r}")
+    _, n_latches, n_exposed = entry
+    return industrial_circuit(
+        name, n_latches, n_exposed, seed=seed or (_stable_seed(name) & 0x7FFF)
+    )

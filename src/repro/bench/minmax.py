@@ -1,0 +1,59 @@
+"""The minmax benchmark family (Table 1 rows minmax10/12/20/32).
+
+A serial min/max tracker over a ``k``-bit input stream:
+
+* an input register ``R`` samples the primary input bus (acyclic latches);
+* a MIN register keeps ``min(R, MIN)`` and a MAX register ``max(R, MAX)``
+  (feedback latches — the compare-and-select loop);
+* outputs are the MIN and MAX values.
+
+Latch count is ``3k`` — matching the paper's rows: minmax10 has 30
+latches, minmax12 36, minmax20 60, minmax32 96.  Exactly the MIN/MAX
+registers (two thirds of the latches) lie on feedback paths, matching the
+66% exposure the paper reports for this family.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+__all__ = ["minmax_circuit"]
+
+
+def _less_than(b: CircuitBuilder, xs: List[str], ys: List[str]) -> str:
+    """Unsigned comparator: 1 iff X < Y (bit 0 = LSB), as a gate network."""
+    # Ripple from LSB: lt_i = (x_i < y_i) OR (x_i == y_i AND lt_{i-1}).
+    lt = b.CONST0()
+    for x, y in zip(xs, ys):
+        bit_lt = b.ANDN(y, x)  # y AND NOT x
+        eq = b.XNOR(x, y)
+        lt = b.OR(bit_lt, b.AND(eq, lt))
+    return lt
+
+
+def minmax_circuit(k: int, name: str = "") -> Circuit:
+    """Build the ``k``-bit minmax tracker (3k latches)."""
+    b = CircuitBuilder(name or f"minmax{k}")
+    data = b.input_bus("in", k)
+    # Input register (acyclic).
+    reg = [b.latch(data[i], name=f"r{i}") for i in range(k)]
+
+    # MIN register with feedback: MIN' = (reg < MIN) ? reg : MIN.
+    min_names = [f"min{i}" for i in range(k)]
+    max_names = [f"max{i}" for i in range(k)]
+    # Latches are declared first (their data nets are built after).
+    for i in range(k):
+        b.circuit.add_latch(min_names[i], f"min_nxt{i}")
+        b.circuit.add_latch(max_names[i], f"max_nxt{i}")
+    lt = _less_than(b, reg, min_names)
+    gt = _less_than(b, max_names, reg)
+    for i in range(k):
+        b.MUX(lt, reg[i], min_names[i], name=f"min_nxt{i}")
+        b.MUX(gt, reg[i], max_names[i], name=f"max_nxt{i}")
+    for i in range(k):
+        b.output(min_names[i], name=f"omin{i}")
+        b.output(max_names[i], name=f"omax{i}")
+    return b.circuit

@@ -1,0 +1,124 @@
+"""Systematic fault injection for checker validation.
+
+Generates classic netlist fault models as mutated circuit copies:
+
+* ``stuck_at`` — a gate output tied to 0/1;
+* ``negation`` — a gate's function complemented;
+* ``wrong_gate`` — AND↔OR style cover swaps;
+* ``input_swap`` — two fanins of a gate exchanged (order-sensitive gates);
+* ``latch_bypass`` — a latch replaced by a wire (off-by-one-cycle bug);
+* ``enable_stuck`` — a load-enable tied to constant 1 (loses the hold).
+
+The test suite uses these to validate the *negative* direction of the
+checker: every behaviourally visible fault must be flagged (never called
+EQUIVALENT), and every masked fault must not produce a false alarm — the
+two-sided soundness a verification tool actually needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.netlist.circuit import Circuit, Gate, Latch
+from repro.netlist.cube import Sop
+from repro.netlist.transform import cone_of_influence
+
+__all__ = ["Mutation", "enumerate_mutations", "apply_mutation", "sample_mutations"]
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One injectable fault."""
+
+    kind: str
+    target: str  # gate or latch output signal
+    detail: str = ""
+
+    def describe(self) -> str:
+        """Human-readable one-line fault description."""
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind} @ {self.target}{extra}"
+
+
+def enumerate_mutations(circuit: Circuit, live_only: bool = True) -> List[Mutation]:
+    """All injectable faults (optionally restricted to the output cone).
+
+    ``latch_bypass`` is only offered for latches that are not on a
+    combinational self-loop — bypassing those would produce an ill-formed
+    (cyclic) netlist rather than a behavioural bug.
+    """
+    from repro.netlist.graph import self_loop_latches
+
+    live = cone_of_influence(circuit) if live_only else set(circuit.signals())
+    self_loops = self_loop_latches(circuit)
+    out: List[Mutation] = []
+    for gate in circuit.gates.values():
+        if gate.output not in live or not gate.inputs:
+            continue
+        out.append(Mutation("stuck_at_0", gate.output))
+        out.append(Mutation("stuck_at_1", gate.output))
+        out.append(Mutation("negation", gate.output))
+        if len(gate.inputs) >= 2 and len(set(gate.inputs[:2])) == 2:
+            out.append(Mutation("input_swap", gate.output, "pins 0,1"))
+        out.append(Mutation("wrong_gate", gate.output))
+    for latch in circuit.latches.values():
+        if latch.output not in live:
+            continue
+        if latch.output not in self_loops:
+            out.append(Mutation("latch_bypass", latch.output))
+        if latch.enable is not None:
+            out.append(Mutation("enable_stuck", latch.output))
+    return out
+
+
+def apply_mutation(circuit: Circuit, mutation: Mutation) -> Circuit:
+    """A mutated copy of the circuit."""
+    mutated = circuit.copy(f"{circuit.name}__{mutation.kind}_{mutation.target}")
+    kind, target = mutation.kind, mutation.target
+    if kind in ("stuck_at_0", "stuck_at_1"):
+        gate = mutated.gates[target]
+        const = Sop.const1(0) if kind.endswith("1") else Sop.const0(0)
+        mutated.replace_gate(Gate(target, (), const))
+    elif kind == "negation":
+        gate = mutated.gates[target]
+        mutated.replace_gate(
+            Gate(target, gate.inputs, gate.sop.complement())
+        )
+    elif kind == "input_swap":
+        gate = mutated.gates[target]
+        inputs = list(gate.inputs)
+        inputs[0], inputs[1] = inputs[1], inputs[0]
+        mutated.replace_gate(Gate(target, tuple(inputs), gate.sop))
+    elif kind == "wrong_gate":
+        gate = mutated.gates[target]
+        n = len(gate.inputs)
+        if gate.sop == Sop.and_all(n):
+            wrong = Sop.or_all(n)
+        elif gate.sop == Sop.or_all(n):
+            wrong = Sop.and_all(n)
+        else:  # general covers: dualise one cube's polarity
+            wrong = gate.sop.negate_input(0)
+        mutated.replace_gate(Gate(target, gate.inputs, wrong))
+    elif kind == "latch_bypass":
+        latch = mutated.latches[target]
+        mutated.remove_latch(target)
+        mutated.add_gate(target, (latch.data,), Sop.and_all(1))
+    elif kind == "enable_stuck":
+        latch = mutated.latches[target]
+        mutated.replace_latch(Latch(target, latch.data, None))
+    else:
+        raise ValueError(f"unknown mutation kind {kind!r}")
+    return mutated
+
+
+def sample_mutations(
+    circuit: Circuit, count: int, seed: int = 0
+) -> Iterator[Tuple[Mutation, Circuit]]:
+    """A reproducible random sample of applied mutations."""
+    rng = random.Random(seed)
+    pool = enumerate_mutations(circuit)
+    rng.shuffle(pool)
+    for mutation in pool[:count]:
+        yield mutation, apply_mutation(circuit, mutation)

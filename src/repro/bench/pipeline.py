@@ -1,0 +1,95 @@
+"""Pipelined and trapped-latch circuits (paper Figs. 3 and 6).
+
+* :func:`pipeline_circuit` — ``k`` combinational stages separated by latch
+  walls (Fig. 6), the canonical acyclic circuit where latches cannot be
+  retimed to the periphery;
+* :func:`trapped_latch_circuit` — latches buried inside a combinational
+  block (Fig. 3), including the paper's exact example.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+__all__ = ["pipeline_circuit", "trapped_latch_circuit", "fig3_circuit"]
+
+
+def _random_stage(
+    b: CircuitBuilder, sigs: List[str], width: int, depth: int, rng: random.Random
+) -> List[str]:
+    """A random combinational stage producing ``width`` signals."""
+    pool = list(sigs)
+    for _ in range(depth * width):
+        op = rng.choice(["AND", "OR", "XOR", "NAND", "NOR"])
+        a, c = rng.sample(pool, 2) if len(pool) >= 2 else (pool[0], pool[0])
+        if op == "XOR":
+            out = b.XOR(a, c)
+        else:
+            out = getattr(b, op)(a, c)
+        pool.append(out)
+    return pool[-width:]
+
+
+def pipeline_circuit(
+    stages: int = 3,
+    width: int = 4,
+    stage_depth: int = 3,
+    seed: int = 0,
+    enable: bool = False,
+    name: Optional[str] = None,
+) -> Circuit:
+    """A ``stages``-deep pipeline over a ``width``-bit datapath (Fig. 6).
+
+    ``enable=True`` gives every latch wall a shared load-enable input
+    (one enable PI per stage), producing an acyclic *enabled* circuit for
+    the EDBF machinery.
+    """
+    rng = random.Random(seed)
+    b = CircuitBuilder(name or f"pipe{stages}x{width}")
+    sigs = b.input_bus("in", width)
+    enables = (
+        [b.input(f"en{s}") for s in range(stages)] if enable else [None] * stages
+    )
+    for s in range(stages):
+        stage_out = _random_stage(b, sigs, width, stage_depth, rng)
+        sigs = [b.latch(x, enable=enables[s]) for x in stage_out]
+    for i, sig in enumerate(sigs):
+        b.output(sig, name=f"out{i}")
+    return b.circuit
+
+
+def fig3_circuit() -> Circuit:
+    """The paper's Fig. 3: a latch trapped in a combinational block.
+
+    ``o(t) = [a(t-1)·a(t)] · [a(t-2)·a(t-1)]`` via ``b = latch(a)``,
+    ``c = b·a``, ``d = latch(c)``, ``o = c·d``.
+    """
+    b = CircuitBuilder("fig3")
+    (a,) = b.inputs("a")
+    bb = b.latch(a, name="b")
+    c = b.AND(bb, a, name="c")
+    d = b.latch(c, name="d")
+    b.output(b.AND(c, d), name="o")
+    return b.circuit
+
+
+def trapped_latch_circuit(
+    width: int = 4, seed: int = 0, name: Optional[str] = None
+) -> Circuit:
+    """A block with latches trapped between combinational clouds."""
+    rng = random.Random(seed)
+    b = CircuitBuilder(name or f"trapped{width}")
+    ins = b.input_bus("in", width)
+    front = _random_stage(b, ins, width, 2, rng)
+    mids = [b.latch(x) for x in front]
+    # The back cloud mixes delayed and fresh signals (what makes the latch
+    # "trapped": it cannot move to the periphery).
+    back_in = mids + ins
+    back = _random_stage(b, back_in, width, 2, rng)
+    for i, sig in enumerate(back):
+        b.output(sig, name=f"out{i}")
+    return b.circuit

@@ -1,0 +1,85 @@
+"""Random circuit generators for property-based tests."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.circuit import Circuit
+from repro.netlist.cube import Sop
+
+__all__ = ["random_combinational", "random_acyclic_sequential"]
+
+
+def random_combinational(
+    n_inputs: int = 5,
+    n_gates: int = 20,
+    n_outputs: int = 3,
+    seed: int = 0,
+    name: str = "rand_comb",
+) -> Circuit:
+    """A random combinational circuit with mixed SOP gates."""
+    rng = random.Random(seed)
+    b = CircuitBuilder(name)
+    sigs: List[str] = list(b.inputs(*[f"i{k}" for k in range(n_inputs)]))
+    for _ in range(n_gates):
+        k = rng.randint(1, min(4, len(sigs)))
+        fanins = rng.sample(sigs, k)
+        n_cubes = rng.randint(1, 3)
+        cubes = []
+        for _ in range(n_cubes):
+            cube = "".join(rng.choice("01--") for _ in range(k))
+            cubes.append(cube)
+        sigs.append(b.gate(Sop(k, tuple(cubes)), fanins))
+    n_outputs = min(n_outputs, len(sigs))
+    for j in range(n_outputs):
+        b.output(sigs[-(j + 1)], name=f"o{j}")
+    return b.circuit
+
+
+def random_acyclic_sequential(
+    n_inputs: int = 4,
+    n_gates: int = 15,
+    n_latches: int = 4,
+    n_outputs: int = 2,
+    enabled: bool = False,
+    seed: int = 0,
+    name: str = "rand_seq",
+) -> Circuit:
+    """A random acyclic sequential circuit (no latch feedback).
+
+    Latches are inserted on freshly generated signals only (each latch reads
+    a signal created before it), which guarantees acyclicity.  With
+    ``enabled=True`` each latch gets one of two enable PIs (two latch
+    classes).
+    """
+    rng = random.Random(seed)
+    b = CircuitBuilder(name)
+    sigs: List[str] = list(b.inputs(*[f"i{k}" for k in range(n_inputs)]))
+    enables: List[Optional[str]] = [None]
+    if enabled:
+        enables = list(b.inputs("enA", "enB"))
+    ops_left = n_gates
+    latches_left = n_latches
+    while ops_left > 0 or latches_left > 0:
+        make_latch = latches_left > 0 and (
+            ops_left == 0 or rng.random() < latches_left / (ops_left + latches_left)
+        )
+        if make_latch:
+            src = rng.choice(sigs)
+            en = rng.choice(enables) if enabled else None
+            sigs.append(b.latch(src, enable=en))
+            latches_left -= 1
+        else:
+            k = rng.randint(1, min(3, len(sigs)))
+            fanins = rng.sample(sigs, k)
+            cubes = tuple(
+                "".join(rng.choice("01--") for _ in range(k))
+                for _ in range(rng.randint(1, 3))
+            )
+            sigs.append(b.gate(Sop(k, cubes), fanins))
+            ops_left -= 1
+    for j in range(min(n_outputs, len(sigs))):
+        b.output(sigs[-(j + 1)], name=f"o{j}")
+    return b.circuit

@@ -1,0 +1,36 @@
+"""Combinational equivalence checking.
+
+The engine follows the filter architecture of the tools the paper cites
+(Matsunaga [10]; Kuehlmann & Krohm [12]):
+
+1. **structural hashing** — both circuits are imported into one AIG so that
+   shared substructure (the common case after retiming + resynthesis)
+   collapses immediately;
+2. **random simulation** — candidate internal equivalences are the node
+   classes with equal (or complementary) simulation signatures;
+3. **SAT sweeping** — candidates are proven/refuted in topological order
+   with a CDCL solver; proven merges strengthen later queries;
+4. **output check** — each output pair is then checked, yielding either
+   EQUIVALENT or a counterexample assignment.
+
+A BDD-based engine (:func:`check_equivalence_bdd`) provides an independent
+cross-check for small circuits.
+"""
+
+from repro.cec.engine import (
+    CecVerdict,
+    CheckResult,
+    check_equivalence,
+    check_equivalence_bdd,
+    check_miter_unsat,
+)
+from repro.cec.miter import build_miter
+
+__all__ = [
+    "CecVerdict",
+    "CheckResult",
+    "check_equivalence",
+    "check_equivalence_bdd",
+    "check_miter_unsat",
+    "build_miter",
+]

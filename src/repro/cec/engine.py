@@ -1,0 +1,223 @@
+"""The combinational equivalence-checking engine."""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.aig import AIG
+from repro.bdd.bdd import BDD
+from repro.bdd.circuit2bdd import circuit_bdds
+from repro.cec.miter import MiterAIG, build_miter
+from repro.netlist.circuit import Circuit
+from repro.sat.solver import Solver
+
+__all__ = [
+    "CecVerdict",
+    "CheckResult",
+    "check_equivalence",
+    "check_equivalence_bdd",
+    "check_miter_unsat",
+]
+
+
+class CecVerdict(enum.Enum):
+    EQUIVALENT = "equivalent"
+    NOT_EQUIVALENT = "not_equivalent"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of an equivalence check."""
+
+    verdict: CecVerdict
+    counterexample: Optional[Dict[str, bool]] = None
+    failing_output: Optional[str] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        """True when the verdict is EQUIVALENT."""
+        return self.verdict is CecVerdict.EQUIVALENT
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _signature_classes(
+    aig: AIG, rounds: int, width: int, seed: int
+) -> Dict[int, List[int]]:
+    """Partition AND nodes by normalised simulation signature.
+
+    The signature of a node is the concatenation of its simulation words
+    over several rounds, complemented if its first bit is 1 so that a node
+    and its complement land in the same class.
+    """
+    signatures: Dict[int, int] = {}
+    mask_total = 0
+    for r in range(rounds):
+        words, mask = aig.random_simulate(width=width, seed=seed + r)
+        for node in range(1, aig.num_nodes()):
+            signatures[node] = signatures.get(node, 0) << width | (
+                words[node] & mask
+            )
+        mask_total = (mask_total << width) | mask
+    classes: Dict[int, List[int]] = {}
+    for node, sig in signatures.items():
+        if sig & 1:
+            sig ^= mask_total
+        classes.setdefault(sig, []).append(node)
+    return {sig: nodes for sig, nodes in classes.items() if len(nodes) > 1}
+
+
+def check_equivalence(
+    c1: Circuit,
+    c2: Circuit,
+    sim_rounds: int = 4,
+    sim_width: int = 64,
+    sweep: bool = True,
+    conflict_limit: Optional[int] = None,
+    seed: int = 0,
+) -> CheckResult:
+    """Check combinational equivalence of two circuits.
+
+    The main entry point of the CEC substrate.  ``sweep=False`` skips the
+    internal-equivalence SAT sweeping (pure monolithic SAT on the miter).
+    """
+    t0 = time.perf_counter()
+    miter = build_miter(c1, c2)
+    stats: Dict[str, float] = {
+        "aig_nodes": miter.aig.num_nodes(),
+        "aig_ands": miter.aig.num_ands(),
+    }
+    if miter.trivially_equivalent:
+        stats["time"] = time.perf_counter() - t0
+        stats["structural"] = 1
+        return CheckResult(CecVerdict.EQUIVALENT, stats=stats)
+
+    aig = miter.aig
+    cnf, lit2cnf = aig.to_cnf()
+    solver = Solver()
+    if not solver.add_cnf(cnf):
+        # The AIG CNF alone can only be UNSAT if something is deeply wrong.
+        raise RuntimeError("inconsistent AIG encoding")
+
+    proved_merges = 0
+    disproved = 0
+    if sweep:
+        classes = _signature_classes(aig, sim_rounds, sim_width, seed)
+        # One simulation round determines relative phases for all classes.
+        words, mask = aig.random_simulate(width=sim_width, seed=seed)
+        # Sweep each class in topological order: try to prove each node
+        # equal (or complementary) to the class representative.
+        for nodes in classes.values():
+            nodes.sort()
+            rep = nodes[0]
+            rep_lit = 2 * rep
+            for node in nodes[1:]:
+                phase_equal = words[node] == words[rep]
+                node_lit = 2 * node if phase_equal else 2 * node + 1
+                a = lit2cnf(rep_lit)
+                b = lit2cnf(node_lit)
+                # UNSAT(a != b) means equal.
+                r1 = solver.solve(
+                    assumptions=[a, -b], conflict_limit=conflict_limit or 2000
+                )
+                if r1.satisfiable or solver.last_unknown:
+                    disproved += 1
+                    continue
+                r2 = solver.solve(
+                    assumptions=[-a, b], conflict_limit=conflict_limit or 2000
+                )
+                if r2.satisfiable or solver.last_unknown:
+                    disproved += 1
+                    continue
+                # Proven equal: add merge clauses to help later queries.
+                solver.add_clause([-a, b])
+                solver.add_clause([a, -b])
+                proved_merges += 1
+    stats["sweep_merges"] = proved_merges
+    stats["sweep_refuted"] = disproved
+
+    # Final output checks.
+    for name, l1, l2 in miter.output_pairs:
+        if l1 == l2:
+            continue
+        a = lit2cnf(l1)
+        b = lit2cnf(l2)
+        for assumptions in ([a, -b], [-a, b]):
+            res = solver.solve(
+                assumptions=assumptions, conflict_limit=conflict_limit
+            )
+            if solver.last_unknown:
+                stats["time"] = time.perf_counter() - t0
+                return CheckResult(CecVerdict.UNKNOWN, stats=stats)
+            if res.satisfiable:
+                assert res.model is not None
+                cex = {
+                    pi: res.model.get(lit2cnf(2 * node), False)
+                    for node, pi in zip(aig.pis, aig.pi_names)
+                }
+                stats["time"] = time.perf_counter() - t0
+                return CheckResult(
+                    CecVerdict.NOT_EQUIVALENT,
+                    counterexample=cex,
+                    failing_output=name,
+                    stats=stats,
+                )
+    stats["time"] = time.perf_counter() - t0
+    return CheckResult(CecVerdict.EQUIVALENT, stats=stats)
+
+
+def check_miter_unsat(
+    miter_circuit: Circuit, conflict_limit: Optional[int] = None
+) -> CheckResult:
+    """Check a single-output miter circuit (output must be constant 0)."""
+    from repro.sat.tseitin import tseitin_encode
+
+    if len(miter_circuit.outputs) != 1:
+        raise ValueError("miter circuit must have exactly one output")
+    t0 = time.perf_counter()
+    enc = tseitin_encode(miter_circuit)
+    solver = Solver()
+    if not solver.add_cnf(enc.cnf):
+        return CheckResult(CecVerdict.EQUIVALENT, stats={"time": 0.0})
+    out_lit = enc.lit(miter_circuit.outputs[0])
+    res = solver.solve(assumptions=[out_lit], conflict_limit=conflict_limit)
+    stats = {"time": time.perf_counter() - t0}
+    if solver.last_unknown:
+        return CheckResult(CecVerdict.UNKNOWN, stats=stats)
+    if res.satisfiable:
+        assert res.model is not None
+        cex = {pi: res.model[enc.var_of[pi]] for pi in miter_circuit.inputs}
+        return CheckResult(
+            CecVerdict.NOT_EQUIVALENT, counterexample=cex, stats=stats
+        )
+    return CheckResult(CecVerdict.EQUIVALENT, stats=stats)
+
+
+def check_equivalence_bdd(c1: Circuit, c2: Circuit) -> CheckResult:
+    """BDD-based equivalence check (for small circuits / cross-checks)."""
+    if set(c1.inputs) != set(c2.inputs) or set(c1.outputs) != set(c2.outputs):
+        raise ValueError("circuits must share input/output names")
+    t0 = time.perf_counter()
+    manager = BDD()
+    nodes1 = circuit_bdds(c1, manager)
+    nodes2 = circuit_bdds(c2, manager)
+    for out in sorted(set(c1.outputs)):
+        if nodes1[out] != nodes2[out]:
+            diff = manager.apply_xor(nodes1[out], nodes2[out])
+            assignment = manager.pick_minterm(diff) or {}
+            cex = {pi: assignment.get(pi, False) for pi in c1.inputs}
+            return CheckResult(
+                CecVerdict.NOT_EQUIVALENT,
+                counterexample=cex,
+                failing_output=out,
+                stats={"time": time.perf_counter() - t0},
+            )
+    return CheckResult(
+        CecVerdict.EQUIVALENT, stats={"time": time.perf_counter() - t0}
+    )

@@ -1,0 +1,55 @@
+"""Miter construction at the AIG level."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.aig.aig import AIG, aig_from_circuit
+from repro.netlist.circuit import Circuit
+
+__all__ = ["build_miter", "MiterAIG"]
+
+
+class MiterAIG:
+    """Both circuits in one shared AIG plus the paired output literals."""
+
+    def __init__(
+        self,
+        aig: AIG,
+        output_pairs: List[Tuple[str, int, int]],
+        lits1: Dict[str, int],
+        lits2: Dict[str, int],
+    ) -> None:
+        self.aig = aig
+        self.output_pairs = output_pairs  # (name, lit in c1, lit in c2)
+        self.lits1 = lits1
+        self.lits2 = lits2
+
+    @property
+    def trivially_equivalent(self) -> bool:
+        """All output pairs collapsed to identical literals structurally."""
+        return all(l1 == l2 for _, l1, l2 in self.output_pairs)
+
+    def miter_literal(self) -> int:
+        """Single literal that is 1 iff some output pair differs."""
+        xors = [self.aig.xor(l1, l2) for _, l1, l2 in self.output_pairs]
+        return self.aig.or_all(xors)
+
+
+def build_miter(c1: Circuit, c2: Circuit) -> MiterAIG:
+    """Import both combinational circuits into one AIG, pair the outputs.
+
+    Inputs are matched by name (both circuits must have the same input set);
+    outputs likewise.
+    """
+    if set(c1.inputs) != set(c2.inputs):
+        missing = sorted(set(c1.inputs) ^ set(c2.inputs))
+        raise ValueError(f"input sets differ: {missing}")
+    if set(c1.outputs) != set(c2.outputs):
+        missing = sorted(set(c1.outputs) ^ set(c2.outputs))
+        raise ValueError(f"output sets differ: {missing}")
+    aig = AIG()
+    aig, lits1 = aig_from_circuit(c1, aig)
+    aig, lits2 = aig_from_circuit(c2, aig)
+    pairs = [(name, lits1[name], lits2[name]) for name in sorted(set(c1.outputs))]
+    return MiterAIG(aig, pairs, lits1, lits2)

@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+::
+
+    python -m repro verify  golden.blif revised.blif [--rewrite] [--no-unate]
+    python -m repro retime  circuit.blif -o out.blif [--min-area] [--period N]
+    python -m repro synth   circuit.blif -o out.blif [--effort medium]
+    python -m repro expose  circuit.blif [--weighted] [--no-unate] [-o out.blif]
+    python -m repro stats   circuit.blif
+    python -m repro table1  [--quick]
+    python -m repro table2  [--quick]
+
+Circuits are read and written in BLIF (with the ``.enable`` extension for
+load-enabled latches).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.netlist.blif import parse_blif_file, write_blif
+from repro.netlist.validate import validate_circuit
+
+__all__ = ["main"]
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.verify import SeqVerdict, check_sequential_equivalence
+
+    c1 = parse_blif_file(args.golden)
+    c2 = parse_blif_file(args.revised)
+    validate_circuit(c1)
+    validate_circuit(c2)
+    result = check_sequential_equivalence(
+        c1,
+        c2,
+        use_unateness=not args.no_unate,
+        event_rewrite=args.rewrite,
+    )
+    print(f"verdict: {result.verdict.value} (method: {result.method})")
+    for key in sorted(result.stats):
+        print(f"  {key}: {result.stats[key]}")
+    if result.counterexample is not None:
+        print("counterexample input sequence:")
+        for t, vec in enumerate(result.counterexample):
+            bits = " ".join(f"{k}={int(v)}" for k, v in sorted(vec.items()))
+            print(f"  cycle {t}: {bits}")
+        if result.failing_output:
+            print(f"  differing output: {result.failing_output}")
+        if args.vcd:
+            from repro.sim.vcd import dump_counterexample
+
+            dump_counterexample(c1, c2, result.counterexample, args.vcd)
+            print(f"wrote waveform to {args.vcd}")
+    if args.report:
+        from repro.core.report import write_report
+
+        write_report(result, c1, c2, args.report)
+        print(f"wrote report to {args.report}")
+    return 0 if result.verdict is SeqVerdict.EQUIVALENT else 1
+
+
+def _cmd_retime(args) -> int:
+    from repro.retime.apply import retime_min_area, retime_min_period
+
+    circuit = parse_blif_file(args.circuit)
+    validate_circuit(circuit)
+    if args.min_area:
+        retimed, period = retime_min_area(circuit, period=args.period)
+        if retimed is None:
+            print(f"infeasible at period {period}", file=sys.stderr)
+            return 1
+        print(f"min-area retiming at period {period}: "
+              f"{circuit.num_latches()} -> {retimed.num_latches()} latches")
+    else:
+        retimed, old, new = retime_min_period(circuit)
+        print(f"min-period retiming: period {old} -> {new}, "
+              f"{circuit.num_latches()} -> {retimed.num_latches()} latches")
+    validate_circuit(retimed)
+    Path(args.output).write_text(write_blif(retimed))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    from repro.synth.script import optimize_sequential_delay
+    from repro.synth.depth import circuit_depth
+    from repro.synth.network import node_literals
+
+    circuit = parse_blif_file(args.circuit)
+    validate_circuit(circuit)
+    before = (circuit_depth(circuit), node_literals(circuit))
+    optimised = optimize_sequential_delay(circuit, effort=args.effort)
+    validate_circuit(optimised)
+    after = (circuit_depth(optimised), node_literals(optimised))
+    print(f"depth: {before[0]} -> {after[0]}, literals: {before[1]} -> {after[1]}")
+    Path(args.output).write_text(write_blif(optimised))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_expose(args) -> int:
+    from repro.core.expose import choose_latches_to_expose, prepare_circuit
+
+    circuit = parse_blif_file(args.circuit)
+    validate_circuit(circuit)
+    strategy = "weighted" if args.weighted else "count"
+    exposed, remodel = choose_latches_to_expose(
+        circuit, use_unateness=not args.no_unate, strategy=strategy
+    )
+    total = circuit.num_latches()
+    pct = 100 * len(exposed) / total if total else 0
+    print(f"latches: {total}")
+    print(f"to expose: {len(exposed)} ({pct:.0f}%): {sorted(exposed)}")
+    print(f"to remodel (positive unate): {len(remodel)}: {sorted(remodel)}")
+    if args.output:
+        prepared = prepare_circuit(circuit, use_unateness=not args.no_unate)
+        Path(args.output).write_text(write_blif(prepared.circuit))
+        print(f"wrote prepared (acyclic) circuit to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.synth.depth import circuit_depth
+    from repro.synth.techmap import mapped_stats, tech_map
+
+    circuit = parse_blif_file(args.circuit)
+    validate_circuit(circuit)
+    print(circuit)
+    print(f"unit-delay depth: {circuit_depth(circuit)}")
+    mapped = tech_map(circuit)
+    print(f"mapped ({{INV, NAND2, NOR2}}, fanout<=4): {mapped_stats(mapped)}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.flows.table1 import main as table1_main
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    return table1_main(forwarded)
+
+
+def _cmd_table2(args) -> int:
+    from repro.flows.table2 import main as table2_main
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    return table2_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sequential equivalence checking via combinational "
+        "verification (Ranjan et al., DATE 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("verify", help="check sequential equivalence of two BLIF circuits")
+    p.add_argument("golden")
+    p.add_argument("revised")
+    p.add_argument("--rewrite", action="store_true", help="enable the Eq. 5 event rewrite")
+    p.add_argument("--no-unate", action="store_true", help="skip unate feedback remodelling")
+    p.add_argument("--vcd", default=None, help="dump a counterexample waveform to this VCD file")
+    p.add_argument("--report", default=None, help="write a Markdown verification report")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("retime", help="retime a BLIF circuit")
+    p.add_argument("circuit")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--min-area", action="store_true", help="constrained min-area instead of min-period")
+    p.add_argument("--period", type=int, default=None, help="target period for --min-area")
+    p.set_defaults(func=_cmd_retime)
+
+    p = sub.add_parser("synth", help="run the delay-oriented synthesis script")
+    p.add_argument("circuit")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--effort", choices=["low", "medium", "high"], default="medium")
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("expose", help="feedback analysis: latches to expose/remodel")
+    p.add_argument("circuit")
+    p.add_argument("-o", "--output", default=None, help="write the prepared acyclic circuit")
+    p.add_argument("--weighted", action="store_true", help="penalty-aware selection (Sec. 9)")
+    p.add_argument("--no-unate", action="store_true")
+    p.set_defaults(func=_cmd_expose)
+
+    p = sub.add_parser("stats", help="area/delay report after technology mapping")
+    p.add_argument("circuit")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="regenerate the paper's Table 2")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=_cmd_table2)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,61 @@
+"""The paper's contribution: sequential-to-combinational reduction.
+
+* :mod:`repro.core.timedvar` — hash-consed expression DAG over timed /
+  evented input variables (the common representation of CBFs and EDBFs);
+* :mod:`repro.core.cbf` — Clocked Boolean Functions (Sec. 4.1, Fig. 7);
+* :mod:`repro.core.events` — events and the η machinery (Sec. 4.2) with the
+  Eq. 5 rewrite rule;
+* :mod:`repro.core.edbf` — Event-Driven Boolean Functions (Fig. 8);
+* :mod:`repro.core.feedback` — positive-unate feedback remodelling
+  (Sec. 6, Lemmas 6.1/6.2, Figs. 12-13);
+* :mod:`repro.core.expose` — minimum-feedback-vertex-set latch exposure
+  (Sec. 7.1, Fig. 15);
+* :mod:`repro.core.eq2comb` — CBF/EDBF to combinational circuits
+  (Sec. 7.4, Fig. 18);
+* :mod:`repro.core.verify` — the top-level sequential equivalence check.
+"""
+
+from repro.core.timedvar import ExprTable
+from repro.core.cbf import CBF, compute_cbf, sequential_depth
+from repro.core.events import EventContext
+from repro.core.edbf import EDBF, compute_edbf
+from repro.core.eq2comb import cbf_to_circuit, edbf_to_circuit
+from repro.core.feedback import (
+    FeedbackAnalysis,
+    analyze_feedback_latch,
+    remodel_feedback_latches,
+    unate_decomposition,
+)
+from repro.core.expose import choose_latches_to_expose, prepare_circuit
+from repro.core.multiclock import MultiClockSpec, normalize_multiclock
+from repro.core.report import render_report, write_report
+from repro.core.verify import (
+    SeqVerdict,
+    SeqCheckResult,
+    check_sequential_equivalence,
+)
+
+__all__ = [
+    "ExprTable",
+    "CBF",
+    "compute_cbf",
+    "sequential_depth",
+    "EventContext",
+    "EDBF",
+    "compute_edbf",
+    "cbf_to_circuit",
+    "edbf_to_circuit",
+    "FeedbackAnalysis",
+    "analyze_feedback_latch",
+    "remodel_feedback_latches",
+    "unate_decomposition",
+    "choose_latches_to_expose",
+    "prepare_circuit",
+    "MultiClockSpec",
+    "normalize_multiclock",
+    "render_report",
+    "write_report",
+    "SeqVerdict",
+    "SeqCheckResult",
+    "check_sequential_equivalence",
+]

@@ -1,0 +1,110 @@
+"""Generating equivalent combinational circuits (paper Sec. 7.4, Fig. 18).
+
+A CBF/EDBF is a Boolean function over ``(input, time-tag)`` variables.  To
+hand the equivalence problem to an off-the-shelf combinational checker, the
+expression DAG is materialised as a combinational circuit: each variable
+becomes a primary input named ``input@tag`` and each DAG node becomes a
+gate.  Because the DAG was built with memoisation per (signal, tag), a cone
+needed at *k* tags appears *k* times — exactly the replication of Fig. 18.
+
+Two circuits compared with a *shared* expression table / event context get
+identical variable names on both sides, so their lowered circuits can be
+mitered directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cbf import CBF
+from repro.core.edbf import EDBF
+from repro.core.timedvar import CONST0, CONST1, ExprTable
+from repro.netlist.circuit import Circuit
+from repro.netlist.cube import Sop
+
+__all__ = ["cbf_to_circuit", "edbf_to_circuit", "expr_to_circuit", "timed_input_name"]
+
+
+def timed_input_name(key) -> str:
+    """Canonical PI name for a timed/evented variable key."""
+    tag, name, when = key
+    if tag == "t":
+        return f"{name}@{when}"
+    return f"{name}@E{when}"
+
+
+def expr_to_circuit(
+    table: ExprTable,
+    outputs: Dict[str, int],
+    name: str,
+    extra_inputs: Sequence = (),
+) -> Circuit:
+    """Lower expression roots to a combinational circuit.
+
+    ``extra_inputs`` lists variable keys that must exist as PIs even if the
+    outputs do not depend on them (used to give two compared circuits the
+    same input set: the union of both supports).
+    """
+    circuit = Circuit(name)
+    # Collect the union of supports to declare PIs deterministically.
+    keys = set(extra_inputs)
+    for node in outputs.values():
+        keys |= table.support(node)
+    for key in sorted(keys, key=repr):
+        circuit.add_input(timed_input_name(key))
+
+    signal_of: Dict[int, str] = {}
+    roots = list(outputs.values())
+    for n in table.descendants(roots):
+        kind = table.kind(n)
+        if kind == "c":
+            sig = f"__const{n}"
+            circuit.add_gate(
+                sig, (), Sop.const1(0) if n == CONST1 else Sop.const0(0)
+            )
+            signal_of[n] = sig
+        elif kind == "v":
+            signal_of[n] = timed_input_name(table.var_key(n))
+        else:
+            sop, children = table.op_parts(n)
+            sig = f"__n{n}"
+            circuit.add_gate(sig, tuple(signal_of[c] for c in children), sop)
+            signal_of[n] = sig
+    # Constants may be roots without appearing in descendants' op set.
+    for out_name, node in outputs.items():
+        if node not in signal_of:
+            sig = f"__const{node}"
+            if circuit.driver_kind(sig) is None:
+                circuit.add_gate(
+                    sig, (), Sop.const1(0) if node == CONST1 else Sop.const0(0)
+                )
+            signal_of[node] = sig
+        # Buffer so the output has its own name.
+        out_sig = f"__out_{out_name}"
+        circuit.add_gate(out_sig, (signal_of[node],), Sop.and_all(1))
+        circuit.add_output(out_sig)
+    return circuit
+
+
+def cbf_to_circuit(
+    cbf: CBF, name: Optional[str] = None, extra_inputs: Sequence = ()
+) -> Circuit:
+    """The combinational circuit of a CBF (Fig. 18(b) for Fig. 18(a))."""
+    return expr_to_circuit(
+        cbf.table,
+        cbf.outputs,
+        name or (cbf.circuit_name + "_cbf"),
+        extra_inputs,
+    )
+
+
+def edbf_to_circuit(
+    edbf: EDBF, name: Optional[str] = None, extra_inputs: Sequence = ()
+) -> Circuit:
+    """The combinational circuit of an EDBF."""
+    return expr_to_circuit(
+        edbf.table,
+        edbf.outputs,
+        name or (edbf.circuit_name + "_edbf"),
+        extra_inputs,
+    )

@@ -1,0 +1,185 @@
+"""Events and the η machinery (paper Sec. 4.2).
+
+An *event* ``E = [p1, p2, ..., pn]`` is an ordered list of Boolean
+predicates over time.  ``η(E)`` is the most recent time instant after which
+all predicates fired in listed order; ``η([]) = t`` (now) and
+``η([p] + rest) = max{ τ < η(rest) : p(τ) }`` — so the head predicate is the
+*earliest* in the chain.  Descending from an output through a load-enabled
+latch prepends that latch's enable predicate, which makes the head the
+enable of the latch closest to the data source, exactly as in the paper's
+Fig. 5 derivation (Eq. 1): ``z = u(η([e1, e2])) · v(η([e3]))``.
+
+Regular latches are the special case of a constant-true predicate: a delay
+of one cycle.  The CBF variable ``x(t-d)`` is the EDBF variable
+``x(η([1]*d))``.
+
+Predicates are represented by expression node ids (of the enable signal's
+EDBF) in a shared :class:`~repro.core.timedvar.ExprTable`; hash-consing
+makes structurally equal enables identical, and an optional semantic
+canonicalisation (BDD-based) merges enables that synthesis restructured.
+
+The rewrite rule (Eq. 5), ``p ≥ q ⟹ η[p, q, ...] = η[q, ...]``, drops a
+head predicate that is implied by its successor.  The paper uses it to
+remove false negatives such as Fig. 10.
+
+**Reproduction finding** (documented in EXPERIMENTS.md): Eq. 5 is an exact
+time-instant equality only under a *transparent-enable* reading of the
+latch (the inner scan uses ``τ ≤ η(rest)``); under the strict
+edge-triggered semantics our simulator implements (``s(t) = data(τ)`` with
+``τ = max{τ ≤ t-1 : e(τ)}``), the merged events can denote different
+instants.  We therefore ship the rule as an opt-in (``rewrite=True``, off
+by default): with it, Fig-10-style pairs reconcile exactly as in the
+paper; without it, the check stays sound for the strict semantics and the
+verifier reports such pairs as INCONCLUSIVE — the same conservatism the
+paper acknowledges for Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.timedvar import CONST0, CONST1, ExprTable
+
+__all__ = ["EventContext", "EMPTY_EVENT"]
+
+EMPTY_EVENT = 0
+
+
+class EventContext:
+    """Hash-consed events over a shared expression table.
+
+    Events are immutable tuples of predicate node ids, interned to integer
+    event ids.  Event id 0 is the empty event ("now").
+    """
+
+    def __init__(self, table: Optional[ExprTable] = None, rewrite: bool = False) -> None:
+        self.table = table if table is not None else ExprTable()
+        self.rewrite = rewrite
+        self._events: List[Tuple[int, ...]] = [()]
+        self._intern: Dict[Tuple[int, ...], int] = {(): EMPTY_EVENT}
+        # Cache of proven predicate implications p -> q (node ids).
+        self._implication_cache: Dict[Tuple[int, int], bool] = {}
+        # Semantic canonicalisation of predicates: BDD key -> representative.
+        self._canonical: Dict[int, int] = {}
+        self._canonical_cache: Dict[int, int] = {}
+        self._pred_manager = None  # lazily created shared BDD manager
+
+    # ------------------------------------------------------------------
+    def predicates(self, event_id: int) -> Tuple[int, ...]:
+        """The interned predicate tuple of an event id."""
+        return self._events[event_id]
+
+    def num_events(self) -> int:
+        """Number of interned events (including the empty one)."""
+        return len(self._events)
+
+    def intern(self, predicates: Tuple[int, ...]) -> int:
+        """Intern a predicate tuple; returns its event id."""
+        event_id = self._intern.get(predicates)
+        if event_id is None:
+            event_id = len(self._events)
+            self._events.append(predicates)
+            self._intern[predicates] = event_id
+        return event_id
+
+    def prepend(self, predicate: int, event_id: int) -> int:
+        """The event ``[predicate] + E`` with canonicalisation applied."""
+        preds = (predicate,) + self._events[event_id]
+        if self.rewrite:
+            preds = self._canonicalize(preds)
+        return self.intern(preds)
+
+    # ------------------------------------------------------------------
+    # canonicalisation
+    # ------------------------------------------------------------------
+    def _canonicalize(self, preds: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Apply Eq. 5 repeatedly at the head of the list.
+
+        Drops head predicate ``p`` when the following predicate ``q``
+        implies it (``p ≥ q``), unless ``p`` is the constant-true delay
+        predicate (dropping a pure delay would change timing).
+        """
+        preds = list(preds)
+        changed = True
+        while changed and len(preds) >= 2:
+            changed = False
+            p, q = preds[0], preds[1]
+            if p == CONST1 or q == CONST1:
+                break
+            if p == q:
+                break  # a repeated predicate is a genuine double event
+            if self._implied(q, p):
+                preds.pop(0)
+                changed = True
+        return tuple(preds)
+
+    def _implied(self, antecedent: int, consequent: int) -> bool:
+        """Does predicate ``antecedent`` imply ``consequent`` (semantically)?"""
+        key = (antecedent, consequent)
+        hit = self._implication_cache.get(key)
+        if hit is not None:
+            return hit
+        if antecedent == consequent:
+            result = True
+        elif antecedent == CONST0 or consequent == CONST1:
+            result = True
+        else:
+            result = self._bdd_implies(antecedent, consequent)
+        self._implication_cache[key] = result
+        return result
+
+    def canonical_predicate(self, node: int) -> int:
+        """A canonical representative of the predicate's semantic class.
+
+        Two enable cones that compute the same function (even with
+        different structure after resynthesis) map to the same
+        representative, so the events built from them are identical.  Falls
+        back to the structural node id when the support is too large to
+        build a BDD.
+        """
+        hit = self._canonical_cache.get(node)
+        if hit is not None:
+            return hit
+        support = self.table.support(node)
+        if len(support) > 24:
+            self._canonical_cache[node] = node
+            return node
+        if self._pred_manager is None:
+            from repro.bdd.bdd import BDD
+
+            self._pred_manager = BDD()
+        manager = self._pred_manager
+        (bdd_node,) = self.table.to_bdd([node], manager, lambda key: repr(key))
+        representative = self._canonical.setdefault(bdd_node, node)
+        self._canonical_cache[node] = representative
+        return representative
+
+    def _bdd_implies(self, a: int, b: int) -> bool:
+        from repro.bdd.bdd import BDD
+
+        support = self.table.support(a) | self.table.support(b)
+        if len(support) > 24:
+            return False  # give up: treat as not implied (conservative)
+        manager = BDD()
+        names = {key: f"v{i}" for i, key in enumerate(sorted(support, key=repr))}
+        node_a, node_b = self.table.to_bdd(
+            [a, b], manager, lambda key: names[key]
+        )
+        return manager.implies(node_a, node_b)
+
+    # ------------------------------------------------------------------
+    def describe(self, event_id: int) -> str:
+        """Readable rendering of an event's predicate list."""
+        preds = self._events[event_id]
+        if not preds:
+            return "[]"
+        parts = []
+        for p in preds:
+            if p == CONST1:
+                parts.append("1")
+            elif self.table.kind(p) == "v":
+                parts.append(str(self.table.var_key(p)))
+            else:
+                parts.append(f"#{p}")
+        return "[" + ", ".join(parts) + "]"

@@ -1,0 +1,215 @@
+"""Choosing and exposing latches to break feedback (paper Sec. 7.1, Fig. 15).
+
+The latch dependency graph is cyclic in general.  Latches whose only cycle
+is a self-loop can often be remodelled as load-enabled latches (Sec. 6);
+the rest must be *exposed* — their position frozen and their boundary made
+observable — until the remaining graph is acyclic.  Choosing the fewest
+such latches is the minimum feedback vertex set problem (NP-complete); we
+use a Lee-Reddy-style greedy heuristic [22]:
+
+1. repeatedly delete trivial nodes (no in- or out-edges inside cycles);
+2. self-loop nodes must be chosen (they are in every FVS of their loop)
+   unless unate remodelling removed the loop;
+3. otherwise pick the node with the largest ``indegree × outdegree`` inside
+   the current strongly connected components, add it to the FVS, delete it,
+   and iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.feedback import analyze_feedback_latch, remodel_feedback_latches
+from repro.netlist.circuit import Circuit
+from repro.netlist.graph import latch_dependency_graph
+from repro.netlist.transform import ExposedCircuit, expose_latches
+
+__all__ = [
+    "minimum_feedback_vertex_set",
+    "choose_latches_to_expose",
+    "prepare_circuit",
+    "PreparedCircuit",
+]
+
+
+def minimum_feedback_vertex_set(
+    graph: "nx.DiGraph",
+    weight: Optional[Dict[str, float]] = None,
+) -> Set[str]:
+    """Greedy FVS heuristic; returned nodes break every directed cycle.
+
+    Without ``weight`` the classic Lee-Reddy score (in·out degree) picks
+    the next vertex.  With ``weight`` (an exposure *penalty* per node — the
+    paper's future-work refinement, Sec. 9) the score is degree-product
+    divided by penalty, so cheap-to-expose latches are preferred when they
+    cut comparably many cycles.
+    """
+    g = graph.copy()
+    fvs: Set[str] = set()
+    # Self-loops first: each is unavoidable.
+    for node in list(g.nodes):
+        if g.has_edge(node, node):
+            fvs.add(node)
+            g.remove_node(node)
+
+    def score(n: str) -> float:
+        base = g.in_degree(n) * g.out_degree(n)
+        if weight is None:
+            return float(base)
+        return base / max(weight.get(n, 1.0), 1e-9)
+
+    while True:
+        # Restrict attention to non-trivial SCCs.
+        cyclic_nodes: Set[str] = set()
+        for comp in nx.strongly_connected_components(g):
+            if len(comp) > 1:
+                cyclic_nodes |= comp
+        if not cyclic_nodes:
+            break
+        best = max(cyclic_nodes, key=lambda n: (score(n), str(n)))
+        fvs.add(best)
+        g.remove_node(best)
+        # New self-loops cannot appear (we removed nodes), but keep safe:
+        for node in list(g.nodes):
+            if g.has_edge(node, node):
+                fvs.add(node)
+                g.remove_node(node)
+    return fvs
+
+
+def exposure_penalties(circuit: Circuit) -> Dict[str, float]:
+    """Heuristic optimisation penalty of exposing each latch.
+
+    Exposing a latch freezes its position and cuts resynthesis across its
+    boundary; a cheap proxy for the cost is the size of the combinational
+    cone feeding the latch (bigger cone = more optimisation potential
+    lost).  Used by the ``weighted`` exposure strategy (the paper's Sec. 9
+    future-work item: pick latches whose exposure costs the least).
+    """
+    from repro.netlist.graph import combinational_fanin_cone
+
+    penalties: Dict[str, float] = {}
+    for latch in circuit.latches.values():
+        roots = [latch.data] + (
+            [latch.enable] if latch.enable is not None else []
+        )
+        cone = combinational_fanin_cone(circuit, roots)
+        penalties[latch.output] = float(
+            sum(1 for s in cone if s in circuit.gates)
+        )
+    return penalties
+
+
+def choose_latches_to_expose(
+    circuit: Circuit,
+    use_unateness: bool = True,
+    pinned: Sequence[str] = (),
+    strategy: str = "count",
+) -> Tuple[Set[str], Set[str]]:
+    """Decide which latches to expose and which to remodel.
+
+    Returns ``(to_expose, to_remodel)``.  ``pinned`` latches are treated as
+    already observable (designers keep FSM state bits visible, Sec. 1) and
+    never counted against the budget; their feedback edges are pre-broken.
+
+    With ``use_unateness=True`` self-loop latches whose next-state function
+    is positive unate in their own output are remodelled (Sec. 6) instead of
+    exposed — the functional analysis the paper notes would "lead to reduced
+    number of exposed latches" (Sec. 8, Table 2 discussion).
+
+    ``strategy='count'`` minimises the *number* of exposed latches (the
+    paper's experiment); ``strategy='weighted'`` minimises an estimated
+    optimisation penalty instead (the paper's Sec. 9 future-work
+    refinement), possibly exposing more but cheaper latches.
+    """
+    if strategy not in ("count", "weighted"):
+        raise ValueError(f"unknown exposure strategy {strategy!r}")
+    g = latch_dependency_graph(circuit)
+    pinned_set = set(pinned)
+    g.remove_nodes_from(pinned_set)
+
+    to_remodel: Set[str] = set()
+    if use_unateness:
+        for node in list(g.nodes):
+            if g.has_edge(node, node):
+                analysis = analyze_feedback_latch(circuit, node)
+                if analysis.positive_unate:
+                    # Remodelling removes only the self-loop edge; paths
+                    # through other latches remain.
+                    g.remove_edge(node, node)
+                    to_remodel.add(node)
+    weights = exposure_penalties(circuit) if strategy == "weighted" else None
+    to_expose = minimum_feedback_vertex_set(g, weight=weights)
+    # A latch scheduled for remodel that the FVS still picked (it was on a
+    # longer cycle) must be exposed instead.
+    to_remodel -= to_expose
+    return to_expose, to_remodel
+
+
+@dataclass
+class PreparedCircuit:
+    """A circuit made acyclic for CBF/EDBF computation.
+
+    ``circuit`` is acyclic at the latch level; ``exposed`` maps exposed
+    latch names to their (pseudo input, pseudo output) ports; ``remodelled``
+    lists latches converted to load-enabled form.
+    """
+
+    circuit: Circuit
+    exposed: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    remodelled: List[str] = field(default_factory=list)
+
+    @property
+    def num_exposed(self) -> int:
+        """How many latches were exposed."""
+        return len(self.exposed)
+
+
+def prepare_circuit(
+    circuit: Circuit,
+    use_unateness: bool = True,
+    expose: Optional[Sequence[str]] = None,
+    pinned: Sequence[str] = (),
+) -> PreparedCircuit:
+    """Make a circuit acyclic: remodel unate self-loops, expose the rest.
+
+    ``expose`` forces a specific exposure set (used to apply the *same*
+    modification to both circuits of a verification pair, as the paper's
+    flow does by modifying circuit A into B before synthesis).  ``pinned``
+    latches are exposed unconditionally (designer-visible state bits).
+    """
+    if expose is not None:
+        to_expose = set(expose) | set(pinned)
+        _, to_remodel = choose_latches_to_expose(
+            circuit, use_unateness, pinned=list(to_expose)
+        )
+    else:
+        to_expose, to_remodel = choose_latches_to_expose(
+            circuit, use_unateness, pinned=()
+        )
+        to_expose |= set(pinned)
+        to_expose -= to_remodel
+    work = circuit
+    remodelled: List[str] = []
+    if to_remodel:
+        work, remodelled, failed = remodel_feedback_latches(
+            work, sorted(to_remodel)
+        )
+        to_expose |= set(failed)
+    exposed_result: ExposedCircuit = expose_latches(work, sorted(to_expose))
+    from repro.netlist.graph import feedback_latches
+
+    leftover = feedback_latches(exposed_result.circuit)
+    if leftover:
+        # The FVS heuristic works on the latch graph before remodelling;
+        # remodelling introduces no new cycles, so this should not happen.
+        extra = expose_latches(exposed_result.circuit, sorted(leftover))
+        exposed_result = ExposedCircuit(
+            extra.circuit, {**exposed_result.exposed, **extra.exposed}
+        )
+    return PreparedCircuit(
+        exposed_result.circuit, exposed_result.exposed, remodelled
+    )

@@ -1,0 +1,97 @@
+"""Multiple-clock support (paper Sec. 5.2: "Extension to circuits with
+multiple clocks is straightforward").
+
+Following Legl et al. [9], a latch class in a multi-clock design is the
+pair ``cl = (CLK, LE)``.  In a synchronous multi-rate abstraction every
+clock is a *tick predicate* over one base clock: clock ``CLK`` ticks at a
+cycle iff its tick input is 1.  A latch on clock ``CLK`` with load-enable
+``LE`` then loads exactly when ``tick(CLK) ∧ LE`` holds — which is an
+ordinary load-enabled latch of the base clock.
+
+:func:`normalize_multiclock` performs that reduction: given the clock
+assignment per latch and the tick input per clock, it rewrites every latch
+into the single-clock enabled-latch model the rest of the library (EDBF
+computation, class-aware retiming, simulation) already handles.  The latch
+class after normalisation is the conjunction enable signal, so same-
+``(CLK, LE)`` latches still share a class, as Legl's retiming requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.netlist.circuit import Circuit, Latch
+from repro.netlist.cube import Sop
+
+__all__ = ["MultiClockSpec", "normalize_multiclock"]
+
+
+@dataclass
+class MultiClockSpec:
+    """Clock assignment for a multi-clock circuit.
+
+    ``clock_of`` maps latch outputs to clock names; unmapped latches belong
+    to ``default_clock``.  ``tick_input_of`` maps each clock name to the
+    primary input carrying its tick predicate; the default clock ticks
+    every base cycle (no input needed).
+    """
+
+    clock_of: Dict[str, str] = field(default_factory=dict)
+    tick_input_of: Dict[str, str] = field(default_factory=dict)
+    default_clock: str = "clk"
+
+    def clock(self, latch_output: str) -> str:
+        """The clock a latch belongs to."""
+        return self.clock_of.get(latch_output, self.default_clock)
+
+    def classes(self, circuit: Circuit) -> Dict[Tuple[str, Optional[str]], List[str]]:
+        """Latches grouped by Legl class ``(CLK, LE)``."""
+        out: Dict[Tuple[str, Optional[str]], List[str]] = {}
+        for latch in circuit.latches.values():
+            key = (self.clock(latch.output), latch.enable)
+            out.setdefault(key, []).append(latch.output)
+        return out
+
+
+def normalize_multiclock(
+    circuit: Circuit,
+    spec: MultiClockSpec,
+    name: Optional[str] = None,
+) -> Circuit:
+    """Reduce a multi-clock circuit to the single-clock enabled-latch model.
+
+    Every latch on a non-default clock gets its enable replaced by
+    ``tick ∧ enable`` (or just ``tick`` for regular latches).  Latches that
+    share a Legl class ``(CLK, LE)`` share the generated conjunction
+    signal, so they remain one retiming class after normalisation.
+
+    Raises :class:`KeyError` when a non-default clock has no tick input and
+    :class:`ValueError` when a tick input is not a primary input (the tick
+    must come from the environment — derived clocks would need exposure
+    first, exactly like derived enables).
+    """
+    result = circuit.copy(name or circuit.name + "_1clk")
+    conj_cache: Dict[Tuple[str, Optional[str]], str] = {}
+    for latch in list(result.latches.values()):
+        clock = spec.clock(latch.output)
+        if clock == spec.default_clock:
+            continue
+        if clock not in spec.tick_input_of:
+            raise KeyError(f"clock {clock!r} has no tick input in the spec")
+        tick = spec.tick_input_of[clock]
+        if not result.is_input(tick):
+            raise ValueError(
+                f"tick {tick!r} for clock {clock!r} must be a primary input"
+            )
+        key = (clock, latch.enable)
+        enable = conj_cache.get(key)
+        if enable is None:
+            if latch.enable is None:
+                enable = tick
+            else:
+                enable = result.fresh_signal(f"__clk_{clock}_and_{latch.enable}")
+                result.add_gate(enable, (tick, latch.enable), Sop.and_all(2))
+            conj_cache[key] = enable
+        result.replace_latch(Latch(latch.output, latch.data, enable))
+    return result

@@ -1,0 +1,271 @@
+"""Hash-consed Boolean expression DAGs over timed/evented variables.
+
+CBFs and EDBFs are Boolean functions whose variables are pairs of a primary
+input and a *time tag* — an integer delay ``d`` for CBFs (the variable
+``x(t-d)``) or an event id for EDBFs (the variable ``x(η(E))``).  This module
+provides the shared representation: an :class:`ExprTable` of hash-consed
+nodes (constants, variables, and SOP applications), with evaluation, support
+computation, BDD lowering and basic constant-propagation simplification.
+
+Sharing one table across two circuits makes structurally equal
+sub-expressions literally identical node ids, which is what lets the
+equivalence machinery name variables consistently on both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.cube import Sop
+
+__all__ = ["ExprTable", "CONST0", "CONST1"]
+
+CONST0 = 0
+CONST1 = 1
+
+VarKey = Hashable
+
+
+class ExprTable:
+    """Hash-consed expression nodes.
+
+    Node 0 is constant FALSE, node 1 constant TRUE.  Other nodes are either
+    variables (``kind 'v'``, payload the variable key) or SOP applications
+    (``kind 'op'``, payload ``(sop, child ids)``).
+    """
+
+    def __init__(self) -> None:
+        self._kind: List[str] = ["c", "c"]
+        self._payload: List = [False, True]
+        self._var_cache: Dict[VarKey, int] = {}
+        self._op_cache: Dict[Tuple[Sop, Tuple[int, ...]], int] = {}
+        self._support_cache: Dict[int, FrozenSet[VarKey]] = {}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    def var(self, key: VarKey) -> int:
+        """Intern a variable node for ``key``."""
+        node = self._var_cache.get(key)
+        if node is None:
+            node = len(self._kind)
+            self._kind.append("v")
+            self._payload.append(key)
+            self._var_cache[key] = node
+        return node
+
+    def apply(self, sop: Sop, children: Sequence[int]) -> int:
+        """Apply an SOP to child nodes, with light simplification."""
+        if sop.ninputs != len(children):
+            raise ValueError("arity mismatch in apply")
+        # Constant-fold against constant children.
+        const_assignment = {
+            i: (child == CONST1)
+            for i, child in enumerate(children)
+            if child in (CONST0, CONST1)
+        }
+        if const_assignment:
+            sop = sop.restrict(const_assignment)
+            remaining = [
+                (i, child)
+                for i, child in enumerate(children)
+                if i not in const_assignment
+            ]
+            # Drop the now-unused constant positions.
+            for i in sorted(const_assignment, reverse=True):
+                sop = sop.remove_input(i)
+            children = [child for _, child in remaining]
+        if sop.is_const0():
+            return CONST0
+        if sop.is_const1_syntactic():
+            return CONST1
+        if not children:
+            # No inputs left but not syntactically constant: decide by eval.
+            return CONST1 if sop.eval_bool([]) else CONST0
+        # Drop children outside the (syntactic) support.
+        support = sop.support()
+        if len(support) < len(children):
+            for i in range(len(children) - 1, -1, -1):
+                if i not in support:
+                    sop = sop.remove_input(i)
+            children = [c for i, c in enumerate(children) if i in support]
+            if not children:
+                return CONST1 if sop.eval_bool([]) else CONST0
+        # Identity collapse: single-input positive buffer.
+        if (
+            sop.ninputs == 1
+            and len(sop.cubes) == 1
+            and sop.cubes[0] == "1"
+        ):
+            return children[0]
+        key = (sop, tuple(children))
+        node = self._op_cache.get(key)
+        if node is None:
+            node = len(self._kind)
+            self._kind.append("op")
+            self._payload.append(key)
+            self._op_cache[key] = node
+        return node
+
+    def not_(self, child: int) -> int:
+        """Complement of a node."""
+        if child == CONST0:
+            return CONST1
+        if child == CONST1:
+            return CONST0
+        return self.apply(Sop.and_all(1, [False]), [child])
+
+    def and_(self, a: int, b: int) -> int:
+        """Conjunction of two nodes."""
+        return self.apply(Sop.and_all(2), [a, b])
+
+    def or_(self, a: int, b: int) -> int:
+        """Disjunction of two nodes."""
+        return self.apply(Sop.or_all(2), [a, b])
+
+    def xor_(self, a: int, b: int) -> int:
+        """Exclusive-or of two nodes."""
+        return self.apply(Sop.xor2(), [a, b])
+
+    def mux(self, sel: int, then_node: int, else_node: int) -> int:
+        """``sel ? then : else`` over nodes."""
+        return self.apply(Sop.mux(), [sel, then_node, else_node])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def kind(self, node: int) -> str:
+        """``'c' | 'v' | 'op'`` for a node."""
+        return self._kind[node]
+
+    def var_key(self, node: int) -> VarKey:
+        """The variable key of a variable node."""
+        if self._kind[node] != "v":
+            raise ValueError(f"node {node} is not a variable")
+        return self._payload[node]
+
+    def op_parts(self, node: int) -> Tuple[Sop, Tuple[int, ...]]:
+        """The (cover, children) payload of an operation node."""
+        if self._kind[node] != "op":
+            raise ValueError(f"node {node} is not an operation")
+        return self._payload[node]
+
+    def num_nodes(self) -> int:
+        """Total interned node count."""
+        return len(self._kind)
+
+    def support(self, node: int) -> FrozenSet[VarKey]:
+        """The set of variable keys the node (syntactically) depends on."""
+        hit = self._support_cache.get(node)
+        if hit is not None:
+            return hit
+        # Iterative post-order to avoid recursion limits.
+        result: Dict[int, FrozenSet[VarKey]] = {}
+        stack: List[Tuple[int, bool]] = [(node, False)]
+        while stack:
+            n, expanded = stack.pop()
+            if n in result or n in self._support_cache:
+                continue
+            kind = self._kind[n]
+            if kind == "c":
+                result[n] = frozenset()
+            elif kind == "v":
+                result[n] = frozenset([self._payload[n]])
+            else:
+                _, children = self._payload[n]
+                if expanded:
+                    acc: Set[VarKey] = set()
+                    for child in children:
+                        child_support = self._support_cache.get(child)
+                        if child_support is None:
+                            child_support = result[child]
+                        acc |= child_support
+                    result[n] = frozenset(acc)
+                else:
+                    stack.append((n, True))
+                    for child in children:
+                        if child not in result and child not in self._support_cache:
+                            stack.append((child, False))
+        self._support_cache.update(result)
+        return self._support_cache[node]
+
+    def descendants(self, roots: Sequence[int]) -> List[int]:
+        """All reachable nodes from ``roots`` in topological (child-first) order."""
+        order: List[int] = []
+        state: Dict[int, int] = {}
+        stack: List[Tuple[int, bool]] = [(r, False) for r in roots]
+        while stack:
+            n, expanded = stack.pop()
+            if expanded:
+                if state.get(n) != 2:
+                    state[n] = 2
+                    order.append(n)
+                continue
+            if state.get(n):
+                continue
+            state[n] = 1
+            stack.append((n, True))
+            if self._kind[n] == "op":
+                _, children = self._payload[n]
+                for child in children:
+                    if not state.get(child):
+                        stack.append((child, False))
+        return order
+
+    # ------------------------------------------------------------------
+    # evaluation / lowering
+    # ------------------------------------------------------------------
+    def eval(self, roots: Sequence[int], assignment: Dict[VarKey, bool]) -> List[bool]:
+        """Evaluate several roots under a variable assignment."""
+        values: Dict[int, bool] = {CONST0: False, CONST1: True}
+        for n in self.descendants(roots):
+            kind = self._kind[n]
+            if kind == "c":
+                values[n] = bool(self._payload[n])
+            elif kind == "v":
+                values[n] = bool(assignment[self._payload[n]])
+            else:
+                sop, children = self._payload[n]
+                values[n] = sop.eval_bool([values[c] for c in children])
+        return [values[r] for r in roots]
+
+    def eval_parallel(
+        self,
+        roots: Sequence[int],
+        assignment: Dict[VarKey, int],
+        mask: int,
+    ) -> List[int]:
+        """Bit-parallel evaluation over words."""
+        values: Dict[int, int] = {CONST0: 0, CONST1: mask}
+        for n in self.descendants(roots):
+            kind = self._kind[n]
+            if kind == "c":
+                values[n] = mask if self._payload[n] else 0
+            elif kind == "v":
+                values[n] = assignment[self._payload[n]] & mask
+            else:
+                sop, children = self._payload[n]
+                values[n] = sop.eval_parallel([values[c] for c in children], mask)
+        return [values[r] for r in roots]
+
+    def to_bdd(
+        self,
+        roots: Sequence[int],
+        manager,
+        var_name: Callable[[VarKey], str],
+    ) -> List[int]:
+        """Lower roots to BDD nodes; ``var_name`` maps keys to BDD names."""
+        values: Dict[int, int] = {
+            CONST0: manager.ZERO,
+            CONST1: manager.ONE,
+        }
+        for n in self.descendants(roots):
+            kind = self._kind[n]
+            if kind == "c":
+                values[n] = manager.ONE if self._payload[n] else manager.ZERO
+            elif kind == "v":
+                values[n] = manager.add_var(var_name(self._payload[n]))
+            else:
+                sop, children = self._payload[n]
+                values[n] = manager.from_sop(sop, [values[c] for c in children])
+        return [values[r] for r in roots]

@@ -1,0 +1,325 @@
+"""Top-level sequential equivalence checking via combinational reduction.
+
+The flow of the paper:
+
+1. classify both circuits (combinational / acyclic-regular / acyclic-enabled
+   / feedback);
+2. if there is feedback, prepare both circuits identically: remodel positive
+   unate self-loops, expose the same latch set (chosen on the first circuit,
+   applied by name to both — the paper's flow modifies circuit A to B and
+   synthesises B, so latch names of the exposed set survive);
+3. compute CBFs (regular latches) or EDBFs (enabled latches) in a shared
+   expression space;
+4. quick filter: sequential depths must match (Lemma 5.1);
+5. lower to combinational circuits (Sec. 7.4) and run the CEC engine;
+6. CBF verdicts are exact (Theorem 5.1): counterexamples are lifted back to
+   concrete input sequences and re-validated by exact-3-valued simulation.
+   EDBF mismatches are *conservative* (Sec. 5.2) — unless the lifted trace
+   actually distinguishes the circuits, the verdict is INCONCLUSIVE.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.cec.engine import CecVerdict, check_equivalence
+from repro.core.cbf import CBF, compute_cbf
+from repro.core.edbf import EDBF, compute_edbf
+from repro.core.eq2comb import cbf_to_circuit, edbf_to_circuit
+from repro.core.events import EventContext
+from repro.core.expose import PreparedCircuit, prepare_circuit
+from repro.core.timedvar import ExprTable
+from repro.netlist.circuit import Circuit
+from repro.netlist.graph import feedback_latches
+from repro.sim.exact3 import BOT, exact3_outputs
+
+__all__ = [
+    "SeqVerdict",
+    "SeqCheckResult",
+    "check_sequential_equivalence",
+    "minimize_counterexample",
+]
+
+
+class SeqVerdict(enum.Enum):
+    EQUIVALENT = "equivalent"
+    NOT_EQUIVALENT = "not_equivalent"
+    INCONCLUSIVE = "inconclusive"  # conservative EDBF mismatch (Figs. 10-11)
+    UNKNOWN = "unknown"  # resource limits
+
+
+@dataclass
+class SeqCheckResult:
+    """Outcome of a sequential equivalence check."""
+
+    verdict: SeqVerdict
+    method: str = ""
+    counterexample: Optional[List[Dict[str, bool]]] = None
+    failing_output: Optional[str] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        """True when the verdict is EQUIVALENT."""
+        return self.verdict is SeqVerdict.EQUIVALENT
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _classify(circuit: Circuit) -> str:
+    if not circuit.latches:
+        return "combinational"
+    if feedback_latches(circuit):
+        return "feedback"
+    if any(l.enable is not None for l in circuit.latches.values()):
+        return "acyclic-enabled"
+    return "acyclic-regular"
+
+
+def check_sequential_equivalence(
+    c1: Circuit,
+    c2: Circuit,
+    prepare: bool = True,
+    use_unateness: bool = True,
+    event_rewrite: bool = False,
+    validate_cex: bool = True,
+    pinned: Sequence[str] = (),
+) -> SeqCheckResult:
+    """Check exact-3-valued sequential equivalence of two circuits.
+
+    ``prepare=True`` applies the paper's feedback handling automatically
+    when needed (exposing the same latch names in both circuits — this
+    assumes the synthesis flow preserved exposed-latch names, which
+    :mod:`repro.flows` guarantees).  ``event_rewrite`` enables the Eq. 5
+    canonicalisation (opt-in; see :mod:`repro.core.events` for why it is
+    tied to the transparent-enable reading).  ``validate_cex`` replays CBF
+    counterexamples through exact-3-valued simulation as a
+    defence-in-depth check.
+    """
+    t0 = time.perf_counter()
+    if set(c1.inputs) != set(c2.inputs):
+        raise ValueError("circuits must have identical input names")
+    if set(c1.outputs) != set(c2.outputs):
+        raise ValueError("circuits must have identical output names")
+
+    kind1, kind2 = _classify(c1), _classify(c2)
+    stats: Dict[str, float] = {}
+
+    if "feedback" in (kind1, kind2):
+        if not prepare:
+            raise ValueError(
+                "circuits have feedback latches; pass prepare=True or "
+                "prepare them explicitly with prepare_circuit()"
+            )
+        prep1 = prepare_circuit(c1, use_unateness=use_unateness, pinned=pinned)
+        shared_exposure = sorted(prep1.exposed)
+        missing = [n for n in shared_exposure if n not in c2.latches]
+        if missing:
+            raise ValueError(
+                f"cannot mirror exposure: latches {missing} absent in "
+                f"{c2.name!r}; expose compatible latch sets explicitly"
+            )
+        prep2 = prepare_circuit(
+            c2, use_unateness=use_unateness, expose=shared_exposure
+        )
+        stats["exposed"] = len(prep1.exposed)
+        stats["remodelled"] = len(prep1.remodelled)
+        c1p, c2p = prep1.circuit, prep2.circuit
+        kind1, kind2 = _classify(c1p), _classify(c2p)
+    else:
+        c1p, c2p = c1, c2
+
+    enabled = "acyclic-enabled" in (kind1, kind2)
+    if enabled:
+        result = _check_via_edbf(c1p, c2p, event_rewrite, stats)
+    else:
+        result = _check_via_cbf(c1p, c2p, stats, validate_cex, c1, c2)
+    result.stats["total_time"] = time.perf_counter() - t0
+    return result
+
+
+def _check_via_cbf(
+    c1: Circuit,
+    c2: Circuit,
+    stats: Dict[str, float],
+    validate_cex: bool,
+    orig1: Circuit,
+    orig2: Circuit,
+) -> SeqCheckResult:
+    table = ExprTable()
+    cbf1 = compute_cbf(c1, table)
+    cbf2 = compute_cbf(c2, table)
+    d1, d2 = cbf1.depth(), cbf2.depth()
+    stats["depth1"], stats["depth2"] = d1, d2
+    # Lemma 5.1 filter is on *semantic* depth; syntactic depths may differ.
+    all_vars = sorted(cbf1.variables() | cbf2.variables(), key=repr)
+    comb1 = cbf_to_circuit(cbf1, name=c1.name + "_H", extra_inputs=all_vars)
+    comb2 = cbf_to_circuit(cbf2, name=c2.name + "_J", extra_inputs=all_vars)
+    stats["comb_gates1"] = comb1.num_gates()
+    stats["comb_gates2"] = comb2.num_gates()
+    cec = check_equivalence(comb1, comb2)
+    stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
+    if cec.verdict is CecVerdict.EQUIVALENT:
+        return SeqCheckResult(SeqVerdict.EQUIVALENT, "cbf", stats=stats)
+    if cec.verdict is CecVerdict.UNKNOWN:
+        return SeqCheckResult(SeqVerdict.UNKNOWN, "cbf", stats=stats)
+    assert cec.counterexample is not None
+    sequence = _lift_cbf_counterexample(
+        cec.counterexample, max(d1, d2), set(orig1.inputs)
+    )
+    failing = cec.failing_output
+    if failing is not None and failing.startswith("__out_"):
+        failing = failing[len("__out_") :]
+    if validate_cex:
+        confirmed = _trace_distinguishes(orig1, orig2, sequence)
+        stats["cex_confirmed"] = float(confirmed)
+        # Theorem 5.1 says this must distinguish; if simulation cannot
+        # confirm it (sampling limits on >16-latch circuits), the verdict
+        # stands but the flag records it.
+        if confirmed:
+            sequence = minimize_counterexample(orig1, orig2, sequence)
+    return SeqCheckResult(
+        SeqVerdict.NOT_EQUIVALENT,
+        "cbf",
+        counterexample=sequence,
+        failing_output=failing,
+        stats=stats,
+    )
+
+
+def _lift_cbf_counterexample(
+    cex: Mapping[str, bool], depth: int, input_names: Set[str]
+) -> List[Dict[str, bool]]:
+    """Turn a timed-variable assignment into an input sequence.
+
+    Variable ``x@d`` is input ``x`` at ``t - d``; laying the sequence out
+    over cycles ``0 .. depth`` puts the output observation at cycle
+    ``depth`` (the last vector).
+    """
+    sequence = [
+        {name: False for name in input_names} for _ in range(depth + 1)
+    ]
+    for var_name, value in cex.items():
+        if "@" not in var_name:
+            continue
+        name, _, tag = var_name.rpartition("@")
+        if tag.startswith("E"):
+            continue
+        d = int(tag)
+        cycle = depth - d
+        if 0 <= cycle <= depth and name in input_names:
+            sequence[cycle][name] = bool(value)
+    return sequence
+
+
+def _trace_distinguishes(
+    c1: Circuit, c2: Circuit, sequence: List[Dict[str, bool]]
+) -> bool:
+    """Do the circuits visibly differ on this input sequence (Def. 1)?"""
+    o1 = exact3_outputs(c1, sequence)
+    o2 = exact3_outputs(c2, sequence)
+    for row1, row2 in zip(o1, o2):
+        for out in c1.outputs:
+            v1, v2 = row1[out], row2[out]
+            if (v1 is BOT) != (v2 is BOT):
+                return True
+            if v1 is not BOT and v1 != v2:
+                return True
+    return False
+
+
+def _check_via_edbf(
+    c1: Circuit,
+    c2: Circuit,
+    event_rewrite: bool,
+    stats: Dict[str, float],
+) -> SeqCheckResult:
+    context = EventContext(rewrite=event_rewrite)
+    edbf1 = compute_edbf(c1, context)
+    edbf2 = compute_edbf(c2, context)
+    all_vars = sorted(edbf1.variables() | edbf2.variables(), key=repr)
+    stats["events"] = context.num_events()
+    comb1 = edbf_to_circuit(edbf1, name=c1.name + "_H", extra_inputs=all_vars)
+    comb2 = edbf_to_circuit(edbf2, name=c2.name + "_J", extra_inputs=all_vars)
+    stats["comb_gates1"] = comb1.num_gates()
+    stats["comb_gates2"] = comb2.num_gates()
+    cec = check_equivalence(comb1, comb2)
+    stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
+    if cec.verdict is CecVerdict.EQUIVALENT:
+        return SeqCheckResult(SeqVerdict.EQUIVALENT, "edbf", stats=stats)
+    if cec.verdict is CecVerdict.UNKNOWN:
+        return SeqCheckResult(SeqVerdict.UNKNOWN, "edbf", stats=stats)
+    # EDBF inequality is conservative (Sec. 5.2).  Before reporting
+    # INCONCLUSIVE, try to refute equivalence concretely: random input
+    # sequences under exact-3-valued simulation.  A confirmed difference
+    # upgrades the verdict to NOT_EQUIVALENT with a witness trace.
+    failing = cec.failing_output
+    if failing is not None and failing.startswith("__out_"):
+        failing = failing[len("__out_") :]
+    witness = _search_distinguishing_trace(c1, c2)
+    if witness is not None:
+        stats["cex_confirmed"] = 1.0
+        witness = minimize_counterexample(c1, c2, witness)
+        return SeqCheckResult(
+            SeqVerdict.NOT_EQUIVALENT,
+            "edbf",
+            counterexample=witness,
+            failing_output=failing,
+            stats=stats,
+        )
+    return SeqCheckResult(
+        SeqVerdict.INCONCLUSIVE,
+        "edbf",
+        failing_output=failing,
+        stats=stats,
+    )
+
+
+def minimize_counterexample(
+    c1: Circuit,
+    c2: Circuit,
+    sequence: List[Dict[str, bool]],
+) -> List[Dict[str, bool]]:
+    """Shrink a distinguishing input sequence (greedy delta debugging).
+
+    Tries to (1) drop leading cycles and (2) set input bits to False,
+    keeping every change that still distinguishes the circuits under
+    exact-3-valued simulation.  Returns the (possibly unchanged) trace.
+    """
+    if not _trace_distinguishes(c1, c2, sequence):
+        return sequence
+    current = [dict(v) for v in sequence]
+    # 1. trim leading cycles.
+    while len(current) > 1 and _trace_distinguishes(c1, c2, current[1:]):
+        current = current[1:]
+    # 2. canonicalise bits to False where possible.
+    for t in range(len(current)):
+        for name in sorted(current[t]):
+            if not current[t][name]:
+                continue
+            current[t][name] = False
+            if not _trace_distinguishes(c1, c2, current):
+                current[t][name] = True
+    return current
+
+
+def _search_distinguishing_trace(
+    c1: Circuit, c2: Circuit, trials: int = 64, length: int = 8, seed: int = 7
+) -> Optional[List[Dict[str, bool]]]:
+    """Random search for a Def.-1-distinguishing input sequence."""
+    import random
+
+    rng = random.Random(seed)
+    inputs = sorted(c1.inputs)
+    for _ in range(trials):
+        sequence = [
+            {name: rng.random() < 0.5 for name in inputs}
+            for _ in range(length)
+        ]
+        if _trace_distinguishes(c1, c2, sequence):
+            return sequence
+    return None

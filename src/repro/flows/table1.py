@@ -1,0 +1,147 @@
+"""Table 1 harness: sequential optimisation and verification results.
+
+Regenerates the paper's Table 1 on the stand-in benchmark suite: per
+circuit, the latch counts of A/F/C/E, the normalised areas (D = 1.00), the
+mapped delays (column S), the percentage of latches exposed in B, and the
+H-vs-J combinational verification time.
+
+Run as a module for the full table::
+
+    python -m repro.flows.table1 [--quick] [--unate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bench.iscas_like import TABLE1_CIRCUITS, build_table1_circuit
+from repro.flows.flow import FlowResult, run_flow
+from repro.flows.report import render_table
+
+__all__ = ["table1_row", "run_table1", "QUICK_SET"]
+
+# Small-to-medium circuits that regenerate in seconds each.
+QUICK_SET = [
+    "minmax10",
+    "minmax12",
+    "s1196",
+    "s1238",
+    "s400",
+    "s444",
+    "s641",
+    "s713",
+    "s953",
+    "s967",
+]
+
+
+def table1_row(name: str, use_unateness: bool = False, effort: str = "medium") -> FlowResult:
+    """Run the flow for one Table 1 circuit."""
+    circuit = build_table1_circuit(name)
+    return run_flow(circuit, use_unateness=use_unateness, effort=effort)
+
+
+def run_table1(
+    names: Optional[Sequence[str]] = None,
+    use_unateness: bool = False,
+    effort: str = "medium",
+    stream=None,
+) -> List[FlowResult]:
+    """Run the Table 1 harness and print the table."""
+    if names is None:
+        names = [entry[0] for entry in TABLE1_CIRCUITS]
+    results: List[FlowResult] = []
+    for name in names:
+        t0 = time.perf_counter()
+        result = table1_row(name, use_unateness, effort)
+        elapsed = time.perf_counter() - t0
+        if stream is not None:
+            print(
+                f"  {name}: flow {elapsed:.1f}s verify "
+                f"{result.verify_seconds:.2f}s {result.verify_verdict}",
+                file=stream,
+                flush=True,
+            )
+        results.append(result)
+    if stream is not None:
+        print(format_table1(results), file=stream)
+    return results
+
+
+def format_table1(results: Sequence[FlowResult]) -> str:
+    """Render collected flow results as the Table 1 text."""
+    headers = [
+        "Circuit",
+        "A:#L",
+        "F:#L",
+        "F:Area",
+        "F:S",
+        "%exp",
+        "C:#L",
+        "C:Area",
+        "C:S",
+        "D:Area",
+        "D:S",
+        "G:#L",
+        "G:Area",
+        "E:#L",
+        "E:Area",
+        "E:S",
+        "Verify(s)",
+        "Verdict",
+    ]
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.name,
+                r.latches_a,
+                r.latches.get("F"),
+                r.normalised_area("F"),
+                r.delay.get("F"),
+                round(r.pct_exposed),
+                r.latches.get("C"),
+                r.normalised_area("C"),
+                r.delay.get("C"),
+                1.00 if "D" in r.area else None,
+                r.delay.get("D"),
+                r.latches.get("G"),
+                r.normalised_area("G"),
+                r.latches.get("E"),
+                r.normalised_area("E"),
+                r.delay.get("E"),
+                round(r.verify_seconds, 3),
+                r.verify_verdict.value if r.verify_verdict else "-",
+            ]
+        )
+    return render_table(headers, rows, title="Table 1 — optimisation & verification")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.flows.table1`` entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the fast subset"
+    )
+    parser.add_argument(
+        "--unate",
+        action="store_true",
+        help="remodel positive-unate feedback latches instead of exposing them",
+    )
+    parser.add_argument("--circuits", nargs="*", help="explicit circuit names")
+    args = parser.parse_args(argv)
+    if args.circuits:
+        names = args.circuits
+    elif args.quick:
+        names = QUICK_SET
+    else:
+        names = [entry[0] for entry in TABLE1_CIRCUITS]
+    run_table1(names, use_unateness=args.unate, stream=sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Circuit data model and structural utilities.
+
+This subpackage provides the netlist substrate used by every other part of
+the library:
+
+* :mod:`repro.netlist.cube` — cube/SOP covers with BLIF ``.names`` semantics;
+* :mod:`repro.netlist.circuit` — :class:`Circuit`, :class:`Gate`,
+  :class:`Latch` (edge-triggered, optionally load-enabled);
+* :mod:`repro.netlist.build` — :class:`CircuitBuilder` convenience API;
+* :mod:`repro.netlist.blif` — BLIF reader/writer;
+* :mod:`repro.netlist.graph` — dependency graphs and feedback analysis;
+* :mod:`repro.netlist.transform` — structural edits (exposure, miters, cores);
+* :mod:`repro.netlist.validate` — structural well-formedness checks.
+"""
+
+from repro.netlist.cube import Sop
+from repro.netlist.circuit import Circuit, Gate, Latch
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.blif import parse_blif, parse_blif_file, write_blif
+from repro.netlist.validate import validate_circuit, CircuitError
+
+__all__ = [
+    "Sop",
+    "Circuit",
+    "Gate",
+    "Latch",
+    "CircuitBuilder",
+    "parse_blif",
+    "parse_blif_file",
+    "write_blif",
+    "validate_circuit",
+    "CircuitError",
+]

@@ -1,0 +1,178 @@
+"""ISCAS'89 ``.bench`` format reader and writer.
+
+The s-series circuits the paper evaluates are distributed in the bench
+format::
+
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G11 = NOT(G5)
+    G14 = NAND(G0, G10)
+    G17 = AND(G11, G14)
+
+Supported functions: AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF, DFF,
+and the non-standard ``DFFE(data, enable)`` extension for load-enabled
+latches (mirroring the BLIF ``.enable`` extension).  Comments start with
+``#``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.cube import Sop
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench", "BenchError"]
+
+
+class BenchError(Exception):
+    """Raised on malformed .bench input."""
+
+
+_LINE = re.compile(
+    r"^\s*(?:(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)|"
+    r"([A-Za-z0-9_.\[\]$-]+)\s*=\s*([A-Za-z]+)\s*\(([^)]*)\))\s*$"
+)
+
+
+def _sop_for(function: str, arity: int) -> Sop:
+    fn = function.upper()
+    if fn == "AND":
+        return Sop.and_all(arity)
+    if fn == "NAND":
+        return Sop.or_all(arity, [False] * arity)
+    if fn == "OR":
+        return Sop.or_all(arity)
+    if fn == "NOR":
+        return Sop.and_all(arity, [False] * arity)
+    if fn == "NOT":
+        if arity != 1:
+            raise BenchError("NOT takes one operand")
+        return Sop.and_all(1, [False])
+    if fn in ("BUF", "BUFF"):
+        if arity != 1:
+            raise BenchError("BUF takes one operand")
+        return Sop.and_all(1)
+    if fn in ("XOR", "XNOR"):
+        # Parity over all operands (bench files use 2-input mostly, but
+        # multi-input parity appears in some derivatives).
+        bits = 0
+        for m in range(1 << arity):
+            ones = bin(m).count("1")
+            value = ones % 2 == 1
+            if fn == "XNOR":
+                value = not value
+            if value:
+                bits |= 1 << m
+        return Sop.from_truth_table(arity, bits)
+    raise BenchError(f"unsupported function {function!r}")
+
+
+def parse_bench(text: str) -> Circuit:
+    """Parse a .bench description into a :class:`Circuit`."""
+    circuit = Circuit("bench")
+    outputs: List[str] = []
+    pending_gates: List[Tuple[str, str, List[str]]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _LINE.match(line)
+        if m is None:
+            raise BenchError(f"line {lineno}: cannot parse {raw!r}")
+        if m.group(1):
+            port, name = m.group(1), m.group(2)
+            if port == "INPUT":
+                circuit.add_input(name)
+            else:
+                outputs.append(name)
+            continue
+        target, function, operand_text = m.group(3), m.group(4), m.group(5)
+        operands = [
+            op.strip() for op in operand_text.split(",") if op.strip()
+        ]
+        pending_gates.append((target, function, operands))
+
+    for target, function, operands in pending_gates:
+        fn = function.upper()
+        if fn == "DFF":
+            if len(operands) != 1:
+                raise BenchError(f"{target}: DFF takes one operand")
+            circuit.add_latch(target, operands[0])
+        elif fn == "DFFE":
+            if len(operands) != 2:
+                raise BenchError(f"{target}: DFFE takes (data, enable)")
+            circuit.add_latch(target, operands[0], operands[1])
+        else:
+            circuit.add_gate(target, tuple(operands), _sop_for(fn, len(operands)))
+    for out in outputs:
+        circuit.add_output(out)
+    return circuit
+
+
+def parse_bench_file(path: Union[str, Path]) -> Circuit:
+    """Parse a .bench file; the model name is the stem."""
+    circuit = parse_bench(Path(path).read_text())
+    circuit.name = Path(path).stem
+    return circuit
+
+
+_WRITEABLE = {
+    ("and",): "AND",
+    ("or",): "OR",
+    ("nand",): "NAND",
+    ("nor",): "NOR",
+    ("not",): "NOT",
+    ("buf",): "BUFF",
+}
+
+
+def _classify_gate(sop: Sop) -> str:
+    n = sop.ninputs
+    if n == 0:
+        raise BenchError("bench format has no constant cells; sweep first")
+    if sop == Sop.and_all(n):
+        return "AND" if n > 1 else "BUFF"
+    if sop == Sop.or_all(n):
+        return "OR" if n > 1 else "BUFF"
+    if sop == Sop.or_all(n, [False] * n):
+        return "NAND" if n > 1 else "NOT"
+    if sop == Sop.and_all(n, [False] * n):
+        return "NOR" if n > 1 else "NOT"
+    if n <= 8:
+        bits = sop.truth_table()
+        xor_bits = 0
+        for m in range(1 << n):
+            if bin(m).count("1") % 2 == 1:
+                xor_bits |= 1 << m
+        if bits == xor_bits:
+            return "XOR"
+        if bits == (~xor_bits & ((1 << (1 << n)) - 1)):
+            return "XNOR"
+    raise BenchError(
+        f"gate cover {sop} is not expressible as a single bench function; "
+        "tech-decompose first"
+    )
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialise a circuit to .bench (gates must be simple functions)."""
+    lines: List[str] = [f"# {circuit.name}"]
+    for pi in circuit.inputs:
+        lines.append(f"INPUT({pi})")
+    for po in circuit.outputs:
+        lines.append(f"OUTPUT({po})")
+    for latch in circuit.latches.values():
+        if latch.enable is None:
+            lines.append(f"{latch.output} = DFF({latch.data})")
+        else:
+            lines.append(
+                f"{latch.output} = DFFE({latch.data}, {latch.enable})"
+            )
+    for gate in circuit.gates.values():
+        fn = _classify_gate(gate.sop)
+        lines.append(f"{gate.output} = {fn}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"

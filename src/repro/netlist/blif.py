@@ -1,0 +1,193 @@
+"""BLIF reader and writer.
+
+Supports the classic Berkeley Logic Interchange Format subset used by SIS:
+``.model``, ``.inputs``, ``.outputs``, ``.names`` (on-set and off-set
+covers), ``.latch``, ``.end``, line continuation with ``\\`` and ``#``
+comments.
+
+Load-enabled latches are not expressible in classic BLIF; we use the
+extension directive::
+
+    .enable <latch-output> <enable-signal>
+
+which attaches an enable to a previously declared latch.  The writer emits
+the same directive, so round-trips preserve enables.  Latch init values are
+parsed and ignored (the paper's semantics is unknown power-up state).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.netlist.circuit import Circuit, Latch
+from repro.netlist.cube import Sop
+
+__all__ = ["parse_blif", "parse_blif_file", "write_blif", "BlifError"]
+
+
+class BlifError(Exception):
+    """Raised on malformed BLIF input."""
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Join continuations, strip comments, drop blanks."""
+    lines: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        hash_pos = raw.find("#")
+        if hash_pos >= 0:
+            raw = raw[:hash_pos]
+        raw = raw.rstrip()
+        if raw.endswith("\\"):
+            pending += raw[:-1] + " "
+            continue
+        line = (pending + raw).strip()
+        pending = ""
+        if line:
+            lines.append(line)
+    if pending.strip():
+        lines.append(pending.strip())
+    return lines
+
+
+def parse_blif(text: str) -> Circuit:
+    """Parse a single-model BLIF description into a :class:`Circuit`."""
+    lines = _logical_lines(text)
+    circuit = Circuit()
+    outputs: List[str] = []
+    # (output, inputs, rows) accumulated per .names block
+    names_blocks: List[Tuple[str, Tuple[str, ...], List[Tuple[str, str]]]] = []
+    current: Optional[Tuple[str, Tuple[str, ...], List[Tuple[str, str]]]] = None
+    pending_enables: List[Tuple[str, str]] = []
+    saw_end = False
+
+    def flush_current() -> None:
+        nonlocal current
+        if current is not None:
+            names_blocks.append(current)
+            current = None
+
+    for line in lines:
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".model":
+                flush_current()
+                circuit.name = parts[1] if len(parts) > 1 else "model"
+            elif directive == ".inputs":
+                flush_current()
+                for sig in parts[1:]:
+                    circuit.add_input(sig)
+            elif directive == ".outputs":
+                flush_current()
+                outputs.extend(parts[1:])
+            elif directive == ".names":
+                flush_current()
+                if len(parts) < 2:
+                    raise BlifError(".names needs at least an output")
+                *ins, out = parts[1:]
+                current = (out, tuple(ins), [])
+            elif directive == ".latch":
+                flush_current()
+                if len(parts) < 3:
+                    raise BlifError(".latch needs input and output")
+                data, out = parts[1], parts[2]
+                # Optional: [<type> [<control>]] [<init-val>] — ignored.
+                circuit.add_latch(out, data)
+            elif directive == ".enable":
+                flush_current()
+                if len(parts) != 3:
+                    raise BlifError(".enable needs latch output and enable signal")
+                pending_enables.append((parts[1], parts[2]))
+            elif directive == ".end":
+                flush_current()
+                saw_end = True
+            elif directive in (".exdc", ".clock", ".wire_load_slope", ".gate"):
+                flush_current()  # tolerated, ignored
+            else:
+                raise BlifError(f"unsupported directive {directive!r}")
+        else:
+            if current is None:
+                raise BlifError(f"cover row outside .names block: {line!r}")
+            parts = line.split()
+            out, ins, rows = current
+            if len(ins) == 0:
+                if len(parts) != 1:
+                    raise BlifError(f"bad constant row {line!r}")
+                rows.append(("", parts[0]))
+            else:
+                if len(parts) != 2:
+                    raise BlifError(f"bad cover row {line!r}")
+                rows.append((parts[0], parts[1]))
+    flush_current()
+
+    for out, ins, rows in names_blocks:
+        circuit.add_gate(out, ins, _rows_to_sop(len(ins), rows))
+
+    for latch_out, enable in pending_enables:
+        latch = circuit.latches.get(latch_out)
+        if latch is None:
+            raise BlifError(f".enable references unknown latch {latch_out!r}")
+        circuit.replace_latch(Latch(latch.output, latch.data, enable))
+
+    for out in outputs:
+        circuit.add_output(out)
+    if not saw_end and not lines:
+        raise BlifError("empty BLIF input")
+    return circuit
+
+
+def _rows_to_sop(ninputs: int, rows: List[Tuple[str, str]]) -> Sop:
+    """Convert .names rows to an on-set cover."""
+    if not rows:
+        return Sop.const0(ninputs)
+    out_values = {value for _, value in rows}
+    if out_values == {"1"}:
+        cubes = []
+        for pattern, _ in rows:
+            if len(pattern) != ninputs:
+                raise BlifError(f"cube {pattern!r} arity mismatch")
+            cubes.append(pattern)
+        return Sop(ninputs, tuple(cubes))
+    if out_values == {"0"}:
+        # Off-set cover: complement to get the on-set.
+        cubes = []
+        for pattern, _ in rows:
+            if len(pattern) != ninputs:
+                raise BlifError(f"cube {pattern!r} arity mismatch")
+            cubes.append(pattern)
+        return Sop(ninputs, tuple(cubes)).complement()
+    raise BlifError("mixed on-set/off-set .names block")
+
+
+def parse_blif_file(path: Union[str, Path]) -> Circuit:
+    """Parse a BLIF file from disk."""
+    return parse_blif(Path(path).read_text())
+
+
+def write_blif(circuit: Circuit) -> str:
+    """Serialise a circuit to BLIF text (with ``.enable`` extension)."""
+    out: List[str] = [f".model {circuit.name}"]
+    if circuit.inputs:
+        out.append(".inputs " + " ".join(circuit.inputs))
+    if circuit.outputs:
+        out.append(".outputs " + " ".join(circuit.outputs))
+    for latch in circuit.latches.values():
+        out.append(f".latch {latch.data} {latch.output} 3")
+        if latch.enable is not None:
+            out.append(f".enable {latch.output} {latch.enable}")
+    for gate in circuit.gates.values():
+        out.append(".names " + " ".join(gate.inputs + (gate.output,)))
+        if not gate.sop.cubes:
+            # constant 0: an empty block means const 0 in our reader too,
+            # but emit an explicit off-set row for SIS compatibility when
+            # the gate has no fanins.
+            if not gate.inputs:
+                out.append("0")
+        else:
+            for cube in gate.sop.cubes:
+                out.append(f"{cube} 1" if gate.inputs else "1")
+    out.append(".end")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,184 @@
+"""Convenience builder for constructing circuits gate-by-gate.
+
+:class:`CircuitBuilder` wraps a :class:`~repro.netlist.circuit.Circuit` and
+offers named-gate constructors (``AND``, ``OR``, ``NOT``, ``XOR``, ``MUX``,
+...), automatic fresh signal naming, and latch helpers.  All constructors
+return the output signal name so calls compose naturally::
+
+    b = CircuitBuilder("toy")
+    a, c = b.inputs("a", "c")
+    q = b.latch(b.AND(a, c))
+    b.output(b.XOR(q, a))
+    circuit = b.circuit
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.cube import Sop
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Fluent construction API over :class:`Circuit`."""
+
+    def __init__(self, name: str = "circuit", circuit: Optional[Circuit] = None) -> None:
+        self.circuit = circuit if circuit is not None else Circuit(name)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> str:
+        """Declare one primary input."""
+        return self.circuit.add_input(name)
+
+    def inputs(self, *names: str) -> Tuple[str, ...]:
+        """Declare several primary inputs; returns their names."""
+        return tuple(self.circuit.add_input(n) for n in names)
+
+    def input_bus(self, base: str, width: int) -> List[str]:
+        """Declare ``width`` inputs named ``base0..``."""
+        return [self.circuit.add_input(f"{base}{i}") for i in range(width)]
+
+    def output(self, signal: str, name: Optional[str] = None) -> str:
+        """Mark ``signal`` as a primary output (optionally via a buffer)."""
+        if name is None or name == signal:
+            self.circuit.add_output(signal)
+            return signal
+        self.gate(Sop.and_all(1), [signal], name=name)
+        self.circuit.add_output(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # names
+    # ------------------------------------------------------------------
+    def fresh(self, base: str = "n") -> str:
+        """A fresh internal signal name."""
+        while True:
+            self._counter += 1
+            candidate = f"{base}{self._counter}"
+            if self.circuit.driver_kind(candidate) is None:
+                return candidate
+
+    # ------------------------------------------------------------------
+    # gates
+    # ------------------------------------------------------------------
+    def gate(self, sop: Sop, fanins: Sequence[str], name: Optional[str] = None) -> str:
+        """Add a gate with the given cover; returns its output name."""
+        out = name if name is not None else self.fresh()
+        self.circuit.add_gate(out, tuple(fanins), sop)
+        return out
+
+    def CONST0(self, name: Optional[str] = None) -> str:
+        """Constant-0 gate."""
+        return self.gate(Sop.const0(0), (), name=name)
+
+    def CONST1(self, name: Optional[str] = None) -> str:
+        """Constant-1 gate."""
+        return self.gate(Sop.const1(0), (), name=name)
+
+    def BUF(self, a: str, name: Optional[str] = None) -> str:
+        """Identity buffer."""
+        return self.gate(Sop.and_all(1), [a], name=name)
+
+    def NOT(self, a: str, name: Optional[str] = None) -> str:
+        """Inverter."""
+        return self.gate(Sop.and_all(1, [False]), [a], name=name)
+
+    def AND(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Conjunction of the fanins."""
+        if not fanins:
+            return self.CONST1(name)
+        if len(fanins) == 1:
+            return self.BUF(fanins[0], name)
+        return self.gate(Sop.and_all(len(fanins)), fanins, name=name)
+
+    def OR(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Disjunction of the fanins."""
+        if not fanins:
+            return self.CONST0(name)
+        if len(fanins) == 1:
+            return self.BUF(fanins[0], name)
+        return self.gate(Sop.or_all(len(fanins)), fanins, name=name)
+
+    def NAND(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Complemented conjunction."""
+        if not fanins:
+            return self.CONST0(name)
+        # NAND cover: OR of complemented literals.
+        return self.gate(
+            Sop.or_all(len(fanins), [False] * len(fanins)), fanins, name=name
+        )
+
+    def NOR(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Complemented disjunction."""
+        if not fanins:
+            return self.CONST1(name)
+        return self.gate(
+            Sop.and_all(len(fanins), [False] * len(fanins)), fanins, name=name
+        )
+
+    def XOR(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """Two-input exclusive-or."""
+        return self.gate(Sop.xor2(), [a, b], name=name)
+
+    def XNOR(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """Two-input complemented exclusive-or."""
+        return self.gate(Sop.xnor2(), [a, b], name=name)
+
+    def MUX(self, sel: str, a: str, b: str, name: Optional[str] = None) -> str:
+        """``sel ? a : b``."""
+        return self.gate(Sop.mux(), [sel, a, b], name=name)
+
+    def ANDN(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """``a AND NOT b``."""
+        return self.gate(Sop(2, ("10",)), [a, b], name=name)
+
+    def IMPLIES(self, a: str, b: str, name: Optional[str] = None) -> str:
+        """``NOT a OR b``."""
+        return self.gate(Sop(2, ("0-", "-1")), [a, b], name=name)
+
+    def xor_tree(self, fanins: Sequence[str], name: Optional[str] = None) -> str:
+        """Balanced XOR over arbitrarily many fanins."""
+        level = list(fanins)
+        if not level:
+            return self.CONST0(name)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                last_pair = len(level) <= 2
+                nxt.append(
+                    self.XOR(level[i], level[i + 1], name=name if last_pair else None)
+                )
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        if name is not None and level[0] != name:
+            return self.BUF(level[0], name)
+        return level[0]
+
+    # ------------------------------------------------------------------
+    # latches
+    # ------------------------------------------------------------------
+    def latch(
+        self, data: str, enable: Optional[str] = None, name: Optional[str] = None
+    ) -> str:
+        """Add a latch on ``data`` (optionally load-enabled)."""
+        out = name if name is not None else self.fresh("q")
+        self.circuit.add_latch(out, data, enable)
+        return out
+
+    def latch_chain(
+        self, data: str, depth: int, enable: Optional[str] = None, base: str = "q"
+    ) -> List[str]:
+        """A chain of ``depth`` latches; returns all stage outputs."""
+        outs = []
+        current = data
+        for _ in range(depth):
+            current = self.latch(current, enable, name=self.fresh(base))
+            outs.append(current)
+        return outs

@@ -1,0 +1,186 @@
+"""Latch classes and legal class-aware retiming moves (Legl et al. [9]).
+
+A latch class ``cl = (e)`` groups latches by load-enable signal (paper
+Sec. 3.1); regular latches form the ``None`` class.  Latches may merge or
+move together during retiming only within one class, and a move across a
+gate must take one latch of the *same* class from every fanin (forward) or
+every fanout (backward) — Fig. 16 of the paper.
+
+:class:`MultiClassGraph` keeps, per retiming edge, the ordered list of
+latch classes, and implements single-gate moves with their legality
+conditions.  The greedy optimiser in :mod:`repro.retime.incremental` drives
+these moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.retime.rgraph import HOST, RetimingGraph, build_retiming_graph
+
+__all__ = ["MultiClassGraph", "build_multiclass_graph"]
+
+
+@dataclass
+class MultiClassGraph:
+    """A retiming graph whose edges carry ordered latch-class lists."""
+
+    graph: RetimingGraph
+    # Ordered classes per edge index, tail-to-head (index 0 nearest tail).
+    edge_classes: Dict[int, List[Optional[str]]] = field(default_factory=dict)
+    _in_edges: Dict[str, List[int]] = field(default_factory=dict)
+    _out_edges: Dict[str, List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.edge_classes:
+            self.edge_classes = {
+                i: list(e.classes) for i, e in enumerate(self.graph.edges)
+            }
+        self._in_edges = {v: [] for v in self.graph.vertices}
+        self._out_edges = {v: [] for v in self.graph.vertices}
+        for i, e in enumerate(self.graph.edges):
+            self._out_edges[e.tail].append(i)
+            self._in_edges[e.head].append(i)
+
+    # ------------------------------------------------------------------
+    def in_edges(self, v: str) -> List[int]:
+        """Edge indices whose head is ``v``."""
+        return self._in_edges[v]
+
+    def out_edges(self, v: str) -> List[int]:
+        """Edge indices whose tail is ``v``."""
+        return self._out_edges[v]
+
+    def num_latches(self) -> int:
+        """Total latches over all edge class lists."""
+        return sum(len(cls) for cls in self.edge_classes.values())
+
+    # ------------------------------------------------------------------
+    # moves (Fig. 16)
+    # ------------------------------------------------------------------
+    def can_move_forward(self, v: str) -> Optional[str]:
+        """Can one latch move from every fanin of ``v`` to every fanout?
+
+        Legal iff every fanin edge has a latch adjacent to ``v`` (the last
+        in tail-to-head order) and all those latches share one class.
+        Returns the class, or ``None`` if illegal.
+        """
+        if v == HOST:
+            return None
+        ins = self._in_edges[v]
+        if not ins:
+            return None
+        cls: Optional[str] = None
+        first = True
+        for idx in ins:
+            classes = self.edge_classes[idx]
+            if not classes:
+                return None
+            c = classes[-1]
+            if first:
+                cls, first = c, False
+            elif c != cls:
+                return None
+        if first:
+            return None
+        return cls if cls is not None else "__regular__"
+
+    def can_move_backward(self, v: str) -> Optional[str]:
+        """Can one latch move from every fanout of ``v`` to every fanin?"""
+        if v == HOST:
+            return None
+        outs = self._out_edges[v]
+        if not outs:
+            return None
+        cls: Optional[str] = None
+        first = True
+        for idx in outs:
+            classes = self.edge_classes[idx]
+            if not classes:
+                return None
+            c = classes[0]
+            if first:
+                cls, first = c, False
+            elif c != cls:
+                return None
+        if first:
+            return None
+        return cls if cls is not None else "__regular__"
+
+    def move_forward(self, v: str) -> None:
+        """Apply a legal forward move at ``v`` (raises if illegal)."""
+        cls_tag = self.can_move_forward(v)
+        if cls_tag is None:
+            raise ValueError(f"illegal forward move at {v!r}")
+        cls = None if cls_tag == "__regular__" else cls_tag
+        for idx in self._in_edges[v]:
+            self.edge_classes[idx].pop()
+        for idx in self._out_edges[v]:
+            self.edge_classes[idx].insert(0, cls)
+
+    def move_backward(self, v: str) -> None:
+        """Apply a legal backward move at ``v`` (raises if illegal)."""
+        cls_tag = self.can_move_backward(v)
+        if cls_tag is None:
+            raise ValueError(f"illegal backward move at {v!r}")
+        cls = None if cls_tag == "__regular__" else cls_tag
+        for idx in self._out_edges[v]:
+            self.edge_classes[idx].pop(0)
+        for idx in self._in_edges[v]:
+            self.edge_classes[idx].append(cls)
+
+    # ------------------------------------------------------------------
+    def arrival_times(self) -> Optional[Dict[str, int]]:
+        """Longest zero-latch path delay per vertex (None on comb. cycle).
+
+        As in :mod:`repro.retime.minperiod`, the host is split into a pure
+        source and a pure sink so latch-free PI→PO paths do not read as
+        cycles through the environment.
+        """
+        from collections import deque
+
+        host_in = "__host_sink__"
+        adj: Dict[str, List[str]] = {v: [] for v in self.graph.vertices}
+        adj[host_in] = []
+        for idx, e in enumerate(self.graph.edges):
+            if not self.edge_classes[idx] and e.tail != e.head:
+                head = host_in if e.head == HOST else e.head
+                adj[e.tail].append(head)
+        nodes = list(adj)
+        indeg = {v: 0 for v in nodes}
+        for tail, heads in adj.items():
+            for h in heads:
+                indeg[h] += 1
+        queue = deque(v for v in nodes if indeg[v] == 0)
+        order: List[str] = []
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for h in adj[v]:
+                indeg[h] -= 1
+                if indeg[h] == 0:
+                    queue.append(h)
+        if len(order) != len(nodes):
+            return None
+        delay = dict(self.graph.delay)
+        delay[host_in] = 0
+        arrival = {v: delay[v] for v in nodes}
+        for v in order:
+            for h in adj[v]:
+                arrival[h] = max(arrival[h], arrival[v] + delay[h])
+        arrival[HOST] = max(arrival.get(HOST, 0), arrival.pop(host_in, 0))
+        return arrival
+
+    def period(self) -> Optional[int]:
+        """Current clock period (None on a combinational cycle)."""
+        arrival = self.arrival_times()
+        if arrival is None:
+            return None
+        return max(arrival.values(), default=0)
+
+
+def build_multiclass_graph(circuit: Circuit) -> MultiClassGraph:
+    """Multi-class retiming graph of a circuit."""
+    return MultiClassGraph(build_retiming_graph(circuit))

@@ -1,0 +1,166 @@
+"""Greedy class-aware incremental retiming for load-enabled circuits.
+
+The paper could not retime its industrial (load-enabled) circuits because
+no public tool handled latch classes (Sec. 7.2).  This module provides that
+capability as an extension: a hill-climbing optimiser over the legal
+single-gate moves of :class:`~repro.retime.classes.MultiClassGraph`,
+reducing the clock period while never applying an illegal (class-mixing)
+move.  Verification of its output goes through the EDBF machinery, which is
+exactly what Theorem 5.2 licenses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.netlist.circuit import Circuit, Latch
+from repro.netlist.cube import Sop
+from repro.retime.classes import MultiClassGraph, build_multiclass_graph
+from repro.retime.rgraph import HOST
+
+__all__ = ["incremental_retime_enabled", "rebuild_multiclass"]
+
+
+def incremental_retime_enabled(
+    circuit: Circuit, max_rounds: int = 200
+) -> Tuple[Circuit, int, int]:
+    """Greedy min-period retiming with class-aware moves.
+
+    Returns ``(retimed circuit, old period, new period)``.  The result is
+    never worse than the input; moves that do not strictly reduce the
+    critical-path structure are rolled back.
+    """
+    mg = build_multiclass_graph(circuit)
+    old_period = mg.period()
+    if old_period is None:
+        raise ValueError("combinational cycle in circuit")
+
+    current = old_period
+    for _ in range(max_rounds):
+        improved = _one_round(mg, current)
+        new_period = mg.period()
+        assert new_period is not None
+        if new_period < current:
+            current = new_period
+        elif not improved:
+            break
+    rebuilt = rebuild_multiclass(circuit, mg)
+    return rebuilt, old_period, current
+
+
+def _one_round(mg: MultiClassGraph, period: int) -> bool:
+    """Try to shorten some critical path by one legal move."""
+    arrival = mg.arrival_times()
+    if arrival is None:
+        return False
+    critical = [
+        v
+        for v in mg.graph.vertices
+        if v != HOST and arrival[v] >= period
+    ]
+    # Prefer moving latches forward into the start of long paths or
+    # backward from their ends.
+    for v in sorted(critical, key=lambda x: arrival[x]):
+        # A forward move at a path-head vertex absorbs one gate of delay.
+        if mg.can_move_forward(v) is not None:
+            before = mg.period()
+            mg.move_forward(v)
+            after = mg.period()
+            if after is not None and before is not None and after <= before:
+                return True
+            mg.move_backward(v)  # undo
+    for v in sorted(critical, key=lambda x: -arrival[x]):
+        if mg.can_move_backward(v) is not None:
+            before = mg.period()
+            mg.move_backward(v)
+            after = mg.period()
+            if after is not None and before is not None and after <= before:
+                return True
+            mg.move_forward(v)  # undo
+    return False
+
+
+def rebuild_multiclass(circuit: Circuit, mg: MultiClassGraph) -> Circuit:
+    """Rebuild a netlist from a multi-class latch placement.
+
+    Latch chains are shared across fanout edges by common tail-to-head
+    class-list prefix.
+    """
+    graph = mg.graph
+    result = Circuit(circuit.name + "_cretimed")
+    result.inputs = list(circuit.inputs)
+    result._input_set = set(result.inputs)
+
+    po_set = set(circuit.outputs)
+
+    def internal(sig: str) -> str:
+        if sig in circuit.gates and sig in po_set:
+            return "__g_" + sig
+        return sig
+
+    # chains[source] = list of (class, latch signal) already built, shared
+    # by common prefix.
+    chains: Dict[str, List[Tuple[Optional[str], str]]] = {}
+
+    def tap(source_sig: str, classes: List[Optional[str]]) -> str:
+        if not classes:
+            return source_sig
+        built = chains.setdefault(source_sig, [])
+        sig = source_sig
+        for depth, cls in enumerate(classes):
+            if depth < len(built) and built[depth][0] == cls:
+                sig = built[depth][1]
+                continue
+            if depth < len(built) and built[depth][0] != cls:
+                # Prefix diverges: build an unshared chain from here on.
+                return _unshared(sig, classes[depth:])
+            new_latch = result.fresh_signal(f"__rt_{source_sig}_{depth + 1}")
+            result.add_latch(new_latch, sig, cls)
+            built.append((cls, new_latch))
+            sig = new_latch
+        return sig
+
+    def _unshared(start: str, classes: List[Optional[str]]) -> str:
+        sig = start
+        for cls in classes:
+            new_latch = result.fresh_signal(f"__rtx_{sig}")
+            result.add_latch(new_latch, sig, cls)
+            sig = new_latch
+        return sig
+
+    fanin_plan: Dict[str, List[Optional[Tuple[str, List[Optional[str]]]]]] = {
+        g.output: [None] * len(g.inputs) for g in circuit.gates.values()
+    }
+    po_plan: Dict[str, Tuple[str, List[Optional[str]]]] = {}
+    for idx, e in enumerate(graph.edges):
+        src = internal(graph.source_signal[idx])
+        classes = list(mg.edge_classes[idx])
+        if e.head == HOST:
+            assert e.po_name is not None
+            po_plan[e.po_name] = (src, classes)
+        else:
+            fanin_plan[e.head][e.sink_pin] = (src, classes)
+
+    for gate in circuit.gates.values():
+        wired = []
+        for pin, spec in enumerate(fanin_plan[gate.output]):
+            assert spec is not None
+            src, classes = spec
+            wired.append(tap(src, classes))
+        result.add_gate(internal(gate.output), tuple(wired), gate.sop)
+    result.outputs = []
+    for po in circuit.outputs:
+        spec = po_plan.get(po)
+        if spec is None:
+            result.add_output(po)
+            continue
+        src, classes = spec
+        sig = tap(src, classes)
+        if result.driver_kind(po) is None:
+            result.add_gate(po, (sig,), Sop.and_all(1))
+            result.add_output(po)
+        elif sig == po:
+            result.add_output(po)
+        else:
+            result.add_output(sig)
+    return result

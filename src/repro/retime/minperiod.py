@@ -1,0 +1,154 @@
+"""Minimum-period retiming (Leiserson-Saxe FEAS + binary search).
+
+``clock_period(graph, r)`` computes the longest zero-weight combinational
+path under retiming ``r``.  ``feasible_retiming(graph, period)`` runs the
+FEAS algorithm: repeatedly compute arrival times and increment ``r`` on
+vertices whose arrival exceeds the target.  ``min_period_retiming`` binary
+searches the achievable period (integers, unit gate delays).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.retime.rgraph import HOST, RetimingGraph
+
+__all__ = ["clock_period", "feasible_retiming", "min_period_retiming"]
+
+
+def _retimed_weight(graph: RetimingGraph, r: Dict[str, int], idx: int) -> int:
+    e = graph.edges[idx]
+    return e.weight + r[e.head] - r[e.tail]
+
+
+_HOST_IN = "__host_sink__"
+
+
+def _zero_weight_adjacency(
+    graph: RetimingGraph, r: Dict[str, int]
+) -> Optional[Dict[str, List[str]]]:
+    """Adjacency over zero-weight edges; None if some weight went negative.
+
+    The host vertex is split into a pure source (its out-edges, i.e. the
+    PIs) and a pure sink (its in-edges, the POs): combinational paths never
+    continue *through* the environment, so a latch-free PI→PO path must not
+    read as a cycle.
+    """
+    adj: Dict[str, List[str]] = {v: [] for v in graph.vertices}
+    adj[_HOST_IN] = []
+    for idx, e in enumerate(graph.edges):
+        w = _retimed_weight(graph, r, idx)
+        if w < 0:
+            return None
+        if w == 0 and e.tail != e.head:
+            head = _HOST_IN if e.head == HOST else e.head
+            adj[e.tail].append(head)
+    return adj
+
+
+def arrival_times(
+    graph: RetimingGraph, r: Optional[Dict[str, int]] = None
+) -> Optional[Dict[str, int]]:
+    """Δ(v): longest combinational (zero-weight) path delay ending at v.
+
+    Returns ``None`` when a zero-weight cycle exists (combinational loop —
+    the retiming is illegal).  The host vertex has delay 0 and acts as a
+    pure source/sink.
+    """
+    if r is None:
+        r = {v: 0 for v in graph.vertices}
+    adj = _zero_weight_adjacency(graph, r)
+    if adj is None:
+        return None
+    nodes = list(adj)
+    indeg: Dict[str, int] = {v: 0 for v in nodes}
+    for tail, heads in adj.items():
+        for h in heads:
+            indeg[h] += 1
+    queue = deque(v for v in nodes if indeg[v] == 0)
+    arrival: Dict[str, int] = {}
+    order: List[str] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for h in adj[v]:
+            indeg[h] -= 1
+            if indeg[h] == 0:
+                queue.append(h)
+    if len(order) != len(nodes):
+        return None  # zero-weight cycle
+    delay = dict(graph.delay)
+    delay[_HOST_IN] = 0
+    for v in order:
+        arrival[v] = delay[v]
+    for v in order:
+        for h in adj[v]:
+            arrival[h] = max(arrival[h], arrival[v] + delay[h])
+    arrival[HOST] = max(arrival.get(HOST, 0), arrival.pop(_HOST_IN, 0))
+    return arrival
+
+
+def clock_period(
+    graph: RetimingGraph, r: Optional[Dict[str, int]] = None
+) -> Optional[int]:
+    """The clock period (max combinational path delay) under retiming r."""
+    arrival = arrival_times(graph, r)
+    if arrival is None:
+        return None
+    return max(arrival.values(), default=0)
+
+
+def feasible_retiming(
+    graph: RetimingGraph, period: int
+) -> Optional[Dict[str, int]]:
+    """FEAS: find a legal retiming achieving ``period``, or None.
+
+    The host vertex is fixed at r = 0 (latches cannot cross the circuit
+    boundary).
+    """
+    r = {v: 0 for v in graph.vertices}
+    n = len(graph.vertices)
+    for _ in range(n - 1):
+        arrival = arrival_times(graph, r)
+        if arrival is None:
+            return None
+        violated = False
+        for v in graph.vertices:
+            if v == HOST:
+                continue
+            if arrival[v] > period:
+                r[v] += 1
+                violated = True
+        if not violated:
+            return r
+    arrival = arrival_times(graph, r)
+    if arrival is not None and max(arrival.values(), default=0) <= period:
+        return r
+    return None
+
+
+def min_period_retiming(
+    graph: RetimingGraph,
+) -> Tuple[int, Dict[str, int]]:
+    """Binary-search the minimum achievable period; returns (period, r)."""
+    base = clock_period(graph)
+    if base is None:
+        raise ValueError("circuit has a combinational cycle")
+    lo = max((graph.delay[v] for v in graph.vertices), default=0)
+    hi = base
+    best_r = {v: 0 for v in graph.vertices}
+    best_period = base
+    while lo < hi:
+        mid = (lo + hi) // 2
+        r = feasible_retiming(graph, mid)
+        if r is not None:
+            best_r, best_period = r, mid
+            hi = mid
+        else:
+            lo = mid + 1
+    if best_period > lo:
+        r = feasible_retiming(graph, lo)
+        if r is not None:
+            best_r, best_period = r, lo
+    return best_period, best_r

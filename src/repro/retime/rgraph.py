@@ -1,0 +1,161 @@
+"""The retiming graph (Leiserson-Saxe).
+
+Vertices are combinational gates plus the distinguished ``HOST`` vertex
+standing for the circuit's environment (all PIs and POs).  There is one
+edge per (driver, reader) connection; its weight is the number of latches
+on that connection.  Gate delays default to 1 (the paper's unit-delay
+model).
+
+The builder records, for every edge, the ordered list of latch classes
+(enable signals) crossed, so class-aware legality checks and the rebuild
+step can preserve enables.  The classic algorithms require a uniform class
+(regular latches); :mod:`repro.retime.incremental` handles the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.circuit import Circuit
+
+__all__ = ["HOST", "REdge", "RetimingGraph", "build_retiming_graph"]
+
+HOST = "__host__"
+
+
+@dataclass
+class REdge:
+    """One retiming edge."""
+
+    tail: str
+    head: str
+    weight: int
+    # Enable classes of the latches on this connection, tail-to-head order;
+    # None entries are regular latches.
+    classes: Tuple[Optional[str], ...]
+    # The head gate's fanin position this edge feeds (-1 for host/PO edges),
+    # and the PO name when the head is the host.
+    sink_pin: int = -1
+    po_name: Optional[str] = None
+
+
+@dataclass
+class RetimingGraph:
+    """G = (V, E, d, w) plus bookkeeping to rebuild the netlist."""
+
+    vertices: List[str] = field(default_factory=list)
+    delay: Dict[str, int] = field(default_factory=dict)
+    edges: List[REdge] = field(default_factory=list)
+    # Source signal of each vertex's output (gate output name; HOST handled
+    # per-edge via source_signal).
+    source_signal: Dict[int, str] = field(default_factory=dict)  # edge idx -> tail signal
+
+    def out_edges(self, v: str) -> List[int]:
+        """Edge indices whose tail is ``v``."""
+        return [i for i, e in enumerate(self.edges) if e.tail == v]
+
+    def in_edges(self, v: str) -> List[int]:
+        """Edge indices whose head is ``v``."""
+        return [i for i, e in enumerate(self.edges) if e.head == v]
+
+    def num_latches(self) -> int:
+        """Total latch count over all edges (per-edge, unshared)."""
+        return sum(e.weight for e in self.edges)
+
+    def uniform_class(self) -> Tuple[bool, Optional[str]]:
+        """Is there a single latch class?  Returns (uniform, the class)."""
+        seen: Set[Optional[str]] = set()
+        for e in self.edges:
+            seen.update(e.classes)
+        if not seen:
+            return True, None
+        if len(seen) == 1:
+            return True, next(iter(seen))
+        return False, None
+
+
+def build_retiming_graph(circuit: Circuit, unit_delay: int = 1) -> RetimingGraph:
+    """Build the retiming graph of a circuit.
+
+    Every latch must lie on a gate-to-gate / port-to-gate connection; pure
+    latch-to-latch chains are traced through.  Latch enables must not be
+    driven by logic that itself moves — the builder verifies each enable is
+    a PI (or None); richer enables require exposure or the incremental
+    retimer.
+    """
+    g = RetimingGraph()
+    g.vertices = [HOST] + sorted(circuit.gates)
+
+    def gate_delay(out: str) -> int:
+        gate = circuit.gates[out]
+        # Buffers and constants are not logic levels (sweep removes them).
+        if not gate.inputs:
+            return 0
+        if (
+            len(gate.inputs) == 1
+            and len(gate.sop.cubes) == 1
+            and gate.sop.cubes[0] == "1"
+        ):
+            return 0
+        return unit_delay
+
+    g.delay = {v: gate_delay(v) for v in g.vertices if v != HOST}
+    g.delay[HOST] = 0
+
+    def resolve_enable(sig: str) -> str:
+        """Follow identity buffers back to the enable's source.
+
+        Buffer copies of one PI enable are the same latch class; the class
+        is keyed (and rebuilt) on the resolved source signal.
+        """
+        seen = set()
+        while sig in circuit.gates and sig not in seen:
+            seen.add(sig)
+            gate = circuit.gates[sig]
+            if (
+                len(gate.inputs) == 1
+                and len(gate.sop.cubes) == 1
+                and gate.sop.cubes[0] == "1"
+            ):
+                sig = gate.inputs[0]
+            else:
+                break
+        return sig
+
+    def trace(signal: str) -> Tuple[str, str, Tuple[Optional[str], ...]]:
+        """Walk back through latches; returns (vertex, source signal, classes)."""
+        classes: List[Optional[str]] = []
+        sig = signal
+        while sig in circuit.latches:
+            latch = circuit.latches[sig]
+            enable = latch.enable
+            if enable is not None:
+                enable = resolve_enable(enable)
+                if not circuit.is_input(enable):
+                    raise ValueError(
+                        f"latch {sig!r} enable {latch.enable!r} is derived "
+                        "logic; classic retiming requires PI enables (use "
+                        "the incremental retimer or expose the latch)"
+                    )
+            classes.append(enable)
+            sig = latch.data
+        classes.reverse()  # tail-to-head order
+        kind = circuit.driver_kind(sig)
+        if kind == "gate":
+            return sig, sig, tuple(classes)
+        # PI (or undriven, which validate_circuit would reject)
+        return HOST, sig, tuple(classes)
+
+    for gate in circuit.gates.values():
+        for pin, src in enumerate(gate.inputs):
+            tail, source_sig, classes = trace(src)
+            edge = REdge(tail, gate.output, len(classes), classes, sink_pin=pin)
+            g.edges.append(edge)
+            g.source_signal[len(g.edges) - 1] = source_sig
+    for po in circuit.outputs:
+        tail, source_sig, classes = trace(po)
+        edge = REdge(tail, HOST, len(classes), classes, sink_pin=-1, po_name=po)
+        g.edges.append(edge)
+        g.source_signal[len(g.edges) - 1] = source_sig
+    return g

@@ -1,0 +1,14 @@
+"""A CDCL SAT solver and circuit-to-CNF encoding (from scratch).
+
+* :mod:`repro.sat.cnf` — CNF container with DIMACS I/O;
+* :mod:`repro.sat.solver` — conflict-driven clause learning solver with
+  two-watched-literal propagation, VSIDS-style activity, 1UIP learning and
+  Luby restarts;
+* :mod:`repro.sat.tseitin` — Tseitin encoding of circuits.
+"""
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, SATResult
+from repro.sat.tseitin import tseitin_encode, TseitinMap
+
+__all__ = ["CNF", "Solver", "SATResult", "tseitin_encode", "TseitinMap"]

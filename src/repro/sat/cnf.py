@@ -1,0 +1,91 @@
+"""CNF formula container with DIMACS import/export.
+
+Literals follow the DIMACS convention: variables are positive integers, a
+negative literal is the negated variable.  Variable 0 is never used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A conjunction of clauses over integer variables."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self.num_vars = num_vars
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate several fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Append one clause (validates literal ranges)."""
+        clause = tuple(literals)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is reserved")
+            if abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} exceeds declared variables")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Append several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend_from(self, other: "CNF", offset: int) -> None:
+        """Append another CNF with all its variables shifted by ``offset``."""
+        needed = other.num_vars + offset
+        if needed > self.num_vars:
+            self.num_vars = needed
+        for clause in other.clauses:
+            self.clauses.append(
+                tuple(lit + offset if lit > 0 else lit - offset for lit in clause)
+            )
+
+    def to_dimacs(self) -> str:
+        """Serialise to DIMACS CNF text."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def from_dimacs(text: str) -> "CNF":
+        """Parse DIMACS CNF text."""
+        cnf = CNF()
+        declared_vars = 0
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad problem line: {line!r}")
+                declared_vars = int(parts[2])
+                cnf.num_vars = declared_vars
+                continue
+            lits = [int(tok) for tok in line.split()]
+            if lits and lits[-1] == 0:
+                lits = lits[:-1]
+            if lits:
+                for lit in lits:
+                    cnf.num_vars = max(cnf.num_vars, abs(lit))
+                cnf.add_clause(lits)
+        return cnf
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __str__(self) -> str:
+        return f"CNF({self.num_vars} vars, {len(self.clauses)} clauses)"

@@ -1,0 +1,490 @@
+"""A conflict-driven clause-learning (CDCL) SAT solver.
+
+Implements the standard modern architecture:
+
+* two-watched-literal unit propagation;
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping;
+* exponential-decay variable activities (VSIDS-style) with phase saving;
+* Luby-sequence restarts;
+* learned-clause garbage collection by activity.
+
+The solver supports incremental solving under assumptions, which the CEC
+engine uses for equivalence sweeping (one CNF, many queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import CNF
+
+__all__ = ["Solver", "SATResult"]
+
+
+@dataclass
+class SATResult:
+    """Outcome of a :meth:`Solver.solve` call."""
+
+    satisfiable: bool
+    model: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (1-indexed).
+
+    MiniSat's iterative formulation with ``x = i - 1`` zero-based.
+    """
+    if i < 1:
+        raise ValueError("Luby index is 1-based")
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class _Clause:
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: List[int], learned: bool) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+
+class Solver:
+    """CDCL solver over DIMACS-style integer literals."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        # watches[lit] = clauses watching literal lit (lit encoded as index)
+        self._watches: Dict[int, List[_Clause]] = {}
+        self._assign: List[int] = []  # var -> -1 unassigned / 0 false / 1 true
+        self._level: List[int] = []
+        self._reason: List[Optional[_Clause]] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._phase: List[bool] = []
+        self._ok = True
+        self.stats_conflicts = 0
+        self.stats_decisions = 0
+        self.stats_propagations = 0
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable tables up to ``num_vars``."""
+        while self._num_vars < num_vars:
+            self._num_vars += 1
+            self._assign.append(-1)
+            self._level.append(-1)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT."""
+        if not self._ok:
+            return False
+        lits: List[int] = []
+        seen = set()
+        for lit in literals:
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautological clause
+            if lit in seen:
+                continue
+            seen.add(lit)
+            val = self._value(lit)
+            if self._level[abs(lit) - 1] == 0:
+                if val == 1:
+                    return True  # satisfied at root
+                if val == 0:
+                    continue  # falsified at root: drop literal
+            lits.append(lit)
+        if not lits:
+            self._ok = False
+            return False
+        if len(lits) == 1:
+            if self._decision_level() != 0:
+                raise RuntimeError("unit clauses must be added at root level")
+            if not self._enqueue(lits[0], None):
+                self._ok = False
+                return False
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(lits, learned=False)
+        self._clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def add_cnf(self, cnf: CNF) -> bool:
+        """Add all clauses of a CNF; False if trivially UNSAT."""
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+    ) -> SATResult:
+        """Solve under assumptions.
+
+        ``conflict_limit`` bounds total conflicts for this call; when
+        exceeded the result is reported unsatisfiable=False with model=None
+        and the caller should treat it as UNKNOWN (we expose it via the
+        ``model is None and satisfiable is False`` combination plus the
+        :attr:`last_unknown` flag).
+        """
+        self.last_unknown = False
+        if not self._ok:
+            return self._result(False)
+        self._cancel_until(0)
+        conflicts_this_call = 0
+        restart_count = 0
+
+        # Install assumptions as pseudo-decisions, one level each.
+        assumption_queue = list(assumptions)
+        for lit in assumption_queue:
+            self.ensure_vars(abs(lit))
+
+        while True:
+            budget = 64 * _luby(restart_count + 1)
+            restart_count += 1
+            status = self._search(
+                budget, assumption_queue, conflict_counter=[0]
+            )
+            conflicts_this_call += self._last_search_conflicts
+            if status == "sat":
+                model = {
+                    v + 1: self._assign[v] == 1 for v in range(self._num_vars)
+                }
+                self._cancel_until(0)
+                return SATResult(
+                    True,
+                    model,
+                    self.stats_conflicts,
+                    self.stats_decisions,
+                    self.stats_propagations,
+                )
+            if status == "unsat":
+                self._cancel_until(0)
+                return self._result(False)
+            if status == "assumption-conflict":
+                self._cancel_until(0)
+                return self._result(False)
+            # restart
+            self._cancel_until(0)
+            if conflict_limit is not None and conflicts_this_call >= conflict_limit:
+                self.last_unknown = True
+                self._cancel_until(0)
+                return self._result(False)
+
+    def _result(self, sat: bool) -> SATResult:
+        return SATResult(
+            sat,
+            None,
+            self.stats_conflicts,
+            self.stats_decisions,
+            self.stats_propagations,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        """-1 unassigned, 0 false, 1 true."""
+        val = self._assign[abs(lit) - 1]
+        if val == -1:
+            return -1
+        return val if lit > 0 else 1 - val
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _watch(self, clause: _Clause) -> None:
+        self._watches.setdefault(-clause.lits[0], []).append(clause)
+        self._watches.setdefault(-clause.lits[1], []).append(clause)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        val = self._value(lit)
+        if val == 0:
+            return False
+        if val == 1:
+            return True
+        var = abs(lit) - 1
+        self._assign[var] = 1 if lit > 0 else 0
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats_propagations += 1
+            watchers = self._watches.get(lit)
+            if not watchers:
+                continue
+            new_watchers: List[_Clause] = []
+            conflict: Optional[_Clause] = None
+            idx = 0
+            while idx < len(watchers):
+                clause = watchers[idx]
+                idx += 1
+                lits = clause.lits
+                # Make sure the falsified literal is at position 1.
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    new_watchers.append(clause)
+                    continue
+                # Look for a new watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(-lits[1], []).append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_watchers.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
+                    # Keep remaining watchers.
+                    new_watchers.extend(watchers[idx:])
+                    break
+            self._watches[lit] = new_watchers
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _search(
+        self,
+        conflict_budget: int,
+        assumptions: List[int],
+        conflict_counter: List[int],
+    ) -> str:
+        self._last_search_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats_conflicts += 1
+                self._last_search_conflicts += 1
+                if self._decision_level() == 0:
+                    return "unsat"
+                if self._decision_level() <= self._num_assumed:
+                    return "assumption-conflict"
+                learned, backjump = self._analyze(conflict)
+                self._cancel_until(max(backjump, self._num_assumed))
+                self._record_learned(learned)
+                self._decay_activities()
+                if self._last_search_conflicts >= conflict_budget:
+                    return "restart"
+                continue
+            # No conflict: extend assumptions, then decide.
+            if self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                val = self._value(lit)
+                if val == 0:
+                    return "assumption-conflict"
+                if val == 1:
+                    # Already implied: open an empty decision level.
+                    self._trail_lim.append(len(self._trail))
+                    self._num_assumed = max(
+                        self._num_assumed, self._decision_level()
+                    )
+                    continue
+                self._trail_lim.append(len(self._trail))
+                self._num_assumed = max(self._num_assumed, self._decision_level())
+                self._enqueue(lit, None)
+                continue
+            lit = self._pick_branch()
+            if lit == 0:
+                return "sat"
+            self.stats_decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    _num_assumed = 0
+    _last_search_conflicts = 0
+
+    def _pick_branch(self) -> int:
+        best = -1
+        best_act = -1.0
+        for var in range(self._num_vars):
+            if self._assign[var] == -1 and self._activity[var] > best_act:
+                best_act = self._activity[var]
+                best = var
+        if best < 0:
+            return 0
+        return (best + 1) if self._phase[best] else -(best + 1)
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * self._num_vars
+        counter = 0
+        resolved_lit = 0  # the implied literal of the current reason clause
+        clause: Optional[_Clause] = conflict
+        index = len(self._trail)
+        current_level = self._decision_level()
+        while True:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            for q in clause.lits:
+                if q == resolved_lit:
+                    continue
+                var = abs(q) - 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Find the next literal to resolve on (last assigned, seen).
+            while True:
+                index -= 1
+                resolved_lit = self._trail[index]
+                if seen[abs(resolved_lit) - 1]:
+                    break
+            var = abs(resolved_lit) - 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learned[0] = -resolved_lit
+                break
+            clause = self._reason[var]
+        # Minimisation: drop literals implied by the rest (simple self-subsumption).
+        learned = self._minimize(learned, seen)
+        # Compute backjump level.
+        if len(learned) == 1:
+            back = 0
+        else:
+            levels = sorted(
+                (self._level[abs(l) - 1] for l in learned[1:]), reverse=True
+            )
+            back = levels[0]
+        return learned, back
+
+    def _minimize(self, learned: List[int], seen: List[bool]) -> List[int]:
+        marked = set(abs(l) - 1 for l in learned)
+        result = [learned[0]]
+        for lit in learned[1:]:
+            var = abs(lit) - 1
+            reason = self._reason[var]
+            if reason is None:
+                result.append(lit)
+                continue
+            redundant = all(
+                abs(q) - 1 in marked or self._level[abs(q) - 1] == 0
+                for q in reason.lits
+                if q != -lit
+            )
+            if not redundant:
+                result.append(lit)
+        return result
+
+    def _record_learned(self, lits: List[int]) -> None:
+        if len(lits) == 1:
+            self._enqueue(lits[0], None)
+            return
+        # Put a literal of the backjump level in position 1 for watching.
+        max_idx = 1
+        for i in range(2, len(lits)):
+            if self._level[abs(lits[i]) - 1] > self._level[abs(lits[max_idx]) - 1]:
+                max_idx = i
+        lits[1], lits[max_idx] = lits[max_idx], lits[1]
+        clause = _Clause(lits, learned=True)
+        clause.activity = self._cla_inc
+        self._learned.append(clause)
+        self._watch(clause)
+        self._enqueue(lits[0], clause)
+        if len(self._learned) > 4000 + 16 * len(self._clauses) ** 0.5:
+            self._reduce_learned()
+
+    def _reduce_learned(self) -> None:
+        """Drop the less active half of learned clauses not currently reasons."""
+        reasons = {id(r) for r in self._reason if r is not None}
+        self._learned.sort(key=lambda c: c.activity)
+        keep_from = len(self._learned) // 2
+        dropped = {
+            id(c)
+            for c in self._learned[:keep_from]
+            if id(c) not in reasons and len(c.lits) > 2
+        }
+        if not dropped:
+            return
+        self._learned = [c for c in self._learned if id(c) not in dropped]
+        for lit, watchers in self._watches.items():
+            self._watches[lit] = [c for c in watchers if id(c) not in dropped]
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit) - 1
+            self._assign[var] = -1
+            self._reason[var] = None
+            self._level[var] = -1
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+        self._num_assumed = min(self._num_assumed, level)
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for i in range(self._num_vars):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay

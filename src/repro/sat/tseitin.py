@@ -1,0 +1,96 @@
+"""Tseitin encoding: combinational circuits to CNF.
+
+Each signal gets a CNF variable.  Every cube of a gate's SOP cover gets an
+auxiliary variable ``t`` with ``t ↔ cube``; the gate output is the OR of its
+cube variables.  Single-cube and constant gates are encoded directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.netlist.circuit import Circuit
+from repro.sat.cnf import CNF
+
+__all__ = ["TseitinMap", "tseitin_encode"]
+
+
+@dataclass
+class TseitinMap:
+    """CNF together with the signal-to-variable mapping."""
+
+    cnf: CNF
+    var_of: Dict[str, int]
+
+    def lit(self, signal: str, phase: bool = True) -> int:
+        """The CNF literal for a signal with the given phase."""
+        v = self.var_of[signal]
+        return v if phase else -v
+
+
+def tseitin_encode(
+    circuit: Circuit,
+    cnf: Optional[CNF] = None,
+    var_of: Optional[Dict[str, int]] = None,
+) -> TseitinMap:
+    """Encode a combinational circuit.
+
+    Pass an existing ``cnf``/``var_of`` to share variables between several
+    circuits (used when encoding miters incrementally).  Signals already in
+    ``var_of`` reuse their variables.
+    """
+    if circuit.latches:
+        raise ValueError("tseitin_encode requires a combinational circuit")
+    if cnf is None:
+        cnf = CNF()
+    if var_of is None:
+        var_of = {}
+
+    def var(sig: str) -> int:
+        v = var_of.get(sig)
+        if v is None:
+            v = cnf.new_var()
+            var_of[sig] = v
+        return v
+
+    for pi in circuit.inputs:
+        var(pi)
+
+    for gate in circuit.topo_gates():
+        out = var(gate.output)
+        fanin_vars = [var(s) for s in gate.inputs]
+        cubes = gate.sop.cubes
+        if not cubes:
+            cnf.add_clause([-out])
+            continue
+        if gate.sop.is_const1_syntactic():
+            cnf.add_clause([out])
+            continue
+        cube_lits: List[int] = []
+        for cube in cubes:
+            lits = [
+                fanin_vars[i] if ch == "1" else -fanin_vars[i]
+                for i, ch in enumerate(cube)
+                if ch != "-"
+            ]
+            if len(lits) == 1:
+                cube_lits.append(lits[0])
+                continue
+            t = cnf.new_var()
+            # t -> each literal
+            for lit in lits:
+                cnf.add_clause([-t, lit])
+            # literals -> t
+            cnf.add_clause([t] + [-lit for lit in lits])
+            cube_lits.append(t)
+        if len(cube_lits) == 1:
+            # out <-> cube
+            cnf.add_clause([-out, cube_lits[0]])
+            cnf.add_clause([out, -cube_lits[0]])
+        else:
+            # out <-> OR(cube_lits)
+            for cl in cube_lits:
+                cnf.add_clause([out, -cl])
+            cnf.add_clause([-out] + cube_lits)
+    return TseitinMap(cnf, var_of)

@@ -1,0 +1,47 @@
+"""Product machine construction."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.cube import Sop
+
+__all__ = ["product_machine"]
+
+
+def product_machine(c1: Circuit, c2: Circuit, name: str = "product") -> Circuit:
+    """Compose two sequential machines over shared inputs.
+
+    The product has one output ``__neq`` that is 1 whenever some output
+    pair differs.  Internal signals are prefixed ``p1_`` / ``p2_``.
+    """
+    if set(c1.inputs) != set(c2.inputs):
+        raise ValueError("input sets differ")
+    if set(c1.outputs) != set(c2.outputs):
+        raise ValueError("output sets differ")
+    keep = set(c1.inputs)
+    a = c1.with_prefix("p1_", keep=keep)
+    b = c2.with_prefix("p2_", keep=keep)
+    m = Circuit(name)
+    m.inputs = list(c1.inputs)
+    m._input_set = set(m.inputs)
+    m.gates = dict(a.gates)
+    m.gates.update(b.gates)
+    m.latches = dict(a.latches)
+    m.latches.update(b.latches)
+    xors: List[str] = []
+    for i, out in enumerate(sorted(set(c1.outputs))):
+        s1 = "p1_" + out if ("p1_" + out) in m.gates or ("p1_" + out) in m.latches else out
+        s2 = "p2_" + out if ("p2_" + out) in m.gates or ("p2_" + out) in m.latches else out
+        x = f"__pm_x{i}"
+        m.add_gate(x, (s1, s2), Sop.xor2())
+        xors.append(x)
+    if not xors:
+        m.add_gate("__neq", (), Sop.const0(0))
+    elif len(xors) == 1:
+        m.add_gate("__neq", (xors[0],), Sop.and_all(1))
+    else:
+        m.add_gate("__neq", tuple(xors), Sop.or_all(len(xors)))
+    m.add_output("__neq")
+    return m

@@ -1,0 +1,22 @@
+"""Sequential simulation substrate.
+
+* :mod:`repro.sim.logic2` — bit-parallel 2-valued simulation;
+* :mod:`repro.sim.logic3` — conservative 3-valued (X) simulation;
+* :mod:`repro.sim.exact3` — exact 3-valued semantics (paper Def. 1) via
+  enumeration or sampling of power-up states.
+"""
+
+from repro.sim.logic2 import simulate, simulate_parallel, SimTrace
+from repro.sim.logic3 import simulate3, X
+from repro.sim.exact3 import exact3_outputs, exact3_equivalent, BOT
+
+__all__ = [
+    "simulate",
+    "simulate_parallel",
+    "SimTrace",
+    "simulate3",
+    "X",
+    "exact3_outputs",
+    "exact3_equivalent",
+    "BOT",
+]

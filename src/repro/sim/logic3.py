@@ -1,0 +1,131 @@
+"""Conservative 3-valued (0/1/X) sequential simulation.
+
+This is the classical simulator the paper contrasts with its exact 3-valued
+semantics (Sec. 3.2, Fig. 1): each signal is 0, 1 or X, gates propagate X
+conservatively (an AND with one 0 input is 0 even if others are X; otherwise
+any X input makes the output X), and X instances are *not* correlated — so
+``x XOR x`` simulates to X even though it is always 0.
+
+Values are encoded as a pair of bit-parallel words ``(can0, can1)``: bit *i*
+of ``can0``/``can1`` says the signal can be 0/1 in run *i*.  ``(1,0)`` = 0,
+``(0,1)`` = 1, ``(1,1)`` = X.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.netlist.circuit import Circuit
+
+__all__ = ["X", "simulate3"]
+
+
+class _XType:
+    """Singleton marker for the unknown value."""
+
+    _instance: Optional["_XType"] = None
+
+    def __new__(cls) -> "_XType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "X"
+
+
+X = _XType()
+
+TernaryValue = Union[bool, _XType]
+_Pair = Tuple[int, int]  # (can_be_0, can_be_1) over one bit
+
+
+def _to_pair(value: TernaryValue) -> _Pair:
+    if value is X:
+        return (1, 1)
+    return (0, 1) if value else (1, 0)
+
+
+def _from_pair(pair: _Pair) -> TernaryValue:
+    can0, can1 = pair
+    if can0 and can1:
+        return X
+    return bool(can1)
+
+
+def _eval_sop_ternary(sop, pairs: Sequence[_Pair]) -> _Pair:
+    """Ternary evaluation of an SOP cover.
+
+    A cube is 1 if all its literals are definitely satisfied; 0 if some
+    literal is definitely violated; else X.  The OR of cubes is 1 if some
+    cube is 1, 0 if all are 0, else X.
+    """
+    any_x = False
+    for cube in sop.cubes:
+        cube_val: TernaryValue = True
+        for i, ch in enumerate(cube):
+            if ch == "-":
+                continue
+            can0, can1 = pairs[i]
+            if can0 and can1:
+                if cube_val is not False:
+                    cube_val = X
+            elif ch == "1" and can0:
+                cube_val = False
+                break
+            elif ch == "0" and can1:
+                cube_val = False
+                break
+        if cube_val is True:
+            return (0, 1)
+        if cube_val is X:
+            any_x = True
+    return (1, 1) if any_x else (1, 0)
+
+
+def simulate3(
+    circuit: Circuit,
+    input_vectors: Sequence[Mapping[str, TernaryValue]],
+    initial_state: Optional[Mapping[str, TernaryValue]] = None,
+) -> List[Dict[str, TernaryValue]]:
+    """Conservative 3-valued simulation; unknown power-up by default.
+
+    Returns the per-cycle ternary output values.  A load-enabled latch with
+    an X enable conservatively goes to X unless data and held value agree
+    definitely.
+    """
+    if initial_state is None:
+        initial_state = {l: X for l in circuit.latches}
+    topo = circuit.topo_gates()
+    state: Dict[str, _Pair] = {
+        l: _to_pair(initial_state.get(l, X)) for l in circuit.latches
+    }
+    results: List[Dict[str, TernaryValue]] = []
+    for vec in input_vectors:
+        values: Dict[str, _Pair] = dict(state)
+        for pi in circuit.inputs:
+            values[pi] = _to_pair(vec[pi])
+        for gate in topo:
+            values[gate.output] = _eval_sop_ternary(
+                gate.sop, [values[s] for s in gate.inputs]
+            )
+        results.append({o: _from_pair(values[o]) for o in circuit.outputs})
+        next_state: Dict[str, _Pair] = {}
+        for latch in circuit.latches.values():
+            data = values[latch.data]
+            if latch.enable is None:
+                next_state[latch.output] = data
+            else:
+                en = values[latch.enable]
+                held = state[latch.output]
+                if en == (0, 1):  # definitely enabled
+                    next_state[latch.output] = data
+                elif en == (1, 0):  # definitely disabled
+                    next_state[latch.output] = held
+                else:  # X enable: union of both possibilities
+                    next_state[latch.output] = (
+                        data[0] | held[0],
+                        data[1] | held[1],
+                    )
+        state = next_state
+    return results

@@ -1,0 +1,38 @@
+"""SIS-like combinational logic optimisation substrate.
+
+Implements the operator vocabulary of the paper's synthesis script
+(Fig. 17): ``sweep``, ``decomp``, ``tech_decomp``, ``resub``,
+``reduce_depth``, ``eliminate``, ``simplify``, ``fx``, and technology
+mapping onto the paper's restricted library {INV, NAND2, NOR2} with unit
+delay and a fanout limit of four.
+
+All passes are function-preserving per primary output; the test suite
+verifies this with the CEC engine on every pass.
+"""
+
+from repro.synth.cse import strash
+from repro.synth.sweep import sweep
+from repro.synth.simplify import simplify_network
+from repro.synth.eliminate import eliminate
+from repro.synth.resub import resubstitute
+from repro.synth.fx import fast_extract
+from repro.synth.decomp import algebraic_decomp, tech_decomp
+from repro.synth.depth import reduce_depth
+from repro.synth.techmap import tech_map, MappedStats
+from repro.synth.script import script_delay, optimize_sequential_delay
+
+__all__ = [
+    "strash",
+    "sweep",
+    "simplify_network",
+    "eliminate",
+    "resubstitute",
+    "fast_extract",
+    "algebraic_decomp",
+    "tech_decomp",
+    "reduce_depth",
+    "tech_map",
+    "MappedStats",
+    "script_delay",
+    "optimize_sequential_delay",
+]

@@ -1,0 +1,102 @@
+"""``strash`` — structural gate sharing (common-subexpression elimination).
+
+Two gates computing the same cover over the same ordered fanins are merged
+into one, iteratively (merging enables further merges upstream).  For
+commutative single-cube / single-literal-per-cube covers (AND/OR/NAND/NOR
+families) the fanin order is canonicalised first so ``AND(a, b)`` merges
+with ``AND(b, a)``.
+
+This is the network-level analogue of the AIG structural hashing the CEC
+engine relies on, exposed as a synthesis pass: retiming duplicates logic
+cones when latch chains fork, and ``strash`` recovers the sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.netlist.circuit import Circuit, Gate, Latch
+from repro.netlist.cube import Sop
+
+__all__ = ["strash"]
+
+
+def _canonical_key(gate: Gate) -> Optional[Tuple]:
+    """A hashable key identifying the gate's function over named fanins.
+
+    Symmetric covers (every permutation of inputs yields the same function
+    — detected cheaply for the common one-cube / one-literal-per-cube
+    forms) are keyed on the *sorted* fanin list.
+    """
+    sop = gate.sop
+    symmetric = False
+    if len(sop.cubes) == 1:
+        # Single cube with uniform polarity: AND / NOR / literals.
+        phases = {ch for ch in sop.cubes[0] if ch != "-"}
+        symmetric = len(phases) <= 1
+    elif all(
+        sum(1 for ch in cube if ch != "-") == 1 for cube in sop.cubes
+    ):
+        # One literal per cube with uniform polarity: OR / NAND.
+        phases = {ch for cube in sop.cubes for ch in cube if ch != "-"}
+        symmetric = len(phases) <= 1
+    if symmetric:
+        # Pair each fanin with its polarity column multiset.
+        columns = []
+        for i, name in enumerate(gate.inputs):
+            col = "".join(cube[i] for cube in sop.cubes)
+            columns.append((name, col))
+        columns.sort()
+        return ("sym", tuple(columns))
+    return ("exact", gate.inputs, sop.cubes)
+
+
+def strash(circuit: Circuit, max_rounds: int = 20) -> Circuit:
+    """Merge structurally identical gates in place; returns the circuit."""
+    for _ in range(max_rounds):
+        table: Dict[Tuple, str] = {}
+        replace: Dict[str, str] = {}
+        protected: Set[str] = set(circuit.outputs)
+        for latch in circuit.latches.values():
+            protected.add(latch.data)
+            if latch.enable is not None:
+                protected.add(latch.enable)
+        for gate in circuit.topo_gates():
+            key = _canonical_key(gate)
+            if key is None:
+                continue
+            keeper = table.get(key)
+            if keeper is None:
+                table[key] = gate.output
+            elif gate.output not in protected:
+                replace[gate.output] = keeper
+            elif keeper not in protected:
+                # Prefer keeping the protected name.
+                replace[keeper] = gate.output
+                table[key] = gate.output
+        if not replace:
+            break
+        # Resolve chains keeper -> keeper.
+        def resolve(sig: str) -> str:
+            seen = set()
+            while sig in replace and sig not in seen:
+                seen.add(sig)
+                sig = replace[sig]
+            return sig
+
+        for gate in list(circuit.gates.values()):
+            if any(s in replace for s in gate.inputs):
+                circuit.replace_gate(
+                    gate.with_inputs(tuple(resolve(s) for s in gate.inputs))
+                )
+        for latch in list(circuit.latches.values()):
+            data = resolve(latch.data)
+            enable = (
+                resolve(latch.enable) if latch.enable is not None else None
+            )
+            if data != latch.data or enable != latch.enable:
+                circuit.replace_latch(Latch(latch.output, data, enable))
+        for victim in replace:
+            if victim in circuit.gates:
+                circuit.remove_gate(victim)
+    return circuit

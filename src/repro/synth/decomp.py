@@ -1,0 +1,174 @@
+"""``decomp`` and ``tech_decomp`` — node decomposition.
+
+* :func:`algebraic_decomp` (SIS ``decomp -q``): factor each large node by
+  repeatedly extracting one of its own kernels into a new node (quick
+  single-node factoring — no sharing across nodes; ``fx`` does sharing).
+* :func:`tech_decomp` (SIS ``tech_decomp -o 2``): rewrite every node into a
+  network of 1- and 2-input primitives (AND2/OR2/INV), the form the mapper
+  and ``reduce_depth`` operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit, Gate
+from repro.netlist.cube import Sop, cube_from_literals, cube_literals
+from repro.synth.division import kernels, weak_divide
+from repro.synth.network import require_combinational
+
+__all__ = ["algebraic_decomp", "tech_decomp"]
+
+
+def algebraic_decomp(
+    circuit: Circuit, min_cubes: int = 3, max_passes: int = 20
+) -> Circuit:
+    """Quick algebraic factoring of each node (in place)."""
+    require_combinational(circuit, "algebraic_decomp")
+    fresh = [0]
+    for _ in range(max_passes):
+        changed = False
+        for name in list(circuit.gates):
+            gate = circuit.gates.get(name)
+            if gate is None or len(gate.sop.cubes) < min_cubes:
+                continue
+            if _decompose_once(circuit, gate, fresh):
+                changed = True
+        if not changed:
+            break
+    return circuit
+
+
+def _decompose_once(circuit: Circuit, gate: Gate, fresh: List[int]) -> bool:
+    cover = [cube_literals(c) for c in gate.sop.cubes]
+    ks = kernels(cover)
+    best: Optional[Tuple[int, List[FrozenSet[int]]]] = None
+    for cokernel, kernel in ks:
+        if len(kernel) < 2:
+            continue
+        if len(kernel) == len(cover) and not cokernel:
+            continue  # the node itself
+        q, r = weak_divide(cover, kernel)
+        if not q:
+            continue
+        div_lits = sum(len(c) for c in kernel)
+        saving = len(q) * div_lits - len(q) - div_lits
+        if saving > 0 and (best is None or saving > best[0]):
+            best = (saving, kernel)
+    if best is None:
+        return False
+    _, kernel = best
+    q, r = weak_divide(cover, kernel)
+    fresh[0] += 1
+    new_name = circuit.fresh_signal(f"__dc{fresh[0]}")
+    # Kernel node over the gate's fanins.
+    support = sorted({lit >> 1 for cube in kernel for lit in cube})
+    local = {v: i for i, v in enumerate(support)}
+    k_fanins = tuple(gate.inputs[v] for v in support)
+    k_cubes = tuple(
+        cube_from_literals(
+            {2 * local[lit >> 1] + (lit & 1) for lit in cube}, len(k_fanins)
+        )
+        for cube in kernel
+    )
+    circuit.add_gate(new_name, k_fanins, Sop(len(k_fanins), k_cubes))
+    # Rewritten node: q * new + r over (old fanins + new node).
+    names = list(gate.inputs) + [new_name]
+    new_lit = 2 * len(gate.inputs) + 1
+    new_cover = [frozenset(c | {new_lit}) for c in q] + list(r)
+    used = sorted({lit >> 1 for cube in new_cover for lit in cube})
+    local2 = {v: i for i, v in enumerate(used)}
+    fanins = tuple(names[v] for v in used)
+    cubes = tuple(
+        cube_from_literals(
+            {2 * local2[lit >> 1] + (lit & 1) for lit in cube}, len(fanins)
+        )
+        for cube in new_cover
+    )
+    circuit.replace_gate(Gate(gate.output, fanins, Sop(len(fanins), cubes)))
+    return True
+
+
+# ----------------------------------------------------------------------
+def tech_decomp(circuit: Circuit) -> Circuit:
+    """Decompose every node into INV / AND2 / OR2 primitives (in place).
+
+    Node structure: each cube becomes a balanced AND2 tree over (possibly
+    inverted) fanin signals; the cube outputs feed a balanced OR2 tree.
+    Inverters are shared per signal.
+    """
+    require_combinational(circuit, "tech_decomp")
+    fresh = [0]
+    inv_cache: Dict[str, str] = {}
+    # The name of the gate currently being rebuilt: freed by remove_gate but
+    # reserved for the tree root, so fresh names must not take it.
+    reserved: List[str] = [""]
+
+    def freshname(base: str) -> str:
+        while True:
+            fresh[0] += 1
+            candidate = circuit.fresh_signal(f"__td{fresh[0]}_{base}")
+            if candidate != reserved[0]:
+                return candidate
+
+    def inverter(sig: str) -> str:
+        inv = inv_cache.get(sig)
+        if inv is None:
+            inv = freshname("n")
+            circuit.add_gate(inv, (sig,), Sop.and_all(1, [False]))
+            inv_cache[sig] = inv
+        return inv
+
+    def tree(op: str, leaves: List[str], out_name: Optional[str]) -> str:
+        """Balanced AND2/OR2 tree; the root takes ``out_name`` if given."""
+        sop2 = Sop.and_all(2) if op == "and" else Sop.or_all(2)
+        level = list(leaves)
+        if len(level) == 1:
+            if out_name is None:
+                return level[0]
+            circuit.add_gate(out_name, (level[0],), Sop.and_all(1))
+            return out_name
+        while len(level) > 2:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                node = freshname(op)
+                circuit.add_gate(node, (level[i], level[i + 1]), sop2)
+                nxt.append(node)
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        name = out_name if out_name is not None else freshname(op)
+        circuit.add_gate(name, (level[0], level[1]), sop2)
+        return name
+
+    for name in list(circuit.gates):
+        gate = circuit.gates[name]
+        if len(gate.inputs) <= 2 and len(gate.sop.cubes) <= 2:
+            continue  # already primitive-sized (≤2 inputs, ≤2 cubes)
+        cubes = gate.sop.cubes
+        reserved[0] = name
+        circuit.remove_gate(name)
+        if not cubes:
+            circuit.add_gate(name, (), Sop.const0(0))
+            continue
+        cube_sigs: List[str] = []
+        trivial_const1 = False
+        for cube in cubes:
+            leaves: List[str] = []
+            for i, ch in enumerate(cube):
+                if ch == "1":
+                    leaves.append(gate.inputs[i])
+                elif ch == "0":
+                    leaves.append(inverter(gate.inputs[i]))
+            if not leaves:
+                trivial_const1 = True
+                break
+            if len(leaves) == 1:
+                cube_sigs.append(leaves[0])
+            else:
+                cube_sigs.append(tree("and", leaves, None))
+        if trivial_const1:
+            circuit.add_gate(name, (), Sop.const1(0))
+            continue
+        tree("or", cube_sigs, name)
+    return circuit

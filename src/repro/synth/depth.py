@@ -1,0 +1,154 @@
+"""``reduce_depth`` — arrival-time-driven tree balancing.
+
+On a tech-decomposed (≤2-input) network, collect maximal single-fanout
+trees of the same associative operator (AND2 or OR2), then rebuild each as
+a Huffman tree over leaf arrival times: combine the two earliest-arriving
+leaves first.  This is the classic delay-oriented rebalancing that SIS's
+``reduce_depth`` approximates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.netlist.circuit import Circuit, Gate
+from repro.netlist.cube import Sop
+from repro.synth.network import fanout_counts, require_combinational
+
+__all__ = ["reduce_depth", "circuit_depth"]
+
+_AND2 = Sop.and_all(2)
+_OR2 = Sop.or_all(2)
+
+
+def _gate_kind(gate: Gate) -> Optional[str]:
+    if gate.sop == _AND2:
+        return "and"
+    if gate.sop == _OR2:
+        return "or"
+    return None
+
+
+def circuit_depth(circuit: Circuit) -> int:
+    """Unit-delay combinational depth (latch outputs / PIs are level 0).
+
+    Buffers and constants count as zero levels, matching the retiming
+    graph's delay model.
+    """
+    level: Dict[str, int] = {}
+    for pi in circuit.inputs:
+        level[pi] = 0
+    for latch in circuit.latches:
+        level[latch] = 0
+    for gate in circuit.topo_gates():
+        is_free = not gate.inputs or (
+            len(gate.inputs) == 1
+            and len(gate.sop.cubes) == 1
+            and gate.sop.cubes[0] == "1"
+        )
+        level[gate.output] = max(
+            (level[s] for s in gate.inputs), default=0
+        ) + (0 if is_free else 1)
+    # Depth observed at outputs and latch data/enable pins only.
+    observed = 0
+    for out in circuit.outputs:
+        observed = max(observed, level.get(out, 0))
+    for latch in circuit.latches.values():
+        observed = max(observed, level.get(latch.data, 0))
+        if latch.enable is not None:
+            observed = max(observed, level.get(latch.enable, 0))
+    return observed
+
+
+def reduce_depth(circuit: Circuit) -> Circuit:
+    """Rebalance same-operator trees for minimum depth (in place)."""
+    require_combinational(circuit, "reduce_depth")
+    counts = fanout_counts(circuit)
+    levels: Dict[str, int] = {pi: 0 for pi in circuit.inputs}
+    topo = circuit.topo_gates()
+    for gate in topo:
+        levels[gate.output] = max(
+            (levels.get(s, 0) for s in gate.inputs), default=0
+        ) + (1 if gate.inputs else 0)
+
+    consumed: Set[str] = set()
+    fresh = [0]
+
+    def dec_reads(inputs) -> None:
+        for s in inputs:
+            counts[s] = counts.get(s, 0) - 1
+
+    def inc_reads(inputs) -> None:
+        for s in inputs:
+            counts[s] = counts.get(s, 0) + 1
+
+    for gate in reversed(topo):  # roots first (they have later levels)
+        name = gate.output
+        if name in consumed or name not in circuit.gates:
+            continue
+        gate = circuit.gates[name]  # may have been rebuilt as another root
+        kind = _gate_kind(gate)
+        if kind is None:
+            continue
+        # Collect the maximal tree: follow fanins that are same-kind gates
+        # with a single (live-counted) fanout.
+        leaves: List[str] = []
+        internal: List[str] = []
+        stack = [name]
+        first = True
+        while stack:
+            sig = stack.pop()
+            g = circuit.gates.get(sig)
+            expandable = (
+                g is not None
+                and _gate_kind(g) == kind
+                and (first or (counts.get(sig, 0) == 1 and sig not in consumed))
+            )
+            if expandable:
+                if not first:
+                    internal.append(sig)
+                first = False
+                stack.extend(g.inputs)
+            else:
+                leaves.append(sig)
+        if len(leaves) <= 2:
+            continue
+        # Rebuild as a Huffman tree on arrival times.
+        heap: List[Tuple[int, int, str]] = []
+        uid = 0
+        for leaf in leaves:
+            heap.append((levels.get(leaf, 0), uid, leaf))
+            uid += 1
+        heapq.heapify(heap)
+        sop2 = _AND2 if kind == "and" else _OR2
+        for sig in internal:
+            dec_reads(circuit.gates[sig].inputs)
+            circuit.remove_gate(sig)
+            consumed.add(sig)
+        dec_reads(circuit.gates[name].inputs)
+        circuit.remove_gate(name)
+        while len(heap) > 2:
+            l1, _, s1 = heapq.heappop(heap)
+            l2, _, s2 = heapq.heappop(heap)
+            node = name
+            while node == name:  # never reuse the freed root name
+                fresh[0] += 1
+                node = circuit.fresh_signal(f"__rd{fresh[0]}")
+            circuit.add_gate(node, (s1, s2), sop2)
+            inc_reads((s1, s2))
+            lvl = max(l1, l2) + 1
+            levels[node] = lvl
+            heapq.heappush(heap, (lvl, uid, node))
+            uid += 1
+        s1 = heap[0][2]
+        s2 = heap[1][2] if len(heap) > 1 else None
+        if s2 is None:
+            circuit.add_gate(name, (s1,), Sop.and_all(1))
+            inc_reads((s1,))
+        else:
+            circuit.add_gate(name, (s1, s2), sop2)
+            inc_reads((s1, s2))
+        levels[name] = max(heap[0][0], heap[1][0] if len(heap) > 1 else 0) + 1
+        consumed.add(name)
+    return circuit

@@ -1,0 +1,38 @@
+"""``simplify`` — per-node two-level minimisation.
+
+Runs the espresso-lite minimiser of :meth:`repro.netlist.cube.Sop.minimized`
+on every gate cover and drops fanins that fall out of the support.  A
+``-l``-style guard skips nodes whose cover is already tiny.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit, Gate
+
+__all__ = ["simplify_network"]
+
+
+def simplify_network(
+    circuit: Circuit,
+    min_literals: int = 2,
+    max_cubes: int = 32,
+    max_literals: int = 120,
+) -> Circuit:
+    """Minimise every node cover in place; returns the circuit.
+
+    Nodes larger than the guards are only SCC-reduced (full minimisation of
+    very wide covers is where two-level minimisers spend unbounded time).
+    """
+    for name in list(circuit.gates):
+        gate = circuit.gates[name]
+        if gate.num_literals <= min_literals:
+            continue
+        if len(gate.sop.cubes) > max_cubes or gate.num_literals > max_literals:
+            reduced = gate.sop.scc_minimal()
+        else:
+            reduced = gate.sop.minimized()
+        if reduced.num_literals < gate.sop.num_literals or len(
+            reduced.cubes
+        ) < len(gate.sop.cubes):
+            circuit.replace_gate(Gate(name, gate.inputs, reduced))
+    return circuit

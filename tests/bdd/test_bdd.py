@@ -1,0 +1,199 @@
+"""BDD manager tests: unit + property-based against truth tables."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.bdd import BDD
+
+VARS = ["a", "b", "c", "d"]
+
+
+def eval_tt(tt: int, asg: dict) -> bool:
+    idx = sum((1 << i) for i, v in enumerate(VARS) if asg[v])
+    return bool((tt >> idx) & 1)
+
+
+def build_from_tt(mgr: BDD, tt: int) -> int:
+    """Build a BDD from a 4-variable truth table by minterm OR."""
+    acc = mgr.ZERO
+    for idx in range(16):
+        if (tt >> idx) & 1:
+            term = mgr.ONE
+            for i, v in enumerate(VARS):
+                lit = mgr.var(v) if (idx >> i) & 1 else mgr.nvar(v)
+                term = mgr.apply_and(term, lit)
+            acc = mgr.apply_or(acc, term)
+    return acc
+
+
+def all_assignments():
+    for bits in itertools.product([False, True], repeat=4):
+        yield dict(zip(VARS, bits))
+
+
+class TestBasics:
+    def test_terminals(self):
+        mgr = BDD(VARS)
+        assert mgr.eval(mgr.ONE, {}) is True
+        assert mgr.eval(mgr.ZERO, {}) is False
+
+    def test_var_and_nvar(self):
+        mgr = BDD(VARS)
+        a = mgr.var("a")
+        na = mgr.nvar("a")
+        assert mgr.apply_and(a, na) == mgr.ZERO
+        assert mgr.apply_or(a, na) == mgr.ONE
+        assert mgr.apply_not(a) == na
+
+    def test_canonicity(self):
+        """Same function built two ways gives the same node."""
+        mgr = BDD(VARS)
+        a, b = mgr.var("a"), mgr.var("b")
+        f1 = mgr.apply_not(mgr.apply_and(a, b))
+        f2 = mgr.apply_or(mgr.apply_not(a), mgr.apply_not(b))
+        assert f1 == f2
+
+    def test_ite(self):
+        mgr = BDD(VARS)
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = mgr.ite(a, b, c)
+        for asg in all_assignments():
+            expect = asg["b"] if asg["a"] else asg["c"]
+            assert mgr.eval(f, asg) == expect
+
+    def test_support(self):
+        mgr = BDD(VARS)
+        f = mgr.apply_and(mgr.var("a"), mgr.var("c"))
+        assert mgr.support(f) == {"a", "c"}
+        assert mgr.support(mgr.ONE) == frozenset()
+
+    def test_xor_xnor(self):
+        mgr = BDD(VARS)
+        a, b = mgr.var("a"), mgr.var("b")
+        x = mgr.apply_xor(a, b)
+        xn = mgr.apply_xnor(a, b)
+        assert mgr.apply_not(x) == xn
+
+    def test_and_all_short_circuit(self):
+        mgr = BDD(VARS)
+        nodes = [mgr.var("a"), mgr.ZERO, mgr.var("b")]
+        assert mgr.and_all(nodes) == mgr.ZERO
+        assert mgr.or_all([mgr.var("a"), mgr.ONE]) == mgr.ONE
+
+
+class TestSemantics:
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_build_matches_truth_table(self, tt):
+        mgr = BDD(VARS)
+        f = build_from_tt(mgr, tt)
+        for asg in all_assignments():
+            assert mgr.eval(f, asg) == eval_tt(tt, asg)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_apply_ops(self, t1, t2):
+        mgr = BDD(VARS)
+        f, g = build_from_tt(mgr, t1), build_from_tt(mgr, t2)
+        assert build_from_tt(mgr, t1 & t2) == mgr.apply_and(f, g)
+        assert build_from_tt(mgr, t1 | t2) == mgr.apply_or(f, g)
+        assert build_from_tt(mgr, (t1 ^ t2) & 0xFFFF) == mgr.apply_xor(f, g)
+        assert build_from_tt(mgr, ~t1 & 0xFFFF) == mgr.apply_not(f)
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_cofactor_and_quantify(self, tt):
+        mgr = BDD(VARS)
+        f = build_from_tt(mgr, tt)
+        f0 = mgr.cofactor(f, "b", False)
+        f1 = mgr.cofactor(f, "b", True)
+        assert mgr.exists(f, ["b"]) == mgr.apply_or(f0, f1)
+        assert mgr.forall(f, ["b"]) == mgr.apply_and(f0, f1)
+        assert "b" not in mgr.support(f0)
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_sat_count(self, tt):
+        mgr = BDD(VARS)
+        f = build_from_tt(mgr, tt)
+        assert mgr.sat_count(f) == bin(tt).count("1")
+
+    @given(st.integers(min_value=1, max_value=(1 << 16) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_pick_minterm(self, tt):
+        mgr = BDD(VARS)
+        f = build_from_tt(mgr, tt)
+        m = mgr.pick_minterm(f)
+        assert m is not None
+        full = {v: m.get(v, False) for v in VARS}
+        assert mgr.eval(f, full)
+
+    def test_pick_minterm_of_zero(self):
+        mgr = BDD(VARS)
+        assert mgr.pick_minterm(mgr.ZERO) is None
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_compose(self, tt):
+        mgr = BDD(VARS)
+        f = build_from_tt(mgr, tt)
+        g = mgr.apply_and(mgr.var("c"), mgr.var("d"))
+        h = mgr.compose(f, "a", g)
+        for asg in all_assignments():
+            sub = dict(asg)
+            sub["a"] = asg["c"] and asg["d"]
+            assert mgr.eval(h, asg) == mgr.eval(f, sub)
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_isop_covers_function(self, tt):
+        mgr = BDD(VARS)
+        f = build_from_tt(mgr, tt)
+        cover = mgr.isop(f)
+        for asg in all_assignments():
+            val = any(
+                all(asg[v] == phase for v, phase in cube.items())
+                for cube in cover
+            )
+            assert val == mgr.eval(f, asg)
+
+    def test_unateness(self):
+        mgr = BDD(VARS)
+        a, b = mgr.var("a"), mgr.var("b")
+        f = mgr.apply_or(a, b)
+        assert mgr.is_positive_unate(f, "a")
+        assert not mgr.is_negative_unate(f, "a")
+        g = mgr.apply_xor(a, b)
+        assert not mgr.is_positive_unate(g, "a")
+        assert not mgr.is_negative_unate(g, "a")
+
+    def test_implies(self):
+        mgr = BDD(VARS)
+        a, b = mgr.var("a"), mgr.var("b")
+        ab = mgr.apply_and(a, b)
+        assert mgr.implies(ab, a)
+        assert not mgr.implies(a, ab)
+
+    def test_iter_minterms(self):
+        mgr = BDD(VARS)
+        f = mgr.apply_xor(mgr.var("a"), mgr.var("b"))
+        minterms = list(mgr.iter_minterms(f, ["a", "b"]))
+        assert len(minterms) == 2
+        for m in minterms:
+            assert m["a"] != m["b"]
+
+    def test_from_sop(self):
+        from repro.netlist.cube import Sop
+
+        mgr = BDD(VARS)
+        sop = Sop(2, ("10", "01"))
+        f = mgr.from_sop(sop, [mgr.var("a"), mgr.var("b")])
+        assert f == mgr.apply_xor(mgr.var("a"), mgr.var("b"))

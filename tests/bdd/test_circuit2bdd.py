@@ -1,0 +1,94 @@
+"""Tests for circuit→BDD lowering and BDD→gates synthesis."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd.bdd import BDD
+from repro.bdd.circuit2bdd import circuit_bdds, output_bdds
+from repro.bdd.order import dfs_variable_order
+from repro.bdd.synth import bdd_to_gates, sop_from_bdd
+from repro.bench.random_circuits import random_combinational
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.validate import validate_circuit
+from repro.sim.logic2 import simulate
+
+
+class TestCircuitToBdd:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_simulation(self, seed):
+        c = random_combinational(n_inputs=5, n_gates=15, seed=seed)
+        mgr = BDD()
+        nodes = circuit_bdds(c, mgr)
+        rng = random.Random(seed)
+        for _ in range(20):
+            vec = {i: rng.random() < 0.5 for i in c.inputs}
+            sim = simulate(c, [vec]).outputs[0]
+            for out in c.outputs:
+                assert mgr.eval(nodes[out], vec) == sim[out]
+
+    def test_latch_outputs_are_variables(self):
+        b = CircuitBuilder("t")
+        (a,) = b.inputs("a")
+        q = b.latch(b.NOT(a))
+        b.output(b.AND(q, a), name="o")
+        mgr = BDD()
+        nodes = output_bdds(b.circuit, mgr)
+        assert mgr.support(nodes["o"]) == {q, "a"}
+
+    def test_dfs_order_covers_all_leaves(self):
+        c = random_combinational(seed=7)
+        order = dfs_variable_order(c)
+        assert set(order) == set(c.inputs)
+
+
+class TestBddSynth:
+    def _roundtrip(self, build):
+        """Build f over a circuit's PIs, lower it back, compare."""
+        mgr = BDD(["x", "y", "z"])
+        f = build(mgr)
+        b = CircuitBuilder("t")
+        b.inputs("x", "y", "z")
+        c = b.circuit
+        sig = bdd_to_gates(mgr, f, c, "syn")
+        c.add_output(sig)
+        validate_circuit(c)
+        for bits in itertools.product([False, True], repeat=3):
+            vec = dict(zip(["x", "y", "z"], bits))
+            assert simulate(c, [vec]).outputs[0][sig] == mgr.eval(f, vec)
+
+    def test_mux_tree_roundtrip(self):
+        self._roundtrip(
+            lambda m: m.ite(m.var("x"), m.var("y"), m.apply_not(m.var("z")))
+        )
+
+    def test_constants(self):
+        self._roundtrip(lambda m: m.ONE)
+        self._roundtrip(lambda m: m.ZERO)
+
+    def test_xor_chain(self):
+        self._roundtrip(
+            lambda m: m.apply_xor(m.var("x"), m.apply_xor(m.var("y"), m.var("z")))
+        )
+
+    def test_sop_from_bdd(self):
+        mgr = BDD(["x", "y"])
+        f = mgr.apply_xor(mgr.var("x"), mgr.var("y"))
+        extraction = sop_from_bdd(mgr, f, ["x", "y"])
+        assert extraction is not None
+        sop, fanins = extraction
+        assert set(fanins) == {"x", "y"}
+        idx = {s: i for i, s in enumerate(fanins)}
+        for bits in itertools.product([False, True], repeat=2):
+            vec = {"x": bits[0], "y": bits[1]}
+            asg = [vec[fanins[i]] for i in range(2)]
+            assert sop.eval_bool(asg) == mgr.eval(f, vec)
+
+    def test_sop_from_bdd_missing_support_raises(self):
+        mgr = BDD(["x", "y"])
+        f = mgr.apply_and(mgr.var("x"), mgr.var("y"))
+        with pytest.raises(ValueError):
+            sop_from_bdd(mgr, f, ["x"])

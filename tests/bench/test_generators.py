@@ -1,0 +1,145 @@
+"""Benchmark generator tests: structure matches the paper's regimes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.counterex import fig1_pair, fig10_pair, fig11_pair, fig14_conditional_update
+from repro.bench.industrial import TABLE2_CIRCUITS, build_table2_circuit, industrial_circuit
+from repro.bench.iscas_like import TABLE1_CIRCUITS, build_table1_circuit, iscas_like_circuit
+from repro.bench.minmax import minmax_circuit
+from repro.bench.pipeline import fig3_circuit, pipeline_circuit, trapped_latch_circuit
+from repro.core.expose import choose_latches_to_expose
+from repro.netlist.graph import feedback_latches, is_acyclic_sequential
+from repro.netlist.validate import validate_circuit
+from repro.sim.logic2 import simulate
+
+
+class TestMinmax:
+    @pytest.mark.parametrize("k", [2, 4, 10])
+    def test_latch_count_is_3k(self, k):
+        c = minmax_circuit(k)
+        validate_circuit(c)
+        assert c.num_latches() == 3 * k
+
+    def test_behaviour_tracks_min_and_max(self):
+        k = 4
+        c = minmax_circuit(k)
+        values = [5, 3, 9, 1, 7]
+        # The input register pipelines the stream by one cycle: power it up
+        # holding values[0], feed the rest, then pad so the last value
+        # reaches the MIN/MAX registers before observing.
+        seq = [
+            {f"in{i}": bool((v >> i) & 1) for i in range(k)}
+            for v in values[1:]
+        ]
+        seq += [{f"in{i}": False for i in range(k)}] * 2
+        init = {l: False for l in c.latches}
+        for i in range(k):
+            init[f"min{i}"] = True  # MIN starts at 15
+            init[f"max{i}"] = False  # MAX starts at 0
+            init[f"r{i}"] = bool((values[0] >> i) & 1)
+        tr = simulate(c, seq, init)
+        # MIN/MAX at cycle len(values) cover exactly values[0..4].
+        final = tr.outputs[len(values)]
+        got_min = sum((1 << i) for i in range(k) if final[f"omin{i}"])
+        got_max = sum((1 << i) for i in range(k) if final[f"omax{i}"])
+        assert got_min == min(values)
+        assert got_max == max(values)
+
+    def test_two_thirds_feedback(self):
+        c = minmax_circuit(5)
+        fb = feedback_latches(c)
+        assert len(fb) == 10  # min+max registers
+        assert all(n.startswith(("min", "max")) for n in fb)
+
+
+class TestPipelines:
+    def test_pipeline_is_acyclic(self):
+        c = pipeline_circuit(stages=3, width=4, seed=0)
+        validate_circuit(c)
+        assert is_acyclic_sequential(c)
+        assert c.num_latches() == 12
+
+    def test_enabled_pipeline_has_classes(self):
+        c = pipeline_circuit(stages=2, width=3, seed=0, enable=True)
+        classes = c.latch_classes()
+        assert len(classes) == 2
+
+    def test_fig3_shape(self):
+        c = fig3_circuit()
+        assert c.num_latches() == 2
+        assert is_acyclic_sequential(c)
+
+    def test_trapped_latches(self):
+        c = trapped_latch_circuit(width=3, seed=1)
+        validate_circuit(c)
+        assert is_acyclic_sequential(c)
+
+
+class TestIscasLike:
+    def test_table1_catalogue_buildable_small(self):
+        for name, latches, pct in TABLE1_CIRCUITS:
+            if latches > 100:
+                continue
+            c = build_table1_circuit(name)
+            validate_circuit(c)
+            assert c.num_latches() == latches, name
+
+    @pytest.mark.parametrize(
+        "name,latches,pct",
+        [e for e in TABLE1_CIRCUITS if 20 < e[1] <= 140 and not e[0].startswith("minmax")],
+    )
+    def test_exposure_fraction_matches_paper(self, name, latches, pct):
+        c = build_table1_circuit(name)
+        exposed, _ = choose_latches_to_expose(c, use_unateness=False)
+        got_pct = 100 * len(exposed) / latches
+        assert abs(got_pct - pct) <= 6, (name, got_pct, pct)
+
+    def test_custom_parameters(self):
+        c = iscas_like_circuit("x", n_latches=30, pct_exposed=40, seed=2)
+        validate_circuit(c)
+        assert c.num_latches() == 30
+        exposed, _ = choose_latches_to_expose(c, use_unateness=False)
+        assert len(exposed) == 12
+
+
+class TestIndustrial:
+    def test_table2_catalogue_small(self):
+        for name, latches, exposed_target in TABLE2_CIRCUITS:
+            if latches > 500:
+                continue
+            c = build_table2_circuit(name)
+            validate_circuit(c)
+            assert c.num_latches() == latches, name
+            exposed, _ = choose_latches_to_expose(c, use_unateness=False)
+            assert len(exposed) == exposed_target, name
+
+    def test_has_load_enabled_latches(self):
+        c = industrial_circuit("t", n_latches=80, n_exposed=20, seed=1)
+        assert any(l.enable is not None for l in c.latches.values())
+
+
+class TestCounterexamples:
+    def test_fig1_pair_shapes(self):
+        c1, c2 = fig1_pair()
+        validate_circuit(c1)
+        validate_circuit(c2)
+        assert set(c1.inputs) == set(c2.inputs)
+        assert set(c1.outputs) == set(c2.outputs)
+
+    def test_fig10_pair_shapes(self):
+        c1, c2 = fig10_pair()
+        validate_circuit(c1)
+        validate_circuit(c2)
+        assert c1.num_latches() == 2 and c2.num_latches() == 1
+
+    def test_fig11_pair_shapes(self):
+        c1, c2 = fig11_pair()
+        validate_circuit(c1)
+        validate_circuit(c2)
+
+    def test_fig14_has_unate_feedback(self):
+        c = fig14_conditional_update(2)
+        validate_circuit(c)
+        assert len(feedback_latches(c)) == 2

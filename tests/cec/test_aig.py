@@ -1,0 +1,119 @@
+"""AIG structural hashing and simulation tests."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.aig.aig import AIG, FALSE_LIT, TRUE_LIT, aig_from_circuit
+from repro.bench.random_circuits import random_combinational
+from repro.sim.logic2 import simulate
+
+
+class TestStructuralHashing:
+    def test_constants(self):
+        aig = AIG()
+        a = aig.add_pi("a")
+        assert aig.and_(a, FALSE_LIT) == FALSE_LIT
+        assert aig.and_(a, TRUE_LIT) == a
+        assert aig.and_(a, a) == a
+        assert aig.and_(a, a ^ 1) == FALSE_LIT
+
+    def test_commutative_hashing(self):
+        aig = AIG()
+        a, b = aig.add_pi("a"), aig.add_pi("b")
+        assert aig.and_(a, b) == aig.and_(b, a)
+
+    def test_de_morgan_sharing(self):
+        aig = AIG()
+        a, b = aig.add_pi("a"), aig.add_pi("b")
+        nand = aig.and_(a, b) ^ 1
+        or_ = aig.or_(a ^ 1, b ^ 1)
+        assert nand == or_
+
+    def test_xor(self):
+        aig = AIG()
+        a, b = aig.add_pi("a"), aig.add_pi("b")
+        x = aig.xor(a, b)
+        aig.add_output("x", x)
+        for va, vb in itertools.product([False, True], repeat=2):
+            assert aig.eval_outputs({"a": va, "b": vb})["x"] == (va != vb)
+
+    def test_mux(self):
+        aig = AIG()
+        s, a, b = aig.add_pi("s"), aig.add_pi("a"), aig.add_pi("b")
+        aig.add_output("m", aig.mux(s, a, b))
+        for vs, va, vb in itertools.product([False, True], repeat=3):
+            expect = va if vs else vb
+            assert aig.eval_outputs({"s": vs, "a": va, "b": vb})["m"] == expect
+
+    def test_and_all_empty(self):
+        aig = AIG()
+        assert aig.and_all([]) == TRUE_LIT
+        assert aig.or_all([]) == FALSE_LIT
+
+
+class TestImport:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_simulation(self, seed):
+        c = random_combinational(n_inputs=5, n_gates=18, seed=seed)
+        aig, _ = aig_from_circuit(c)
+        rng = random.Random(seed)
+        for _ in range(25):
+            vec = {i: rng.random() < 0.5 for i in c.inputs}
+            sim = simulate(c, [vec]).outputs[0]
+            got = aig.eval_outputs(vec)
+            for out in c.outputs:
+                assert got[out] == sim[out]
+
+    def test_shared_import_collapses_identical(self):
+        c1 = random_combinational(seed=3, name="c1")
+        c2 = random_combinational(seed=3, name="c2")
+        aig = AIG()
+        aig, lits1 = aig_from_circuit(c1, aig)
+        before = aig.num_nodes()
+        aig, lits2 = aig_from_circuit(c2, aig)
+        # Identical structure: no new AND nodes.
+        assert aig.num_nodes() == before
+        for out in c1.outputs:
+            assert lits1[out] == lits2[out]
+
+    def test_rejects_sequential(self):
+        from repro.netlist.build import CircuitBuilder
+
+        b = CircuitBuilder("t")
+        (a,) = b.inputs("a")
+        b.output(b.latch(a), name="o")
+        with pytest.raises(ValueError):
+            aig_from_circuit(b.circuit)
+
+    def test_random_simulation_is_deterministic(self):
+        c = random_combinational(seed=4)
+        aig, _ = aig_from_circuit(c)
+        w1, m1 = aig.random_simulate(seed=11)
+        w2, m2 = aig.random_simulate(seed=11)
+        assert w1 == w2 and m1 == m2
+
+    def test_to_cnf_consistency(self):
+        from repro.sat.solver import Solver
+
+        c = random_combinational(n_inputs=4, n_gates=10, seed=5)
+        aig, lits = aig_from_circuit(c)
+        cnf, lit2cnf = aig.to_cnf()
+        for bits in itertools.product([False, True], repeat=4):
+            vec = dict(zip(c.inputs, bits))
+            s = Solver()
+            s.add_cnf(cnf)
+            assumptions = []
+            for node, name in zip(aig.pis, aig.pi_names):
+                v = lit2cnf(2 * node)
+                assumptions.append(v if vec[name] else -v)
+            r = s.solve(assumptions=assumptions)
+            assert r.satisfiable
+            expect = aig.eval_outputs(vec)
+            for out, lit in aig.outputs:
+                var = lit2cnf(lit)
+                val = r.model[abs(var)] == (var > 0)
+                assert val == expect[out]

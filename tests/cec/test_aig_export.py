@@ -1,0 +1,59 @@
+"""AIG → Circuit export tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aig import AIG, aig_from_circuit, aig_to_circuit
+from repro.bench.random_circuits import random_combinational
+from repro.cec import check_equivalence
+from repro.netlist.validate import validate_circuit
+from repro.sim.logic2 import simulate
+
+
+class TestAigExport:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_equivalent(self, seed):
+        c = random_combinational(seed=seed)
+        aig, _ = aig_from_circuit(c)
+        back = aig_to_circuit(aig, name="back")
+        validate_circuit(back)
+        assert check_equivalence(c, back).equivalent
+
+    def test_constant_outputs(self):
+        aig = AIG()
+        a = aig.add_pi("a")
+        aig.add_output("zero", 0)
+        aig.add_output("one", 1)
+        aig.add_output("na", a ^ 1)
+        c = aig_to_circuit(aig)
+        validate_circuit(c)
+        out = simulate(c, [{"a": True}]).outputs[0]
+        values = {name: out[name] for name in out}
+        assert values["zero"] is False
+        assert values["one"] is True
+        assert values["na"] is False
+
+    def test_output_name_collides_with_pi(self):
+        aig = AIG()
+        a = aig.add_pi("a")
+        aig.add_output("a", a ^ 1)  # output named like the PI
+        c = aig_to_circuit(aig)
+        validate_circuit(c)
+        assert len(c.outputs) == 1
+
+    def test_shared_nodes_shared_gates(self):
+        aig = AIG()
+        a, b, x = aig.add_pi("a"), aig.add_pi("b"), aig.add_pi("x")
+        shared = aig.and_(a, b)
+        aig.add_output("o1", aig.or_(shared, x))
+        aig.add_output("o2", aig.and_(shared, x))
+        c = aig_to_circuit(aig)
+        validate_circuit(c)
+        # 3 AND nodes (OR is one AND via De Morgan) + 2 output buffers.
+        assert c.num_gates() == 3 + 2
+        # The shared AND(a,b) node appears exactly once.
+        shared_gates = [
+            g for g in c.gates.values() if set(g.inputs) == {"a", "b"}
+        ]
+        assert len(shared_gates) == 1

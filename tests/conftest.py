@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Mapping, Sequence
+
+import pytest
+
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.circuit import Circuit
+
+
+def all_input_sequences(circuit: Circuit, length: int):
+    """Every input sequence of the given length (small circuits only)."""
+    names = list(circuit.inputs)
+    single = [dict(zip(names, bits)) for bits in itertools.product([False, True], repeat=len(names))]
+    return itertools.product(single, repeat=length)
+
+
+def random_sequences(circuit: Circuit, count: int, length: int, seed: int = 0):
+    rng = random.Random(seed)
+    names = list(circuit.inputs)
+    out = []
+    for _ in range(count):
+        out.append(
+            [{n: rng.random() < 0.5 for n in names} for _ in range(length)]
+        )
+    return out
+
+
+@pytest.fixture
+def builder():
+    return CircuitBuilder("test")

@@ -1,0 +1,114 @@
+"""Sequential→combinational circuit generation tests (Sec. 7.4, Fig. 18)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench.pipeline import fig3_circuit
+from repro.bench.random_circuits import random_acyclic_sequential
+from repro.cec.engine import check_equivalence
+from repro.core.cbf import compute_cbf
+from repro.core.edbf import compute_edbf
+from repro.core.eq2comb import cbf_to_circuit, edbf_to_circuit, timed_input_name
+from repro.core.events import EventContext
+from repro.core.timedvar import ExprTable
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.validate import validate_circuit
+from repro.sim.logic2 import simulate
+
+
+def fig18_circuit():
+    """Paper Fig. 18(a): two latches tapping a shared cone."""
+    b = CircuitBuilder("fig18")
+    a, bb = b.inputs("a", "b")
+    g = b.AND(a, bb, name="g")
+    q1 = b.latch(g, name="q1")
+    q2 = b.latch(q1, name="q2")
+    b.output(b.OR(q1, a), name="o1")
+    b.output(b.AND(q2, bb), name="o2")
+    return b.circuit
+
+
+class TestCbfToCircuit:
+    def test_fig18_replicates_cone(self):
+        c = fig18_circuit()
+        comb = cbf_to_circuit(compute_cbf(c))
+        validate_circuit(comb)
+        assert comb.is_combinational()
+        # The AND cone is needed at delays 1 and 2: variables of both exist.
+        assert "a@1" in comb.inputs and "a@2" in comb.inputs
+
+    def test_combinational_value_matches_cbf(self):
+        c = fig3_circuit()
+        cbf = compute_cbf(c)
+        comb = cbf_to_circuit(cbf)
+        validate_circuit(comb)
+        for bits in itertools.product([False, True], repeat=3):
+            vec = {f"a@{d}": bits[d] for d in range(3)}
+            out = simulate(comb, [vec]).outputs[0]
+            expect = bits[0] and bits[1] and bits[2]
+            assert out[next(iter(comb.outputs))] == expect
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identical_circuits_produce_equivalent_comb(self, seed):
+        c1 = random_acyclic_sequential(seed=seed, name="c1")
+        c2 = random_acyclic_sequential(seed=seed, name="c2")
+        table = ExprTable()
+        cbf1 = compute_cbf(c1, table)
+        cbf2 = compute_cbf(c2, table)
+        union = sorted(cbf1.variables() | cbf2.variables(), key=repr)
+        h = cbf_to_circuit(cbf1, name="H", extra_inputs=union)
+        j = cbf_to_circuit(cbf2, name="J", extra_inputs=union)
+        assert set(h.inputs) == set(j.inputs)
+        assert check_equivalence(h, j).equivalent
+
+    def test_constant_output(self, builder):
+        (a,) = builder.inputs("a")
+        one = builder.CONST1()
+        builder.output(builder.latch(one), name="o")
+        comb = cbf_to_circuit(compute_cbf(builder.circuit))
+        validate_circuit(comb)
+        out = simulate(comb, [{pi: False for pi in comb.inputs}]).outputs[0]
+        assert list(out.values()) == [True]
+
+    def test_extra_inputs_declared(self):
+        c = fig3_circuit()
+        cbf = compute_cbf(c)
+        extra = [("t", "zz", 5)]
+        comb = cbf_to_circuit(cbf, extra_inputs=extra)
+        assert "zz@5" in comb.inputs
+
+
+class TestEdbfToCircuit:
+    def test_enabled_chain(self, builder):
+        u, e1 = builder.inputs("u", "e1")
+        builder.output(builder.latch(u, enable=e1), name="z")
+        edbf = compute_edbf(builder.circuit)
+        comb = edbf_to_circuit(edbf)
+        validate_circuit(comb)
+        assert comb.is_combinational()
+        assert any("@E" in s for s in comb.inputs)
+
+    def test_shared_context_miterable(self):
+        def build(name):
+            b = CircuitBuilder(name)
+            u, v, e = b.inputs("u", "v", "e")
+            q = b.latch(u, enable=e)
+            r = b.latch(v, enable=e)
+            b.output(b.AND(q, r), name="z")
+            return b.circuit
+
+        ctx = EventContext()
+        e1 = compute_edbf(build("c1"), ctx)
+        e2 = compute_edbf(build("c2"), ctx)
+        union = sorted(e1.variables() | e2.variables(), key=repr)
+        h = edbf_to_circuit(e1, name="H", extra_inputs=union)
+        j = edbf_to_circuit(e2, name="J", extra_inputs=union)
+        assert check_equivalence(h, j).equivalent
+
+    def test_timed_input_name_format(self):
+        assert timed_input_name(("t", "x", 3)) == "x@3"
+        assert timed_input_name(("e", "x", 7)) == "x@E7"

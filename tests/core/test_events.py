@@ -1,0 +1,131 @@
+"""Event machinery tests (paper Sec. 4.2, Eq. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EMPTY_EVENT, EventContext
+from repro.core.timedvar import CONST1, ExprTable
+
+
+class TestEventInterning:
+    def test_empty_event(self):
+        ctx = EventContext()
+        assert ctx.predicates(EMPTY_EVENT) == ()
+        assert ctx.intern(()) == EMPTY_EVENT
+
+    def test_interning_is_stable(self):
+        ctx = EventContext()
+        t = ctx.table
+        p = t.var(("e", "a", EMPTY_EVENT))
+        e1 = ctx.prepend(p, EMPTY_EVENT)
+        e2 = ctx.prepend(p, EMPTY_EVENT)
+        assert e1 == e2
+        assert ctx.predicates(e1) == (p,)
+
+    def test_nested_events(self):
+        ctx = EventContext()
+        t = ctx.table
+        p = t.var(("e", "a", EMPTY_EVENT))
+        q = t.var(("e", "b", EMPTY_EVENT))
+        e1 = ctx.prepend(p, EMPTY_EVENT)
+        e2 = ctx.prepend(q, e1)
+        assert ctx.predicates(e2) == (q, p)
+
+    def test_describe(self):
+        ctx = EventContext()
+        t = ctx.table
+        p = t.var(("e", "a", EMPTY_EVENT))
+        e = ctx.prepend(CONST1, ctx.prepend(p, EMPTY_EVENT))
+        text = ctx.describe(e)
+        assert "1" in text and "a" in text
+
+
+class TestRewrite:
+    def _ab_context(self, rewrite):
+        ctx = EventContext(rewrite=rewrite)
+        t = ctx.table
+        a = t.var(("e", "a", EMPTY_EVENT))
+        b = t.var(("e", "b", EMPTY_EVENT))
+        ab = t.and_(a, b)
+        return ctx, a, b, ab
+
+    def test_eq5_drops_implied_head(self):
+        """η[a, ab] = η[ab] because ab ⇒ a (Eq. 5)."""
+        ctx, a, b, ab = self._ab_context(rewrite=True)
+        tail = ctx.prepend(ab, EMPTY_EVENT)
+        merged = ctx.prepend(a, tail)
+        assert ctx.predicates(merged) == (ab,)
+
+    def test_no_rewrite_without_flag(self):
+        ctx, a, b, ab = self._ab_context(rewrite=False)
+        tail = ctx.prepend(ab, EMPTY_EVENT)
+        merged = ctx.prepend(a, tail)
+        assert ctx.predicates(merged) == (a, ab)
+
+    def test_unrelated_head_kept(self):
+        """b does not imply a: no drop."""
+        ctx, a, b, ab = self._ab_context(rewrite=True)
+        tail = ctx.prepend(b, EMPTY_EVENT)
+        merged = ctx.prepend(a, tail)
+        assert ctx.predicates(merged) == (a, b)
+
+    def test_const1_head_never_dropped(self):
+        """Dropping a pure delay would change the timing."""
+        ctx, a, b, ab = self._ab_context(rewrite=True)
+        tail = ctx.prepend(ab, EMPTY_EVENT)
+        merged = ctx.prepend(CONST1, tail)
+        assert ctx.predicates(merged) == (CONST1, ab)
+
+    def test_repeated_predicate_kept(self):
+        """[p, p] is a genuine double event, not collapsible."""
+        ctx, a, b, ab = self._ab_context(rewrite=True)
+        tail = ctx.prepend(a, EMPTY_EVENT)
+        merged = ctx.prepend(a, tail)
+        assert ctx.predicates(merged) == (a, a)
+
+    def test_cascaded_rewrite(self):
+        """[a, ab, abc-tail] collapses the head repeatedly."""
+        ctx = EventContext(rewrite=True)
+        t = ctx.table
+        a = t.var(("e", "a", EMPTY_EVENT))
+        b = t.var(("e", "b", EMPTY_EVENT))
+        c = t.var(("e", "c", EMPTY_EVENT))
+        ab = t.and_(a, b)
+        abc = t.and_(ab, c)
+        e1 = ctx.prepend(abc, EMPTY_EVENT)
+        e2 = ctx.prepend(ab, e1)  # ab implied by abc -> dropped
+        assert ctx.predicates(e2) == (abc,)
+        e3 = ctx.prepend(a, e2)  # a implied by abc -> dropped
+        assert ctx.predicates(e3) == (abc,)
+
+
+class TestPredicateCanonicalisation:
+    def test_restructured_enables_merge(self):
+        """a·b and b·a (different structure) share a representative."""
+        ctx = EventContext()
+        t = ctx.table
+        a = t.var(("e", "a", EMPTY_EVENT))
+        b = t.var(("e", "b", EMPTY_EVENT))
+        ab1 = t.and_(a, b)
+        ab2 = t.and_(b, a)
+        assert ab1 != ab2  # structurally different nodes
+        assert ctx.canonical_predicate(ab1) == ctx.canonical_predicate(ab2)
+
+    def test_de_morgan_merge(self):
+        ctx = EventContext()
+        t = ctx.table
+        a = t.var(("e", "a", EMPTY_EVENT))
+        b = t.var(("e", "b", EMPTY_EVENT))
+        f1 = t.not_(t.and_(a, b))
+        f2 = t.or_(t.not_(a), t.not_(b))
+        assert ctx.canonical_predicate(f1) == ctx.canonical_predicate(f2)
+
+    def test_different_functions_stay_apart(self):
+        ctx = EventContext()
+        t = ctx.table
+        a = t.var(("e", "a", EMPTY_EVENT))
+        b = t.var(("e", "b", EMPTY_EVENT))
+        assert ctx.canonical_predicate(t.and_(a, b)) != ctx.canonical_predicate(
+            t.or_(a, b)
+        )

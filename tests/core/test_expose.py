@@ -1,0 +1,134 @@
+"""Exposure / MFVS tests (paper Sec. 7.1, Fig. 15)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.bench.iscas_like import iscas_like_circuit
+from repro.bench.minmax import minmax_circuit
+from repro.core.expose import (
+    choose_latches_to_expose,
+    minimum_feedback_vertex_set,
+    prepare_circuit,
+)
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.graph import feedback_latches
+from repro.netlist.validate import validate_circuit
+
+
+class TestMFVS:
+    def test_self_loops_always_chosen(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "a")
+        g.add_edge("a", "b")
+        assert minimum_feedback_vertex_set(g) == {"a"}
+
+    def test_simple_ring_breaks_with_one(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("a", "b"), ("b", "c"), ("c", "a")])
+        fvs = minimum_feedback_vertex_set(g)
+        assert len(fvs) == 1
+
+    def test_result_is_acyclic(self):
+        g = nx.DiGraph()
+        g.add_edges_from(
+            [
+                ("a", "b"), ("b", "a"),
+                ("b", "c"), ("c", "d"), ("d", "b"),
+                ("d", "e"), ("e", "e"),
+            ]
+        )
+        fvs = minimum_feedback_vertex_set(g)
+        h = g.copy()
+        h.remove_nodes_from(fvs)
+        assert nx.is_directed_acyclic_graph(h)
+
+    def test_dag_needs_nothing(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("a", "b"), ("b", "c"), ("a", "c")])
+        assert minimum_feedback_vertex_set(g) == set()
+
+    def test_two_disjoint_rings(self):
+        g = nx.DiGraph()
+        g.add_edges_from([("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")])
+        assert len(minimum_feedback_vertex_set(g)) == 2
+
+
+class TestChoose:
+    def test_unate_latches_remodelled_not_exposed(self):
+        b = CircuitBuilder("t")
+        d, e = b.inputs("d", "e")
+        b.circuit.add_latch("q", "nxt")
+        b.MUX(e, d, "q", name="nxt")
+        b.output("q", name="o")
+        exposed, remodel = choose_latches_to_expose(b.circuit, use_unateness=True)
+        assert exposed == set()
+        assert remodel == {"q"}
+
+    def test_structural_only_exposes_unate_too(self):
+        b = CircuitBuilder("t")
+        d, e = b.inputs("d", "e")
+        b.circuit.add_latch("q", "nxt")
+        b.MUX(e, d, "q", name="nxt")
+        b.output("q", name="o")
+        exposed, remodel = choose_latches_to_expose(b.circuit, use_unateness=False)
+        assert exposed == {"q"}
+
+    def test_pinned_latches_break_cycles_for_free(self):
+        b = CircuitBuilder("t")
+        (i,) = b.inputs("i")
+        b.circuit.add_latch("q0", "d0")
+        b.circuit.add_latch("q1", "q0")
+        b.XOR("q1", i, name="d0")
+        b.output("q1", name="o")
+        exposed, _ = choose_latches_to_expose(
+            b.circuit, use_unateness=False, pinned=["q0"]
+        )
+        assert exposed == set()  # the pinned latch already cut the ring
+
+    def test_minmax_exposes_two_thirds(self):
+        c = minmax_circuit(6)
+        exposed, _ = choose_latches_to_expose(c, use_unateness=False)
+        assert len(exposed) == 12  # min + max registers; input reg free
+        assert all(n.startswith(("min", "max")) for n in exposed)
+
+    def test_generated_fraction_matches_request(self):
+        c = iscas_like_circuit("t", n_latches=40, pct_exposed=50, seed=3)
+        exposed, _ = choose_latches_to_expose(c, use_unateness=False)
+        assert len(exposed) == 20
+
+
+class TestPrepare:
+    def test_prepare_yields_acyclic(self):
+        c = minmax_circuit(4)
+        prep = prepare_circuit(c, use_unateness=False)
+        validate_circuit(prep.circuit)
+        assert not feedback_latches(prep.circuit)
+        assert prep.num_exposed == 8
+
+    def test_forced_exposure_set(self):
+        c = minmax_circuit(4)
+        prep1 = prepare_circuit(c, use_unateness=False)
+        prep2 = prepare_circuit(
+            c.copy("again"), expose=sorted(prep1.exposed), use_unateness=False
+        )
+        assert set(prep2.exposed) == set(prep1.exposed)
+
+    def test_prepare_acyclic_circuit_is_noop_shape(self, builder):
+        (a,) = builder.inputs("a")
+        builder.output(builder.latch(a), name="o")
+        prep = prepare_circuit(builder.circuit)
+        assert prep.num_exposed == 0
+        assert not prep.remodelled
+
+    def test_prepare_with_unateness_remodels(self):
+        b = CircuitBuilder("t")
+        d, e = b.inputs("d", "e")
+        b.circuit.add_latch("q", "nxt")
+        b.MUX(e, d, "q", name="nxt")
+        b.output("q", name="o")
+        prep = prepare_circuit(b.circuit, use_unateness=True)
+        assert prep.remodelled == ["q"]
+        assert prep.num_exposed == 0
+        assert not feedback_latches(prep.circuit)

@@ -1,0 +1,66 @@
+"""Counterexample minimisation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verify import (
+    SeqVerdict,
+    check_sequential_equivalence,
+    minimize_counterexample,
+)
+from repro.netlist.build import CircuitBuilder
+
+
+def and_vs_or_pair():
+    b1 = CircuitBuilder("g")
+    x, y = b1.inputs("x", "y")
+    b1.output(b1.latch(b1.AND(x, y)), name="o")
+    b2 = CircuitBuilder("i")
+    x, y = b2.inputs("x", "y")
+    b2.output(b2.latch(b2.OR(x, y)), name="o")
+    return b1.circuit, b2.circuit
+
+
+class TestMinimize:
+    def test_leading_cycles_trimmed(self):
+        c1, c2 = and_vs_or_pair()
+        padded = [
+            {"x": False, "y": False},
+            {"x": False, "y": False},
+            {"x": True, "y": False},  # distinguishing stimulus
+            {"x": False, "y": False},  # observation cycle
+        ]
+        small = minimize_counterexample(c1, c2, padded)
+        assert len(small) < len(padded)
+        from repro.core.verify import _trace_distinguishes
+
+        assert _trace_distinguishes(c1, c2, small)
+
+    def test_bits_canonicalised(self):
+        c1, c2 = and_vs_or_pair()
+        noisy = [
+            {"x": True, "y": False},
+            {"x": True, "y": True},  # irrelevant late toggles
+        ]
+        small = minimize_counterexample(c1, c2, noisy)
+        # The second cycle's values are irrelevant to the cycle-1 output.
+        assert small[-1] == {"x": False, "y": False}
+
+    def test_non_distinguishing_trace_unchanged(self):
+        c1, c2 = and_vs_or_pair()
+        boring = [{"x": False, "y": False}]
+        assert minimize_counterexample(c1, c2, boring) == boring
+
+    def test_checker_returns_minimized_trace(self):
+        c1, c2 = and_vs_or_pair()
+        result = check_sequential_equivalence(c1, c2)
+        assert result.verdict is SeqVerdict.NOT_EQUIVALENT
+        assert result.counterexample is not None
+        # The AND/OR difference needs exactly two cycles: stimulate, observe.
+        assert len(result.counterexample) == 2
+        # and the distinguishing bit pattern is the canonical one-hot.
+        assert result.counterexample[0] in (
+            {"x": True, "y": False},
+            {"x": False, "y": True},
+        )

@@ -1,0 +1,78 @@
+"""Verification-report rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import render_report, write_report
+from repro.core.verify import check_sequential_equivalence
+from repro.netlist.build import CircuitBuilder
+
+
+def equivalent_pair():
+    b1 = CircuitBuilder("golden")
+    x, y = b1.inputs("x", "y")
+    b1.output(b1.latch(b1.AND(x, y)), name="o")
+    b2 = CircuitBuilder("revised")
+    x, y = b2.inputs("x", "y")
+    b2.output(b2.AND(b2.latch(x), b2.latch(y)), name="o")
+    return b1.circuit, b2.circuit
+
+
+def different_pair():
+    b1 = CircuitBuilder("golden")
+    x, y = b1.inputs("x", "y")
+    b1.output(b1.latch(b1.AND(x, y)), name="o")
+    b2 = CircuitBuilder("revised")
+    x, y = b2.inputs("x", "y")
+    b2.output(b2.latch(b2.OR(x, y)), name="o")
+    return b1.circuit, b2.circuit
+
+
+class TestReport:
+    def test_equivalent_report(self):
+        c1, c2 = equivalent_pair()
+        result = check_sequential_equivalence(c1, c2)
+        text = render_report(result, c1, c2)
+        assert "EQUIVALENT" in text
+        assert "`golden`" in text and "`revised`" in text
+        assert "cbf" in text
+        assert "Counterexample" not in text
+
+    def test_failure_report_has_waveform_table(self):
+        c1, c2 = different_pair()
+        result = check_sequential_equivalence(c1, c2)
+        text = render_report(result, c1, c2)
+        assert "NOT EQUIVALENT" in text
+        assert "| cycle |" in text
+        assert "differ on output `o`" in text
+
+    def test_feedback_preparation_section(self):
+        from repro.bench.minmax import minmax_circuit
+
+        c = minmax_circuit(3)
+        result = check_sequential_equivalence(c, c.copy("copy"))
+        text = render_report(result, c, c)
+        assert "Feedback preparation" in text
+        assert "latches exposed" in text
+
+    def test_write_report(self, tmp_path):
+        c1, c2 = equivalent_pair()
+        result = check_sequential_equivalence(c1, c2)
+        path = tmp_path / "report.md"
+        text = write_report(result, c1, c2, path)
+        assert path.read_text() == text
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.netlist.blif import write_blif
+
+        c1, c2 = equivalent_pair()
+        p1 = tmp_path / "a.blif"
+        p2 = tmp_path / "b.blif"
+        p1.write_text(write_blif(c1))
+        p2.write_text(write_blif(c2))
+        report = tmp_path / "r.md"
+        rc = main(["verify", str(p1), str(p2), "--report", str(report)])
+        assert rc == 0
+        assert "EQUIVALENT" in report.read_text()

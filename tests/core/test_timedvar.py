@@ -1,0 +1,114 @@
+"""Unit tests for the hash-consed expression DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.bdd import BDD
+from repro.core.timedvar import CONST0, CONST1, ExprTable
+from repro.netlist.cube import Sop
+
+
+class TestConstruction:
+    def test_constants(self):
+        t = ExprTable()
+        assert t.kind(CONST0) == "c"
+        assert t.kind(CONST1) == "c"
+
+    def test_var_interning(self):
+        t = ExprTable()
+        assert t.var("x") == t.var("x")
+        assert t.var("x") != t.var("y")
+        assert t.var_key(t.var("x")) == "x"
+
+    def test_apply_interning(self):
+        t = ExprTable()
+        a, b = t.var("a"), t.var("b")
+        assert t.and_(a, b) == t.and_(a, b)
+        assert t.and_(a, b) != t.and_(b, a)  # structural, not semantic
+
+    def test_constant_folding(self):
+        t = ExprTable()
+        a = t.var("a")
+        assert t.and_(a, CONST0) == CONST0
+        assert t.and_(a, CONST1) == a
+        assert t.or_(a, CONST1) == CONST1
+        assert t.or_(a, CONST0) == a
+        assert t.not_(CONST0) == CONST1
+        assert t.not_(CONST1) == CONST0
+        assert t.not_(t.var("a")) != a
+
+    def test_buffer_collapse(self):
+        t = ExprTable()
+        a = t.var("a")
+        assert t.apply(Sop.and_all(1), [a]) == a
+
+    def test_mux_folding(self):
+        t = ExprTable()
+        a, b = t.var("a"), t.var("b")
+        assert t.mux(CONST1, a, b) == a
+        assert t.mux(CONST0, a, b) == b
+
+    def test_arity_mismatch(self):
+        t = ExprTable()
+        with pytest.raises(ValueError):
+            t.apply(Sop.and_all(2), [t.var("a")])
+
+    def test_var_key_on_op_raises(self):
+        t = ExprTable()
+        node = t.and_(t.var("a"), t.var("b"))
+        with pytest.raises(ValueError):
+            t.var_key(node)
+        with pytest.raises(ValueError):
+            t.op_parts(t.var("a"))
+
+
+class TestQueries:
+    def test_support(self):
+        t = ExprTable()
+        node = t.or_(t.and_(t.var("a"), t.var("b")), t.var("c"))
+        assert t.support(node) == {"a", "b", "c"}
+        assert t.support(CONST1) == frozenset()
+        assert t.support(t.var("z")) == {"z"}
+
+    def test_support_cached_consistency(self):
+        t = ExprTable()
+        inner = t.and_(t.var("a"), t.var("b"))
+        assert t.support(inner) == {"a", "b"}
+        outer = t.or_(inner, t.var("c"))
+        assert t.support(outer) == {"a", "b", "c"}
+
+    def test_descendants_topological(self):
+        t = ExprTable()
+        a, b = t.var("a"), t.var("b")
+        ab = t.and_(a, b)
+        root = t.not_(ab)
+        order = t.descendants([root])
+        assert order.index(a) < order.index(ab) < order.index(root)
+
+    def test_eval(self):
+        t = ExprTable()
+        node = t.xor_(t.var("x"), t.var("y"))
+        assert t.eval([node], {"x": True, "y": False}) == [True]
+        assert t.eval([node], {"x": True, "y": True}) == [False]
+
+    def test_eval_parallel(self):
+        t = ExprTable()
+        node = t.and_(t.var("x"), t.var("y"))
+        (word,) = t.eval_parallel([node], {"x": 0b1100, "y": 0b1010}, 0b1111)
+        assert word == 0b1000
+
+    def test_to_bdd(self):
+        t = ExprTable()
+        node = t.or_(t.var("x"), t.not_(t.var("x")))
+        mgr = BDD()
+        (f,) = t.to_bdd([node], mgr, lambda key: str(key))
+        assert f == mgr.ONE
+
+    def test_shared_nodes_lower_once(self):
+        t = ExprTable()
+        shared = t.and_(t.var("a"), t.var("b"))
+        r1 = t.or_(shared, t.var("c"))
+        r2 = t.xor_(shared, t.var("d"))
+        order = t.descendants([r1, r2])
+        assert order.count(shared) == 1

@@ -1,0 +1,133 @@
+"""Tests for the ISCAS'89 .bench reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.bench_format import BenchError, parse_bench, write_bench
+from repro.netlist.validate import validate_circuit
+from repro.sim.logic2 import simulate
+
+S27_LIKE = """
+# toy s-series circuit
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G10 = NAND(G0, G6)
+G11 = NOR(G5, G1)
+G16 = NOT(G2)
+G17 = AND(G10, G16)
+"""
+
+
+class TestParse:
+    def test_basic_structure(self):
+        c = parse_bench(S27_LIKE)
+        validate_circuit(c)
+        assert c.inputs == ["G0", "G1", "G2"]
+        assert c.outputs == ["G17"]
+        assert set(c.latches) == {"G5", "G6"}
+        assert c.num_gates() == 4
+
+    def test_gate_semantics(self):
+        c = parse_bench(S27_LIKE)
+        tr = simulate(
+            c,
+            [{"G0": True, "G1": False, "G2": False}],
+            {"G5": False, "G6": True},
+        )
+        # G10 = NAND(1, 1) = 0; G16 = NOT(0) = 1; G17 = 0 AND 1 = 0
+        assert tr.outputs[0]["G17"] is False
+
+    def test_xor_parity(self):
+        text = """
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(o)
+o = XOR(a, b, c)
+"""
+        c = parse_bench(text)
+        import itertools
+
+        for bits in itertools.product([False, True], repeat=3):
+            vec = dict(zip(["a", "b", "c"], bits))
+            expect = (bits[0] + bits[1] + bits[2]) % 2 == 1
+            assert simulate(c, [vec]).outputs[0]["o"] == expect
+
+    def test_dffe_extension(self):
+        text = """
+INPUT(d)
+INPUT(e)
+OUTPUT(q)
+q = DFFE(d, e)
+"""
+        c = parse_bench(text)
+        assert c.latches["q"].enable == "e"
+
+    def test_comments_and_blanks(self):
+        c = parse_bench("# header\n\nINPUT(a)\nOUTPUT(a)\n")
+        assert c.inputs == ["a"]
+
+    def test_bad_line_raises(self):
+        with pytest.raises(BenchError, match="line"):
+            parse_bench("GARBAGE !!!")
+
+    def test_bad_function_raises(self):
+        with pytest.raises(BenchError, match="unsupported"):
+            parse_bench("INPUT(a)\nx = FROB(a)\n")
+
+    def test_dff_arity_checked(self):
+        with pytest.raises(BenchError):
+            parse_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n")
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        c = parse_bench(S27_LIKE)
+        text = write_bench(c)
+        c2 = parse_bench(text)
+        validate_circuit(c2)
+        assert set(c2.latches) == set(c.latches)
+        # behavioural check
+        import random
+
+        rng = random.Random(1)
+        vecs = [
+            {i: rng.random() < 0.5 for i in c.inputs} for _ in range(6)
+        ]
+        init = {l: False for l in c.latches}
+        assert simulate(c, vecs, init).outputs == simulate(c2, vecs, init).outputs
+
+    def test_writes_enabled_latch(self):
+        c = parse_bench("INPUT(d)\nINPUT(e)\nOUTPUT(q)\nq = DFFE(d, e)\n")
+        assert "DFFE(d, e)" in write_bench(c)
+
+    def test_rejects_fancy_covers(self):
+        from repro.netlist.build import CircuitBuilder
+        from repro.netlist.cube import Sop
+
+        b = CircuitBuilder("t")
+        a, c, d = b.inputs("a", "c", "d")
+        b.output(b.gate(Sop(3, ("11-", "0-1")), [a, c, d]), name="o")
+        with pytest.raises(BenchError, match="tech-decompose"):
+            write_bench(b.circuit)
+
+    def test_generated_circuits_writable_after_mapping(self):
+        from repro.bench.random_circuits import random_acyclic_sequential
+        from repro.synth.techmap import tech_map
+
+        c = random_acyclic_sequential(seed=2)
+        mapped = tech_map(c)
+        # Mapped circuits may contain constants; strip them via sweep-free
+        # check: only assert the writer handles pure INV/NAND/NOR nets.
+        try:
+            text = write_bench(mapped)
+        except BenchError as err:
+            assert "constant" in str(err) or "sweep" in str(err)
+            return
+        c2 = parse_bench(text)
+        validate_circuit(c2)

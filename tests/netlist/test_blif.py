@@ -1,0 +1,145 @@
+"""BLIF parser/writer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.random_circuits import random_acyclic_sequential
+from repro.netlist.blif import BlifError, parse_blif, write_blif
+from repro.netlist.validate import validate_circuit
+from repro.sim.logic2 import simulate
+
+
+SIMPLE = """
+.model test
+.inputs a b
+.outputs o q
+.names a b o
+11 1
+0- 1
+.latch o q 3
+.end
+"""
+
+
+class TestParse:
+    def test_simple(self):
+        c = parse_blif(SIMPLE)
+        assert c.name == "test"
+        assert c.inputs == ["a", "b"]
+        assert c.outputs == ["o", "q"]
+        assert "o" in c.gates
+        assert "q" in c.latches
+        validate_circuit(c)
+
+    def test_offset_cover(self):
+        text = """
+.model t
+.inputs a b
+.outputs o
+.names a b o
+11 0
+.end
+"""
+        c = parse_blif(text)
+        tr = simulate(c, [{"a": 1, "b": 1}, {"a": 0, "b": 1}])
+        assert tr.outputs[0]["o"] is False
+        assert tr.outputs[1]["o"] is True
+
+    def test_constants(self):
+        text = """
+.model t
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+"""
+        c = parse_blif(text)
+        tr = simulate(c, [{"a": 0}])
+        assert tr.outputs[0]["one"] is True
+        assert tr.outputs[0]["zero"] is False
+
+    def test_continuation_and_comments(self):
+        text = """
+# a comment
+.model t
+.inputs a \\
+        b
+.outputs o
+.names a b o  # trailing comment
+11 1
+.end
+"""
+        c = parse_blif(text)
+        assert c.inputs == ["a", "b"]
+
+    def test_enable_extension(self):
+        text = """
+.model t
+.inputs d e
+.outputs q
+.latch d q 3
+.enable q e
+.end
+"""
+        c = parse_blif(text)
+        assert c.latches["q"].enable == "e"
+
+    def test_enable_unknown_latch(self):
+        text = """
+.model t
+.inputs d e
+.outputs d
+.enable nope e
+.end
+"""
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_mixed_cover_rejected(self):
+        text = """
+.model t
+.inputs a
+.outputs o
+.names a o
+1 1
+0 0
+.end
+"""
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_row_outside_names(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model t\n11 1\n.end\n")
+
+    def test_bad_directive(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model t\n.frobnicate x\n.end\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_sequential_roundtrip(self, seed):
+        c = random_acyclic_sequential(seed=seed, enabled=(seed % 2 == 0))
+        text = write_blif(c)
+        c2 = parse_blif(text)
+        validate_circuit(c2)
+        assert set(c2.inputs) == set(c.inputs)
+        assert set(c2.outputs) == set(c.outputs)
+        assert set(c2.latches) == set(c.latches)
+        for name, latch in c.latches.items():
+            assert c2.latches[name].enable == latch.enable
+        # Behavioural equality on a few traces.
+        import random
+
+        rng = random.Random(seed)
+        vecs = [
+            {i: rng.random() < 0.5 for i in c.inputs} for _ in range(6)
+        ]
+        init = {l: False for l in c.latches}
+        t1 = simulate(c, vecs, init)
+        t2 = simulate(c2, vecs, init)
+        assert t1.outputs == t2.outputs

@@ -1,0 +1,142 @@
+"""Tests for structural transformations (exposure, cores, miters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.random_circuits import random_acyclic_sequential, random_combinational
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.transform import (
+    combinational_core,
+    cone_of_influence,
+    expose_latches,
+    miter,
+    rebuild_from_core,
+    strip_dangling,
+)
+from repro.netlist.validate import validate_circuit
+from repro.sim.logic2 import simulate
+
+
+class TestExpose:
+    def test_expose_breaks_feedback(self):
+        b = CircuitBuilder("t")
+        (i,) = b.inputs("i")
+        b.circuit.add_latch("q", "nq")
+        b.NOT("q", name="nq")
+        b.output("q", name="o")
+        from repro.netlist.graph import feedback_latches
+
+        assert feedback_latches(b.circuit)
+        exposed = expose_latches(b.circuit, ["q"])
+        validate_circuit(exposed.circuit)
+        assert not feedback_latches(exposed.circuit)
+        pseudo_in, pseudo_out = exposed.exposed["q"]
+        assert pseudo_in in exposed.circuit.inputs
+        assert pseudo_out in exposed.circuit.outputs
+
+    def test_expose_enabled_latch_observes_enable(self):
+        b = CircuitBuilder("t")
+        d, e = b.inputs("d", "e")
+        b.latch(d, enable=e, name="q")
+        b.output("q", name="o")
+        exposed = expose_latches(b.circuit, ["q"])
+        # Data and enable nets both become observable.
+        assert len(exposed.circuit.outputs) >= 2
+
+    def test_expose_missing_latch_raises(self, builder):
+        (a,) = builder.inputs("a")
+        builder.latch(a, name="q")
+        with pytest.raises(KeyError):
+            expose_latches(builder.circuit, ["nope"])
+
+    def test_exposed_output_rewired(self):
+        """A PO that was the latch output is redirected to the pseudo PI."""
+        b = CircuitBuilder("t")
+        (i,) = b.inputs("i")
+        q = b.latch(i, name="q")
+        b.output("q")
+        exposed = expose_latches(b.circuit, ["q"])
+        validate_circuit(exposed.circuit)
+
+
+class TestCombCore:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_core_roundtrip_preserves_behavior(self, seed):
+        c = random_acyclic_sequential(seed=seed, enabled=(seed % 2 == 1))
+        core = combinational_core(c)
+        assert core.circuit.is_combinational()
+        validate_circuit(core.circuit)
+        rebuilt = rebuild_from_core(core)
+        validate_circuit(rebuilt)
+        import random
+
+        rng = random.Random(seed)
+        vecs = [{i: rng.random() < 0.5 for i in c.inputs} for _ in range(8)]
+        init = {l: False for l in c.latches}
+        assert (
+            simulate(c, vecs, init).outputs
+            == simulate(rebuilt, vecs, init).outputs
+        )
+
+    def test_repeated_core_extraction(self):
+        """Cutting a rebuilt circuit again must not collide on names."""
+        c = random_acyclic_sequential(seed=3)
+        once = rebuild_from_core(combinational_core(c))
+        twice = rebuild_from_core(combinational_core(once))
+        validate_circuit(twice)
+
+
+class TestMiter:
+    def test_identical_circuits_miter_is_zero(self):
+        c1 = random_combinational(seed=1)
+        c2 = random_combinational(seed=1, name="copy")
+        m = miter(c1, c2)
+        validate_circuit(m)
+        import itertools
+
+        for bits in itertools.product([False, True], repeat=len(m.inputs)):
+            vec = dict(zip(m.inputs, bits))
+            assert simulate(m, [vec]).outputs[0]["__miter_out"] is False
+
+    def test_different_circuits_miter_fires(self):
+        b1 = CircuitBuilder("a")
+        x, y = b1.inputs("x", "y")
+        b1.output(b1.AND(x, y), name="o")
+        b2 = CircuitBuilder("b")
+        x, y = b2.inputs("x", "y")
+        b2.output(b2.OR(x, y), name="o")
+        m = miter(b1.circuit, b2.circuit)
+        out = simulate(m, [{"x": True, "y": False}]).outputs[0]["__miter_out"]
+        assert out is True
+
+    def test_miter_rejects_sequential(self, builder):
+        (a,) = builder.inputs("a")
+        builder.output(builder.latch(a), name="o")
+        with pytest.raises(ValueError):
+            miter(builder.circuit, builder.circuit.copy())
+
+    def test_miter_rejects_mismatched_io(self):
+        c1 = random_combinational(n_inputs=3, seed=1)
+        c2 = random_combinational(n_inputs=4, seed=1, name="other")
+        with pytest.raises(ValueError):
+            miter(c1, c2)
+
+
+class TestStrip:
+    def test_strip_dangling_removes_dead_logic(self, builder):
+        a, b = builder.inputs("a", "b")
+        keep = builder.AND(a, b, name="o")
+        builder.NOT(a)  # dangling
+        builder.latch(b)  # dangling latch
+        builder.output(keep)
+        stripped = strip_dangling(builder.circuit)
+        assert stripped.num_gates() == 1
+        assert stripped.num_latches() == 0
+
+    def test_cone_of_influence_crosses_latches(self, builder):
+        a, b = builder.inputs("a", "b")
+        q = builder.latch(builder.NOT(a))
+        builder.output(builder.AND(q, b), name="o")
+        cone = cone_of_influence(builder.circuit)
+        assert "a" in cone and "b" in cone

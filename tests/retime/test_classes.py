@@ -1,0 +1,129 @@
+"""Class-aware retiming tests (Legl et al. [9], paper Fig. 16)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.pipeline import pipeline_circuit
+from repro.core.verify import check_sequential_equivalence
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.validate import validate_circuit
+from repro.retime.classes import build_multiclass_graph
+from repro.retime.incremental import incremental_retime_enabled, rebuild_multiclass
+from repro.sim.exact3 import exact3_equivalent
+
+
+def two_enable_circuit():
+    """Latches of two classes around one gate — the Fig. 16 situation."""
+    b = CircuitBuilder("two_en")
+    a, c, e1, e2 = b.inputs("a", "c", "e1", "e2")
+    qa = b.latch(a, enable=e1)
+    qc = b.latch(c, enable=e2)
+    b.output(b.AND(qa, qc), name="o")
+    return b.circuit
+
+
+def same_enable_circuit():
+    b = CircuitBuilder("same_en")
+    a, c, e = b.inputs("a", "c", "e")
+    qa = b.latch(a, enable=e)
+    qc = b.latch(c, enable=e)
+    g = b.AND(qa, qc)
+    b.output(b.XOR(g, qa), name="o")
+    return b.circuit
+
+
+class TestMoves:
+    def test_forward_move_requires_same_class(self):
+        mg = build_multiclass_graph(two_enable_circuit())
+        # The AND gate's two fanin latches have different enables.
+        and_gate = next(
+            v for v in mg.graph.vertices if v.startswith("n")
+        )
+        assert mg.can_move_forward(and_gate) is None
+
+    def test_forward_move_allowed_same_class(self):
+        mg = build_multiclass_graph(same_enable_circuit())
+        movable = [
+            v
+            for v in mg.graph.vertices
+            if v != "__host__" and mg.can_move_forward(v) is not None
+        ]
+        assert movable  # the AND over two same-class latches can absorb them
+
+    def test_move_and_undo_roundtrip(self):
+        mg = build_multiclass_graph(same_enable_circuit())
+        v = next(
+            v
+            for v in mg.graph.vertices
+            if v != "__host__" and mg.can_move_forward(v) is not None
+        )
+        snapshot = {k: list(vv) for k, vv in mg.edge_classes.items()}
+        mg.move_forward(v)
+        mg.move_backward(v)
+        assert mg.edge_classes == snapshot
+
+    def test_illegal_move_raises(self):
+        mg = build_multiclass_graph(two_enable_circuit())
+        and_gate = next(v for v in mg.graph.vertices if v.startswith("n"))
+        with pytest.raises(ValueError):
+            mg.move_forward(and_gate)
+
+    def test_latch_count_preserved_by_moves(self):
+        mg = build_multiclass_graph(same_enable_circuit())
+        v = next(
+            v
+            for v in mg.graph.vertices
+            if v != "__host__" and mg.can_move_forward(v) is not None
+        )
+        # Count per-edge; a forward move across a 2-input 1-output gate can
+        # reduce the edge-count (that is the point of retiming), but the
+        # rebuilt circuit must stay equivalent — checked elsewhere.
+        mg.move_forward(v)
+        assert mg.period() is not None
+
+
+class TestIncrementalRetimer:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preserves_behaviour(self, seed):
+        c = pipeline_circuit(stages=2, width=3, seed=seed, enable=True)
+        retimed, old, new = incremental_retime_enabled(c)
+        validate_circuit(retimed)
+        assert new <= old
+        rng = random.Random(seed)
+        seqs = [
+            [{i: rng.random() < 0.5 for i in c.inputs} for _ in range(6)]
+            for _ in range(40)
+        ]
+        # Retiming preserves the "unknown past" semantics (the paper's CBF
+        # semantics); warmup realises it — see exact3_outputs docstring.
+        assert exact3_equivalent(c, retimed, seqs, warmup=8)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_verifiable_by_edbf(self, seed):
+        c = pipeline_circuit(stages=2, width=2, seed=seed, enable=True)
+        retimed, _, _ = incremental_retime_enabled(c)
+        r = check_sequential_equivalence(c, retimed)
+        assert r.equivalent
+
+    def test_rebuild_identity(self):
+        """Rebuilding without any moves reproduces an equivalent circuit."""
+        c = same_enable_circuit()
+        mg = build_multiclass_graph(c)
+        rebuilt = rebuild_multiclass(c, mg)
+        validate_circuit(rebuilt)
+        rng = random.Random(7)
+        seqs = [
+            [{i: rng.random() < 0.5 for i in c.inputs} for _ in range(6)]
+            for _ in range(40)
+        ]
+        assert exact3_equivalent(c, rebuilt, seqs)
+
+    def test_regular_circuit_also_works(self):
+        c = pipeline_circuit(stages=2, width=3, seed=5)
+        retimed, old, new = incremental_retime_enabled(c)
+        validate_circuit(retimed)
+        assert new <= old
+        assert check_sequential_equivalence(c, retimed).equivalent

@@ -1,0 +1,187 @@
+"""CDCL solver tests: unit, brute-force cross-checks, classics."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+
+
+def brute_force(n, clauses):
+    for bits in itertools.product([False, True], repeat=n):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in cl) for cl in clauses):
+            return True
+    return False
+
+
+def random_instance(rng, n_max=8, m_max=25):
+    n = rng.randint(1, n_max)
+    m = rng.randint(1, m_max)
+    clauses = []
+    for _ in range(m):
+        k = rng.randint(1, min(3, n))
+        vs = rng.sample(range(1, n + 1), k)
+        clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+    return n, clauses
+
+
+class TestBasics:
+    def test_empty_problem_sat(self):
+        assert Solver().solve().satisfiable
+
+    def test_unit_propagation(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        r = s.solve()
+        assert r.satisfiable and r.model[1] and r.model[2]
+
+    def test_contradiction(self):
+        s = Solver()
+        s.add_clause([1])
+        assert not s.add_clause([-1])
+        assert not s.solve().satisfiable
+
+    def test_tautological_clause_ignored(self):
+        s = Solver()
+        assert s.add_clause([1, -1])
+        assert s.solve().satisfiable
+
+    def test_duplicate_literals(self):
+        s = Solver()
+        s.add_clause([1, 1, 2])
+        assert s.solve().satisfiable
+
+    def test_model_satisfies(self):
+        s = Solver()
+        clauses = [[1, 2, 3], [-1, -2], [-2, -3], [2]]
+        for cl in clauses:
+            s.add_clause(cl)
+        r = s.solve()
+        assert r.satisfiable
+        for cl in clauses:
+            assert any(r.model[abs(l)] == (l > 0) for l in cl)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        r = s.solve(assumptions=[-1])
+        assert r.satisfiable and r.model[2]
+
+    def test_conflicting_assumptions(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert not s.solve(assumptions=[-1, -2]).satisfiable
+
+    def test_incremental_reuse(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 3])
+        assert not s.solve(assumptions=[-2, -3]).satisfiable
+        assert s.solve(assumptions=[-2]).satisfiable
+        assert s.solve().satisfiable
+
+    def test_assumption_of_fresh_variable(self):
+        s = Solver()
+        s.add_clause([1])
+        r = s.solve(assumptions=[5])
+        assert r.satisfiable and r.model[5]
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_vs_brute_force(self, seed):
+        rng = random.Random(seed)
+        n, clauses = random_instance(rng)
+        s = Solver()
+        ok = True
+        for cl in clauses:
+            if not s.add_clause(cl):
+                ok = False
+                break
+        got = s.solve().satisfiable if ok else False
+        assert got == brute_force(n, clauses)
+
+    def test_pigeonhole_unsat(self):
+        def php(p, h):
+            s = Solver()
+            v = lambda i, j: i * h + j + 1
+            s.ensure_vars(p * h)
+            for i in range(p):
+                s.add_clause([v(i, j) for j in range(h)])
+            for j in range(h):
+                for i1 in range(p):
+                    for i2 in range(i1 + 1, p):
+                        s.add_clause([-v(i1, j), -v(i2, j)])
+            return s.solve()
+
+        assert not php(5, 4).satisfiable
+        assert php(4, 4).satisfiable
+
+    def test_xor_chain_unsat(self):
+        """x1 ^ x2, x2 ^ x3, ..., with odd parity constraint — unsat."""
+        s = Solver()
+        n = 8
+        for i in range(1, n):
+            # xi != xi+1
+            s.add_clause([i, i + 1])
+            s.add_clause([-i, -(i + 1)])
+        # force x1 == xn, contradicting alternation for even n
+        s.add_clause([1, -n])
+        s.add_clause([-1, n])
+        assert not s.solve().satisfiable
+
+    def test_conflict_limit_reports_unknown(self):
+        s = Solver()
+        # A moderately hard unsat instance with a tiny budget.
+        p, h = 7, 6
+        v = lambda i, j: i * h + j + 1
+        s.ensure_vars(p * h)
+        for i in range(p):
+            s.add_clause([v(i, j) for j in range(h)])
+        for j in range(h):
+            for i1 in range(p):
+                for i2 in range(i1 + 1, p):
+                    s.add_clause([-v(i1, j), -v(i2, j)])
+        r = s.solve(conflict_limit=5)
+        assert not r.satisfiable
+        assert s.last_unknown
+
+
+class TestCNF:
+    def test_dimacs_roundtrip(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, -b])
+        cnf.add_clause([b])
+        text = cnf.to_dimacs()
+        back = CNF.from_dimacs(text)
+        assert back.num_vars == 2
+        assert back.clauses == [(1, -2), (2,)]
+
+    def test_rejects_zero_literal(self):
+        cnf = CNF(2)
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_rejects_out_of_range(self):
+        cnf = CNF(1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([5])
+
+    def test_extend_from(self):
+        a = CNF(2)
+        a.add_clause([1, -2])
+        b = CNF(1)
+        b.add_clause([-1])
+        a.extend_from(b, offset=2)
+        assert a.num_vars == 3
+        assert a.clauses[-1] == (-3,)

@@ -1,0 +1,83 @@
+"""Baseline symbolic reachability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.build import CircuitBuilder
+from repro.seqver.product import product_machine
+from repro.seqver.reach import check_reset_equivalence, reachable_states
+
+
+def counter2():
+    """A 2-bit counter with an enable input."""
+    b = CircuitBuilder("cnt2")
+    (en,) = b.inputs("en")
+    b.circuit.add_latch("q0", "d0")
+    b.circuit.add_latch("q1", "d1")
+    b.XOR("q0", en, name="d0")
+    carry = b.AND("q0", en)
+    b.XOR("q1", carry, name="d1")
+    b.output("q1", name="o")
+    return b.circuit
+
+
+class TestReach:
+    def test_counter_reaches_all_states(self):
+        c = counter2()
+        mgr, reached, iters = reachable_states(c)
+        assert mgr.sat_count(reached) >> (len(mgr.var_names) - 2) == 4
+        assert iters >= 3
+
+    def test_stuck_circuit_reaches_one_state(self, builder):
+        (a,) = builder.inputs("a")
+        zero = builder.CONST0()
+        builder.circuit.add_latch("q", zero)
+        builder.output("q", name="o")
+        mgr, reached, _ = reachable_states(builder.circuit)
+        count = mgr.sat_count(reached) >> (len(mgr.var_names) - 1)
+        assert count <= 2  # initial + fixpoint
+
+    def test_node_limit_raises(self):
+        c = counter2()
+        with pytest.raises(MemoryError):
+            reachable_states(c, node_limit=5)
+
+
+class TestResetEquivalence:
+    def test_identical_machines(self):
+        c1 = counter2()
+        c2 = counter2()
+        c2.name = "copy"
+        result = check_reset_equivalence(c1, c2)
+        assert result.equivalent
+        assert result.reachable_count is not None
+
+    def test_different_machines_detected(self):
+        c1 = counter2()
+        b = CircuitBuilder("other")
+        (en,) = b.inputs("en")
+        b.circuit.add_latch("q", "d")
+        b.XOR("q", en, name="d")
+        b.output("q", name="o")  # 1-bit counter, diverges from 2-bit
+        result = check_reset_equivalence(c1, b.circuit)
+        assert not result.equivalent
+
+    def test_retimed_pair_from_reset(self):
+        b1 = CircuitBuilder("r1")
+        x, y = b1.inputs("x", "y")
+        b1.output(b1.latch(b1.AND(x, y)), name="o")
+        b2 = CircuitBuilder("r2")
+        x, y = b2.inputs("x", "y")
+        b2.output(b2.AND(b2.latch(x), b2.latch(y)), name="o")
+        # All-zero resets happen to correspond for this pair.
+        result = check_reset_equivalence(b1.circuit, b2.circuit)
+        assert result.equivalent
+
+    def test_product_machine_structure(self):
+        c1 = counter2()
+        c2 = counter2()
+        c2.name = "c2"
+        pm = product_machine(c1, c2)
+        assert pm.num_latches() == 4
+        assert pm.outputs == ["__neq"]

@@ -1,0 +1,142 @@
+"""Simulator tests: 2-valued, conservative 3-valued, exact 3-valued."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.bench.counterex import fig1_pair
+from repro.bench.random_circuits import random_acyclic_sequential
+from repro.netlist.build import CircuitBuilder
+from repro.sim.exact3 import BOT, exact3_equivalent, exact3_outputs
+from repro.sim.logic2 import simulate, simulate_parallel
+from repro.sim.logic3 import X, simulate3
+
+
+class TestLogic2:
+    def test_latch_delays_by_one(self, builder):
+        (a,) = builder.inputs("a")
+        builder.output(builder.latch(a), name="o")
+        tr = simulate(
+            builder.circuit,
+            [{"a": True}, {"a": False}, {"a": True}],
+            None,
+        )
+        assert [t["o"] for t in tr.outputs] == [False, True, False]
+
+    def test_enabled_latch_holds(self, builder):
+        d, e = builder.inputs("d", "e")
+        builder.output(builder.latch(d, enable=e), name="o")
+        vecs = [
+            {"d": 1, "e": 1},  # loads 1
+            {"d": 0, "e": 0},  # holds
+            {"d": 0, "e": 1},  # loads 0
+            {"d": 1, "e": 0},  # holds
+        ]
+        tr = simulate(builder.circuit, [{k: bool(v) for k, v in t.items()} for t in vecs], None)
+        assert [t["o"] for t in tr.outputs] == [False, True, True, False]
+
+    def test_parallel_matches_scalar(self):
+        c = random_acyclic_sequential(seed=5, enabled=True)
+        rng = random.Random(0)
+        vecs = [{i: rng.random() < 0.5 for i in c.inputs} for _ in range(6)]
+        init = {l: rng.random() < 0.5 for l in c.latches}
+        scalar = simulate(c, vecs, init)
+        words = [
+            {i: (1 if vec[i] else 0) for i in c.inputs} for vec in vecs
+        ]
+        par = simulate_parallel(
+            c, words, {l: (1 if v else 0) for l, v in init.items()}, 1
+        )
+        for t in range(6):
+            for o in c.outputs:
+                assert bool(par[t][o]) == scalar.outputs[t][o]
+
+    def test_missing_input_raises(self, builder):
+        (a,) = builder.inputs("a")
+        builder.output(builder.BUF(a), name="o")
+        with pytest.raises(KeyError):
+            simulate_parallel(builder.circuit, [{}], {}, 1)
+
+
+class TestLogic3:
+    def test_x_propagates_conservatively(self, builder):
+        a, b = builder.inputs("a", "b")
+        builder.output(builder.AND(a, b), name="o")
+        out = simulate3(builder.circuit, [{"a": X, "b": False}])
+        assert out[0]["o"] is False  # AND with 0 kills X
+        out = simulate3(builder.circuit, [{"a": X, "b": True}])
+        assert out[0]["o"] is X
+
+    def test_uncorrelated_x(self):
+        """The Fig. 1 phenomenon: q XOR q is X for a 3-valued simulator."""
+        fig1a, _ = fig1_pair()
+        out = simulate3(fig1a, [{"i": False}])
+        assert out[0]["o"] is X
+
+    def test_known_powerup_resolves(self):
+        fig1a, _ = fig1_pair()
+        out = simulate3(fig1a, [{"i": False}], initial_state={"q": True})
+        assert out[0]["o"] is False
+
+    def test_enabled_latch_x_enable(self, builder):
+        d, e = builder.inputs("d", "e")
+        builder.output(builder.latch(d, enable=e), name="o")
+        # cycle 0: X enable, data 1, held X -> next state X
+        out = simulate3(
+            builder.circuit, [{"d": True, "e": X}, {"d": True, "e": False}]
+        )
+        assert out[1]["o"] is X
+
+
+class TestExact3:
+    def test_fig1_is_defined(self):
+        """Exact semantics correlates the two uses of the same latch."""
+        fig1a, fig1b = fig1_pair()
+        out = exact3_outputs(fig1a, [{"i": False}])
+        assert out[0]["o"] is False
+        assert exact3_equivalent(
+            fig1a, fig1b, [[{"i": False}], [{"i": True}, {"i": False}]]
+        )
+
+    def test_undefined_before_flush(self, builder):
+        (a,) = builder.inputs("a")
+        builder.output(builder.latch(a, name="q"), name="o")
+        out = exact3_outputs(builder.circuit, [{"a": True}, {"a": False}])
+        assert out[0]["o"] is BOT  # still power-up dependent
+        assert out[1]["o"] is True
+
+    def test_exact3_differs_from_sim3(self, builder):
+        """Conservative X where the exact value is defined."""
+        (a,) = builder.inputs("a")
+        q = builder.latch(a, name="q")
+        builder.output(builder.OR(q, builder.NOT(q)), name="o")
+        assert simulate3(builder.circuit, [{"a": False}])[0]["o"] is X
+        assert exact3_outputs(builder.circuit, [{"a": False}])[0]["o"] is True
+
+    def test_sampling_path_for_large_circuits(self):
+        c = random_acyclic_sequential(
+            n_latches=20, n_gates=30, seed=9
+        )  # > enumeration limit
+        out = exact3_outputs(c, [{i: False for i in c.inputs}], samples=64)
+        assert set(out[0]) == set(c.outputs)
+
+    def test_equivalence_rejects_different(self, builder):
+        b2 = CircuitBuilder("other")
+        (a,) = builder.inputs("a")
+        builder.output(builder.latch(a), name="o")
+        (a2,) = b2.inputs("a")
+        b2.output(b2.latch(b2.NOT(a2)), name="o")
+        seqs = [[{"a": True}, {"a": True}]]
+        assert not exact3_equivalent(builder.circuit, b2.circuit, seqs)
+
+    def test_io_mismatch_raises(self, builder):
+        (a,) = builder.inputs("a")
+        builder.output(a, name="o")
+        b2 = CircuitBuilder("b2")
+        b2.inputs("z")
+        b2.output("z", name="o")
+        with pytest.raises(ValueError):
+            exact3_equivalent(builder.circuit, b2.circuit, [])

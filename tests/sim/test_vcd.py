@@ -1,0 +1,71 @@
+"""VCD writer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.build import CircuitBuilder
+from repro.sim.vcd import dump_counterexample, simulate_to_vcd, trace_to_vcd
+
+
+class TestTraceToVcd:
+    def test_header_and_vars(self):
+        text = trace_to_vcd(["a", "b"], [{"a": True, "b": False}])
+        assert "$enddefinitions" in text
+        assert "$var wire 1" in text
+        assert text.count("$var") == 2
+
+    def test_only_changes_emitted(self):
+        rows = [
+            {"a": False},
+            {"a": False},  # no change
+            {"a": True},
+        ]
+        text = trace_to_vcd(["a"], rows)
+        # initial 0, then one change to 1
+        body = text.split("$enddefinitions $end")[1]
+        assert body.count("0!") == 1
+        assert body.count("1!") == 1
+
+    def test_unknowns_are_x(self):
+        text = trace_to_vcd(["a"], [{"a": None}])
+        assert "x!" in text
+
+    def test_many_signals_get_unique_ids(self):
+        signals = [f"s{i}" for i in range(100)]
+        text = trace_to_vcd(signals, [dict.fromkeys(signals, False)])
+        ids = [
+            line.split()[3]
+            for line in text.splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(set(ids)) == 100
+
+
+class TestSimulateToVcd:
+    def test_full_dump(self, tmp_path, builder):
+        (a,) = builder.inputs("a")
+        q = builder.latch(builder.NOT(a), name="q")
+        builder.output(q)
+        path = tmp_path / "run.vcd"
+        text = simulate_to_vcd(
+            builder.circuit,
+            [{"a": False}, {"a": True}, {"a": False}],
+            {"q": False},
+            path=path,
+        )
+        assert path.read_text() == text
+        assert " a " in text and " q " in text
+
+    def test_counterexample_dump(self, tmp_path):
+        b1 = CircuitBuilder("g")
+        x, y = b1.inputs("x", "y")
+        b1.output(b1.latch(b1.AND(x, y)), name="o")
+        b2 = CircuitBuilder("i")
+        x, y = b2.inputs("x", "y")
+        b2.output(b2.latch(b2.OR(x, y)), name="o")
+        seq = [{"x": True, "y": False}, {"x": False, "y": False}]
+        path = tmp_path / "cex.vcd"
+        text = dump_counterexample(b1.circuit, b2.circuit, seq, path)
+        assert "o__impl" in text
+        assert path.exists()

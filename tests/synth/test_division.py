@@ -1,0 +1,113 @@
+"""Algebraic division and kernel tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.cube import cube_from_literals, cube_literals
+from repro.synth.division import (
+    common_cube,
+    cube_free,
+    kernels,
+    make_cube_free,
+    weak_divide,
+)
+
+
+def lits(*pairs):
+    """Literal set from (var, phase) pairs."""
+    return frozenset(2 * v + (1 if p else 0) for v, p in pairs)
+
+
+def pos(*vs):
+    return frozenset(2 * v + 1 for v in vs)
+
+
+class TestWeakDivide:
+    def test_textbook_example(self):
+        # F = abc + abd + e; D = c + d  ->  Q = ab, R = e
+        f = [pos(0, 1, 2), pos(0, 1, 3), pos(4)]
+        d = [pos(2), pos(3)]
+        q, r = weak_divide(f, d)
+        assert q == [pos(0, 1)]
+        assert r == [pos(4)]
+
+    def test_no_quotient(self):
+        f = [pos(0), pos(1)]
+        d = [pos(2)]
+        q, r = weak_divide(f, d)
+        assert q == [] and r == f
+
+    def test_division_by_itself(self):
+        f = [pos(0, 1), pos(2)]
+        q, r = weak_divide(f, f)
+        # quotient is the empty cube (1) only if f*1 = f
+        assert q == [frozenset()] and r == []
+
+    def test_reconstruction_identity(self):
+        """F = Q*D + R exactly as cube sets."""
+        f = [pos(0, 2), pos(0, 3), pos(1, 2), pos(1, 3), pos(4)]
+        d = [pos(2), pos(3)]
+        q, r = weak_divide(f, d)
+        product = {frozenset(qq | dd) for qq in q for dd in d}
+        assert product | set(r) == set(f)
+
+    def test_empty_divisor_raises(self):
+        with pytest.raises(ValueError):
+            weak_divide([pos(0)], [])
+
+    def test_respects_disjoint_support_rule(self):
+        # F = ab; D = a: quotient is b (supports disjoint after removal)
+        q, r = weak_divide([pos(0, 1)], [pos(0)])
+        assert q == [pos(1)] and r == []
+        # F = a; D = a: quotient = 1-cube
+        q, r = weak_divide([pos(0)], [pos(0)])
+        assert q == [frozenset()] and r == []
+
+
+class TestCubeOps:
+    def test_common_cube(self):
+        assert common_cube([pos(0, 1, 2), pos(0, 1, 3)]) == pos(0, 1)
+        assert common_cube([pos(0), pos(1)]) == frozenset()
+        assert common_cube([]) == frozenset()
+
+    def test_cube_free(self):
+        assert cube_free([pos(0), pos(1)])
+        assert not cube_free([pos(0, 1), pos(0, 2)])
+        assert not cube_free([pos(0)])
+
+    def test_make_cube_free(self):
+        out = make_cube_free([pos(0, 1), pos(0, 2)])
+        assert out == [pos(1), pos(2)]
+
+
+class TestKernels:
+    def test_textbook_kernels(self):
+        # F = adf + aef + bdf + bef + cdf + cef + g
+        #   = (a+b+c)(d+e)f + g ; kernels include (a+b+c), (d+e), F itself.
+        a, b, c, d, e, f, g = range(7)
+        cover = [
+            pos(a, d, f), pos(a, e, f), pos(b, d, f),
+            pos(b, e, f), pos(c, d, f), pos(c, e, f), pos(g),
+        ]
+        ks = kernels(cover)
+        kernel_sets = {tuple(sorted(tuple(sorted(cu)) for cu in k)) for _, k in ks}
+        abc = tuple(sorted(tuple(sorted(pos(v))) for v in (a, b, c)))
+        de = tuple(sorted(tuple(sorted(pos(v))) for v in (d, e)))
+        assert abc in kernel_sets
+        assert de in kernel_sets
+
+    def test_kernels_are_cube_free(self):
+        cover = [pos(0, 1, 2), pos(0, 1, 3), pos(0, 4)]
+        for cokernel, kernel in kernels(cover):
+            assert len(kernel) > 1
+            assert not common_cube(kernel)
+
+    def test_single_cube_has_no_kernels(self):
+        assert kernels([pos(0, 1, 2)]) == []
+
+    def test_cokernel_times_kernel_in_cover(self):
+        cover = [pos(0, 2), pos(0, 3), pos(1, 2), pos(1, 3)]
+        for cokernel, kernel in kernels(cover):
+            for cube in kernel:
+                assert frozenset(cokernel | cube) in set(cover)

@@ -1,0 +1,188 @@
+"""Synthesis-pass tests: every pass must preserve every output function."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.random_circuits import random_combinational
+from repro.cec.engine import check_equivalence
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.cube import Sop
+from repro.netlist.validate import validate_circuit
+from repro.synth.decomp import algebraic_decomp, tech_decomp
+from repro.synth.depth import circuit_depth, reduce_depth
+from repro.synth.eliminate import eliminate, node_value
+from repro.synth.fx import fast_extract
+from repro.synth.network import compose_sop, fanout_counts
+from repro.synth.resub import resubstitute
+from repro.synth.simplify import simplify_network
+from repro.synth.sweep import sweep
+
+PASSES = {
+    "sweep": sweep,
+    "decomp": algebraic_decomp,
+    "tech_decomp": tech_decomp,
+    "resub": resubstitute,
+    "reduce_depth": reduce_depth,
+    "eliminate": lambda c: eliminate(c, threshold=-1),
+    "simplify": simplify_network,
+    "fx": fast_extract,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PASSES))
+@pytest.mark.parametrize("seed", range(4))
+def test_pass_preserves_function(name, seed):
+    c = random_combinational(n_inputs=6, n_gates=25, seed=seed)
+    original = c.copy("orig")
+    PASSES[name](c)
+    validate_circuit(c)
+    assert check_equivalence(original, c).equivalent, name
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_pass_pipeline_preserves_function(seed):
+    """All passes chained (the script order) stay correct."""
+    c = random_combinational(n_inputs=7, n_gates=40, seed=seed)
+    original = c.copy("orig")
+    for name in [
+        "sweep",
+        "decomp",
+        "tech_decomp",
+        "resub",
+        "sweep",
+        "reduce_depth",
+        "eliminate",
+        "simplify",
+        "sweep",
+        "decomp",
+        "fx",
+        "tech_decomp",
+    ]:
+        PASSES[name](c)
+        validate_circuit(c)
+    assert check_equivalence(original, c).equivalent
+
+
+class TestSweep:
+    def test_removes_dangling(self, builder):
+        a, b = builder.inputs("a", "b")
+        keep = builder.AND(a, b, name="o")
+        builder.NOT(a)
+        builder.output(keep)
+        sweep(builder.circuit)
+        assert builder.circuit.num_gates() == 1
+
+    def test_folds_constants(self, builder):
+        a = builder.input("a")
+        one = builder.CONST1()
+        g = builder.AND(a, one, name="o")
+        builder.output(g)
+        sweep(builder.circuit)
+        gate = builder.circuit.gates["o"]
+        assert gate.inputs == ("a",)
+
+    def test_bypasses_buffers(self, builder):
+        a = builder.input("a")
+        buf = builder.BUF(a)
+        g = builder.NOT(buf, name="o")
+        builder.output(g)
+        sweep(builder.circuit)
+        assert builder.circuit.gates["o"].inputs == ("a",)
+
+    def test_merges_inverters(self, builder):
+        a, b = builder.inputs("a", "b")
+        na = builder.NOT(a)
+        g = builder.AND(na, b, name="o")
+        builder.output(g)
+        sweep(builder.circuit)
+        gate = builder.circuit.gates["o"]
+        assert set(gate.inputs) == {"a", "b"}
+        assert builder.circuit.num_gates() == 1
+
+    def test_keeps_po_constants(self, builder):
+        builder.inputs("a")
+        one = builder.CONST1(name="o")
+        builder.output(one)
+        sweep(builder.circuit)
+        assert "o" in builder.circuit.gates
+
+
+class TestEliminate:
+    def test_node_value_formula(self, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.AND(a, b)  # 2 literals
+        u1 = builder.NOT(g, name="o1")
+        u2 = builder.BUF(g, name="o2")
+        builder.output(u1)
+        builder.output(u2)
+        counts = fanout_counts(builder.circuit)
+        # value = (2-1)*2 - 2 = 0
+        assert node_value(builder.circuit, g, counts) == 0
+
+    def test_collapse_guard_respects_limit(self, builder):
+        """XOR-chain collapse would blow up; the guard must prevent it."""
+        sigs = list(builder.inputs(*[f"x{i}" for i in range(12)]))
+        acc = sigs[0]
+        for s in sigs[1:]:
+            acc = builder.XOR(acc, s)
+        builder.output(acc, name="o")
+        c = builder.circuit
+        original = c.copy("orig")
+        eliminate(c, threshold=100, max_literals=60)
+        validate_circuit(c)
+        for gate in c.gates.values():
+            assert gate.num_literals <= 60
+        assert check_equivalence(original, c).equivalent
+
+
+class TestComposeSop:
+    def test_substitution_semantics(self):
+        # outer = x AND y over [x, inner]; inner = a OR b
+        outer = Sop(2, ("11",))
+        inner = Sop(2, ("1-", "-1"))
+        sop, fanins = compose_sop(outer, ["x", "g"], "g", inner, ["a", "b"])
+        assert set(fanins) == {"x", "a", "b"}
+        idx = {s: i for i, s in enumerate(fanins)}
+        for x in (False, True):
+            for a in (False, True):
+                for b in (False, True):
+                    vec = {"x": x, "a": a, "b": b}
+                    asg = [vec[fanins[i]] for i in range(len(fanins))]
+                    assert sop.eval_bool(asg) == (x and (a or b))
+
+    def test_negative_literal_substitution(self):
+        outer = Sop(1, ("0",))  # NOT g
+        inner = Sop(2, ("11",))  # a AND b
+        sop, fanins = compose_sop(outer, ["g"], "g", inner, ["a", "b"])
+        idx = {s: i for i, s in enumerate(fanins)}
+        for a in (False, True):
+            for b in (False, True):
+                vec = {"a": a, "b": b}
+                asg = [vec[s] for s in fanins]
+                assert sop.eval_bool(asg) == (not (a and b))
+
+
+class TestDepth:
+    def test_reduce_depth_balances_chain(self, builder):
+        sigs = list(builder.inputs(*[f"x{i}" for i in range(8)]))
+        acc = sigs[0]
+        for s in sigs[1:]:
+            acc = builder.AND(acc, s)
+        builder.output(acc, name="o")
+        c = builder.circuit
+        original = c.copy("orig")
+        before = circuit_depth(c)
+        reduce_depth(c)
+        validate_circuit(c)
+        after = circuit_depth(c)
+        assert after < before
+        assert after == 3  # ceil(log2(8))
+        assert check_equivalence(original, c).equivalent
+
+    def test_circuit_depth_ignores_buffers(self, builder):
+        a = builder.input("a")
+        buf = builder.BUF(a)
+        g = builder.NOT(buf, name="o")
+        builder.output(g)
+        assert circuit_depth(builder.circuit) == 1

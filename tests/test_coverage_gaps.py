@@ -1,0 +1,167 @@
+"""Targeted tests for less-travelled code paths across the stack."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd.bdd import BDD
+from repro.netlist.build import CircuitBuilder
+from repro.netlist.cube import Sop
+
+
+class TestBddComposeMany:
+    def test_simultaneous_substitution_of_leaf_cones(self):
+        """compose_many substitutes latch variables with PI cones (the
+        CBF-style use: substituted functions mention only deeper leaves)."""
+        mgr = BDD(["q1", "q2", "a", "b"])
+        f = mgr.apply_xor(mgr.var("q1"), mgr.var("q2"))
+        substitution = {
+            "q1": mgr.apply_and(mgr.var("a"), mgr.var("b")),
+            "q2": mgr.apply_or(mgr.var("a"), mgr.var("b")),
+        }
+        g = mgr.compose_many(f, substitution)
+        for va, vb in itertools.product([False, True], repeat=2):
+            env = {"a": va, "b": vb, "q1": False, "q2": False}
+            expect = (va and vb) != (va or vb)
+            assert mgr.eval(g, env) == expect
+
+    def test_deep_cofactor_chain(self):
+        names = [f"x{i}" for i in range(40)]
+        mgr = BDD(names)
+        f = mgr.and_all(mgr.var(n) for n in names)
+        g = mgr.restrict(f, {n: True for n in names[:39]})
+        assert g == mgr.var("x39")
+
+
+class TestEventImplicationGiveUp:
+    def test_wide_support_predicates_not_merged(self):
+        """Implication checks give up (conservatively) past 24 variables."""
+        from repro.core.events import EventContext
+
+        ctx = EventContext(rewrite=True)
+        t = ctx.table
+        wide_and = t.var(("e", "v0", 0))
+        for i in range(1, 30):
+            wide_and = t.and_(wide_and, t.var(("e", f"v{i}", 0)))
+        head = t.var(("e", "v0", 0))
+        tail = ctx.prepend(wide_and, 0)
+        merged = ctx.prepend(head, tail)
+        # wide_and implies head, but the support guard keeps both.
+        assert len(ctx.predicates(merged)) == 2
+
+
+class TestVerifyUnknownPath:
+    def test_cec_unknown_propagates(self):
+        """A conflict-limited CEC returns UNKNOWN, not a wrong verdict."""
+        from repro.cec.engine import CecVerdict, check_miter_unsat
+        from repro.netlist.transform import miter
+
+        b1 = CircuitBuilder("h1")
+        xs = b1.inputs(*[f"x{i}" for i in range(14)])
+        acc = xs[0]
+        for x in xs[1:]:
+            acc = b1.XOR(acc, x)
+        b1.output(acc, name="o")
+        b2 = CircuitBuilder("h2")
+        xs = b2.inputs(*[f"x{i}" for i in range(14)])
+        acc = xs[-1]
+        for x in reversed(xs[:-1]):
+            acc = b2.XOR(x, acc)
+        b2.output(acc, name="o")
+        m = miter(b1.circuit, b2.circuit)
+        result = check_miter_unsat(m, conflict_limit=1)
+        assert result.verdict in (CecVerdict.UNKNOWN, CecVerdict.EQUIVALENT)
+
+
+class TestFxUnits:
+    def test_double_cube_divisor_extracted(self):
+        """F1 = ac + bc, F2 = ad + bd share the divisor (a + b)."""
+        from repro.synth.fx import fast_extract
+        from repro.cec.engine import check_equivalence
+
+        b = CircuitBuilder("fx")
+        a, bb, c, d = b.inputs("a", "b", "c", "d")
+        f1 = b.gate(Sop(3, ("1-1", "-11")), [a, bb, c], name="f1")
+        f2 = b.gate(Sop(3, ("1-1", "-11")), [a, bb, d], name="f2")
+        b.output(f1)
+        b.output(f2)
+        original = b.circuit.copy("orig")
+        fast_extract(b.circuit)
+        assert check_equivalence(original, b.circuit).equivalent
+        new_nodes = [g for g in b.circuit.gates if g.startswith("__fx")]
+        assert new_nodes, "the shared divisor should have been extracted"
+
+    def test_no_extraction_when_nothing_shared(self):
+        from repro.synth.fx import fast_extract
+
+        b = CircuitBuilder("fx2")
+        a, bb = b.inputs("a", "b")
+        b.output(b.AND(a, bb), name="o")
+        before = b.circuit.num_gates()
+        fast_extract(b.circuit)
+        assert b.circuit.num_gates() == before
+
+
+class TestMinAreaConstraintGeneration:
+    def test_period_constraint_forces_latch_onto_long_path(self):
+        """Min-area at a tight period must keep a latch inside the deep
+        cone rather than hoisting everything to the boundary."""
+        from repro.retime.apply import retime_min_area
+        from repro.retime.minperiod import clock_period
+        from repro.retime.rgraph import build_retiming_graph
+        from repro.core.verify import check_sequential_equivalence
+
+        b = CircuitBuilder("deep")
+        (x,) = b.inputs("x")
+        q = b.latch(x)
+        s = q
+        for _ in range(6):
+            s = b.NOT(s)
+        b.output(b.latch(s), name="o")
+        circuit = b.circuit
+        retimed, period = retime_min_area(circuit, period=3)
+        assert retimed is not None
+        assert clock_period(build_retiming_graph(retimed)) <= 3
+        assert retimed.num_latches() >= 2
+        assert check_sequential_equivalence(circuit, retimed).equivalent
+
+
+class TestSopEdges:
+    def test_implies_and_equivalent(self):
+        ab = Sop(2, ("11",))
+        a = Sop(2, ("1-",))
+        assert ab.implies(a)
+        assert not a.implies(ab)
+        assert a.equivalent(Sop(2, ("1-", "11")))
+
+    def test_from_truth_table_bounds(self):
+        assert Sop.from_truth_table(0, 1).eval_bool([])
+        assert not Sop.from_truth_table(0, 0).eval_bool([])
+
+    def test_truth_table_guard(self):
+        with pytest.raises(ValueError):
+            Sop.and_all(21).truth_table()
+
+    def test_eval_parallel_wide_words(self):
+        s = Sop(2, ("10", "01"))
+        mask = (1 << 130) - 1
+        x = random.Random(0).getrandbits(130)
+        y = random.Random(1).getrandbits(130)
+        out = s.eval_parallel([x, y], mask)
+        assert out == (x ^ y) & mask
+
+
+class TestReportEdgeCases:
+    def test_render_unknown_verdict(self):
+        from repro.core.report import render_report
+        from repro.core.verify import SeqCheckResult, SeqVerdict
+
+        b = CircuitBuilder("t")
+        (a,) = b.inputs("a")
+        b.output(a, name="o")
+        result = SeqCheckResult(SeqVerdict.UNKNOWN, "cbf")
+        text = render_report(result, b.circuit, b.circuit)
+        assert "UNKNOWN" in text

@@ -1,0 +1,149 @@
+"""Cross-cutting property-based tests (hypothesis) over the full stack.
+
+These are the invariants DESIGN.md commits to:
+
+* synthesis passes preserve every output function (via CEC);
+* retiming preserves sequential equivalence (via the CBF reduction);
+* CBF equality agrees with exhaustive simulation on random acyclic
+  circuits (Theorem 5.1 in both directions);
+* the exposure heuristic always yields an acyclic circuit;
+* BLIF round-trips preserve behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.random_circuits import random_acyclic_sequential, random_combinational
+from repro.cec.engine import check_equivalence
+from repro.core.cbf import compute_cbf, topological_latch_depth
+from repro.core.expose import prepare_circuit
+from repro.core.timedvar import ExprTable
+from repro.core.verify import check_sequential_equivalence
+from repro.netlist.blif import parse_blif, write_blif
+from repro.netlist.graph import feedback_latches
+from repro.netlist.validate import validate_circuit
+from repro.retime.apply import retime_min_period
+from repro.sim.logic2 import simulate
+from repro.synth.script import optimize_sequential_delay, script_delay
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SETTINGS
+def test_script_preserves_combinational_function(seed):
+    circuit = random_combinational(n_inputs=6, n_gates=25, seed=seed)
+    original = circuit.copy("orig")
+    script_delay(circuit)
+    validate_circuit(circuit)
+    assert check_equivalence(original, circuit).equivalent
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SETTINGS
+def test_retiming_preserves_equivalence(seed):
+    circuit = random_acyclic_sequential(
+        n_inputs=4, n_gates=12, n_latches=4, seed=seed
+    )
+    retimed, old, new = retime_min_period(circuit)
+    validate_circuit(retimed)
+    assert new <= old
+    assert check_sequential_equivalence(circuit, retimed).equivalent
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SETTINGS
+def test_synthesis_preserves_sequential_equivalence(seed):
+    circuit = random_acyclic_sequential(seed=seed, enabled=(seed % 3 == 0))
+    optimised = optimize_sequential_delay(circuit)
+    validate_circuit(optimised)
+    assert check_sequential_equivalence(circuit, optimised).equivalent
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SETTINGS
+def test_cbf_matches_exhaustive_simulation(seed):
+    """Theorem 5.1, soundness direction, on tiny exhaustively-checked circuits."""
+    circuit = random_acyclic_sequential(
+        n_inputs=2, n_gates=6, n_latches=2, n_outputs=1, seed=seed
+    )
+    cbf = compute_cbf(circuit)
+    at = max(cbf.depth(), topological_latch_depth(circuit))
+    # All input sequences of length at+1.
+    names = list(circuit.inputs)
+    vectors = [
+        dict(zip(names, bits))
+        for bits in itertools.product([False, True], repeat=len(names))
+    ]
+    rng = random.Random(seed)
+    sequences = [
+        [rng.choice(vectors) for _ in range(at + 1)] for _ in range(8)
+    ]
+    for seq in sequences:
+        tr = simulate(circuit, seq, {l: False for l in circuit.latches})
+        assignment = {}
+        for key in cbf.variables():
+            _, name, d = key
+            cycle = at - d
+            assignment[key] = seq[cycle][name] if cycle >= 0 else False
+        values = cbf.table.eval(list(cbf.outputs.values()), assignment)
+        for out, val in zip(cbf.outputs, values):
+            assert val == tr.outputs[at][out]
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SETTINGS
+def test_blif_roundtrip_behaviour(seed):
+    circuit = random_acyclic_sequential(seed=seed, enabled=(seed % 2 == 0))
+    back = parse_blif(write_blif(circuit))
+    validate_circuit(back)
+    rng = random.Random(seed)
+    vecs = [
+        {i: rng.random() < 0.5 for i in circuit.inputs} for _ in range(6)
+    ]
+    init = {l: False for l in circuit.latches}
+    assert (
+        simulate(circuit, vecs, init).outputs
+        == simulate(back, vecs, init).outputs
+    )
+
+
+@given(
+    n_latches=st.integers(min_value=4, max_value=24),
+    pct=st.integers(min_value=0, max_value=90),
+    seed=st.integers(min_value=1, max_value=1000),
+)
+@SETTINGS
+def test_prepare_always_acyclic(n_latches, pct, seed):
+    from repro.bench.iscas_like import iscas_like_circuit
+
+    circuit = iscas_like_circuit(
+        "prop", n_latches=n_latches, pct_exposed=pct, seed=seed
+    )
+    prepared = prepare_circuit(circuit, use_unateness=False)
+    validate_circuit(prepared.circuit)
+    assert not feedback_latches(prepared.circuit)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@SETTINGS
+def test_full_loop_retime_synth_verify(seed):
+    """The headline loop: synth → retime → synth, verified end to end."""
+    circuit = random_acyclic_sequential(
+        n_inputs=4, n_gates=14, n_latches=4, seed=seed
+    )
+    step1 = optimize_sequential_delay(circuit)
+    step2, _, _ = retime_min_period(step1)
+    step3 = optimize_sequential_delay(step2)
+    result = check_sequential_equivalence(circuit, step3)
+    assert result.equivalent, result.stats
