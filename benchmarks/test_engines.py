@@ -13,7 +13,9 @@ from repro.bench.pipeline import pipeline_circuit
 from repro.bench.random_circuits import random_combinational
 from repro.bdd.bdd import BDD
 from repro.bdd.circuit2bdd import output_bdds
+from repro.cec.cache import ProofCache
 from repro.cec.engine import check_equivalence
+from repro.netlist.build import CircuitBuilder
 from repro.core.cbf import compute_cbf
 from repro.core.edbf import compute_edbf
 from repro.core.eq2comb import cbf_to_circuit
@@ -63,6 +65,59 @@ def test_cec_on_resynthesised(benchmark):
     script_delay(c2)
     result = benchmark(check_equivalence, c1, c2)
     assert result.equivalent
+
+
+def _xor_chain_tree_pair(n):
+    """Structurally distinct but equivalent parity circuits (real sweep work)."""
+    chain = CircuitBuilder("chain")
+    xs = chain.inputs(*[f"x{i}" for i in range(n)])
+    acc = xs[0]
+    for x in xs[1:]:
+        acc = chain.XOR(acc, x)
+    chain.output(acc, name="o")
+
+    tree = CircuitBuilder("tree")
+    xs = list(tree.inputs(*[f"x{i}" for i in range(n)]))
+    while len(xs) > 1:
+        nxt = [tree.XOR(xs[i], xs[i + 1]) for i in range(0, len(xs) - 1, 2)]
+        if len(xs) % 2:
+            nxt.append(xs[-1])
+        xs = nxt
+    tree.output(xs[0], name="o")
+    return chain.circuit, tree.circuit
+
+
+def test_cec_parallel_sweep(benchmark):
+    c1, c2 = _xor_chain_tree_pair(32)
+    serial = check_equivalence(c1, c2, n_jobs=1)
+    result = benchmark(check_equivalence, c1, c2, n_jobs=4)
+    assert result.verdict is serial.verdict
+    assert result.stats["n_units"] >= 1
+
+
+def test_cec_warm_proof_cache(benchmark):
+    c1, c2 = _xor_chain_tree_pair(32)
+    cache = ProofCache()
+    cold = check_equivalence(c1, c2, cache=cache)
+    result = benchmark(check_equivalence, c1, c2, cache=cache)
+    assert result.verdict is cold.verdict
+    assert result.stats["cache_hits"] > 0
+    assert result.stats["sat_queries"] < cold.stats["sat_queries"]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_cec_parallel_matches_serial_corpus(seed):
+    """Acceptance check: n_jobs=4 verdicts identical to n_jobs=1."""
+    c1 = random_combinational(n_inputs=9, n_gates=80, seed=seed)
+    c2 = c1.copy("resynth")
+    script_delay(c2)
+    swapped = random_combinational(
+        n_inputs=9, n_gates=80, seed=seed + 31, name="other"
+    )
+    for a, b in ((c1, c2), (c1, swapped)):
+        serial = check_equivalence(a, b, n_jobs=1)
+        parallel = check_equivalence(a, b, n_jobs=4)
+        assert parallel.verdict is serial.verdict
 
 
 def test_cbf_computation(benchmark):

@@ -15,22 +15,39 @@ The engine follows the filter architecture of the tools the paper cites
 
 A BDD-based engine (:func:`check_equivalence_bdd`) provides an independent
 cross-check for small circuits.
+
+Scaling layers on top of the serial filter pipeline:
+
+* :mod:`repro.cec.partition` — cone-disjoint work units over the miter AIG;
+* :mod:`repro.cec.parallel` — a ``multiprocessing`` sweep dispatcher
+  (``check_equivalence(..., n_jobs=N)``), verdict-identical to serial;
+* :mod:`repro.cec.cache` — a persistent proof cache keyed by canonical
+  structural cone hashes, so repeated checks across a flow (or across
+  runs) replay proven merges instead of re-solving them.
 """
 
+from repro.cec.cache import ProofCache
 from repro.cec.engine import (
     CecVerdict,
     CheckResult,
+    EngineStats,
     check_equivalence,
     check_equivalence_bdd,
     check_miter_unsat,
 )
 from repro.cec.miter import build_miter
+from repro.cec.partition import Candidate, WorkUnit, partition_candidates
 
 __all__ = [
+    "Candidate",
     "CecVerdict",
     "CheckResult",
+    "EngineStats",
+    "ProofCache",
+    "WorkUnit",
     "check_equivalence",
     "check_equivalence_bdd",
     "check_miter_unsat",
     "build_miter",
+    "partition_candidates",
 ]

@@ -1,0 +1,110 @@
+"""Persistent proof cache for the CEC engine.
+
+Every sweep candidate and every output pair the engine decides is a fact
+about one self-contained object: the candidate pair's combined fanin cone
+(AND-node clauses are functionally determined, so clauses outside the cone
+can never participate in a cone-local UNSAT proof or model).  Keying
+verdicts by :meth:`repro.aig.aig.AIG.pair_cone_key` — a canonical,
+name-independent structural hash of that cone — therefore lets a verdict
+proven once be replayed anywhere the same structure reappears: later
+classes of the same miter, the next circuit of a Table 1 run, or a whole
+separate process reusing the cache file (the cross-check reuse idea of
+Goldberg's CRR, arXiv:1507.02297).
+
+Only decided verdicts are stored (``"eq"`` / ``"neq"``); conflict-limited
+UNKNOWN outcomes are not facts and are never cached.  The on-disk format
+is a single JSON object; saves merge with the file's current content and
+rename atomically, so concurrent flows sharing one cache file lose at
+worst each other's latest increment, never the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Union
+
+__all__ = ["ProofCache", "EQ", "NEQ"]
+
+EQ = "eq"
+NEQ = "neq"
+
+_VALID = frozenset({EQ, NEQ})
+
+
+class ProofCache:
+    """A ``key -> verdict`` store with optional JSON persistence."""
+
+    def __init__(self, path: Optional[Union[str, os.PathLike]] = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self._data: Dict[str, str] = {}
+        self._dirty = False
+        if self.path is not None:
+            self._data.update(self._read_file(self.path))
+
+    @staticmethod
+    def coerce(
+        cache: Union[None, str, os.PathLike, "ProofCache"]
+    ) -> Optional["ProofCache"]:
+        """Accept a cache instance, a file path, or None."""
+        if cache is None or isinstance(cache, ProofCache):
+            return cache
+        return ProofCache(cache)
+
+    @staticmethod
+    def _read_file(path: str) -> Dict[str, str]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict):
+            return {}
+        return {
+            str(k): str(v) for k, v in raw.items() if str(v) in _VALID
+        }
+
+    def get(self, key: str) -> Optional[str]:
+        """Cached verdict for a pair-cone key, or None."""
+        return self._data.get(key)
+
+    def put(self, key: str, verdict: str) -> None:
+        """Record a decided verdict."""
+        if verdict not in _VALID:
+            raise ValueError(f"uncacheable verdict {verdict!r}")
+        if self._data.get(key) != verdict:
+            self._data[key] = verdict
+            self._dirty = True
+
+    def save(self) -> None:
+        """Merge into the backing file atomically (no-op when unbacked)."""
+        if self.path is None or not self._dirty:
+            return
+        merged = self._read_file(self.path)
+        merged.update(self._data)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(merged, handle)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._data = merged
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:
+        backing = self.path or "memory"
+        return f"ProofCache({len(self._data)} proofs, {backing})"

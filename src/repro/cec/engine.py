@@ -3,20 +3,25 @@
 from __future__ import annotations
 
 import enum
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aig.aig import AIG
 from repro.bdd.bdd import BDD
 from repro.bdd.circuit2bdd import circuit_bdds
+from repro.cec.cache import EQ, NEQ, ProofCache
 from repro.cec.miter import MiterAIG, build_miter
+from repro.cec.parallel import UNKNOWN, UnitResult, sweep_units_parallel
+from repro.cec.partition import Candidate, WorkUnit, partition_candidates
 from repro.netlist.circuit import Circuit
 from repro.sat.solver import Solver
 
 __all__ = [
     "CecVerdict",
     "CheckResult",
+    "EngineStats",
     "check_equivalence",
     "check_equivalence_bdd",
     "check_miter_unsat",
@@ -30,6 +35,58 @@ class CecVerdict(enum.Enum):
 
 
 @dataclass
+class EngineStats:
+    """Per-check tracing: phase wall times, query counts, cache traffic.
+
+    Threaded through :func:`check_equivalence` into
+    :class:`CheckResult.stats` (flattened via :meth:`as_dict`) so the flow
+    harnesses and the CLI can report where the engine spends its time and
+    how much work the proof cache and the worker pool save.
+    """
+
+    n_jobs: int = 1
+    n_units: int = 0
+    sat_queries: int = 0
+    sweep_candidates: int = 0
+    sweep_merges: int = 0
+    sweep_refuted: int = 0
+    sweep_unknown: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    worker_seconds: List[float] = field(default_factory=list)
+    parallel_wall: float = 0.0
+
+    def worker_utilisation(self) -> float:
+        """Busy fraction of the worker pool during the parallel sweep."""
+        if not self.worker_seconds or self.parallel_wall <= 0 or self.n_jobs < 1:
+            return 0.0
+        busy = sum(self.worker_seconds)
+        return min(1.0, busy / (self.parallel_wall * self.n_jobs))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to the numeric key/value form ``CheckResult.stats`` uses."""
+        out: Dict[str, float] = {
+            "n_jobs": self.n_jobs,
+            "n_units": self.n_units,
+            "sat_queries": self.sat_queries,
+            "sweep_candidates": self.sweep_candidates,
+            "sweep_merges": self.sweep_merges,
+            "sweep_refuted": self.sweep_refuted,
+            "sweep_unknown": self.sweep_unknown,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+        }
+        if self.worker_seconds:
+            out["worker_utilisation"] = self.worker_utilisation()
+        for phase, seconds in self.phase_seconds.items():
+            out[f"time_{phase}"] = seconds
+        return out
+
+
+@dataclass
 class CheckResult:
     """Outcome of an equivalence check."""
 
@@ -37,6 +94,7 @@ class CheckResult:
     counterexample: Optional[Dict[str, bool]] = None
     failing_output: Optional[str] = None
     stats: Dict[str, float] = field(default_factory=dict)
+    engine: Optional[EngineStats] = None
 
     @property
     def equivalent(self) -> bool:
@@ -73,6 +131,87 @@ def _signature_classes(
     return {sig: nodes for sig, nodes in classes.items() if len(nodes) > 1}
 
 
+def _class_candidates(
+    classes: Dict[int, List[int]], words: List[int]
+) -> List[List[Candidate]]:
+    """Candidate pairs per signature class (relative phase from ``words``)."""
+    class_list: List[List[Candidate]] = []
+    for nodes in classes.values():
+        nodes.sort()
+        rep = nodes[0]
+        class_list.append(
+            [
+                Candidate(rep, node, phase_equal=words[node] == words[rep])
+                for node in nodes[1:]
+            ]
+        )
+    return class_list
+
+
+def _sweep_unit_serial(
+    solver: Solver,
+    lit2cnf,
+    unit: WorkUnit,
+    conflict_limit: Optional[int],
+) -> UnitResult:
+    """Sweep one unit on the parent's incremental solver (the serial path)."""
+    t0 = time.perf_counter()
+    statuses: List[str] = []
+    sat_queries = 0
+    for cand in unit.candidates:
+        a = lit2cnf(cand.rep_lit)
+        b = lit2cnf(cand.node_lit)
+        # UNSAT(a != b) in both directions means equal.
+        r1 = solver.solve(assumptions=[a, -b], conflict_limit=conflict_limit)
+        sat_queries += 1
+        if r1.satisfiable:
+            statuses.append(NEQ)
+            continue
+        if solver.last_unknown:
+            statuses.append(UNKNOWN)
+            continue
+        r2 = solver.solve(assumptions=[-a, b], conflict_limit=conflict_limit)
+        sat_queries += 1
+        if r2.satisfiable:
+            statuses.append(NEQ)
+            continue
+        if solver.last_unknown:
+            statuses.append(UNKNOWN)
+            continue
+        # Proven equal: add merge clauses to help later queries.
+        solver.add_clause([-a, b])
+        solver.add_clause([a, -b])
+        statuses.append(EQ)
+    return UnitResult(statuses, sat_queries, time.perf_counter() - t0)
+
+
+def _extract_counterexample(
+    aig: AIG, model: Dict[int, bool], lit2cnf
+) -> Dict[str, bool]:
+    return {
+        pi: bool(model.get(lit2cnf(2 * node), False))
+        for node, pi in zip(aig.pis, aig.pi_names)
+    }
+
+
+def _validate_counterexample(
+    aig: AIG, cex: Dict[str, bool], l1: int, l2: int, name: str
+) -> None:
+    """Re-simulate an extracted assignment; raise unless it distinguishes.
+
+    A SAT model is only a counterexample if replaying it through the AIG
+    actually drives the paired output literals apart — anything else means
+    the encoding, the model extraction, or a cached merge is corrupt, and
+    returning it would be reporting NOT_EQUIVALENT on fiction.
+    """
+    v1, v2 = aig.eval_literals([l1, l2], cex)
+    if v1 == v2:
+        raise RuntimeError(
+            f"extracted counterexample does not distinguish output {name!r}; "
+            "CEC engine state is inconsistent"
+        )
+
+
 def check_equivalence(
     c1: Circuit,
     c2: Circuit,
@@ -81,22 +220,41 @@ def check_equivalence(
     sweep: bool = True,
     conflict_limit: Optional[int] = None,
     seed: int = 0,
+    n_jobs: int = 1,
+    cache: Union[None, str, os.PathLike, ProofCache] = None,
 ) -> CheckResult:
     """Check combinational equivalence of two circuits.
 
     The main entry point of the CEC substrate.  ``sweep=False`` skips the
     internal-equivalence SAT sweeping (pure monolithic SAT on the miter).
+    ``n_jobs > 1`` partitions the sweep into cone-disjoint work units and
+    proves them on a process pool (verdict-identical to ``n_jobs=1``).
+    ``cache`` — a :class:`~repro.cec.cache.ProofCache` or a path to one —
+    replays previously-proven candidate and output verdicts by structural
+    cone hash, skipping their SAT queries entirely.
     """
+    engine = EngineStats(n_jobs=max(1, int(n_jobs)))
+    proof_cache = ProofCache.coerce(cache)
     t0 = time.perf_counter()
     miter = build_miter(c1, c2)
+    engine.phase_seconds["build"] = time.perf_counter() - t0
     stats: Dict[str, float] = {
         "aig_nodes": miter.aig.num_nodes(),
         "aig_ands": miter.aig.num_ands(),
     }
-    if miter.trivially_equivalent:
+
+    def finish(result: CheckResult) -> CheckResult:
+        if proof_cache is not None:
+            proof_cache.save()
         stats["time"] = time.perf_counter() - t0
+        stats.update(engine.as_dict())
+        result.stats = stats
+        result.engine = engine
+        return result
+
+    if miter.trivially_equivalent:
         stats["structural"] = 1
-        return CheckResult(CecVerdict.EQUIVALENT, stats=stats)
+        return finish(CheckResult(CecVerdict.EQUIVALENT))
 
     aig = miter.aig
     cnf, lit2cnf = aig.to_cnf()
@@ -105,71 +263,126 @@ def check_equivalence(
         # The AIG CNF alone can only be UNSAT if something is deeply wrong.
         raise RuntimeError("inconsistent AIG encoding")
 
-    proved_merges = 0
-    disproved = 0
+    def merge(a: int, b: int) -> None:
+        solver.add_clause([-a, b])
+        solver.add_clause([a, -b])
+
     if sweep:
+        t_sim = time.perf_counter()
         classes = _signature_classes(aig, sim_rounds, sim_width, seed)
         # One simulation round determines relative phases for all classes.
-        words, mask = aig.random_simulate(width=sim_width, seed=seed)
-        # Sweep each class in topological order: try to prove each node
-        # equal (or complementary) to the class representative.
-        for nodes in classes.values():
-            nodes.sort()
-            rep = nodes[0]
-            rep_lit = 2 * rep
-            for node in nodes[1:]:
-                phase_equal = words[node] == words[rep]
-                node_lit = 2 * node if phase_equal else 2 * node + 1
-                a = lit2cnf(rep_lit)
-                b = lit2cnf(node_lit)
-                # UNSAT(a != b) means equal.
-                r1 = solver.solve(
-                    assumptions=[a, -b], conflict_limit=conflict_limit or 2000
-                )
-                if r1.satisfiable or solver.last_unknown:
-                    disproved += 1
-                    continue
-                r2 = solver.solve(
-                    assumptions=[-a, b], conflict_limit=conflict_limit or 2000
-                )
-                if r2.satisfiable or solver.last_unknown:
-                    disproved += 1
-                    continue
-                # Proven equal: add merge clauses to help later queries.
-                solver.add_clause([-a, b])
-                solver.add_clause([a, -b])
-                proved_merges += 1
-    stats["sweep_merges"] = proved_merges
-    stats["sweep_refuted"] = disproved
+        words, _ = aig.random_simulate(width=sim_width, seed=seed)
+        class_list = _class_candidates(classes, words)
+        engine.sweep_candidates = sum(len(cls) for cls in class_list)
+        engine.phase_seconds["simulate"] = time.perf_counter() - t_sim
+
+        # Cache pass: replay known verdicts, keep the rest for solving.
+        if proof_cache is not None:
+            t_cache = time.perf_counter()
+            pending: List[List[Candidate]] = []
+            for cls in class_list:
+                keep: List[Candidate] = []
+                for cand in cls:
+                    key = aig.pair_cone_key(cand.rep_lit, cand.node_lit)
+                    known = proof_cache.get(key)
+                    if known == EQ:
+                        engine.cache_hits += 1
+                        engine.sweep_merges += 1
+                        merge(lit2cnf(cand.rep_lit), lit2cnf(cand.node_lit))
+                    elif known == NEQ:
+                        engine.cache_hits += 1
+                        engine.sweep_refuted += 1
+                    else:
+                        engine.cache_misses += 1
+                        keep.append(cand)
+                if keep:
+                    pending.append(keep)
+            class_list = pending
+            engine.phase_seconds["cache"] = time.perf_counter() - t_cache
+
+        t_part = time.perf_counter()
+        units = partition_candidates(aig, class_list, engine.n_jobs)
+        engine.n_units = len(units)
+        engine.phase_seconds["partition"] = time.perf_counter() - t_part
+
+        t_sweep = time.perf_counter()
+        sweep_limit = conflict_limit or 2000
+        if engine.n_jobs > 1 and len(units) > 1:
+            results = sweep_units_parallel(
+                solver, units, sweep_limit, engine.n_jobs
+            )
+            engine.parallel_wall = time.perf_counter() - t_sweep
+        else:
+            results = [
+                _sweep_unit_serial(solver, lit2cnf, unit, sweep_limit)
+                for unit in units
+            ]
+        for unit, result in zip(units, results):
+            engine.worker_seconds.append(result.seconds)
+            engine.sat_queries += result.sat_queries
+            for cand, status in zip(unit.candidates, result.statuses):
+                if status == EQ:
+                    engine.sweep_merges += 1
+                    if engine.n_jobs > 1 and len(units) > 1:
+                        # Worker proofs happen off-solver; merge them here.
+                        merge(lit2cnf(cand.rep_lit), lit2cnf(cand.node_lit))
+                elif status == NEQ:
+                    engine.sweep_refuted += 1
+                else:
+                    engine.sweep_unknown += 1
+                if proof_cache is not None and status != UNKNOWN:
+                    key = aig.pair_cone_key(cand.rep_lit, cand.node_lit)
+                    proof_cache.put(key, status)
+                    engine.cache_stores += 1
+        engine.phase_seconds["sweep"] = time.perf_counter() - t_sweep
+    stats["sweep_merges"] = engine.sweep_merges
+    stats["sweep_refuted"] = engine.sweep_refuted
+    stats["sweep_unknown"] = engine.sweep_unknown
 
     # Final output checks.
+    t_out = time.perf_counter()
     for name, l1, l2 in miter.output_pairs:
         if l1 == l2:
             continue
+        key: Optional[str] = None
+        if proof_cache is not None:
+            key = aig.pair_cone_key(l1, l2)
+            if proof_cache.get(key) == EQ:
+                engine.cache_hits += 1
+                continue
+            # A cached NEQ still needs a fresh model for the
+            # counterexample, so only EQ skips the SAT work.
+            engine.cache_misses += 1
         a = lit2cnf(l1)
         b = lit2cnf(l2)
         for assumptions in ([a, -b], [-a, b]):
             res = solver.solve(
                 assumptions=assumptions, conflict_limit=conflict_limit
             )
+            engine.sat_queries += 1
             if solver.last_unknown:
-                stats["time"] = time.perf_counter() - t0
-                return CheckResult(CecVerdict.UNKNOWN, stats=stats)
+                engine.phase_seconds["outputs"] = time.perf_counter() - t_out
+                return finish(CheckResult(CecVerdict.UNKNOWN))
             if res.satisfiable:
                 assert res.model is not None
-                cex = {
-                    pi: res.model.get(lit2cnf(2 * node), False)
-                    for node, pi in zip(aig.pis, aig.pi_names)
-                }
-                stats["time"] = time.perf_counter() - t0
-                return CheckResult(
-                    CecVerdict.NOT_EQUIVALENT,
-                    counterexample=cex,
-                    failing_output=name,
-                    stats=stats,
+                cex = _extract_counterexample(aig, res.model, lit2cnf)
+                _validate_counterexample(aig, cex, l1, l2, name)
+                if proof_cache is not None and key is not None:
+                    proof_cache.put(key, NEQ)
+                    engine.cache_stores += 1
+                engine.phase_seconds["outputs"] = time.perf_counter() - t_out
+                return finish(
+                    CheckResult(
+                        CecVerdict.NOT_EQUIVALENT,
+                        counterexample=cex,
+                        failing_output=name,
+                    )
                 )
-    stats["time"] = time.perf_counter() - t0
-    return CheckResult(CecVerdict.EQUIVALENT, stats=stats)
+        if proof_cache is not None and key is not None:
+            proof_cache.put(key, EQ)
+            engine.cache_stores += 1
+    engine.phase_seconds["outputs"] = time.perf_counter() - t_out
+    return finish(CheckResult(CecVerdict.EQUIVALENT))
 
 
 def check_miter_unsat(
@@ -200,18 +413,24 @@ def check_miter_unsat(
 
 
 def check_equivalence_bdd(c1: Circuit, c2: Circuit) -> CheckResult:
-    """BDD-based equivalence check (for small circuits / cross-checks)."""
-    if set(c1.inputs) != set(c2.inputs) or set(c1.outputs) != set(c2.outputs):
-        raise ValueError("circuits must share input/output names")
+    """BDD-based equivalence check (for small circuits / cross-checks).
+
+    Inputs are matched by name over the union of both input sets (an input
+    swept away on one side is simply irrelevant there); output sets must
+    match exactly.
+    """
+    if set(c1.outputs) != set(c2.outputs):
+        raise ValueError("circuits must share output names")
     t0 = time.perf_counter()
     manager = BDD()
     nodes1 = circuit_bdds(c1, manager)
     nodes2 = circuit_bdds(c2, manager)
+    all_inputs = sorted(set(c1.inputs) | set(c2.inputs))
     for out in sorted(set(c1.outputs)):
         if nodes1[out] != nodes2[out]:
             diff = manager.apply_xor(nodes1[out], nodes2[out])
             assignment = manager.pick_minterm(diff) or {}
-            cex = {pi: assignment.get(pi, False) for pi in c1.inputs}
+            cex = {pi: assignment.get(pi, False) for pi in all_inputs}
             return CheckResult(
                 CecVerdict.NOT_EQUIVALENT,
                 counterexample=cex,

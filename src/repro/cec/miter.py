@@ -39,12 +39,13 @@ class MiterAIG:
 def build_miter(c1: Circuit, c2: Circuit) -> MiterAIG:
     """Import both combinational circuits into one AIG, pair the outputs.
 
-    Inputs are matched by name (both circuits must have the same input set);
-    outputs likewise.
+    Inputs are matched by name over the *union* of the two input sets: an
+    input present on only one side — typically a primary input resynthesis
+    swept away as unused — is treated as unconstrained on the side that
+    lacks it, which is exactly the semantics of a free PI in the shared
+    AIG.  Mismatched *output* sets remain a hard error, since an unpaired
+    output has no equivalence question to answer.
     """
-    if set(c1.inputs) != set(c2.inputs):
-        missing = sorted(set(c1.inputs) ^ set(c2.inputs))
-        raise ValueError(f"input sets differ: {missing}")
     if set(c1.outputs) != set(c2.outputs):
         missing = sorted(set(c1.outputs) ^ set(c2.outputs))
         raise ValueError(f"output sets differ: {missing}")

@@ -1,0 +1,129 @@
+"""Multiprocessing dispatch for the SAT sweeping work units.
+
+Each work unit ships to a worker process as a self-contained payload: the
+parent solver's root-level clause slice for the unit's cone (remapped to a
+dense variable space so the worker's CDCL heuristics never touch foreign
+variables) plus the candidate queries.  Workers run their own incremental
+:class:`~repro.sat.solver.Solver`, prove or refute candidates in
+topological order — locally-proven merges strengthen later queries exactly
+as in the serial sweep — and return one status per candidate.  The engine
+then merges proven equivalences back into the parent solver before the
+final output checks.
+
+Dispatch uses a ``fork`` process pool when available (cheap on Linux, and
+the payloads are plain tuples either way); any environment that refuses to
+spawn processes degrades to in-process execution of the same payloads, so
+``n_jobs > 1`` never changes verdicts, only wall time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cec.partition import WorkUnit
+from repro.sat.solver import Solver
+
+__all__ = ["UnitResult", "sweep_units_parallel", "sweep_unit_payload"]
+
+EQ = "eq"
+NEQ = "neq"
+UNKNOWN = "unknown"
+
+# payload: (num_vars, clauses, queries, conflict_limit)
+_Payload = Tuple[int, List[List[int]], List[Tuple[int, int, bool]], Optional[int]]
+
+
+class UnitResult:
+    """Per-unit sweep outcome: one status per candidate plus timings."""
+
+    def __init__(
+        self, statuses: List[str], sat_queries: int, seconds: float
+    ) -> None:
+        self.statuses = statuses
+        self.sat_queries = sat_queries
+        self.seconds = seconds
+
+
+def sweep_unit_payload(
+    solver: Solver, unit: WorkUnit, conflict_limit: Optional[int]
+) -> _Payload:
+    """Build one worker payload from the parent solver's clause slice."""
+    nodes = sorted(unit.cone)
+    var_of: Dict[int, int] = {node + 1: i + 1 for i, node in enumerate(nodes)}
+    clauses = [
+        [var_of[abs(lit)] * (1 if lit > 0 else -1) for lit in clause]
+        for clause in solver.export_clauses(var_of)
+    ]
+    queries = [
+        (var_of[c.rep + 1], var_of[c.node + 1], c.phase_equal)
+        for c in unit.candidates
+    ]
+    return (len(nodes), clauses, queries, conflict_limit)
+
+
+def _sweep_unit_worker(payload: _Payload) -> Tuple[List[str], int, float]:
+    """Run one unit's queries on a fresh solver (executes in a worker)."""
+    num_vars, clauses, queries, conflict_limit = payload
+    t0 = time.perf_counter()
+    solver = Solver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            raise RuntimeError("inconsistent CNF slice in sweep worker")
+    statuses: List[str] = []
+    sat_queries = 0
+    for a, b_var, phase_equal in queries:
+        b = b_var if phase_equal else -b_var
+        r1 = solver.solve(assumptions=[a, -b], conflict_limit=conflict_limit)
+        sat_queries += 1
+        if r1.satisfiable:
+            statuses.append(NEQ)
+            continue
+        if solver.last_unknown:
+            statuses.append(UNKNOWN)
+            continue
+        r2 = solver.solve(assumptions=[-a, b], conflict_limit=conflict_limit)
+        sat_queries += 1
+        if r2.satisfiable:
+            statuses.append(NEQ)
+            continue
+        if solver.last_unknown:
+            statuses.append(UNKNOWN)
+            continue
+        solver.add_clause([-a, b])
+        solver.add_clause([a, -b])
+        statuses.append(EQ)
+    return statuses, sat_queries, time.perf_counter() - t0
+
+
+def sweep_units_parallel(
+    solver: Solver,
+    units: Sequence[WorkUnit],
+    conflict_limit: Optional[int],
+    n_jobs: int,
+) -> List[UnitResult]:
+    """Sweep all units on a process pool; results align with ``units``.
+
+    ``ProcessPoolExecutor.map`` preserves input order, so the result list
+    is deterministic regardless of worker scheduling.
+    """
+    payloads = [sweep_unit_payload(solver, u, conflict_limit) for u in units]
+    outputs: Optional[List[Tuple[List[str], int, float]]] = None
+    if n_jobs > 1 and len(payloads) > 1:
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(payloads)), mp_context=ctx
+            ) as pool:
+                outputs = list(pool.map(_sweep_unit_worker, payloads))
+        except (OSError, PermissionError, ValueError):
+            outputs = None  # sandboxed / no process support: degrade below
+    if outputs is None:
+        outputs = [_sweep_unit_worker(p) for p in payloads]
+    return [UnitResult(*out) for out in outputs]

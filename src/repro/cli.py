@@ -3,11 +3,12 @@
 ::
 
     python -m repro verify  golden.blif revised.blif [--rewrite] [--no-unate]
+                            [--jobs N] [--cec-cache FILE]
     python -m repro retime  circuit.blif -o out.blif [--min-area] [--period N]
     python -m repro synth   circuit.blif -o out.blif [--effort medium]
     python -m repro expose  circuit.blif [--weighted] [--no-unate] [-o out.blif]
     python -m repro stats   circuit.blif
-    python -m repro table1  [--quick]
+    python -m repro table1  [--quick] [--jobs N] [--cache FILE]
     python -m repro table2  [--quick]
 
 Circuits are read and written in BLIF (with the ``.enable`` extension for
@@ -39,6 +40,8 @@ def _cmd_verify(args) -> int:
         c2,
         use_unateness=not args.no_unate,
         event_rewrite=args.rewrite,
+        n_jobs=args.jobs,
+        cec_cache=args.cec_cache,
     )
     print(f"verdict: {result.verdict.value} (method: {result.method})")
     for key in sorted(result.stats):
@@ -142,6 +145,10 @@ def _cmd_table1(args) -> int:
     forwarded = []
     if args.quick:
         forwarded.append("--quick")
+    if args.jobs != 1:
+        forwarded.extend(["--jobs", str(args.jobs)])
+    if args.cache:
+        forwarded.extend(["--cache", args.cache])
     return table1_main(forwarded)
 
 
@@ -170,6 +177,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-unate", action="store_true", help="skip unate feedback remodelling")
     p.add_argument("--vcd", default=None, help="dump a counterexample waveform to this VCD file")
     p.add_argument("--report", default=None, help="write a Markdown verification report")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the CEC SAT sweep (default 1: serial)",
+    )
+    p.add_argument(
+        "--cec-cache",
+        default=None,
+        help="persistent CEC proof-cache file (reused across runs)",
+    )
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("retime", help="retime a BLIF circuit")
@@ -198,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p.add_argument("--quick", action="store_true")
+    p.add_argument(
+        "--jobs", type=int, default=1, help="CEC sweep worker processes"
+    )
+    p.add_argument(
+        "--cache", default=None, help="persistent CEC proof-cache file"
+    )
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("table2", help="regenerate the paper's Table 2")

@@ -88,6 +88,8 @@ def check_sequential_equivalence(
     event_rewrite: bool = False,
     validate_cex: bool = True,
     pinned: Sequence[str] = (),
+    n_jobs: int = 1,
+    cec_cache=None,
 ) -> SeqCheckResult:
     """Check exact-3-valued sequential equivalence of two circuits.
 
@@ -98,7 +100,9 @@ def check_sequential_equivalence(
     canonicalisation (opt-in; see :mod:`repro.core.events` for why it is
     tied to the transparent-enable reading).  ``validate_cex`` replays CBF
     counterexamples through exact-3-valued simulation as a
-    defence-in-depth check.
+    defence-in-depth check.  ``n_jobs`` and ``cec_cache`` (a
+    :class:`repro.cec.ProofCache` or a path) are forwarded to the CEC
+    engine: parallel SAT sweeping and the persistent proof cache.
     """
     t0 = time.perf_counter()
     if set(c1.inputs) != set(c2.inputs):
@@ -135,9 +139,13 @@ def check_sequential_equivalence(
 
     enabled = "acyclic-enabled" in (kind1, kind2)
     if enabled:
-        result = _check_via_edbf(c1p, c2p, event_rewrite, stats)
+        result = _check_via_edbf(
+            c1p, c2p, event_rewrite, stats, n_jobs, cec_cache
+        )
     else:
-        result = _check_via_cbf(c1p, c2p, stats, validate_cex, c1, c2)
+        result = _check_via_cbf(
+            c1p, c2p, stats, validate_cex, c1, c2, n_jobs, cec_cache
+        )
     result.stats["total_time"] = time.perf_counter() - t0
     return result
 
@@ -149,6 +157,8 @@ def _check_via_cbf(
     validate_cex: bool,
     orig1: Circuit,
     orig2: Circuit,
+    n_jobs: int = 1,
+    cec_cache=None,
 ) -> SeqCheckResult:
     table = ExprTable()
     cbf1 = compute_cbf(c1, table)
@@ -161,7 +171,7 @@ def _check_via_cbf(
     comb2 = cbf_to_circuit(cbf2, name=c2.name + "_J", extra_inputs=all_vars)
     stats["comb_gates1"] = comb1.num_gates()
     stats["comb_gates2"] = comb2.num_gates()
-    cec = check_equivalence(comb1, comb2)
+    cec = check_equivalence(comb1, comb2, n_jobs=n_jobs, cache=cec_cache)
     stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
     if cec.verdict is CecVerdict.EQUIVALENT:
         return SeqCheckResult(SeqVerdict.EQUIVALENT, "cbf", stats=stats)
@@ -237,6 +247,8 @@ def _check_via_edbf(
     c2: Circuit,
     event_rewrite: bool,
     stats: Dict[str, float],
+    n_jobs: int = 1,
+    cec_cache=None,
 ) -> SeqCheckResult:
     context = EventContext(rewrite=event_rewrite)
     edbf1 = compute_edbf(c1, context)
@@ -247,7 +259,7 @@ def _check_via_edbf(
     comb2 = edbf_to_circuit(edbf2, name=c2.name + "_J", extra_inputs=all_vars)
     stats["comb_gates1"] = comb1.num_gates()
     stats["comb_gates2"] = comb2.num_gates()
-    cec = check_equivalence(comb1, comb2)
+    cec = check_equivalence(comb1, comb2, n_jobs=n_jobs, cache=cec_cache)
     stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
     if cec.verdict is CecVerdict.EQUIVALENT:
         return SeqCheckResult(SeqVerdict.EQUIVALENT, "edbf", stats=stats)

@@ -70,6 +70,9 @@ class FlowResult:
     delay: Dict[str, int] = field(default_factory=dict)
     verify_seconds: float = 0.0
     verify_verdict: Optional[SeqVerdict] = None
+    # Verification stats, including the CEC engine's ``cec_``-prefixed
+    # tracing fields (phase times, cache hits, worker utilisation).
+    verify_stats: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
 
     def normalised_area(self, variant: str) -> Optional[float]:
@@ -99,13 +102,18 @@ def run_flow(
     effort: str = "medium",
     verify: bool = True,
     build_unexposed_variants: bool = True,
+    n_jobs: int = 1,
+    cec_cache=None,
 ) -> FlowResult:
     """Run the full Fig. 19 experiment on one circuit.
 
     ``use_unateness=False`` matches the paper's Table 1 setup (step 1 of
     Sec. 8: feedback latches were not remodelled as load-enabled because no
     retiming tool handled them); pass True to measure the reduced exposure
-    the paper predicts from functional analysis.
+    the paper predicts from functional analysis.  ``n_jobs`` and
+    ``cec_cache`` reach the CEC engine inside the verification step —
+    a cache shared across rows (and across runs) skips already-proven
+    merges of structurally recurring cones.
     """
     result = FlowResult(circuit.name)
     result.latches_a = circuit.num_latches()
@@ -192,7 +200,10 @@ def run_flow(
     # Steps 7-8: combinational verification of B vs C (H vs J).
     if verify:
         t0 = time.perf_counter()
-        check = check_sequential_equivalence(b_circuit, c_circuit)
+        check = check_sequential_equivalence(
+            b_circuit, c_circuit, n_jobs=n_jobs, cec_cache=cec_cache
+        )
         result.verify_seconds = time.perf_counter() - t0
         result.verify_verdict = check.verdict
+        result.verify_stats = dict(check.stats)
     return result

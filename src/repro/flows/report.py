@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["render_table"]
+__all__ = ["render_table", "summarize_engine_stats"]
 
 
 def render_table(
@@ -32,4 +32,58 @@ def render_table(
         lines.append(
             "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
         )
+    return "\n".join(lines)
+
+
+def summarize_engine_stats(
+    stats_list: Iterable[Mapping[str, float]], prefix: str = "cec_"
+) -> str:
+    """Aggregate CEC engine tracing fields across a harness run.
+
+    ``stats_list`` is typically the ``verify_stats`` of every flow result;
+    ``prefix`` selects the engine's fields inside those dicts (the verify
+    layer re-exports them as ``cec_sat_queries``, ``cec_cache_hits``, …).
+    Returns a one-block summary: total SAT queries, sweep outcomes, cache
+    traffic with hit rate, and the accumulated per-phase engine time —
+    the numbers that show what the partition/parallel/cache layers saved.
+    """
+    totals: dict = {}
+    phase_totals: dict = {}
+    for stats in stats_list:
+        for key, value in stats.items():
+            if not key.startswith(prefix):
+                continue
+            name = key[len(prefix):]
+            if name.startswith("time_"):
+                phase_totals[name[len("time_"):]] = (
+                    phase_totals.get(name[len("time_"):], 0.0) + value
+                )
+            elif isinstance(value, (int, float)):
+                totals[name] = totals.get(name, 0.0) + value
+    if not totals and not phase_totals:
+        return "engine stats: none collected"
+    lines = ["CEC engine totals:"]
+    queries = int(totals.get("sat_queries", 0))
+    merges = int(totals.get("sweep_merges", 0))
+    refuted = int(totals.get("sweep_refuted", 0))
+    unknown = int(totals.get("sweep_unknown", 0))
+    lines.append(
+        f"  sat queries {queries}  sweep merges {merges}  "
+        f"refuted {refuted}  unknown {unknown}"
+    )
+    hits = int(totals.get("cache_hits", 0))
+    misses = int(totals.get("cache_misses", 0))
+    if hits or misses:
+        rate = 100.0 * hits / max(1, hits + misses)
+        lines.append(
+            f"  cache hits {hits}  misses {misses}  "
+            f"stores {int(totals.get('cache_stores', 0))}  "
+            f"hit rate {rate:.0f}%"
+        )
+    if phase_totals:
+        phases = "  ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in sorted(phase_totals.items())
+        )
+        lines.append(f"  engine time: {phases}")
     return "\n".join(lines)

@@ -18,8 +18,9 @@ import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.bench.iscas_like import TABLE1_CIRCUITS, build_table1_circuit
+from repro.cec.cache import ProofCache
 from repro.flows.flow import FlowResult, run_flow
-from repro.flows.report import render_table
+from repro.flows.report import render_table, summarize_engine_stats
 
 __all__ = ["table1_row", "run_table1", "QUICK_SET"]
 
@@ -38,10 +39,22 @@ QUICK_SET = [
 ]
 
 
-def table1_row(name: str, use_unateness: bool = False, effort: str = "medium") -> FlowResult:
+def table1_row(
+    name: str,
+    use_unateness: bool = False,
+    effort: str = "medium",
+    n_jobs: int = 1,
+    cec_cache=None,
+) -> FlowResult:
     """Run the flow for one Table 1 circuit."""
     circuit = build_table1_circuit(name)
-    return run_flow(circuit, use_unateness=use_unateness, effort=effort)
+    return run_flow(
+        circuit,
+        use_unateness=use_unateness,
+        effort=effort,
+        n_jobs=n_jobs,
+        cec_cache=cec_cache,
+    )
 
 
 def run_table1(
@@ -49,14 +62,22 @@ def run_table1(
     use_unateness: bool = False,
     effort: str = "medium",
     stream=None,
+    n_jobs: int = 1,
+    cec_cache=None,
 ) -> List[FlowResult]:
-    """Run the Table 1 harness and print the table."""
+    """Run the Table 1 harness and print the table.
+
+    A ``cec_cache`` (path or :class:`repro.cec.ProofCache`) is shared by
+    every row's verification step and flushed at the end, so a second run
+    of the harness replays the proven merges instead of re-solving them.
+    """
     if names is None:
         names = [entry[0] for entry in TABLE1_CIRCUITS]
+    cache = ProofCache.coerce(cec_cache)
     results: List[FlowResult] = []
     for name in names:
         t0 = time.perf_counter()
-        result = table1_row(name, use_unateness, effort)
+        result = table1_row(name, use_unateness, effort, n_jobs, cache)
         elapsed = time.perf_counter() - t0
         if stream is not None:
             print(
@@ -66,8 +87,14 @@ def run_table1(
                 flush=True,
             )
         results.append(result)
+    if cache is not None:
+        cache.save()
     if stream is not None:
         print(format_table1(results), file=stream)
+        print(
+            summarize_engine_stats(r.verify_stats for r in results),
+            file=stream,
+        )
     return results
 
 
@@ -132,6 +159,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="remodel positive-unate feedback latches instead of exposing them",
     )
     parser.add_argument("--circuits", nargs="*", help="explicit circuit names")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the CEC sweep (default 1: serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="persistent CEC proof-cache file shared across rows and runs",
+    )
     args = parser.parse_args(argv)
     if args.circuits:
         names = args.circuits
@@ -139,7 +177,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names = QUICK_SET
     else:
         names = [entry[0] for entry in TABLE1_CIRCUITS]
-    run_table1(names, use_unateness=args.unate, stream=sys.stdout)
+    run_table1(
+        names,
+        use_unateness=args.unate,
+        stream=sys.stdout,
+        n_jobs=args.jobs,
+        cec_cache=args.cache,
+    )
     return 0
 
 

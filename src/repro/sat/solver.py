@@ -150,6 +150,30 @@ class Solver:
                 return False
         return True
 
+    def export_clauses(
+        self, variables: Optional[Iterable[int]] = None
+    ) -> List[List[int]]:
+        """Snapshot the root-level problem state as a clause list.
+
+        Returns the root-level implied literals (as unit clauses) followed
+        by the original (non-learned) clauses — everything a fresh solver
+        needs to reproduce this solver's problem.  With ``variables``, the
+        snapshot is restricted to clauses mentioning only those variables:
+        the CNF slice a sweep worker needs for one fanin cone.  Learned
+        clauses are deliberately excluded (they are consequences and would
+        only be valid for the full formula anyway).
+        """
+        var_set = set(variables) if variables is not None else None
+        clauses: List[List[int]] = []
+        root_len = self._trail_lim[0] if self._trail_lim else len(self._trail)
+        for lit in self._trail[:root_len]:
+            if var_set is None or abs(lit) in var_set:
+                clauses.append([lit])
+        for clause in self._clauses:
+            if var_set is None or all(abs(l) in var_set for l in clause.lits):
+                clauses.append(list(clause.lits))
+        return clauses
+
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
