@@ -9,11 +9,19 @@ The manager is deliberately simple — no complement edges, no garbage
 collection, no dynamic reordering by default — which keeps every operation
 easy to audit.  Performance is adequate for the circuit sizes used in the
 paper's flow (levels are created on demand; ``ite`` is memoised).
+
+Construction can be bounded: a manager built with ``node_limit=N`` (or
+capped later via :meth:`BDD.set_node_limit`) raises
+:class:`~repro.runtime.errors.BddBlowupError` from ``_mk`` once N nodes
+exist, so a caller can attempt a BDD proof and fall back to SAT instead of
+letting a bad variable order consume the machine.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.runtime.errors import BddBlowupError
 
 __all__ = ["BDD"]
 
@@ -24,7 +32,11 @@ class BDD:
     ZERO = 0
     ONE = 1
 
-    def __init__(self, variables: Iterable[str] = ()) -> None:
+    def __init__(
+        self,
+        variables: Iterable[str] = (),
+        node_limit: Optional[int] = None,
+    ) -> None:
         # Parallel node arrays; entries 0/1 are terminal placeholders.
         self._level: List[int] = [-1, -1]
         self._low: List[int] = [0, 1]
@@ -33,8 +45,13 @@ class BDD:
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._var_names: List[str] = []
         self._var_index: Dict[str, int] = {}
+        self._node_limit = node_limit
         for name in variables:
             self.add_var(name)
+
+    def set_node_limit(self, node_limit: Optional[int]) -> None:
+        """Cap (or uncap, with None) total node allocation."""
+        self._node_limit = node_limit
 
     # ------------------------------------------------------------------
     # variables
@@ -86,6 +103,11 @@ class BDD:
         key = (level, low, high)
         node = self._unique.get(key)
         if node is None:
+            if (
+                self._node_limit is not None
+                and len(self._level) >= self._node_limit
+            ):
+                raise BddBlowupError(len(self._level), self._node_limit)
             node = len(self._level)
             self._level.append(level)
             self._low.append(low)

@@ -12,10 +12,20 @@ separate process reusing the cache file (the cross-check reuse idea of
 Goldberg's CRR, arXiv:1507.02297).
 
 Only decided verdicts are stored (``"eq"`` / ``"neq"``); conflict-limited
-UNKNOWN outcomes are not facts and are never cached.  The on-disk format
-is a single JSON object; saves merge with the file's current content and
-rename atomically, so concurrent flows sharing one cache file lose at
-worst each other's latest increment, never the file.
+UNKNOWN outcomes are not facts and are never cached.
+
+The on-disk format is a versioned JSON envelope,
+``{"version": N, "proofs": {key: verdict}}``.  Loads are paranoid — a
+poisoned cache must degrade to cache misses, never to wrong verdicts:
+
+* files that fail to parse, lack the envelope, or carry a different
+  schema version are ignored wholesale (an incompatible older format is
+  *not* guessed at);
+* entries whose value is not a valid verdict are dropped individually.
+
+Saves merge with the file's current content and write via a temp file +
+``os.replace``, so concurrent flows sharing one cache file lose at worst
+each other's latest increment, never the file.
 """
 
 from __future__ import annotations
@@ -25,12 +35,18 @@ import os
 import tempfile
 from typing import Dict, Optional, Union
 
-__all__ = ["ProofCache", "EQ", "NEQ"]
+__all__ = ["ProofCache", "EQ", "NEQ", "SCHEMA_VERSION"]
 
 EQ = "eq"
 NEQ = "neq"
 
 _VALID = frozenset({EQ, NEQ})
+
+#: On-disk schema version.  Bump on any incompatible format change; files
+#: written under a different version are ignored on load rather than
+#: misread (version 1 is the first enveloped format — the seed's bare
+#: ``{key: verdict}`` files predate the envelope and are likewise ignored).
+SCHEMA_VERSION = 1
 
 
 class ProofCache:
@@ -54,6 +70,7 @@ class ProofCache:
 
     @staticmethod
     def _read_file(path: str) -> Dict[str, str]:
+        """Load and validate a cache file; any corruption yields ``{}``."""
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 raw = json.load(handle)
@@ -61,8 +78,13 @@ class ProofCache:
             return {}
         if not isinstance(raw, dict):
             return {}
+        if raw.get("version") != SCHEMA_VERSION:
+            return {}  # unknown or missing schema: ignore, don't misread
+        proofs = raw.get("proofs")
+        if not isinstance(proofs, dict):
+            return {}
         return {
-            str(k): str(v) for k, v in raw.items() if str(v) in _VALID
+            str(k): str(v) for k, v in proofs.items() if str(v) in _VALID
         }
 
     def get(self, key: str) -> Optional[str]:
@@ -88,7 +110,7 @@ class ProofCache:
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(merged, handle)
+                json.dump({"version": SCHEMA_VERSION, "proofs": merged}, handle)
             os.replace(tmp_path, self.path)
         except BaseException:
             try:

@@ -1,4 +1,13 @@
-"""The combinational equivalence-checking engine."""
+"""The combinational equivalence-checking engine.
+
+Every proof obligation (sweep candidate or output pair) is resource
+governed when a :class:`~repro.runtime.Budget` is supplied: obligations
+walk an explicit fallback cascade — structural hash → simulation
+refutation → bounded BDD → bounded SAT — and a cascade that runs dry
+records an UNKNOWN verdict with a reason code instead of raising or
+hanging.  Without a budget the engine behaves exactly as before,
+bit-for-bit.
+"""
 
 from __future__ import annotations
 
@@ -16,6 +25,12 @@ from repro.cec.miter import MiterAIG, build_miter
 from repro.cec.parallel import UNKNOWN, UnitResult, sweep_units_parallel
 from repro.cec.partition import Candidate, WorkUnit, partition_candidates
 from repro.netlist.circuit import Circuit
+from repro.runtime.budget import (
+    REASON_BDD_BLOWUP,
+    REASON_TIMEOUT,
+    Budget,
+)
+from repro.runtime.errors import BddBlowupError
 from repro.sat.solver import Solver
 
 __all__ = [
@@ -26,6 +41,10 @@ __all__ = [
     "check_equivalence_bdd",
     "check_miter_unsat",
 ]
+
+#: Node cap for the cascade's bounded BDD attempt when the budget does not
+#: set one explicitly; small enough that a blow-up costs milliseconds.
+DEFAULT_BDD_NODE_LIMIT = 100_000
 
 
 class CecVerdict(enum.Enum):
@@ -54,6 +73,18 @@ class EngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
+    # Cascade outcomes (budget-governed checks only).
+    cascade_sim: int = 0
+    cascade_bdd: int = 0
+    cascade_sat: int = 0
+    bdd_blowups: int = 0
+    budget_exhausted: int = 0
+    # Fault-tolerance telemetry from the parallel sweep.
+    worker_failures: int = 0
+    worker_timeouts: int = 0
+    worker_retries: int = 0
+    units_requeued: int = 0
+    pool_failures: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     worker_seconds: List[float] = field(default_factory=list)
     parallel_wall: float = 0.0
@@ -79,6 +110,23 @@ class EngineStats:
             "cache_misses": self.cache_misses,
             "cache_stores": self.cache_stores,
         }
+        # Robustness counters appear only when something happened, so an
+        # unbudgeted, fault-free run reports the same keys as before.
+        for key in (
+            "cascade_sim",
+            "cascade_bdd",
+            "cascade_sat",
+            "bdd_blowups",
+            "budget_exhausted",
+            "worker_failures",
+            "worker_timeouts",
+            "worker_retries",
+            "units_requeued",
+            "pool_failures",
+        ):
+            value = getattr(self, key)
+            if value:
+                out[key] = value
         if self.worker_seconds:
             out["worker_utilisation"] = self.worker_utilisation()
         for phase, seconds in self.phase_seconds.items():
@@ -88,13 +136,19 @@ class EngineStats:
 
 @dataclass
 class CheckResult:
-    """Outcome of an equivalence check."""
+    """Outcome of an equivalence check.
+
+    ``reason`` carries the machine-readable cause of an UNKNOWN verdict
+    (a ``REASON_*`` code from :mod:`repro.runtime.budget`); it is None for
+    decided verdicts.
+    """
 
     verdict: CecVerdict
     counterexample: Optional[Dict[str, bool]] = None
     failing_output: Optional[str] = None
     stats: Dict[str, float] = field(default_factory=dict)
     engine: Optional[EngineStats] = None
+    reason: Optional[str] = None
 
     @property
     def equivalent(self) -> bool:
@@ -153,6 +207,7 @@ def _sweep_unit_serial(
     lit2cnf,
     unit: WorkUnit,
     conflict_limit: Optional[int],
+    deadline: Optional[float] = None,
 ) -> UnitResult:
     """Sweep one unit on the parent's incremental solver (the serial path)."""
     t0 = time.perf_counter()
@@ -162,7 +217,11 @@ def _sweep_unit_serial(
         a = lit2cnf(cand.rep_lit)
         b = lit2cnf(cand.node_lit)
         # UNSAT(a != b) in both directions means equal.
-        r1 = solver.solve(assumptions=[a, -b], conflict_limit=conflict_limit)
+        r1 = solver.solve(
+            assumptions=[a, -b],
+            conflict_limit=conflict_limit,
+            deadline=deadline,
+        )
         sat_queries += 1
         if r1.satisfiable:
             statuses.append(NEQ)
@@ -170,7 +229,11 @@ def _sweep_unit_serial(
         if solver.last_unknown:
             statuses.append(UNKNOWN)
             continue
-        r2 = solver.solve(assumptions=[-a, b], conflict_limit=conflict_limit)
+        r2 = solver.solve(
+            assumptions=[-a, b],
+            conflict_limit=conflict_limit,
+            deadline=deadline,
+        )
         sat_queries += 1
         if r2.satisfiable:
             statuses.append(NEQ)
@@ -212,6 +275,198 @@ def _validate_counterexample(
         )
 
 
+def _lit_word(words: List[int], mask: int, lit: int) -> int:
+    """Simulation word of an AIG literal (complement under the mask)."""
+    word = words[lit >> 1]
+    return (~word & mask) if lit & 1 else word
+
+
+def _sim_refute_pair(
+    aig: AIG,
+    l1: int,
+    l2: int,
+    name: str,
+    words: List[int],
+    mask: int,
+) -> Optional[Dict[str, bool]]:
+    """Cascade stage 2: refute an output pair from simulation alone.
+
+    If the pair's simulation words differ, the differing bit column *is* a
+    counterexample — extract the PI assignment of that column, re-validate
+    it, and no SAT/BDD work is needed at all.  Returns None when the
+    simulation cannot distinguish the pair.
+    """
+    diff = (_lit_word(words, mask, l1) ^ _lit_word(words, mask, l2)) & mask
+    if not diff:
+        return None
+    bit = (diff & -diff).bit_length() - 1
+    cex = {
+        pi_name: bool((words[pi_node] >> bit) & 1)
+        for pi_node, pi_name in zip(aig.pis, aig.pi_names)
+    }
+    _validate_counterexample(aig, cex, l1, l2, name)
+    return cex
+
+
+def _bdd_decide_pair(
+    aig: AIG,
+    l1: int,
+    l2: int,
+    name: str,
+    node_limit: int,
+    budget: Optional[Budget],
+) -> Optional[Tuple[str, Optional[Dict[str, bool]]]]:
+    """Cascade stage 3: decide an output pair with a node-bounded BDD.
+
+    Builds BDDs for the pair's fanin cone only, with PI node order as the
+    variable order.  Returns ``(EQ, None)`` / ``(NEQ, cex)``, or None when
+    the attempt blows past ``node_limit`` (or the budget deadline) and the
+    cascade should fall through to SAT.
+    """
+    manager = BDD(node_limit=node_limit)
+    pi_name_of = dict(zip(aig.pis, aig.pi_names))
+    node_bdd: Dict[int, int] = {0: manager.ZERO}
+
+    def lit_bdd(lit: int) -> int:
+        bdd_node = node_bdd[lit >> 1]
+        return manager.apply_not(bdd_node) if lit & 1 else bdd_node
+
+    try:
+        cone = sorted(aig.cone_nodes([l1, l2]))
+        for count, node in enumerate(cone):
+            if budget is not None and (count & 255) == 0 and budget.expired():
+                return None
+            if node == 0:
+                continue
+            if aig.is_pi_node(node):
+                node_bdd[node] = manager.add_var(pi_name_of[node])
+            else:
+                f0, f1 = aig.fanins(node)
+                node_bdd[node] = manager.apply_and(lit_bdd(f0), lit_bdd(f1))
+        b1, b2 = lit_bdd(l1), lit_bdd(l2)
+        if b1 == b2:
+            return EQ, None
+        assignment = manager.pick_minterm(manager.apply_xor(b1, b2)) or {}
+    except BddBlowupError:
+        return None
+    cex = {
+        pi: bool(assignment.get(pi, False)) for pi in aig.pi_names
+    }
+    _validate_counterexample(aig, cex, l1, l2, name)
+    return NEQ, cex
+
+
+def _check_outputs_cascade(
+    miter: MiterAIG,
+    aig: AIG,
+    solver: Solver,
+    lit2cnf,
+    proof_cache: Optional[ProofCache],
+    conflict_limit: Optional[int],
+    budget: Budget,
+    engine: EngineStats,
+    sim_width: int,
+    seed: int,
+) -> CheckResult:
+    """Budget-governed output checks: the explicit fallback cascade.
+
+    Each output pair walks structural hash (``l1 == l2`` / cache) →
+    simulation refutation → bounded BDD → bounded SAT.  Whatever stage
+    decides the pair records its verdict; a budget that runs dry at any
+    stage returns UNKNOWN with the exhausted resource as the reason code.
+    Nothing in here raises on resource exhaustion.
+    """
+    words, mask = aig.random_simulate(width=sim_width, seed=seed)
+    sat_limit = conflict_limit
+    if budget.sat_conflicts is not None:
+        sat_limit = (
+            budget.sat_conflicts
+            if sat_limit is None
+            else min(sat_limit, budget.sat_conflicts)
+        )
+    node_limit = budget.bdd_nodes or DEFAULT_BDD_NODE_LIMIT
+
+    def record(key: Optional[str], verdict: str) -> None:
+        if proof_cache is not None and key is not None:
+            proof_cache.put(key, verdict)
+            engine.cache_stores += 1
+
+    for name, l1, l2 in miter.output_pairs:
+        # Stage 1: structural — the miter already hashed both cones.
+        if l1 == l2:
+            continue
+        key: Optional[str] = None
+        if proof_cache is not None:
+            key = aig.pair_cone_key(l1, l2)
+            if proof_cache.get(key) == EQ:
+                engine.cache_hits += 1
+                continue
+            # A cached NEQ still needs a fresh model for the
+            # counterexample, so only EQ skips the remaining stages.
+            engine.cache_misses += 1
+        if budget.expired():
+            engine.budget_exhausted += 1
+            return CheckResult(CecVerdict.UNKNOWN, reason=REASON_TIMEOUT)
+        # Stage 2: simulation refutation — a differing signature column
+        # is already a counterexample; no proving engine needed.
+        cex = _sim_refute_pair(aig, l1, l2, name, words, mask)
+        if cex is not None:
+            engine.cascade_sim += 1
+            record(key, NEQ)
+            return CheckResult(
+                CecVerdict.NOT_EQUIVALENT,
+                counterexample=cex,
+                failing_output=name,
+            )
+        # Stage 3: bounded BDD on the pair's cone.
+        decided = _bdd_decide_pair(aig, l1, l2, name, node_limit, budget)
+        if decided is not None:
+            engine.cascade_bdd += 1
+            status, cex = decided
+            record(key, status)
+            if status == NEQ:
+                return CheckResult(
+                    CecVerdict.NOT_EQUIVALENT,
+                    counterexample=cex,
+                    failing_output=name,
+                )
+            continue
+        if not budget.expired():
+            engine.bdd_blowups += 1  # fell through on nodes, not time
+        # Stage 4: bounded SAT.  An expired deadline makes the solver
+        # return UNKNOWN("timeout") immediately, which is the right end.
+        a = lit2cnf(l1)
+        b = lit2cnf(l2)
+        for assumptions in ([a, -b], [-a, b]):
+            res = solver.solve(
+                assumptions=assumptions,
+                conflict_limit=sat_limit,
+                propagation_limit=budget.sat_propagations,
+                deadline=budget.deadline,
+            )
+            engine.sat_queries += 1
+            if solver.last_unknown:
+                engine.budget_exhausted += 1
+                return CheckResult(
+                    CecVerdict.UNKNOWN,
+                    reason=solver.last_unknown_reason or REASON_TIMEOUT,
+                )
+            if res.satisfiable:
+                assert res.model is not None
+                cex = _extract_counterexample(aig, res.model, lit2cnf)
+                _validate_counterexample(aig, cex, l1, l2, name)
+                engine.cascade_sat += 1
+                record(key, NEQ)
+                return CheckResult(
+                    CecVerdict.NOT_EQUIVALENT,
+                    counterexample=cex,
+                    failing_output=name,
+                )
+        engine.cascade_sat += 1
+        record(key, EQ)
+    return CheckResult(CecVerdict.EQUIVALENT)
+
+
 def check_equivalence(
     c1: Circuit,
     c2: Circuit,
@@ -222,6 +477,7 @@ def check_equivalence(
     seed: int = 0,
     n_jobs: int = 1,
     cache: Union[None, str, os.PathLike, ProofCache] = None,
+    budget: Union[None, int, float, Budget] = None,
 ) -> CheckResult:
     """Check combinational equivalence of two circuits.
 
@@ -232,9 +488,22 @@ def check_equivalence(
     ``cache`` — a :class:`~repro.cec.cache.ProofCache` or a path to one —
     replays previously-proven candidate and output verdicts by structural
     cone hash, skipping their SAT queries entirely.
+
+    ``budget`` — a :class:`~repro.runtime.Budget` or bare wall-clock
+    seconds — switches the output checks onto the fallback cascade
+    (structural → simulation refutation → bounded BDD → bounded SAT) and
+    bounds every SAT/BDD call; exhaustion yields an UNKNOWN verdict with
+    ``CheckResult.reason`` set, never an exception or a hang.  With no
+    budget, verdicts and stats are bit-for-bit what they always were.
     """
     engine = EngineStats(n_jobs=max(1, int(n_jobs)))
     proof_cache = ProofCache.coerce(cache)
+    budget = Budget.coerce(budget)
+    if budget is not None and budget.unlimited:
+        budget = None  # an empty budget constrains nothing: classic path
+    if budget is not None:
+        budget.start()
+    deadline = budget.deadline if budget is not None else None
     t0 = time.perf_counter()
     miter = build_miter(c1, c2)
     engine.phase_seconds["build"] = time.perf_counter() - t0
@@ -267,7 +536,7 @@ def check_equivalence(
         solver.add_clause([-a, b])
         solver.add_clause([a, -b])
 
-    if sweep:
+    if sweep and (budget is None or not budget.expired()):
         t_sim = time.perf_counter()
         classes = _signature_classes(aig, sim_rounds, sim_width, seed)
         # One simulation round determines relative phases for all classes.
@@ -307,14 +576,36 @@ def check_equivalence(
 
         t_sweep = time.perf_counter()
         sweep_limit = conflict_limit or 2000
+        if budget is not None and budget.sat_conflicts is not None:
+            sweep_limit = min(sweep_limit, budget.sat_conflicts)
         if engine.n_jobs > 1 and len(units) > 1:
-            results = sweep_units_parallel(
-                solver, units, sweep_limit, engine.n_jobs
+            wall_remaining = budget.remaining() if budget is not None else None
+            # The pool window is a backstop above the in-worker deadline:
+            # it only fires when a worker is hung or dead, so give it a
+            # little slack before killing the pool.
+            unit_timeout = (
+                wall_remaining * 1.25 + 0.25
+                if wall_remaining is not None
+                else None
             )
+            telemetry: Dict[str, int] = {}
+            results = sweep_units_parallel(
+                solver,
+                units,
+                sweep_limit,
+                engine.n_jobs,
+                wall_remaining=wall_remaining,
+                unit_timeout=unit_timeout,
+                telemetry=telemetry,
+            )
+            for key, value in telemetry.items():
+                setattr(engine, key, getattr(engine, key) + value)
             engine.parallel_wall = time.perf_counter() - t_sweep
         else:
             results = [
-                _sweep_unit_serial(solver, lit2cnf, unit, sweep_limit)
+                _sweep_unit_serial(
+                    solver, lit2cnf, unit, sweep_limit, deadline=deadline
+                )
                 for unit in units
             ]
         for unit, result in zip(units, results):
@@ -341,6 +632,21 @@ def check_equivalence(
 
     # Final output checks.
     t_out = time.perf_counter()
+    if budget is not None:
+        result = _check_outputs_cascade(
+            miter,
+            aig,
+            solver,
+            lit2cnf,
+            proof_cache,
+            conflict_limit,
+            budget,
+            engine,
+            sim_width,
+            seed,
+        )
+        engine.phase_seconds["outputs"] = time.perf_counter() - t_out
+        return finish(result)
     for name, l1, l2 in miter.output_pairs:
         if l1 == l2:
             continue
@@ -412,31 +718,42 @@ def check_miter_unsat(
     return CheckResult(CecVerdict.EQUIVALENT, stats=stats)
 
 
-def check_equivalence_bdd(c1: Circuit, c2: Circuit) -> CheckResult:
+def check_equivalence_bdd(
+    c1: Circuit, c2: Circuit, node_limit: Optional[int] = None
+) -> CheckResult:
     """BDD-based equivalence check (for small circuits / cross-checks).
 
     Inputs are matched by name over the union of both input sets (an input
     swept away on one side is simply irrelevant there); output sets must
-    match exactly.
+    match exactly.  ``node_limit`` caps the manager's live node count; a
+    blow-up past it yields UNKNOWN with reason ``"bdd-blowup"`` instead of
+    an unbounded build.
     """
     if set(c1.outputs) != set(c2.outputs):
         raise ValueError("circuits must share output names")
     t0 = time.perf_counter()
-    manager = BDD()
-    nodes1 = circuit_bdds(c1, manager)
-    nodes2 = circuit_bdds(c2, manager)
-    all_inputs = sorted(set(c1.inputs) | set(c2.inputs))
-    for out in sorted(set(c1.outputs)):
-        if nodes1[out] != nodes2[out]:
-            diff = manager.apply_xor(nodes1[out], nodes2[out])
-            assignment = manager.pick_minterm(diff) or {}
-            cex = {pi: assignment.get(pi, False) for pi in all_inputs}
-            return CheckResult(
-                CecVerdict.NOT_EQUIVALENT,
-                counterexample=cex,
-                failing_output=out,
-                stats={"time": time.perf_counter() - t0},
-            )
+    manager = BDD(node_limit=node_limit)
+    try:
+        nodes1 = circuit_bdds(c1, manager)
+        nodes2 = circuit_bdds(c2, manager)
+        all_inputs = sorted(set(c1.inputs) | set(c2.inputs))
+        for out in sorted(set(c1.outputs)):
+            if nodes1[out] != nodes2[out]:
+                diff = manager.apply_xor(nodes1[out], nodes2[out])
+                assignment = manager.pick_minterm(diff) or {}
+                cex = {pi: assignment.get(pi, False) for pi in all_inputs}
+                return CheckResult(
+                    CecVerdict.NOT_EQUIVALENT,
+                    counterexample=cex,
+                    failing_output=out,
+                    stats={"time": time.perf_counter() - t0},
+                )
+    except BddBlowupError:
+        return CheckResult(
+            CecVerdict.UNKNOWN,
+            reason=REASON_BDD_BLOWUP,
+            stats={"time": time.perf_counter() - t0},
+        )
     return CheckResult(
         CecVerdict.EQUIVALENT, stats={"time": time.perf_counter() - t0}
     )

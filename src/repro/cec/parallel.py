@@ -1,4 +1,4 @@
-"""Multiprocessing dispatch for the SAT sweeping work units.
+"""Fault-tolerant multiprocessing dispatch for the SAT sweeping work units.
 
 Each work unit ships to a worker process as a self-contained payload: the
 parent solver's root-level clause slice for the unit's cone (remapped to a
@@ -10,20 +10,31 @@ as in the serial sweep — and return one status per candidate.  The engine
 then merges proven equivalences back into the parent solver before the
 final output checks.
 
-Dispatch uses a ``fork`` process pool when available (cheap on Linux, and
-the payloads are plain tuples either way); any environment that refuses to
-spawn processes degrades to in-process execution of the same payloads, so
-``n_jobs > 1`` never changes verdicts, only wall time.
+Dispatch is resource-governed and degrades instead of aborting:
+
+* a ``fork`` process pool is used when available; any environment that
+  refuses to spawn processes (or a pool that breaks mid-flight) falls back
+  to in-process execution of the same payloads;
+* every unit gets a wall-clock window (``unit_timeout``); a worker that
+  crashes or hangs past it is killed with the pool and its unit is
+  *requeued onto the serial path* with bounded retry + backoff;
+* a unit that still fails after its retries is recorded as all-UNKNOWN
+  verdicts (the sweep is an accelerator — losing a unit loses merges,
+  never soundness), with the failure noted on the :class:`UnitResult`.
+
+Because of that containment, ``n_jobs > 1`` never changes verdicts versus
+the serial sweep, only wall time — even under worker faults.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cec.partition import WorkUnit
+from repro.runtime.retry import run_with_retries
 from repro.sat.solver import Solver
 
 __all__ = ["UnitResult", "sweep_units_parallel", "sweep_unit_payload"]
@@ -32,25 +43,57 @@ EQ = "eq"
 NEQ = "neq"
 UNKNOWN = "unknown"
 
-# payload: (num_vars, clauses, queries, conflict_limit)
-_Payload = Tuple[int, List[List[int]], List[Tuple[int, int, bool]], Optional[int]]
+# payload: (num_vars, clauses, queries, conflict_limit, wall_remaining)
+_Payload = Tuple[
+    int,
+    List[List[int]],
+    List[Tuple[int, int, bool]],
+    Optional[int],
+    Optional[float],
+]
+_WorkerOutput = Tuple[List[str], int, float]
+
+# Test seam: fault-injection hook run at worker entry (both in workers and
+# on the in-process path).  ``fork`` children inherit a monkeypatched
+# value, so tests can simulate crashing workers deterministically.
+_fault_hook: Optional[Callable[[_Payload], None]] = None
 
 
 class UnitResult:
-    """Per-unit sweep outcome: one status per candidate plus timings."""
+    """Per-unit sweep outcome: one status per candidate plus timings.
+
+    ``error`` records the final failure of a unit whose worker (and serial
+    retries) died — its statuses are then all UNKNOWN.  ``retries`` counts
+    how many re-attempts the dispatcher spent on the unit.
+    """
 
     def __init__(
-        self, statuses: List[str], sat_queries: int, seconds: float
+        self,
+        statuses: List[str],
+        sat_queries: int,
+        seconds: float,
+        error: Optional[str] = None,
+        retries: int = 0,
     ) -> None:
         self.statuses = statuses
         self.sat_queries = sat_queries
         self.seconds = seconds
+        self.error = error
+        self.retries = retries
 
 
 def sweep_unit_payload(
-    solver: Solver, unit: WorkUnit, conflict_limit: Optional[int]
+    solver: Solver,
+    unit: WorkUnit,
+    conflict_limit: Optional[int],
+    wall_remaining: Optional[float] = None,
 ) -> _Payload:
-    """Build one worker payload from the parent solver's clause slice."""
+    """Build one worker payload from the parent solver's clause slice.
+
+    ``wall_remaining`` is the budget's remaining wall seconds at dispatch
+    time; the worker turns it into its own absolute deadline so budgeted
+    sweeps stop in-process even when the pool's timeout never fires.
+    """
     nodes = sorted(unit.cone)
     var_of: Dict[int, int] = {node + 1: i + 1 for i, node in enumerate(nodes)}
     clauses = [
@@ -61,13 +104,18 @@ def sweep_unit_payload(
         (var_of[c.rep + 1], var_of[c.node + 1], c.phase_equal)
         for c in unit.candidates
     ]
-    return (len(nodes), clauses, queries, conflict_limit)
+    return (len(nodes), clauses, queries, conflict_limit, wall_remaining)
 
 
-def _sweep_unit_worker(payload: _Payload) -> Tuple[List[str], int, float]:
+def _sweep_unit_worker(payload: _Payload) -> _WorkerOutput:
     """Run one unit's queries on a fresh solver (executes in a worker)."""
-    num_vars, clauses, queries, conflict_limit = payload
+    num_vars, clauses, queries, conflict_limit, wall_remaining = payload
+    if _fault_hook is not None:
+        _fault_hook(payload)
     t0 = time.perf_counter()
+    deadline = (
+        time.monotonic() + wall_remaining if wall_remaining is not None else None
+    )
     solver = Solver()
     solver.ensure_vars(num_vars)
     for clause in clauses:
@@ -77,7 +125,11 @@ def _sweep_unit_worker(payload: _Payload) -> Tuple[List[str], int, float]:
     sat_queries = 0
     for a, b_var, phase_equal in queries:
         b = b_var if phase_equal else -b_var
-        r1 = solver.solve(assumptions=[a, -b], conflict_limit=conflict_limit)
+        r1 = solver.solve(
+            assumptions=[a, -b],
+            conflict_limit=conflict_limit,
+            deadline=deadline,
+        )
         sat_queries += 1
         if r1.satisfiable:
             statuses.append(NEQ)
@@ -85,7 +137,11 @@ def _sweep_unit_worker(payload: _Payload) -> Tuple[List[str], int, float]:
         if solver.last_unknown:
             statuses.append(UNKNOWN)
             continue
-        r2 = solver.solve(assumptions=[-a, b], conflict_limit=conflict_limit)
+        r2 = solver.solve(
+            assumptions=[-a, b],
+            conflict_limit=conflict_limit,
+            deadline=deadline,
+        )
         sat_queries += 1
         if r2.satisfiable:
             statuses.append(NEQ)
@@ -99,31 +155,151 @@ def _sweep_unit_worker(payload: _Payload) -> Tuple[List[str], int, float]:
     return statuses, sat_queries, time.perf_counter() - t0
 
 
+def _bump(telemetry: Optional[Dict[str, int]], key: str, by: int = 1) -> None:
+    if telemetry is not None:
+        telemetry[key] = telemetry.get(key, 0) + by
+
+
+def _dispatch_pool(
+    payloads: Sequence[_Payload],
+    outputs: List[Optional[_WorkerOutput]],
+    n_jobs: int,
+    unit_timeout: Optional[float],
+    telemetry: Optional[Dict[str, int]],
+) -> List[int]:
+    """Run payloads on a process pool; returns the indices left undone.
+
+    All units share one wall-clock window of ``unit_timeout`` seconds
+    (they run concurrently, so a unit still pending when the window closes
+    has had at least that long).  Crashed units and timed-out units are
+    returned for the serial path; a window overrun terminates the pool,
+    which is the only reliable way to kill a truly hung worker.
+    """
+    try:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        pool: multiprocessing.pool.Pool = ctx.Pool(
+            processes=min(n_jobs, len(payloads))
+        )
+    except (OSError, PermissionError, ValueError):
+        _bump(telemetry, "pool_failures")
+        return list(range(len(payloads)))
+
+    pending: List[int] = []
+    saw_timeout = False
+    try:
+        handles = [
+            pool.apply_async(_sweep_unit_worker, (payload,))
+            for payload in payloads
+        ]
+        window_end = (
+            time.monotonic() + unit_timeout if unit_timeout is not None else None
+        )
+        for index, handle in enumerate(handles):
+            timeout: Optional[float] = None
+            if window_end is not None:
+                timeout = max(0.0, window_end - time.monotonic())
+            try:
+                outputs[index] = handle.get(timeout)
+            except multiprocessing.TimeoutError:
+                saw_timeout = True
+                _bump(telemetry, "worker_timeouts")
+                pending.append(index)
+            except Exception:
+                _bump(telemetry, "worker_failures")
+                pending.append(index)
+    except Exception:
+        # Broken pool (e.g. a worker was SIGKILLed): requeue whatever has
+        # no result yet and degrade to the serial path.
+        _bump(telemetry, "pool_failures")
+        pending = [i for i, out in enumerate(outputs) if out is None]
+        saw_timeout = True  # terminate: the pool state is unreliable
+    finally:
+        if saw_timeout:
+            pool.terminate()  # kills hung workers outright
+        else:
+            pool.close()
+        pool.join()
+    return pending
+
+
 def sweep_units_parallel(
     solver: Solver,
     units: Sequence[WorkUnit],
     conflict_limit: Optional[int],
     n_jobs: int,
+    wall_remaining: Optional[float] = None,
+    unit_timeout: Optional[float] = None,
+    attempts: int = 2,
+    backoff_seconds: float = 0.05,
+    telemetry: Optional[Dict[str, int]] = None,
 ) -> List[UnitResult]:
-    """Sweep all units on a process pool; results align with ``units``.
+    """Sweep all units; results align with ``units``, faults contained.
 
-    ``ProcessPoolExecutor.map`` preserves input order, so the result list
-    is deterministic regardless of worker scheduling.
+    The pool path preserves input order (handles are collected in order),
+    so the result list is deterministic regardless of worker scheduling.
+    Units the pool could not finish — crashed, hung past ``unit_timeout``,
+    or with no pool at all — run in-process with ``attempts`` bounded
+    retries and linear backoff; a unit that still fails yields all-UNKNOWN
+    statuses rather than an exception.  ``telemetry`` (optional dict)
+    accumulates ``worker_failures`` / ``worker_timeouts`` /
+    ``worker_retries`` / ``units_requeued`` / ``pool_failures`` counters.
     """
-    payloads = [sweep_unit_payload(solver, u, conflict_limit) for u in units]
-    outputs: Optional[List[Tuple[List[str], int, float]]] = None
+    payloads = [
+        sweep_unit_payload(solver, u, conflict_limit, wall_remaining)
+        for u in units
+    ]
+    outputs: List[Optional[_WorkerOutput]] = [None] * len(payloads)
+    retries = [0] * len(payloads)
+    errors: List[Optional[str]] = [None] * len(payloads)
+
+    # One wall window for the whole sweep (pool phase + serial requeues),
+    # anchored at dispatch time so retries cannot stretch the budget.
+    serial_deadline = (
+        time.monotonic() + wall_remaining if wall_remaining is not None else None
+    )
+
+    pending = list(range(len(payloads)))
     if n_jobs > 1 and len(payloads) > 1:
-        try:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
+        pending = _dispatch_pool(
+            payloads, outputs, n_jobs, unit_timeout, telemetry
+        )
+        _bump(telemetry, "units_requeued", len(pending))
+    for index in pending:
+        payload = payloads[index]
+        result, error, n_retries = run_with_retries(
+            lambda p=payload: _sweep_unit_worker(p),
+            attempts=attempts,
+            backoff_seconds=backoff_seconds,
+            deadline=serial_deadline,
+        )
+        retries[index] = n_retries
+        _bump(telemetry, "worker_retries", n_retries)
+        if result is not None:
+            outputs[index] = result
+        else:
+            _bump(telemetry, "worker_failures")
+            errors[index] = repr(error) if error is not None else "unknown"
+
+    results: List[UnitResult] = []
+    for index, unit in enumerate(units):
+        out = outputs[index]
+        if out is None:
+            # Lost unit: every candidate stays unknown; sound, just slower.
+            results.append(
+                UnitResult(
+                    [UNKNOWN] * len(unit.candidates),
+                    0,
+                    0.0,
+                    error=errors[index] or "worker lost",
+                    retries=retries[index],
+                )
             )
-            with ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(payloads)), mp_context=ctx
-            ) as pool:
-                outputs = list(pool.map(_sweep_unit_worker, payloads))
-        except (OSError, PermissionError, ValueError):
-            outputs = None  # sandboxed / no process support: degrade below
-    if outputs is None:
-        outputs = [_sweep_unit_worker(p) for p in payloads]
-    return [UnitResult(*out) for out in outputs]
+        else:
+            statuses, sat_queries, seconds = out
+            results.append(
+                UnitResult(statuses, sat_queries, seconds, retries=retries[index])
+            )
+    return results

@@ -4,12 +4,18 @@
 
     python -m repro verify  golden.blif revised.blif [--rewrite] [--no-unate]
                             [--jobs N] [--cec-cache FILE]
+                            [--time-limit S] [--bdd-node-limit N]
     python -m repro retime  circuit.blif -o out.blif [--min-area] [--period N]
     python -m repro synth   circuit.blif -o out.blif [--effort medium]
     python -m repro expose  circuit.blif [--weighted] [--no-unate] [-o out.blif]
     python -m repro stats   circuit.blif
-    python -m repro table1  [--quick] [--jobs N] [--cache FILE]
-    python -m repro table2  [--quick]
+    python -m repro table1  [--quick] [--jobs N] [--cache FILE] [--time-limit S]
+                            [--on-error skip|abort] [--checkpoint FILE --resume]
+    python -m repro table2  [--quick] [--on-error skip|abort]
+
+Exit codes of ``verify``: 0 equivalent, 1 not equivalent (or
+inconclusive), 2 unknown — a resource budget ran dry; the reason code is
+printed.
 
 Circuits are read and written in BLIF (with the ``.enable`` extension for
 load-enabled latches).
@@ -30,11 +36,17 @@ __all__ = ["main"]
 
 def _cmd_verify(args) -> int:
     from repro.core.verify import SeqVerdict, check_sequential_equivalence
+    from repro.runtime.budget import Budget
 
     c1 = parse_blif_file(args.golden)
     c2 = parse_blif_file(args.revised)
     validate_circuit(c1)
     validate_circuit(c2)
+    budget = None
+    if args.time_limit is not None or args.bdd_node_limit is not None:
+        budget = Budget(
+            wall_seconds=args.time_limit, bdd_nodes=args.bdd_node_limit
+        )
     result = check_sequential_equivalence(
         c1,
         c2,
@@ -42,8 +54,11 @@ def _cmd_verify(args) -> int:
         event_rewrite=args.rewrite,
         n_jobs=args.jobs,
         cec_cache=args.cec_cache,
+        budget=budget,
     )
     print(f"verdict: {result.verdict.value} (method: {result.method})")
+    if result.reason is not None:
+        print(f"  reason: {result.reason}")
     for key in sorted(result.stats):
         print(f"  {key}: {result.stats[key]}")
     if result.counterexample is not None:
@@ -63,7 +78,11 @@ def _cmd_verify(args) -> int:
 
         write_report(result, c1, c2, args.report)
         print(f"wrote report to {args.report}")
-    return 0 if result.verdict is SeqVerdict.EQUIVALENT else 1
+    if result.verdict is SeqVerdict.EQUIVALENT:
+        return 0
+    if result.verdict is SeqVerdict.UNKNOWN:
+        return 2  # resource budget ran dry: neither proven nor refuted
+    return 1
 
 
 def _cmd_retime(args) -> int:
@@ -149,6 +168,16 @@ def _cmd_table1(args) -> int:
         forwarded.extend(["--jobs", str(args.jobs)])
     if args.cache:
         forwarded.extend(["--cache", args.cache])
+    if args.time_limit is not None:
+        forwarded.extend(["--time-limit", str(args.time_limit)])
+    if args.bdd_node_limit is not None:
+        forwarded.extend(["--bdd-node-limit", str(args.bdd_node_limit)])
+    if args.on_error != "skip":
+        forwarded.extend(["--on-error", args.on_error])
+    if args.checkpoint:
+        forwarded.extend(["--checkpoint", args.checkpoint])
+    if args.resume:
+        forwarded.append("--resume")
     return table1_main(forwarded)
 
 
@@ -158,6 +187,8 @@ def _cmd_table2(args) -> int:
     forwarded = []
     if args.quick:
         forwarded.append("--quick")
+    if args.on_error != "skip":
+        forwarded.extend(["--on-error", args.on_error])
     return table2_main(forwarded)
 
 
@@ -187,6 +218,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--cec-cache",
         default=None,
         help="persistent CEC proof-cache file (reused across runs)",
+    )
+    p.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget in seconds; exhaustion yields verdict "
+        "'unknown' (exit code 2) instead of an open-ended run",
+    )
+    p.add_argument(
+        "--bdd-node-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="live-node cap for the engine's bounded BDD attempts",
     )
     p.set_defaults(func=_cmd_verify)
 
@@ -222,10 +268,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache", default=None, help="persistent CEC proof-cache file"
     )
+    p.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-row verification budget (seconds); TIMEOUT rows, no hangs",
+    )
+    p.add_argument(
+        "--bdd-node-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="live-node cap for the engine's bounded BDD attempts",
+    )
+    p.add_argument(
+        "--on-error",
+        choices=("skip", "abort"),
+        default="skip",
+        help="failing rows: record ERROR and continue (skip) or stop (abort)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="record finished rows into FILE after each row",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay rows already in --checkpoint instead of recomputing",
+    )
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("table2", help="regenerate the paper's Table 2")
     p.add_argument("--quick", action="store_true")
+    p.add_argument(
+        "--on-error",
+        choices=("skip", "abort"),
+        default="skip",
+        help="failing rows: record ERROR and continue (skip) or stop (abort)",
+    )
     p.set_defaults(func=_cmd_table2)
     return parser
 

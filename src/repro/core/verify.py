@@ -53,13 +53,19 @@ class SeqVerdict(enum.Enum):
 
 @dataclass
 class SeqCheckResult:
-    """Outcome of a sequential equivalence check."""
+    """Outcome of a sequential equivalence check.
+
+    ``reason`` carries the machine-readable cause of an UNKNOWN verdict
+    (a ``REASON_*`` code from :mod:`repro.runtime.budget`, e.g.
+    ``"timeout"`` or ``"bdd-blowup"``); it is None for decided verdicts.
+    """
 
     verdict: SeqVerdict
     method: str = ""
     counterexample: Optional[List[Dict[str, bool]]] = None
     failing_output: Optional[str] = None
     stats: Dict[str, float] = field(default_factory=dict)
+    reason: Optional[str] = None
 
     @property
     def equivalent(self) -> bool:
@@ -90,6 +96,7 @@ def check_sequential_equivalence(
     pinned: Sequence[str] = (),
     n_jobs: int = 1,
     cec_cache=None,
+    budget=None,
 ) -> SeqCheckResult:
     """Check exact-3-valued sequential equivalence of two circuits.
 
@@ -103,6 +110,9 @@ def check_sequential_equivalence(
     defence-in-depth check.  ``n_jobs`` and ``cec_cache`` (a
     :class:`repro.cec.ProofCache` or a path) are forwarded to the CEC
     engine: parallel SAT sweeping and the persistent proof cache.
+    ``budget`` — a :class:`repro.runtime.Budget` or bare wall-clock
+    seconds — resource-governs the CEC step; exhaustion yields verdict
+    UNKNOWN with :attr:`SeqCheckResult.reason` set instead of a hang.
     """
     t0 = time.perf_counter()
     if set(c1.inputs) != set(c2.inputs):
@@ -140,11 +150,11 @@ def check_sequential_equivalence(
     enabled = "acyclic-enabled" in (kind1, kind2)
     if enabled:
         result = _check_via_edbf(
-            c1p, c2p, event_rewrite, stats, n_jobs, cec_cache
+            c1p, c2p, event_rewrite, stats, n_jobs, cec_cache, budget
         )
     else:
         result = _check_via_cbf(
-            c1p, c2p, stats, validate_cex, c1, c2, n_jobs, cec_cache
+            c1p, c2p, stats, validate_cex, c1, c2, n_jobs, cec_cache, budget
         )
     result.stats["total_time"] = time.perf_counter() - t0
     return result
@@ -159,6 +169,7 @@ def _check_via_cbf(
     orig2: Circuit,
     n_jobs: int = 1,
     cec_cache=None,
+    budget=None,
 ) -> SeqCheckResult:
     table = ExprTable()
     cbf1 = compute_cbf(c1, table)
@@ -171,12 +182,16 @@ def _check_via_cbf(
     comb2 = cbf_to_circuit(cbf2, name=c2.name + "_J", extra_inputs=all_vars)
     stats["comb_gates1"] = comb1.num_gates()
     stats["comb_gates2"] = comb2.num_gates()
-    cec = check_equivalence(comb1, comb2, n_jobs=n_jobs, cache=cec_cache)
+    cec = check_equivalence(
+        comb1, comb2, n_jobs=n_jobs, cache=cec_cache, budget=budget
+    )
     stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
     if cec.verdict is CecVerdict.EQUIVALENT:
         return SeqCheckResult(SeqVerdict.EQUIVALENT, "cbf", stats=stats)
     if cec.verdict is CecVerdict.UNKNOWN:
-        return SeqCheckResult(SeqVerdict.UNKNOWN, "cbf", stats=stats)
+        return SeqCheckResult(
+            SeqVerdict.UNKNOWN, "cbf", stats=stats, reason=cec.reason
+        )
     assert cec.counterexample is not None
     sequence = _lift_cbf_counterexample(
         cec.counterexample, max(d1, d2), set(orig1.inputs)
@@ -249,6 +264,7 @@ def _check_via_edbf(
     stats: Dict[str, float],
     n_jobs: int = 1,
     cec_cache=None,
+    budget=None,
 ) -> SeqCheckResult:
     context = EventContext(rewrite=event_rewrite)
     edbf1 = compute_edbf(c1, context)
@@ -259,12 +275,16 @@ def _check_via_edbf(
     comb2 = edbf_to_circuit(edbf2, name=c2.name + "_J", extra_inputs=all_vars)
     stats["comb_gates1"] = comb1.num_gates()
     stats["comb_gates2"] = comb2.num_gates()
-    cec = check_equivalence(comb1, comb2, n_jobs=n_jobs, cache=cec_cache)
+    cec = check_equivalence(
+        comb1, comb2, n_jobs=n_jobs, cache=cec_cache, budget=budget
+    )
     stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
     if cec.verdict is CecVerdict.EQUIVALENT:
         return SeqCheckResult(SeqVerdict.EQUIVALENT, "edbf", stats=stats)
     if cec.verdict is CecVerdict.UNKNOWN:
-        return SeqCheckResult(SeqVerdict.UNKNOWN, "edbf", stats=stats)
+        return SeqCheckResult(
+            SeqVerdict.UNKNOWN, "edbf", stats=stats, reason=cec.reason
+        )
     # EDBF inequality is conservative (Sec. 5.2).  Before reporting
     # INCONCLUSIVE, try to refute equivalence concretely: random input
     # sequences under exact-3-valued simulation.  A confirmed difference

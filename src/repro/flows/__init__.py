@@ -3,16 +3,20 @@
 * :mod:`repro.flows.flow` — the Fig. 19 pipeline: expose (A→B), retime +
   resynthesise (B→C, B→E), combinational-only synthesis (A→D), unexposed
   variants (A→F, A→G), and combinational verification of B vs C (H vs J);
-* :mod:`repro.flows.table1` — the Table 1 harness;
+* :mod:`repro.flows.table1` — the Table 1 harness (fault-contained rows,
+  per-row budgets, checkpoint/resume);
 * :mod:`repro.flows.table2` — the Table 2 harness;
+* :mod:`repro.flows.checkpoint` — atomic row-level run checkpoints;
 * :mod:`repro.flows.report` — plain-text table rendering.
 """
 
+from repro.flows.checkpoint import Checkpoint
 from repro.flows.flow import FlowResult, run_flow
 from repro.flows.table1 import run_table1, table1_row
 from repro.flows.table2 import run_table2, table2_row
 
 __all__ = [
+    "Checkpoint",
     "FlowResult",
     "run_flow",
     "run_table1",

@@ -59,7 +59,14 @@ def _retime_min_period_any(circuit: Circuit, result: "FlowResult") -> Circuit:
 
 @dataclass
 class FlowResult:
-    """All metrics of one Table 1 row."""
+    """All metrics of one Table 1 row.
+
+    ``status`` is the row's lifecycle outcome — ``"ok"`` for a row that ran
+    to completion (whatever its verdict), ``"error"`` when the flow raised
+    and the harness contained it, ``"timeout"`` when a row budget ran dry
+    before the flow finished.  ``error`` holds the contained exception's
+    repr for error rows.
+    """
 
     name: str
     latches_a: int = 0
@@ -70,10 +77,13 @@ class FlowResult:
     delay: Dict[str, int] = field(default_factory=dict)
     verify_seconds: float = 0.0
     verify_verdict: Optional[SeqVerdict] = None
+    verify_reason: Optional[str] = None
     # Verification stats, including the CEC engine's ``cec_``-prefixed
     # tracing fields (phase times, cache hits, worker utilisation).
     verify_stats: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    status: str = "ok"
+    error: Optional[str] = None
 
     def normalised_area(self, variant: str) -> Optional[float]:
         """Mapped area of a variant divided by D's area."""
@@ -84,6 +94,46 @@ class FlowResult:
         if value is None:
             return None
         return value / base
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (checkpoint rows, reports)."""
+        return {
+            "name": self.name,
+            "latches_a": self.latches_a,
+            "pct_exposed": self.pct_exposed,
+            "latches": dict(self.latches),
+            "area": dict(self.area),
+            "delay": dict(self.delay),
+            "verify_seconds": self.verify_seconds,
+            "verify_verdict": (
+                self.verify_verdict.value if self.verify_verdict else None
+            ),
+            "verify_reason": self.verify_reason,
+            "verify_stats": dict(self.verify_stats),
+            "notes": self.notes,
+            "status": self.status,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FlowResult":
+        """Inverse of :meth:`to_dict` (checkpoint resume)."""
+        verdict = data.get("verify_verdict")
+        return cls(
+            name=str(data["name"]),
+            latches_a=int(data.get("latches_a", 0)),
+            pct_exposed=float(data.get("pct_exposed", 0.0)),
+            latches={k: int(v) for k, v in dict(data.get("latches") or {}).items()},
+            area={k: float(v) for k, v in dict(data.get("area") or {}).items()},
+            delay={k: int(v) for k, v in dict(data.get("delay") or {}).items()},
+            verify_seconds=float(data.get("verify_seconds", 0.0)),
+            verify_verdict=SeqVerdict(verdict) if verdict else None,
+            verify_reason=data.get("verify_reason") or None,
+            verify_stats=dict(data.get("verify_stats") or {}),
+            notes=str(data.get("notes", "")),
+            status=str(data.get("status", "ok")),
+            error=data.get("error") or None,
+        )
 
 
 def _measure(result: FlowResult, tag: str, circuit: Optional[Circuit]) -> None:
@@ -104,6 +154,7 @@ def run_flow(
     build_unexposed_variants: bool = True,
     n_jobs: int = 1,
     cec_cache=None,
+    budget=None,
 ) -> FlowResult:
     """Run the full Fig. 19 experiment on one circuit.
 
@@ -113,7 +164,10 @@ def run_flow(
     the paper predicts from functional analysis.  ``n_jobs`` and
     ``cec_cache`` reach the CEC engine inside the verification step —
     a cache shared across rows (and across runs) skips already-proven
-    merges of structurally recurring cones.
+    merges of structurally recurring cones.  ``budget`` (a
+    :class:`repro.runtime.Budget` or bare seconds) resource-governs the
+    verification step; exhaustion yields an UNKNOWN verdict with
+    :attr:`FlowResult.verify_reason` set, never a hang.
     """
     result = FlowResult(circuit.name)
     result.latches_a = circuit.num_latches()
@@ -201,9 +255,14 @@ def run_flow(
     if verify:
         t0 = time.perf_counter()
         check = check_sequential_equivalence(
-            b_circuit, c_circuit, n_jobs=n_jobs, cec_cache=cec_cache
+            b_circuit,
+            c_circuit,
+            n_jobs=n_jobs,
+            cec_cache=cec_cache,
+            budget=budget,
         )
         result.verify_seconds = time.perf_counter() - t0
         result.verify_verdict = check.verdict
+        result.verify_reason = check.reason
         result.verify_stats = dict(check.stats)
     return result

@@ -5,9 +5,16 @@ circuit, the latch counts of A/F/C/E, the normalised areas (D = 1.00), the
 mapped delays (column S), the percentage of latches exposed in B, and the
 H-vs-J combinational verification time.
 
+The harness is fault-tolerant: a row whose flow raises is recorded as an
+ERROR row (``--on-error skip``, the default) instead of killing the run,
+a per-row ``--time-limit`` turns runaway verifications into TIMEOUT rows,
+every finished row is checkpointed immediately (``--checkpoint``), and an
+interrupted run picks up where it left off with ``--resume``.
+
 Run as a module for the full table::
 
-    python -m repro.flows.table1 [--quick] [--unate]
+    python -m repro.flows.table1 [--quick] [--unate] [--time-limit S]
+                                 [--checkpoint FILE --resume]
 """
 
 from __future__ import annotations
@@ -15,12 +22,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.bench.iscas_like import TABLE1_CIRCUITS, build_table1_circuit
 from repro.cec.cache import ProofCache
+from repro.flows.checkpoint import Checkpoint
 from repro.flows.flow import FlowResult, run_flow
 from repro.flows.report import render_table, summarize_engine_stats
+from repro.runtime.budget import REASON_TIMEOUT, Budget
 
 __all__ = ["table1_row", "run_table1", "QUICK_SET"]
 
@@ -45,6 +54,7 @@ def table1_row(
     effort: str = "medium",
     n_jobs: int = 1,
     cec_cache=None,
+    budget: Union[None, int, float, Budget] = None,
 ) -> FlowResult:
     """Run the flow for one Table 1 circuit."""
     circuit = build_table1_circuit(name)
@@ -54,7 +64,17 @@ def table1_row(
         effort=effort,
         n_jobs=n_jobs,
         cec_cache=cec_cache,
+        budget=budget,
     )
+
+
+def _row_budget(
+    time_limit: Optional[float], bdd_node_limit: Optional[int]
+) -> Optional[Budget]:
+    """A fresh per-row budget (deadlines are single-use, so never shared)."""
+    if time_limit is None and bdd_node_limit is None:
+        return None
+    return Budget(wall_seconds=time_limit, bdd_nodes=bdd_node_limit)
 
 
 def run_table1(
@@ -64,29 +84,90 @@ def run_table1(
     stream=None,
     n_jobs: int = 1,
     cec_cache=None,
+    time_limit: Optional[float] = None,
+    bdd_node_limit: Optional[int] = None,
+    on_error: str = "skip",
+    checkpoint=None,
+    resume: bool = False,
 ) -> List[FlowResult]:
     """Run the Table 1 harness and print the table.
 
     A ``cec_cache`` (path or :class:`repro.cec.ProofCache`) is shared by
     every row's verification step and flushed at the end, so a second run
     of the harness replays the proven merges instead of re-solving them.
+
+    ``time_limit`` / ``bdd_node_limit`` build a fresh per-row
+    :class:`~repro.runtime.Budget` for the verification step; a row whose
+    budget runs dry is recorded with status ``"timeout"``.  ``on_error``
+    selects the containment policy for a row whose flow raises:
+    ``"skip"`` records an ERROR row and moves on, ``"abort"`` re-raises
+    after flushing the checkpoint.  ``checkpoint`` (path or
+    :class:`~repro.flows.checkpoint.Checkpoint`) records every finished
+    row immediately; with ``resume=True`` already-recorded rows are
+    replayed instead of recomputed.
     """
+    if on_error not in ("skip", "abort"):
+        raise ValueError(f"on_error must be 'skip' or 'abort', got {on_error!r}")
     if names is None:
         names = [entry[0] for entry in TABLE1_CIRCUITS]
     cache = ProofCache.coerce(cec_cache)
+    store: Optional[Checkpoint] = None
+    recorded: Dict[str, dict] = {}
+    if checkpoint is not None:
+        config = {
+            "harness": "table1",
+            "unate": bool(use_unateness),
+            "effort": effort,
+        }
+        store = (
+            checkpoint
+            if isinstance(checkpoint, Checkpoint)
+            else Checkpoint(checkpoint, config)
+        )
+        if resume:
+            recorded = store.load()
     results: List[FlowResult] = []
     for name in names:
+        if name in recorded:
+            result = FlowResult.from_dict(recorded[name])
+            if stream is not None:
+                print(f"  {name}: resumed from checkpoint", file=stream, flush=True)
+            results.append(result)
+            continue
         t0 = time.perf_counter()
-        result = table1_row(name, use_unateness, effort, n_jobs, cache)
+        try:
+            result = table1_row(
+                name,
+                use_unateness,
+                effort,
+                n_jobs,
+                cache,
+                budget=_row_budget(time_limit, bdd_node_limit),
+            )
+            if result.verify_reason == REASON_TIMEOUT:
+                result.status = "timeout"
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            if on_error == "abort":
+                if cache is not None:
+                    cache.save()
+                raise
+            result = FlowResult(name, status="error", error=repr(exc))
+            result.notes = "row failed; "
         elapsed = time.perf_counter() - t0
         if stream is not None:
-            print(
-                f"  {name}: flow {elapsed:.1f}s verify "
-                f"{result.verify_seconds:.2f}s {result.verify_verdict}",
-                file=stream,
-                flush=True,
-            )
+            if result.status == "error":
+                line = f"  {name}: ERROR after {elapsed:.1f}s ({result.error})"
+            else:
+                line = (
+                    f"  {name}: flow {elapsed:.1f}s verify "
+                    f"{result.verify_seconds:.2f}s {result.verify_verdict}"
+                )
+            print(line, file=stream, flush=True)
         results.append(result)
+        if store is not None:
+            store.record(name, result.to_dict())
     if cache is not None:
         cache.save()
     if stream is not None:
@@ -96,6 +177,14 @@ def run_table1(
             file=stream,
         )
     return results
+
+
+def _verdict_cell(result: FlowResult) -> str:
+    if result.status == "error":
+        return "ERROR"
+    if result.status == "timeout":
+        return "TIMEOUT"
+    return result.verify_verdict.value if result.verify_verdict else "-"
 
 
 def format_table1(results: Sequence[FlowResult]) -> str:
@@ -141,7 +230,7 @@ def format_table1(results: Sequence[FlowResult]) -> str:
                 r.normalised_area("E"),
                 r.delay.get("E"),
                 round(r.verify_seconds, 3),
-                r.verify_verdict.value if r.verify_verdict else "-",
+                _verdict_cell(r),
             ]
         )
     return render_table(headers, rows, title="Table 1 — optimisation & verification")
@@ -170,7 +259,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="persistent CEC proof-cache file shared across rows and runs",
     )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-row wall-clock budget for verification (seconds); "
+        "exhaustion records a TIMEOUT row instead of hanging",
+    )
+    parser.add_argument(
+        "--bdd-node-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="live-node cap for the engine's bounded BDD attempts",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("skip", "abort"),
+        default="skip",
+        help="a row whose flow raises: record an ERROR row and continue "
+        "(skip, default) or stop the run (abort)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="record every finished row into FILE (JSON, written atomically)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay rows already recorded in --checkpoint instead of "
+        "recomputing them",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
     if args.circuits:
         names = args.circuits
     elif args.quick:
@@ -183,6 +308,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         stream=sys.stdout,
         n_jobs=args.jobs,
         cec_cache=args.cache,
+        time_limit=args.time_limit,
+        bdd_node_limit=args.bdd_node_limit,
+        on_error=args.on_error,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     return 0
 

@@ -34,6 +34,10 @@ class Table2Row:
     exposed_unate: int
     paper_exposed: int
     seconds: float
+    # Row lifecycle: "ok", or "error" when the analysis raised and the
+    # harness contained it (``error`` then holds the exception's repr).
+    status: str = "ok"
+    error: Optional[str] = None
 
 
 def table2_row(name: str) -> Table2Row:
@@ -55,21 +59,36 @@ def table2_row(name: str) -> Table2Row:
 
 
 def run_table2(
-    names: Optional[Sequence[str]] = None, stream=None
+    names: Optional[Sequence[str]] = None, stream=None, on_error: str = "skip"
 ) -> List[Table2Row]:
-    """Run the Table 2 harness; prints when ``stream`` given."""
+    """Run the Table 2 harness; prints when ``stream`` given.
+
+    ``on_error="skip"`` (default) records a row whose analysis raises as
+    an ERROR row and continues; ``"abort"`` re-raises.
+    """
+    if on_error not in ("skip", "abort"):
+        raise ValueError(f"on_error must be 'skip' or 'abort', got {on_error!r}")
     if names is None:
         names = [entry[0] for entry in TABLE2_CIRCUITS]
     rows = []
     for name in names:
-        row = table2_row(name)
+        try:
+            row = table2_row(name)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            if on_error == "abort":
+                raise
+            row = Table2Row(name, 0, 0, 0, 0, 0.0, status="error", error=repr(exc))
         if stream is not None:
-            print(
-                f"  {name}: {row.exposed_structural}/{row.latches} exposed "
-                f"({row.seconds:.1f}s)",
-                file=stream,
-                flush=True,
-            )
+            if row.status == "error":
+                line = f"  {name}: ERROR ({row.error})"
+            else:
+                line = (
+                    f"  {name}: {row.exposed_structural}/{row.latches} "
+                    f"exposed ({row.seconds:.1f}s)"
+                )
+            print(line, file=stream, flush=True)
         rows.append(row)
     if stream is not None:
         print(format_table2(rows), file=stream)
@@ -88,6 +107,9 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
     ]
     table = []
     for r in rows:
+        if r.status == "error":
+            table.append([r.name, None, None, None, None, "ERROR"])
+            continue
         table.append(
             [
                 r.name,
@@ -108,6 +130,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small circuits only")
     parser.add_argument("--circuits", nargs="*")
+    parser.add_argument(
+        "--on-error",
+        choices=("skip", "abort"),
+        default="skip",
+        help="a row whose analysis raises: record an ERROR row and "
+        "continue (skip, default) or stop the run (abort)",
+    )
     args = parser.parse_args(argv)
     if args.circuits:
         names = args.circuits
@@ -115,7 +144,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names = [e[0] for e in TABLE2_CIRCUITS if e[1] <= 700]
     else:
         names = None
-    run_table2(names, stream=sys.stdout)
+    run_table2(names, stream=sys.stdout, on_error=args.on_error)
     return 0
 
 

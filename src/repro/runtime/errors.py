@@ -1,0 +1,51 @@
+"""Exceptions of the resource-governed runtime.
+
+These are the *catchable* failure modes of the proving engines: every one
+of them means "this obligation ran out of some resource", never "the
+result would have been wrong".  Callers that hold a
+:class:`~repro.runtime.budget.Budget` convert them into recorded UNKNOWN
+verdicts with a reason code instead of letting them escape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ResourceError", "BddBlowupError", "BudgetExceededError"]
+
+
+class ResourceError(Exception):
+    """Base class: a proving engine hit a resource limit.
+
+    ``reason`` carries the machine-readable reason code (one of the
+    ``REASON_*`` constants in :mod:`repro.runtime.budget`).
+    """
+
+    def __init__(self, message: str, reason: str = "resource-limit") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class BddBlowupError(ResourceError):
+    """BDD construction exceeded the manager's node limit."""
+
+    def __init__(self, nodes: int, limit: int) -> None:
+        super().__init__(
+            f"BDD blow-up: {nodes} nodes reached the limit of {limit}",
+            reason="bdd-blowup",
+        )
+        self.nodes = nodes
+        self.limit = limit
+
+
+class BudgetExceededError(ResourceError):
+    """A :class:`~repro.runtime.budget.Budget` resource ran out.
+
+    Raised by ``Budget.check()``; ``context`` names the phase that was
+    running when the budget expired (useful in flow logs).
+    """
+
+    def __init__(self, reason: str, context: Optional[str] = None) -> None:
+        where = f" during {context}" if context else ""
+        super().__init__(f"budget exhausted ({reason}){where}", reason=reason)
+        self.context = context

@@ -1,0 +1,57 @@
+"""Bounded retry with backoff for fault-tolerant dispatch.
+
+Used by the parallel sweep to requeue crashed or timed-out work units
+onto the serial path: a couple of quick attempts with a short, linearly
+growing pause between them, then give up and let the caller degrade
+(record UNKNOWN verdicts) instead of looping forever on a deterministic
+failure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, TypeVar
+
+__all__ = ["run_with_retries"]
+
+T = TypeVar("T")
+
+
+def run_with_retries(
+    fn: Callable[[], T],
+    attempts: int = 2,
+    backoff_seconds: float = 0.05,
+    deadline: Optional[float] = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> Tuple[Optional[T], Optional[BaseException], int]:
+    """Call ``fn`` up to ``attempts`` times; returns (result, error, retries).
+
+    On success the error slot is None; after the final failed attempt the
+    result slot is None and the last exception is returned (never raised —
+    the caller decides whether a failure is fatal).  ``deadline`` (a
+    ``time.monotonic()`` timestamp) stops further attempts once passed.
+    ``on_retry(attempt_index, exc)`` is invoked before each re-attempt.
+    KeyboardInterrupt is always re-raised.
+    """
+    attempts = max(1, int(attempts))
+    last_error: Optional[BaseException] = None
+    retries = 0
+    for attempt in range(attempts):
+        if attempt > 0:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            retries += 1
+            if on_retry is not None:
+                on_retry(attempt, last_error)  # type: ignore[arg-type]
+            pause = backoff_seconds * attempt
+            if pause > 0:
+                if deadline is not None:
+                    pause = min(pause, max(0.0, deadline - time.monotonic()))
+                time.sleep(pause)
+        try:
+            return fn(), None, retries
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reported, not hidden
+            last_error = exc
+    return None, last_error, retries

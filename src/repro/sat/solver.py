@@ -11,13 +11,26 @@ Implements the standard modern architecture:
 
 The solver supports incremental solving under assumptions, which the CEC
 engine uses for equivalence sweeping (one CNF, many queries).
+
+Every ``solve`` call can be resource-bounded: ``conflict_limit`` and
+``propagation_limit`` cap the search effort, and ``deadline`` (an absolute
+``time.monotonic()`` timestamp) is polled periodically inside the CDCL
+loop.  Exhausting any of them reports UNKNOWN (``last_unknown`` set, with
+the cause in ``last_unknown_reason``) rather than hanging — the contract
+the budget-governed CEC cascade relies on.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.runtime.budget import (
+    REASON_CONFLICT_LIMIT,
+    REASON_PROPAGATION_LIMIT,
+    REASON_TIMEOUT,
+)
 from repro.sat.cnf import CNF
 
 __all__ = ["Solver", "SATResult"]
@@ -181,21 +194,34 @@ class Solver:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: Optional[int] = None,
+        propagation_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> SATResult:
         """Solve under assumptions.
 
-        ``conflict_limit`` bounds total conflicts for this call; when
-        exceeded the result is reported unsatisfiable=False with model=None
-        and the caller should treat it as UNKNOWN (we expose it via the
-        ``model is None and satisfiable is False`` combination plus the
-        :attr:`last_unknown` flag).
+        ``conflict_limit`` bounds total conflicts for this call;
+        ``propagation_limit`` bounds total propagations; ``deadline`` is an
+        absolute ``time.monotonic()`` timestamp polled inside the search
+        loop.  When any limit is exceeded the result is reported
+        unsatisfiable=False with model=None and the caller should treat it
+        as UNKNOWN (exposed via the :attr:`last_unknown` flag, with the
+        exhausted resource named in :attr:`last_unknown_reason`).
         """
         self.last_unknown = False
+        self.last_unknown_reason = None
         if not self._ok:
             return self._result(False)
         self._cancel_until(0)
         conflicts_this_call = 0
         restart_count = 0
+        self._deadline_at = deadline
+        self._prop_stop = (
+            self.stats_propagations + propagation_limit
+            if propagation_limit is not None
+            else None
+        )
+        if deadline is not None and time.monotonic() >= deadline:
+            return self._unknown_result(REASON_TIMEOUT)
 
         # Install assumptions as pseudo-decisions, one level each.
         assumption_queue = list(assumptions)
@@ -209,6 +235,10 @@ class Solver:
                 budget, assumption_queue, conflict_counter=[0]
             )
             conflicts_this_call += self._last_search_conflicts
+            if status == "budget-time":
+                return self._unknown_result(REASON_TIMEOUT)
+            if status == "budget-propagations":
+                return self._unknown_result(REASON_PROPAGATION_LIMIT)
             if status == "sat":
                 model = {
                     v + 1: self._assign[v] == 1 for v in range(self._num_vars)
@@ -230,9 +260,14 @@ class Solver:
             # restart
             self._cancel_until(0)
             if conflict_limit is not None and conflicts_this_call >= conflict_limit:
-                self.last_unknown = True
-                self._cancel_until(0)
-                return self._result(False)
+                return self._unknown_result(REASON_CONFLICT_LIMIT)
+
+    def _unknown_result(self, reason: str) -> SATResult:
+        """Give up on this call: flag UNKNOWN with its reason code."""
+        self.last_unknown = True
+        self.last_unknown_reason = reason
+        self._cancel_until(0)
+        return self._result(False)
 
     def _result(self, sat: bool) -> SATResult:
         return SATResult(
@@ -327,6 +362,20 @@ class Solver:
     ) -> str:
         self._last_search_conflicts = 0
         while True:
+            if (
+                self._prop_stop is not None
+                and self.stats_propagations >= self._prop_stop
+            ):
+                return "budget-propagations"
+            if self._deadline_at is not None:
+                # Poll the wall clock every few iterations: cheap enough to
+                # keep the unbudgeted path unchanged, frequent enough that a
+                # deadline overrun stays far below the caller's 2x margin.
+                self._poll_tick += 1
+                if (self._poll_tick & 63) == 0 and (
+                    time.monotonic() >= self._deadline_at
+                ):
+                    return "budget-time"
             conflict = self._propagate()
             if conflict is not None:
                 self.stats_conflicts += 1
@@ -368,6 +417,11 @@ class Solver:
 
     _num_assumed = 0
     _last_search_conflicts = 0
+    _deadline_at: Optional[float] = None
+    _prop_stop: Optional[int] = None
+    _poll_tick = 0
+    last_unknown = False
+    last_unknown_reason: Optional[str] = None
 
     def _pick_branch(self) -> int:
         best = -1

@@ -177,7 +177,7 @@ class TestParallelSweep:
             m.aig, _class_candidates(classes, words), 2
         )
         for unit in units:
-            num_vars, clauses, queries, _ = sweep_unit_payload(
+            num_vars, clauses, queries, _, _ = sweep_unit_payload(
                 solver, unit, 2000
             )
             assert len(queries) == len(unit.candidates)

@@ -1,0 +1,172 @@
+"""Interrupt/resume behaviour of the Table 1 harness.
+
+The acceptance property: a run that dies mid-table and is resumed with
+``--resume`` must produce the same report, row for row, as a run that was
+never interrupted — resumed rows replay from the checkpoint, the rest are
+recomputed, and nothing is double-counted or lost.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.flows import table1 as table1_mod
+from repro.flows.checkpoint import CHECKPOINT_VERSION, Checkpoint
+from repro.flows.flow import FlowResult
+from repro.flows.table1 import format_table1, run_table1
+
+NAMES = ["s400", "s444", "s953"]
+
+_TIMING_MARKERS = ("time", "seconds", "utilisation", "wall")
+
+
+def comparable(result: FlowResult) -> dict:
+    """A row's dict form with non-deterministic timing fields stripped."""
+    data = result.to_dict()
+    data.pop("verify_seconds")
+    data["verify_stats"] = {
+        k: v
+        for k, v in data["verify_stats"].items()
+        if not any(marker in k for marker in _TIMING_MARKERS)
+    }
+    return data
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The uninterrupted reference run."""
+    return run_table1(NAMES)
+
+
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_row_for_row(
+        self, baseline, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "table1.ckpt.json"
+        real_row = table1_mod.table1_row
+
+        def dies_on_second(name, *args, **kwargs):
+            if name == NAMES[1]:
+                raise RuntimeError("injected mid-run crash")
+            return real_row(name, *args, **kwargs)
+
+        monkeypatch.setattr(table1_mod, "table1_row", dies_on_second)
+        with pytest.raises(RuntimeError, match="injected mid-run crash"):
+            run_table1(NAMES, checkpoint=path, on_error="abort")
+        monkeypatch.setattr(table1_mod, "table1_row", real_row)
+
+        # The checkpoint holds exactly the rows finished before the crash.
+        recorded = Checkpoint(
+            path, {"harness": "table1", "unate": False, "effort": "medium"}
+        ).load()
+        assert sorted(recorded) == [NAMES[0]]
+
+        resumed = run_table1(NAMES, checkpoint=path, resume=True)
+        assert [r.name for r in resumed] == NAMES
+        assert [comparable(r) for r in resumed] == [
+            comparable(r) for r in baseline
+        ]
+        # The rendered reports agree too, modulo the wall-clock column.
+        def rendered(rows):
+            stripped = [FlowResult.from_dict(r.to_dict()) for r in rows]
+            for row in stripped:
+                row.verify_seconds = 0.0
+            return format_table1(stripped)
+
+        assert rendered(resumed) == rendered(baseline)
+
+    def test_completed_checkpoint_replays_everything(
+        self, baseline, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "table1.ckpt.json"
+        run_table1(NAMES, checkpoint=path)
+
+        def must_not_run(name, *args, **kwargs):
+            raise AssertionError(f"row {name} recomputed despite checkpoint")
+
+        monkeypatch.setattr(table1_mod, "table1_row", must_not_run)
+        resumed = run_table1(NAMES, checkpoint=path, resume=True)
+        assert [comparable(r) for r in resumed] == [
+            comparable(r) for r in baseline
+        ]
+
+    def test_without_resume_checkpoint_rows_are_recomputed(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "table1.ckpt.json"
+        run_table1(NAMES[:1], checkpoint=path)
+        calls = []
+        real_row = table1_mod.table1_row
+
+        def counting(name, *args, **kwargs):
+            calls.append(name)
+            return real_row(name, *args, **kwargs)
+
+        monkeypatch.setattr(table1_mod, "table1_row", counting)
+        run_table1(NAMES[:1], checkpoint=path)  # no resume flag
+        assert calls == NAMES[:1]
+
+    def test_mismatched_config_is_ignored(self, tmp_path, monkeypatch):
+        path = tmp_path / "table1.ckpt.json"
+        run_table1(NAMES[:1], checkpoint=path)
+        calls = []
+        real_row = table1_mod.table1_row
+
+        def counting(name, *args, **kwargs):
+            calls.append(name)
+            return real_row(name, *args, **kwargs)
+
+        monkeypatch.setattr(table1_mod, "table1_row", counting)
+        # A --unate resume must not replay structural-exposure rows.
+        run_table1(NAMES[:1], use_unateness=True, checkpoint=path, resume=True)
+        assert calls == NAMES[:1]
+
+    def test_corrupted_checkpoint_degrades_to_full_run(self, tmp_path):
+        path = tmp_path / "table1.ckpt.json"
+        path.write_text("garbage {{{")
+        results = run_table1(NAMES[:1], checkpoint=path, resume=True)
+        assert results[0].status == "ok"
+        # And the file was replaced by a valid checkpoint afterwards.
+        raw = json.loads(path.read_text())
+        assert raw["version"] == CHECKPOINT_VERSION
+        assert NAMES[0] in raw["rows"]
+
+    def test_checkpoint_writes_are_atomic(self, tmp_path):
+        path = tmp_path / "table1.ckpt.json"
+        run_table1(NAMES[:2], checkpoint=path)
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+
+class TestErrorRows:
+    def test_failing_row_is_contained(self, monkeypatch):
+        real_row = table1_mod.table1_row
+
+        def dies_on_first(name, *args, **kwargs):
+            if name == NAMES[0]:
+                raise RuntimeError("boom")
+            return real_row(name, *args, **kwargs)
+
+        monkeypatch.setattr(table1_mod, "table1_row", dies_on_first)
+        results = run_table1(NAMES[:2], on_error="skip")
+        assert results[0].status == "error"
+        assert "boom" in (results[0].error or "")
+        assert results[1].status == "ok"
+        # The rendered table carries the ERROR marker instead of crashing.
+        assert "ERROR" in format_table1(results)
+
+    def test_flowresult_roundtrips_through_dict(self, monkeypatch):
+        real_row = table1_mod.table1_row
+
+        def dies(name, *args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(table1_mod, "table1_row", dies)
+        (row,) = run_table1(NAMES[:1], on_error="skip")
+        restored = FlowResult.from_dict(row.to_dict())
+        assert restored.to_dict() == row.to_dict()
+
+    def test_resume_requires_checkpoint_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            table1_mod.main(["--resume", "--circuits", "s400"])

@@ -125,3 +125,93 @@ class TestCheckerAgainstFaults:
         if visible(circuit, mutant, b_seed):
             result = check_sequential_equivalence(circuit, mutant)
             assert result.verdict is not SeqVerdict.EQUIVALENT
+
+
+class TestResourceFaults:
+    """Resource exhaustion must degrade to UNKNOWN, never flip a verdict.
+
+    The one-sided soundness contract under injected budgets/faults:
+
+    * a *visible* fault may come back NOT_EQUIVALENT or UNKNOWN, never
+      EQUIVALENT (no false proof under starvation);
+    * a *masked* mutation may come back EQUIVALENT or UNKNOWN, never
+      NOT_EQUIVALENT (resource limits cannot conjure a counterexample);
+    * a killed sweep worker changes nothing at all versus the serial run.
+    """
+
+    def _mutant_pairs(self, seed=0, count=8):
+        circuit = fig3_circuit()
+        return circuit, list(sample_mutations(circuit, count=count, seed=seed))
+
+    def test_bdd_starvation_never_flips_verdicts(self):
+        from repro.runtime.budget import Budget
+
+        circuit, pairs = self._mutant_pairs(seed=11)
+        for mutation, mutant in pairs:
+            baseline = check_sequential_equivalence(circuit, mutant)
+            starved = check_sequential_equivalence(
+                circuit,
+                mutant,
+                budget=Budget(wall_seconds=30.0, bdd_nodes=4),
+            )
+            assert starved.verdict in (
+                baseline.verdict,
+                SeqVerdict.UNKNOWN,
+            ), mutation.describe()
+
+    def test_expired_deadline_yields_unknown_not_equivalent(self):
+        from repro.runtime.budget import Budget
+
+        circuit, pairs = self._mutant_pairs(seed=12)
+        flagged = False
+        for mutation, mutant in pairs:
+            if not visible(circuit, mutant, 12, warmup=8):
+                continue
+            result = check_sequential_equivalence(
+                circuit, mutant, budget=Budget(wall_seconds=0.0)
+            )
+            # A visible fault under a dead budget: UNKNOWN is acceptable,
+            # a blessing is not.
+            assert result.verdict is not SeqVerdict.EQUIVALENT, (
+                mutation.describe()
+            )
+            if result.verdict is SeqVerdict.UNKNOWN:
+                assert result.reason is not None
+                flagged = True
+        assert flagged  # the dead budget actually bit somewhere
+
+    def test_conflict_starvation_never_blesses_visible_fault(self):
+        from repro.runtime.budget import Budget
+
+        circuit, pairs = self._mutant_pairs(seed=13)
+        for mutation, mutant in pairs:
+            if not visible(circuit, mutant, 13, warmup=8):
+                continue
+            result = check_sequential_equivalence(
+                circuit,
+                mutant,
+                budget=Budget(wall_seconds=30.0, sat_conflicts=1),
+            )
+            assert result.verdict is not SeqVerdict.EQUIVALENT, (
+                mutation.describe()
+            )
+
+    def test_killed_sweep_worker_preserves_seq_verdict(self, monkeypatch):
+        from repro.cec import parallel
+
+        circuit = pipeline_circuit(stages=2, width=3, seed=21)
+        pairs = sample_mutations(circuit, count=4, seed=21)
+        for mutation, mutant in pairs:
+            serial = check_sequential_equivalence(circuit, mutant, n_jobs=1)
+
+            def crash(payload):
+                raise RuntimeError("injected worker crash")
+
+            monkeypatch.setattr(parallel, "_fault_hook", crash)
+            try:
+                faulty = check_sequential_equivalence(
+                    circuit, mutant, n_jobs=2
+                )
+            finally:
+                monkeypatch.setattr(parallel, "_fault_hook", None)
+            assert faulty.verdict is serial.verdict, mutation.describe()
