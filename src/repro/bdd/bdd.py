@@ -46,12 +46,30 @@ class BDD:
         self._var_names: List[str] = []
         self._var_index: Dict[str, int] = {}
         self._node_limit = node_limit
+        # Optional repro.obs.metrics.MetricsRegistry (see attach_metrics).
+        self.metrics = None
         for name in variables:
             self.add_var(name)
 
     def set_node_limit(self, node_limit: Optional[int]) -> None:
         """Cap (or uncap, with None) total node allocation."""
         self._node_limit = node_limit
+
+    def attach_metrics(self, registry) -> None:
+        """Attach a :class:`repro.obs.metrics.MetricsRegistry`.
+
+        Blow-ups feed the ``bdd.blowups`` counter as they happen; node
+        growth is sampled by :meth:`flush_metrics` (nodes are never freed,
+        so the current count *is* the peak).
+        """
+        self.metrics = registry
+
+    def flush_metrics(self) -> None:
+        """Record the manager's node growth into the attached registry."""
+        if self.metrics is not None:
+            nodes = self.num_nodes()
+            self.metrics.max_gauge("bdd.peak_nodes", nodes)
+            self.metrics.observe("bdd.nodes_built", nodes)
 
     # ------------------------------------------------------------------
     # variables
@@ -107,6 +125,9 @@ class BDD:
                 self._node_limit is not None
                 and len(self._level) >= self._node_limit
             ):
+                if self.metrics is not None:
+                    self.metrics.inc("bdd.blowups")
+                    self.metrics.max_gauge("bdd.peak_nodes", len(self._level))
                 raise BddBlowupError(len(self._level), self._node_limit)
             node = len(self._level)
             self._level.append(level)

@@ -92,8 +92,16 @@ def bfs_variable_order(
 def choose_best_order(
     circuit: Circuit,
     extra_orders: Iterable[Sequence[str]] = (),
+    metrics=None,
 ) -> Tuple[List[str], int]:
-    """Try candidate leaf orders; return (best order, its node count)."""
+    """Try candidate leaf orders; return (best order, its node count).
+
+    With a :class:`repro.obs.metrics.MetricsRegistry` attached, every
+    candidate build counts as a ``bdd.reorder.attempts`` event with its
+    node cost observed in ``bdd.reorder.nodes``, and the winning size
+    lands in the ``bdd.reorder.best_nodes`` gauge — the reorder-event
+    visibility the hotspot report surfaces.
+    """
     from repro.bdd.circuit2bdd import circuit_bdds
 
     dfs = dfs_variable_order(circuit)
@@ -110,9 +118,14 @@ def choose_best_order(
         manager = BDD()
         circuit_bdds(circuit, manager, order=order)
         size = manager.num_nodes()
+        if metrics is not None:
+            metrics.inc("bdd.reorder.attempts")
+            metrics.observe("bdd.reorder.nodes", size)
         if best_order is None or size < best_size:
             best_order, best_size = order, size
     assert best_order is not None
+    if metrics is not None:
+        metrics.set_gauge("bdd.reorder.best_nodes", best_size)
     return best_order, best_size
 
 

@@ -56,8 +56,21 @@ class ProofCache:
         self.path = os.fspath(path) if path is not None else None
         self._data: Dict[str, str] = {}
         self._dirty = False
+        # Optional repro.obs.metrics.MetricsRegistry (see attach_metrics).
+        self.metrics = None
         if self.path is not None:
             self._data.update(self._read_file(self.path))
+
+    def attach_metrics(self, registry) -> None:
+        """Attach a :class:`repro.obs.metrics.MetricsRegistry`.
+
+        Records the entry count at attach time (``cec.cache.entries``)
+        and counts persisted saves (``cec.cache.saves``); the hit/miss
+        traffic itself is counted by the engine, which knows *why* it
+        consulted the cache.
+        """
+        self.metrics = registry
+        registry.set_gauge("cec.cache.entries", len(self._data))
 
     @staticmethod
     def coerce(
@@ -120,6 +133,9 @@ class ProofCache:
             raise
         self._data = merged
         self._dirty = False
+        if self.metrics is not None:
+            self.metrics.inc("cec.cache.saves")
+            self.metrics.set_gauge("cec.cache.entries", len(self._data))
 
     def __len__(self) -> int:
         return len(self._data)

@@ -7,6 +7,19 @@ refutation → bounded BDD → bounded SAT — and a cascade that runs dry
 records an UNKNOWN verdict with a reason code instead of raising or
 hanging.  Without a budget the engine behaves exactly as before,
 bit-for-bit.
+
+Observability: the engine counts everything into one
+:class:`~repro.obs.metrics.MetricsRegistry` (the canonical sink; the
+``cec.*`` names are catalogued in ``docs/OBSERVABILITY.md``) and, when a
+:class:`~repro.obs.trace.Tracer` is passed, emits a span tree —
+``cec.check`` (pair) → ``cec.phase.*`` → ``cec.obligation`` →
+``stage.sim`` / ``stage.bdd`` / ``stage.sat`` — plus instants for budget
+exhaustion and lost/requeued sweep units.  :class:`EngineStats` survives
+as the backward-compatible flat view, rebuilt from the registry at
+finish (:meth:`EngineStats.from_metrics`), so ``CheckResult.stats`` and
+``CheckResult.engine`` consumers see exactly what they always did.  The
+default tracer is the no-op :data:`~repro.obs.trace.NULL_TRACER`, so the
+uninstrumented path stays unchanged.
 """
 
 from __future__ import annotations
@@ -25,6 +38,8 @@ from repro.cec.miter import MiterAIG, build_miter
 from repro.cec.parallel import UNKNOWN, UnitResult, sweep_units_parallel
 from repro.cec.partition import Candidate, WorkUnit, partition_candidates
 from repro.netlist.circuit import Circuit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, coerce_tracer
 from repro.runtime.budget import (
     REASON_BDD_BLOWUP,
     REASON_TIMEOUT,
@@ -46,6 +61,43 @@ __all__ = [
 #: set one explicitly; small enough that a blow-up costs milliseconds.
 DEFAULT_BDD_NODE_LIMIT = 100_000
 
+#: EngineStats counter field → canonical registry metric.  One table used
+#: in both directions so the flat stats view and the metrics sink can
+#: never drift apart.
+_COUNTER_METRICS: Dict[str, str] = {
+    "sat_queries": "cec.sat_queries",
+    "sweep_candidates": "cec.sweep.candidates",
+    "sweep_merges": "cec.sweep.merges",
+    "sweep_refuted": "cec.sweep.refuted",
+    "sweep_unknown": "cec.sweep.unknown",
+    "cache_hits": "cec.cache.hits",
+    "cache_misses": "cec.cache.misses",
+    "cache_stores": "cec.cache.stores",
+    "cascade_sim": "cec.cascade.sim",
+    "cascade_bdd": "cec.cascade.bdd",
+    "cascade_sat": "cec.cascade.sat",
+    "bdd_blowups": "cec.bdd_blowups",
+    "budget_exhausted": "cec.budget_exhausted",
+    "worker_failures": "cec.worker.failures",
+    "worker_timeouts": "cec.worker.timeouts",
+    "worker_retries": "cec.worker.retries",
+    "units_requeued": "cec.worker.requeued",
+    "pool_failures": "cec.worker.pool_failures",
+}
+
+#: Parallel-sweep telemetry key (from ``sweep_units_parallel``) → metric.
+_TELEMETRY_METRICS: Dict[str, str] = {
+    "worker_failures": "cec.worker.failures",
+    "worker_timeouts": "cec.worker.timeouts",
+    "worker_retries": "cec.worker.retries",
+    "units_requeued": "cec.worker.requeued",
+    "pool_failures": "cec.worker.pool_failures",
+}
+
+_PHASE_PREFIX = "cec.phase."
+_PHASE_SUFFIX = ".seconds"
+_WORKER_SECONDS = "cec.worker.seconds"
+
 
 class CecVerdict(enum.Enum):
     EQUIVALENT = "equivalent"
@@ -61,6 +113,10 @@ class EngineStats:
     :class:`CheckResult.stats` (flattened via :meth:`as_dict`) so the flow
     harnesses and the CLI can report where the engine spends its time and
     how much work the proof cache and the worker pool save.
+
+    This is now a *view*: the engine counts into a
+    :class:`~repro.obs.metrics.MetricsRegistry` and rebuilds this object
+    from it at finish (:meth:`from_metrics`).
     """
 
     n_jobs: int = 1
@@ -89,6 +145,22 @@ class EngineStats:
     worker_seconds: List[float] = field(default_factory=list)
     parallel_wall: float = 0.0
 
+    @classmethod
+    def from_metrics(cls, metrics: MetricsRegistry) -> "EngineStats":
+        """Rebuild the flat stats view from the canonical metric names."""
+        stats = cls()
+        for field_name, metric in _COUNTER_METRICS.items():
+            setattr(stats, field_name, int(metrics.counter(metric)))
+        stats.n_jobs = int(metrics.gauge("cec.n_jobs", 1))
+        stats.n_units = int(metrics.gauge("cec.n_units", 0))
+        stats.parallel_wall = metrics.gauge("cec.parallel.wall_seconds", 0.0)
+        for name in metrics.names():
+            if name.startswith(_PHASE_PREFIX) and name.endswith(_PHASE_SUFFIX):
+                phase = name[len(_PHASE_PREFIX) : -len(_PHASE_SUFFIX)]
+                stats.phase_seconds[phase] = metrics.gauge(name)
+        stats.worker_seconds = metrics.series(_WORKER_SECONDS)
+        return stats
+
     def worker_utilisation(self) -> float:
         """Busy fraction of the worker pool during the parallel sweep."""
         if not self.worker_seconds or self.parallel_wall <= 0 or self.n_jobs < 1:
@@ -97,36 +169,16 @@ class EngineStats:
         return min(1.0, busy / (self.parallel_wall * self.n_jobs))
 
     def as_dict(self) -> Dict[str, float]:
-        """Flatten to the numeric key/value form ``CheckResult.stats`` uses."""
-        out: Dict[str, float] = {
-            "n_jobs": self.n_jobs,
-            "n_units": self.n_units,
-            "sat_queries": self.sat_queries,
-            "sweep_candidates": self.sweep_candidates,
-            "sweep_merges": self.sweep_merges,
-            "sweep_refuted": self.sweep_refuted,
-            "sweep_unknown": self.sweep_unknown,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_stores": self.cache_stores,
-        }
-        # Robustness counters appear only when something happened, so an
-        # unbudgeted, fault-free run reports the same keys as before.
-        for key in (
-            "cascade_sim",
-            "cascade_bdd",
-            "cascade_sat",
-            "bdd_blowups",
-            "budget_exhausted",
-            "worker_failures",
-            "worker_timeouts",
-            "worker_retries",
-            "units_requeued",
-            "pool_failures",
-        ):
-            value = getattr(self, key)
-            if value:
-                out[key] = value
+        """Flatten to the numeric key/value form ``CheckResult.stats`` uses.
+
+        Every canonical counter appears, zero or not — consumers can rely
+        on the key set being identical across runs; anything that wants a
+        compact view suppresses zeros at *render* time (see
+        ``repro.flows.report.compact_stats``).
+        """
+        out: Dict[str, float] = {"n_jobs": self.n_jobs, "n_units": self.n_units}
+        for key in _COUNTER_METRICS:
+            out[key] = getattr(self, key)
         if self.worker_seconds:
             out["worker_utilisation"] = self.worker_utilisation()
         for phase, seconds in self.phase_seconds.items():
@@ -315,6 +367,7 @@ def _bdd_decide_pair(
     name: str,
     node_limit: int,
     budget: Optional[Budget],
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Optional[Tuple[str, Optional[Dict[str, bool]]]]:
     """Cascade stage 3: decide an output pair with a node-bounded BDD.
 
@@ -324,6 +377,8 @@ def _bdd_decide_pair(
     cascade should fall through to SAT.
     """
     manager = BDD(node_limit=node_limit)
+    if metrics is not None:
+        manager.attach_metrics(metrics)
     pi_name_of = dict(zip(aig.pis, aig.pi_names))
     node_bdd: Dict[int, int] = {0: manager.ZERO}
 
@@ -349,6 +404,8 @@ def _bdd_decide_pair(
         assignment = manager.pick_minterm(manager.apply_xor(b1, b2)) or {}
     except BddBlowupError:
         return None
+    finally:
+        manager.flush_metrics()
     cex = {
         pi: bool(assignment.get(pi, False)) for pi in aig.pi_names
     }
@@ -364,7 +421,8 @@ def _check_outputs_cascade(
     proof_cache: Optional[ProofCache],
     conflict_limit: Optional[int],
     budget: Budget,
-    engine: EngineStats,
+    metrics: MetricsRegistry,
+    tracer: Union[Tracer, NullTracer],
     sim_width: int,
     seed: int,
 ) -> CheckResult:
@@ -389,81 +447,158 @@ def _check_outputs_cascade(
     def record(key: Optional[str], verdict: str) -> None:
         if proof_cache is not None and key is not None:
             proof_cache.put(key, verdict)
-            engine.cache_stores += 1
+            metrics.inc("cec.cache.stores")
 
     for name, l1, l2 in miter.output_pairs:
         # Stage 1: structural — the miter already hashed both cones.
         if l1 == l2:
             continue
-        key: Optional[str] = None
-        if proof_cache is not None:
-            key = aig.pair_cone_key(l1, l2)
-            if proof_cache.get(key) == EQ:
-                engine.cache_hits += 1
-                continue
-            # A cached NEQ still needs a fresh model for the
-            # counterexample, so only EQ skips the remaining stages.
-            engine.cache_misses += 1
-        if budget.expired():
-            engine.budget_exhausted += 1
-            return CheckResult(CecVerdict.UNKNOWN, reason=REASON_TIMEOUT)
-        # Stage 2: simulation refutation — a differing signature column
-        # is already a counterexample; no proving engine needed.
-        cex = _sim_refute_pair(aig, l1, l2, name, words, mask)
-        if cex is not None:
-            engine.cascade_sim += 1
-            record(key, NEQ)
-            return CheckResult(
-                CecVerdict.NOT_EQUIVALENT,
-                counterexample=cex,
-                failing_output=name,
-            )
-        # Stage 3: bounded BDD on the pair's cone.
-        decided = _bdd_decide_pair(aig, l1, l2, name, node_limit, budget)
-        if decided is not None:
-            engine.cascade_bdd += 1
-            status, cex = decided
-            record(key, status)
-            if status == NEQ:
-                return CheckResult(
-                    CecVerdict.NOT_EQUIVALENT,
-                    counterexample=cex,
-                    failing_output=name,
+        with tracer.span("cec.obligation", cat="obligation", output=name) as ob:
+            key: Optional[str] = None
+            if proof_cache is not None:
+                key = aig.pair_cone_key(l1, l2)
+                if proof_cache.get(key) == EQ:
+                    metrics.inc("cec.cache.hits")
+                    ob.annotate(decided_by="cache", verdict="eq")
+                    continue
+                # A cached NEQ still needs a fresh model for the
+                # counterexample, so only EQ skips the remaining stages.
+                metrics.inc("cec.cache.misses")
+            if budget.expired():
+                metrics.inc("cec.budget_exhausted")
+                tracer.instant(
+                    "budget.exhausted", output=name, reason=REASON_TIMEOUT
                 )
-            continue
-        if not budget.expired():
-            engine.bdd_blowups += 1  # fell through on nodes, not time
-        # Stage 4: bounded SAT.  An expired deadline makes the solver
-        # return UNKNOWN("timeout") immediately, which is the right end.
-        a = lit2cnf(l1)
-        b = lit2cnf(l2)
-        for assumptions in ([a, -b], [-a, b]):
-            res = solver.solve(
-                assumptions=assumptions,
-                conflict_limit=sat_limit,
-                propagation_limit=budget.sat_propagations,
-                deadline=budget.deadline,
-            )
-            engine.sat_queries += 1
-            if solver.last_unknown:
-                engine.budget_exhausted += 1
-                return CheckResult(
-                    CecVerdict.UNKNOWN,
-                    reason=solver.last_unknown_reason or REASON_TIMEOUT,
-                )
-            if res.satisfiable:
-                assert res.model is not None
-                cex = _extract_counterexample(aig, res.model, lit2cnf)
-                _validate_counterexample(aig, cex, l1, l2, name)
-                engine.cascade_sat += 1
+                ob.annotate(verdict="unknown", reason=REASON_TIMEOUT)
+                return CheckResult(CecVerdict.UNKNOWN, reason=REASON_TIMEOUT)
+            # Stage 2: simulation refutation — a differing signature column
+            # is already a counterexample; no proving engine needed.
+            with tracer.span("stage.sim", cat="stage", output=name):
+                cex = _sim_refute_pair(aig, l1, l2, name, words, mask)
+            if cex is not None:
+                metrics.inc("cec.cascade.sim")
+                ob.annotate(decided_by="sim", verdict="neq")
                 record(key, NEQ)
                 return CheckResult(
                     CecVerdict.NOT_EQUIVALENT,
                     counterexample=cex,
                     failing_output=name,
                 )
-        engine.cascade_sat += 1
-        record(key, EQ)
+            # Stage 3: bounded BDD on the pair's cone.
+            with tracer.span("stage.bdd", cat="stage", output=name):
+                decided = _bdd_decide_pair(
+                    aig, l1, l2, name, node_limit, budget, metrics
+                )
+            if decided is not None:
+                metrics.inc("cec.cascade.bdd")
+                status, cex = decided
+                ob.annotate(decided_by="bdd", verdict=status)
+                record(key, status)
+                if status == NEQ:
+                    return CheckResult(
+                        CecVerdict.NOT_EQUIVALENT,
+                        counterexample=cex,
+                        failing_output=name,
+                    )
+                continue
+            if not budget.expired():
+                # fell through on nodes, not time
+                metrics.inc("cec.bdd_blowups")
+                tracer.instant(
+                    "bdd.blowup", output=name, node_limit=node_limit
+                )
+            # Stage 4: bounded SAT.  An expired deadline makes the solver
+            # return UNKNOWN("timeout") immediately, which is the right end.
+            a = lit2cnf(l1)
+            b = lit2cnf(l2)
+            with tracer.span("stage.sat", cat="stage", output=name):
+                for assumptions in ([a, -b], [-a, b]):
+                    res = solver.solve(
+                        assumptions=assumptions,
+                        conflict_limit=sat_limit,
+                        propagation_limit=budget.sat_propagations,
+                        deadline=budget.deadline,
+                    )
+                    metrics.inc("cec.sat_queries")
+                    if solver.last_unknown:
+                        reason = solver.last_unknown_reason or REASON_TIMEOUT
+                        metrics.inc("cec.budget_exhausted")
+                        tracer.instant(
+                            "budget.exhausted", output=name, reason=reason
+                        )
+                        ob.annotate(verdict="unknown", reason=reason)
+                        return CheckResult(CecVerdict.UNKNOWN, reason=reason)
+                    if res.satisfiable:
+                        assert res.model is not None
+                        cex = _extract_counterexample(aig, res.model, lit2cnf)
+                        _validate_counterexample(aig, cex, l1, l2, name)
+                        metrics.inc("cec.cascade.sat")
+                        ob.annotate(decided_by="sat", verdict="neq")
+                        record(key, NEQ)
+                        return CheckResult(
+                            CecVerdict.NOT_EQUIVALENT,
+                            counterexample=cex,
+                            failing_output=name,
+                        )
+            metrics.inc("cec.cascade.sat")
+            ob.annotate(decided_by="sat", verdict="eq")
+            record(key, EQ)
+    return CheckResult(CecVerdict.EQUIVALENT)
+
+
+def _check_outputs_classic(
+    miter: MiterAIG,
+    aig: AIG,
+    solver: Solver,
+    lit2cnf,
+    proof_cache: Optional[ProofCache],
+    conflict_limit: Optional[int],
+    metrics: MetricsRegistry,
+    tracer: Union[Tracer, NullTracer],
+) -> CheckResult:
+    """Unbudgeted output checks: cache pass then plain SAT per pair."""
+    for name, l1, l2 in miter.output_pairs:
+        if l1 == l2:
+            continue
+        with tracer.span("cec.obligation", cat="obligation", output=name) as ob:
+            key: Optional[str] = None
+            if proof_cache is not None:
+                key = aig.pair_cone_key(l1, l2)
+                if proof_cache.get(key) == EQ:
+                    metrics.inc("cec.cache.hits")
+                    ob.annotate(decided_by="cache", verdict="eq")
+                    continue
+                # A cached NEQ still needs a fresh model for the
+                # counterexample, so only EQ skips the SAT work.
+                metrics.inc("cec.cache.misses")
+            a = lit2cnf(l1)
+            b = lit2cnf(l2)
+            with tracer.span("stage.sat", cat="stage", output=name):
+                for assumptions in ([a, -b], [-a, b]):
+                    res = solver.solve(
+                        assumptions=assumptions, conflict_limit=conflict_limit
+                    )
+                    metrics.inc("cec.sat_queries")
+                    if solver.last_unknown:
+                        ob.annotate(verdict="unknown")
+                        return CheckResult(CecVerdict.UNKNOWN)
+                    if res.satisfiable:
+                        assert res.model is not None
+                        cex = _extract_counterexample(aig, res.model, lit2cnf)
+                        _validate_counterexample(aig, cex, l1, l2, name)
+                        ob.annotate(decided_by="sat", verdict="neq")
+                        if proof_cache is not None and key is not None:
+                            proof_cache.put(key, NEQ)
+                            metrics.inc("cec.cache.stores")
+                        return CheckResult(
+                            CecVerdict.NOT_EQUIVALENT,
+                            counterexample=cex,
+                            failing_output=name,
+                        )
+            ob.annotate(decided_by="sat", verdict="eq")
+            if proof_cache is not None and key is not None:
+                proof_cache.put(key, EQ)
+                metrics.inc("cec.cache.stores")
     return CheckResult(CecVerdict.EQUIVALENT)
 
 
@@ -478,6 +613,8 @@ def check_equivalence(
     n_jobs: int = 1,
     cache: Union[None, str, os.PathLike, ProofCache] = None,
     budget: Union[None, int, float, Budget] = None,
+    tracer: Union[None, Tracer, NullTracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> CheckResult:
     """Check combinational equivalence of two circuits.
 
@@ -495,18 +632,41 @@ def check_equivalence(
     bounds every SAT/BDD call; exhaustion yields an UNKNOWN verdict with
     ``CheckResult.reason`` set, never an exception or a hang.  With no
     budget, verdicts and stats are bit-for-bit what they always were.
+
+    ``tracer`` — a :class:`~repro.obs.trace.Tracer` — records the span
+    tree of the check (None means the no-op tracer: zero overhead beyond
+    what the engine already measures).  ``metrics`` — a caller-owned
+    :class:`~repro.obs.metrics.MetricsRegistry` — receives a merge of the
+    check's full metric set at finish (the engine always counts into its
+    own per-check registry first, so passing a shared registry across
+    checks cannot corrupt any single check's stats).
     """
-    engine = EngineStats(n_jobs=max(1, int(n_jobs)))
+    tracer = coerce_tracer(tracer)
+    caller_metrics = metrics
+    registry = MetricsRegistry()
+    n_jobs = max(1, int(n_jobs))
+    registry.set_gauge("cec.n_jobs", n_jobs)
     proof_cache = ProofCache.coerce(cache)
+    if proof_cache is not None:
+        proof_cache.attach_metrics(registry)
     budget = Budget.coerce(budget)
     if budget is not None and budget.unlimited:
         budget = None  # an empty budget constrains nothing: classic path
     if budget is not None:
         budget.start()
     deadline = budget.deadline if budget is not None else None
+    root = tracer.span(
+        "cec.check",
+        cat="pair",
+        c1=getattr(c1, "name", ""),
+        c2=getattr(c2, "name", ""),
+        n_jobs=n_jobs,
+        budgeted=budget is not None,
+    )
     t0 = time.perf_counter()
-    miter = build_miter(c1, c2)
-    engine.phase_seconds["build"] = time.perf_counter() - t0
+    with tracer.span("cec.phase.build", cat="phase"):
+        miter = build_miter(c1, c2)
+    registry.set_gauge("cec.phase.build.seconds", time.perf_counter() - t0)
     stats: Dict[str, float] = {
         "aig_nodes": miter.aig.num_nodes(),
         "aig_ands": miter.aig.num_ands(),
@@ -516,21 +676,35 @@ def check_equivalence(
         if proof_cache is not None:
             proof_cache.save()
         stats["time"] = time.perf_counter() - t0
+        engine = EngineStats.from_metrics(registry)
         stats.update(engine.as_dict())
         result.stats = stats
         result.engine = engine
+        if tracer.enabled:
+            tracer.metrics(registry.as_flat_dict(), name="cec.metrics")
+        root.annotate(verdict=result.verdict.value)
+        if result.reason:
+            root.annotate(reason=result.reason)
+        root.close()
+        if caller_metrics is not None:
+            caller_metrics.merge(registry)
         return result
 
     if miter.trivially_equivalent:
         stats["structural"] = 1
+        root.annotate(structural=True)
         return finish(CheckResult(CecVerdict.EQUIVALENT))
 
     aig = miter.aig
-    cnf, lit2cnf = aig.to_cnf()
-    solver = Solver()
-    if not solver.add_cnf(cnf):
-        # The AIG CNF alone can only be UNSAT if something is deeply wrong.
-        raise RuntimeError("inconsistent AIG encoding")
+    t_enc = time.perf_counter()
+    with tracer.span("cec.phase.encode", cat="phase"):
+        cnf, lit2cnf = aig.to_cnf()
+        solver = Solver()
+        solver.metrics = registry
+        if not solver.add_cnf(cnf):
+            # The AIG CNF alone can only be UNSAT if something is deeply wrong.
+            raise RuntimeError("inconsistent AIG encoding")
+    registry.set_gauge("cec.phase.encode.seconds", time.perf_counter() - t_enc)
 
     def merge(a: int, b: int) -> None:
         solver.add_clause([-a, b])
@@ -538,47 +712,65 @@ def check_equivalence(
 
     if sweep and (budget is None or not budget.expired()):
         t_sim = time.perf_counter()
-        classes = _signature_classes(aig, sim_rounds, sim_width, seed)
-        # One simulation round determines relative phases for all classes.
-        words, _ = aig.random_simulate(width=sim_width, seed=seed)
-        class_list = _class_candidates(classes, words)
-        engine.sweep_candidates = sum(len(cls) for cls in class_list)
-        engine.phase_seconds["simulate"] = time.perf_counter() - t_sim
+        with tracer.span("cec.phase.simulate", cat="phase"):
+            classes = _signature_classes(aig, sim_rounds, sim_width, seed)
+            # One simulation round determines relative phases for classes.
+            words, _ = aig.random_simulate(width=sim_width, seed=seed)
+            class_list = _class_candidates(classes, words)
+        registry.inc(
+            "cec.sweep.candidates", sum(len(cls) for cls in class_list)
+        )
+        registry.set_gauge(
+            "cec.phase.simulate.seconds", time.perf_counter() - t_sim
+        )
 
         # Cache pass: replay known verdicts, keep the rest for solving.
         if proof_cache is not None:
             t_cache = time.perf_counter()
-            pending: List[List[Candidate]] = []
-            for cls in class_list:
-                keep: List[Candidate] = []
-                for cand in cls:
-                    key = aig.pair_cone_key(cand.rep_lit, cand.node_lit)
-                    known = proof_cache.get(key)
-                    if known == EQ:
-                        engine.cache_hits += 1
-                        engine.sweep_merges += 1
-                        merge(lit2cnf(cand.rep_lit), lit2cnf(cand.node_lit))
-                    elif known == NEQ:
-                        engine.cache_hits += 1
-                        engine.sweep_refuted += 1
-                    else:
-                        engine.cache_misses += 1
-                        keep.append(cand)
-                if keep:
-                    pending.append(keep)
-            class_list = pending
-            engine.phase_seconds["cache"] = time.perf_counter() - t_cache
+            with tracer.span("cec.phase.cache", cat="phase"):
+                pending: List[List[Candidate]] = []
+                for cls in class_list:
+                    keep: List[Candidate] = []
+                    for cand in cls:
+                        key = aig.pair_cone_key(cand.rep_lit, cand.node_lit)
+                        known = proof_cache.get(key)
+                        if known == EQ:
+                            registry.inc("cec.cache.hits")
+                            registry.inc("cec.sweep.merges")
+                            merge(
+                                lit2cnf(cand.rep_lit), lit2cnf(cand.node_lit)
+                            )
+                        elif known == NEQ:
+                            registry.inc("cec.cache.hits")
+                            registry.inc("cec.sweep.refuted")
+                        else:
+                            registry.inc("cec.cache.misses")
+                            keep.append(cand)
+                    if keep:
+                        pending.append(keep)
+                class_list = pending
+            registry.set_gauge(
+                "cec.phase.cache.seconds", time.perf_counter() - t_cache
+            )
 
         t_part = time.perf_counter()
-        units = partition_candidates(aig, class_list, engine.n_jobs)
-        engine.n_units = len(units)
-        engine.phase_seconds["partition"] = time.perf_counter() - t_part
+        with tracer.span("cec.phase.partition", cat="phase"):
+            units = partition_candidates(aig, class_list, n_jobs)
+        registry.set_gauge("cec.n_units", len(units))
+        registry.set_gauge(
+            "cec.phase.partition.seconds", time.perf_counter() - t_part
+        )
 
         t_sweep = time.perf_counter()
+        sweep_span = tracer.span(
+            "cec.phase.sweep", cat="phase", n_units=len(units)
+        )
         sweep_limit = conflict_limit or 2000
         if budget is not None and budget.sat_conflicts is not None:
             sweep_limit = min(sweep_limit, budget.sat_conflicts)
-        if engine.n_jobs > 1 and len(units) > 1:
+        parallel = n_jobs > 1 and len(units) > 1
+        collect = tracer.enabled or caller_metrics is not None
+        if parallel:
             wall_remaining = budget.remaining() if budget is not None else None
             # The pool window is a backstop above the in-worker deadline:
             # it only fires when a worker is hung or dead, so give it a
@@ -593,14 +785,18 @@ def check_equivalence(
                 solver,
                 units,
                 sweep_limit,
-                engine.n_jobs,
+                n_jobs,
                 wall_remaining=wall_remaining,
                 unit_timeout=unit_timeout,
                 telemetry=telemetry,
+                collect=collect,
+                trace_epoch=tracer.epoch,
             )
-            for key, value in telemetry.items():
-                setattr(engine, key, getattr(engine, key) + value)
-            engine.parallel_wall = time.perf_counter() - t_sweep
+            for tele_key, value in telemetry.items():
+                registry.inc(_TELEMETRY_METRICS[tele_key], value)
+            registry.set_gauge(
+                "cec.parallel.wall_seconds", time.perf_counter() - t_sweep
+            )
         else:
             results = [
                 _sweep_unit_serial(
@@ -608,87 +804,81 @@ def check_equivalence(
                 )
                 for unit in units
             ]
-        for unit, result in zip(units, results):
-            engine.worker_seconds.append(result.seconds)
-            engine.sat_queries += result.sat_queries
+        for index, (unit, result) in enumerate(zip(units, results)):
+            if result.events:
+                tracer.adopt(result.events, parent=sweep_span, worker=index)
+            if result.metrics:
+                registry.merge(result.metrics)
+            if result.error:
+                tracer.instant(
+                    "sweep.unit.lost",
+                    unit=index,
+                    error=result.error,
+                    retries=result.retries,
+                )
+            elif result.retries:
+                tracer.instant(
+                    "sweep.unit.requeued", unit=index, retries=result.retries
+                )
+            registry.append(_WORKER_SECONDS, result.seconds)
+            registry.inc("cec.sat_queries", result.sat_queries)
             for cand, status in zip(unit.candidates, result.statuses):
                 if status == EQ:
-                    engine.sweep_merges += 1
-                    if engine.n_jobs > 1 and len(units) > 1:
+                    registry.inc("cec.sweep.merges")
+                    if parallel:
                         # Worker proofs happen off-solver; merge them here.
                         merge(lit2cnf(cand.rep_lit), lit2cnf(cand.node_lit))
                 elif status == NEQ:
-                    engine.sweep_refuted += 1
+                    registry.inc("cec.sweep.refuted")
                 else:
-                    engine.sweep_unknown += 1
+                    registry.inc("cec.sweep.unknown")
                 if proof_cache is not None and status != UNKNOWN:
                     key = aig.pair_cone_key(cand.rep_lit, cand.node_lit)
                     proof_cache.put(key, status)
-                    engine.cache_stores += 1
-        engine.phase_seconds["sweep"] = time.perf_counter() - t_sweep
-    stats["sweep_merges"] = engine.sweep_merges
-    stats["sweep_refuted"] = engine.sweep_refuted
-    stats["sweep_unknown"] = engine.sweep_unknown
+                    registry.inc("cec.cache.stores")
+        sweep_span.annotate(
+            merges=int(registry.counter("cec.sweep.merges")),
+            refuted=int(registry.counter("cec.sweep.refuted")),
+            unknown=int(registry.counter("cec.sweep.unknown")),
+        )
+        sweep_span.close()
+        registry.set_gauge(
+            "cec.phase.sweep.seconds", time.perf_counter() - t_sweep
+        )
+    stats["sweep_merges"] = registry.counter("cec.sweep.merges")
+    stats["sweep_refuted"] = registry.counter("cec.sweep.refuted")
+    stats["sweep_unknown"] = registry.counter("cec.sweep.unknown")
 
     # Final output checks.
     t_out = time.perf_counter()
-    if budget is not None:
-        result = _check_outputs_cascade(
-            miter,
-            aig,
-            solver,
-            lit2cnf,
-            proof_cache,
-            conflict_limit,
-            budget,
-            engine,
-            sim_width,
-            seed,
-        )
-        engine.phase_seconds["outputs"] = time.perf_counter() - t_out
-        return finish(result)
-    for name, l1, l2 in miter.output_pairs:
-        if l1 == l2:
-            continue
-        key: Optional[str] = None
-        if proof_cache is not None:
-            key = aig.pair_cone_key(l1, l2)
-            if proof_cache.get(key) == EQ:
-                engine.cache_hits += 1
-                continue
-            # A cached NEQ still needs a fresh model for the
-            # counterexample, so only EQ skips the SAT work.
-            engine.cache_misses += 1
-        a = lit2cnf(l1)
-        b = lit2cnf(l2)
-        for assumptions in ([a, -b], [-a, b]):
-            res = solver.solve(
-                assumptions=assumptions, conflict_limit=conflict_limit
+    with tracer.span("cec.phase.outputs", cat="phase"):
+        if budget is not None:
+            result = _check_outputs_cascade(
+                miter,
+                aig,
+                solver,
+                lit2cnf,
+                proof_cache,
+                conflict_limit,
+                budget,
+                registry,
+                tracer,
+                sim_width,
+                seed,
             )
-            engine.sat_queries += 1
-            if solver.last_unknown:
-                engine.phase_seconds["outputs"] = time.perf_counter() - t_out
-                return finish(CheckResult(CecVerdict.UNKNOWN))
-            if res.satisfiable:
-                assert res.model is not None
-                cex = _extract_counterexample(aig, res.model, lit2cnf)
-                _validate_counterexample(aig, cex, l1, l2, name)
-                if proof_cache is not None and key is not None:
-                    proof_cache.put(key, NEQ)
-                    engine.cache_stores += 1
-                engine.phase_seconds["outputs"] = time.perf_counter() - t_out
-                return finish(
-                    CheckResult(
-                        CecVerdict.NOT_EQUIVALENT,
-                        counterexample=cex,
-                        failing_output=name,
-                    )
-                )
-        if proof_cache is not None and key is not None:
-            proof_cache.put(key, EQ)
-            engine.cache_stores += 1
-    engine.phase_seconds["outputs"] = time.perf_counter() - t_out
-    return finish(CheckResult(CecVerdict.EQUIVALENT))
+        else:
+            result = _check_outputs_classic(
+                miter,
+                aig,
+                solver,
+                lit2cnf,
+                proof_cache,
+                conflict_limit,
+                registry,
+                tracer,
+            )
+    registry.set_gauge("cec.phase.outputs.seconds", time.perf_counter() - t_out)
+    return finish(result)
 
 
 def check_miter_unsat(

@@ -18,9 +18,20 @@ Dispatch is resource-governed and degrades instead of aborting:
 * every unit gets a wall-clock window (``unit_timeout``); a worker that
   crashes or hangs past it is killed with the pool and its unit is
   *requeued onto the serial path* with bounded retry + backoff;
-* a unit that still fails after its retries is recorded as all-UNKNOWN
-  verdicts (the sweep is an accelerator — losing a unit loses merges,
-  never soundness), with the failure noted on the :class:`UnitResult`.
+* a unit that still fails after its retries keeps whatever verdicts its
+  attempts decided before dying (each candidate is proven independently,
+  so partial statuses are sound) and records UNKNOWN for the rest — the
+  sweep is an accelerator: losing part of a unit loses merges, never
+  soundness.  Partial ``sat_queries`` and wall time from failed attempts
+  are likewise preserved on the :class:`UnitResult` instead of vanishing.
+
+Observability: when the payload requests collection, each worker records
+its own metrics (:class:`repro.obs.metrics.MetricsRegistry` — solver
+effort histograms) and spans (a buffering
+:class:`repro.obs.trace.Tracer` against the parent's epoch) and ships
+them back with the unit result; the engine re-parents the spans into the
+main trace, so per-worker lanes, hung-worker kills, and serial requeues
+all show up in the timeline.
 
 Because of that containment, ``n_jobs > 1`` never changes verdicts versus
 the serial sweep, only wall time — even under worker faults.
@@ -31,9 +42,11 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.pool
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cec.partition import WorkUnit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.runtime.retry import run_with_retries
 from repro.sat.solver import Solver
 
@@ -43,15 +56,22 @@ EQ = "eq"
 NEQ = "neq"
 UNKNOWN = "unknown"
 
-# payload: (num_vars, clauses, queries, conflict_limit, wall_remaining)
+# payload: (num_vars, clauses, queries, conflict_limit, wall_remaining,
+#           unit_index, collect, trace_epoch) — the first five fields are
+# the original layout; the trailing three carry observability context.
 _Payload = Tuple[
     int,
     List[List[int]],
     List[Tuple[int, int, bool]],
     Optional[int],
     Optional[float],
+    int,
+    bool,
+    float,
 ]
-_WorkerOutput = Tuple[List[str], int, float]
+# (statuses, sat_queries, seconds, obs) where obs is None or
+# {"metrics": registry.to_dict(), "events": [trace events]}.
+_WorkerOutput = Tuple[List[str], int, float, Optional[Dict[str, Any]]]
 
 # Test seam: fault-injection hook run at worker entry (both in workers and
 # on the in-process path).  ``fork`` children inherit a monkeypatched
@@ -63,8 +83,10 @@ class UnitResult:
     """Per-unit sweep outcome: one status per candidate plus timings.
 
     ``error`` records the final failure of a unit whose worker (and serial
-    retries) died — its statuses are then all UNKNOWN.  ``retries`` counts
-    how many re-attempts the dispatcher spent on the unit.
+    retries) died — statuses decided before the failure are kept and the
+    remainder are UNKNOWN.  ``retries`` counts how many re-attempts the
+    dispatcher spent on the unit.  ``events`` / ``metrics`` carry the
+    worker-side trace events and metrics snapshot when collection was on.
     """
 
     def __init__(
@@ -74,12 +96,16 @@ class UnitResult:
         seconds: float,
         error: Optional[str] = None,
         retries: int = 0,
+        events: Optional[List[Dict[str, Any]]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.statuses = statuses
         self.sat_queries = sat_queries
         self.seconds = seconds
         self.error = error
         self.retries = retries
+        self.events = events
+        self.metrics = metrics
 
 
 def sweep_unit_payload(
@@ -87,12 +113,18 @@ def sweep_unit_payload(
     unit: WorkUnit,
     conflict_limit: Optional[int],
     wall_remaining: Optional[float] = None,
+    unit_index: int = 0,
+    collect: bool = False,
+    trace_epoch: float = 0.0,
 ) -> _Payload:
     """Build one worker payload from the parent solver's clause slice.
 
     ``wall_remaining`` is the budget's remaining wall seconds at dispatch
     time; the worker turns it into its own absolute deadline so budgeted
     sweeps stop in-process even when the pool's timeout never fires.
+    ``collect`` asks the worker to record its own spans/metrics and ship
+    them back; ``trace_epoch`` anchors worker timestamps on the parent's
+    timeline (``CLOCK_MONOTONIC`` is system-wide under ``fork``).
     """
     nodes = sorted(unit.cone)
     var_of: Dict[int, int] = {node + 1: i + 1 for i, node in enumerate(nodes)}
@@ -104,25 +136,64 @@ def sweep_unit_payload(
         (var_of[c.rep + 1], var_of[c.node + 1], c.phase_equal)
         for c in unit.candidates
     ]
-    return (len(nodes), clauses, queries, conflict_limit, wall_remaining)
+    return (
+        len(nodes),
+        clauses,
+        queries,
+        conflict_limit,
+        wall_remaining,
+        unit_index,
+        collect,
+        trace_epoch,
+    )
 
 
-def _sweep_unit_worker(payload: _Payload) -> _WorkerOutput:
-    """Run one unit's queries on a fresh solver (executes in a worker)."""
-    num_vars, clauses, queries, conflict_limit, wall_remaining = payload
+def _sweep_unit_worker(
+    payload: _Payload, progress: Optional[Dict[str, Any]] = None
+) -> _WorkerOutput:
+    """Run one unit's queries on a fresh solver (executes in a worker).
+
+    ``progress`` (serial-requeue path only) is updated in place as
+    candidates are decided, so a crash mid-unit leaves its partial
+    statuses and query count recoverable by the dispatcher.
+    """
+    (
+        num_vars,
+        clauses,
+        queries,
+        conflict_limit,
+        wall_remaining,
+        unit_index,
+        collect,
+        trace_epoch,
+    ) = payload
     if _fault_hook is not None:
         _fault_hook(payload)
     t0 = time.perf_counter()
     deadline = (
         time.monotonic() + wall_remaining if wall_remaining is not None else None
     )
+    registry: Optional[MetricsRegistry] = None
+    tracer: Optional[Tracer] = None
+    span = None
+    if collect:
+        registry = MetricsRegistry()
+        tracer = Tracer(sink=[], epoch=trace_epoch)
+        span = tracer.span(
+            "sweep.unit", cat="worker", unit=unit_index, candidates=len(queries)
+        )
     solver = Solver()
+    if registry is not None:
+        solver.metrics = registry
     solver.ensure_vars(num_vars)
     for clause in clauses:
         if not solver.add_clause(clause):
             raise RuntimeError("inconsistent CNF slice in sweep worker")
     statuses: List[str] = []
     sat_queries = 0
+    if progress is not None:
+        progress["statuses"] = statuses
+        progress["sat_queries"] = 0
     for a, b_var, phase_equal in queries:
         b = b_var if phase_equal else -b_var
         r1 = solver.solve(
@@ -131,6 +202,8 @@ def _sweep_unit_worker(payload: _Payload) -> _WorkerOutput:
             deadline=deadline,
         )
         sat_queries += 1
+        if progress is not None:
+            progress["sat_queries"] = sat_queries
         if r1.satisfiable:
             statuses.append(NEQ)
             continue
@@ -143,6 +216,8 @@ def _sweep_unit_worker(payload: _Payload) -> _WorkerOutput:
             deadline=deadline,
         )
         sat_queries += 1
+        if progress is not None:
+            progress["sat_queries"] = sat_queries
         if r2.satisfiable:
             statuses.append(NEQ)
             continue
@@ -152,7 +227,12 @@ def _sweep_unit_worker(payload: _Payload) -> _WorkerOutput:
         solver.add_clause([-a, b])
         solver.add_clause([a, -b])
         statuses.append(EQ)
-    return statuses, sat_queries, time.perf_counter() - t0
+    obs: Optional[Dict[str, Any]] = None
+    if registry is not None and tracer is not None and span is not None:
+        span.annotate(sat_queries=sat_queries)
+        span.close()
+        obs = {"metrics": registry.to_dict(), "events": tracer.events}
+    return statuses, sat_queries, time.perf_counter() - t0, obs
 
 
 def _bump(telemetry: Optional[Dict[str, int]], key: str, by: int = 1) -> None:
@@ -235,6 +315,8 @@ def sweep_units_parallel(
     attempts: int = 2,
     backoff_seconds: float = 0.05,
     telemetry: Optional[Dict[str, int]] = None,
+    collect: bool = False,
+    trace_epoch: float = 0.0,
 ) -> List[UnitResult]:
     """Sweep all units; results align with ``units``, faults contained.
 
@@ -242,18 +324,29 @@ def sweep_units_parallel(
     so the result list is deterministic regardless of worker scheduling.
     Units the pool could not finish — crashed, hung past ``unit_timeout``,
     or with no pool at all — run in-process with ``attempts`` bounded
-    retries and linear backoff; a unit that still fails yields all-UNKNOWN
-    statuses rather than an exception.  ``telemetry`` (optional dict)
-    accumulates ``worker_failures`` / ``worker_timeouts`` /
-    ``worker_retries`` / ``units_requeued`` / ``pool_failures`` counters.
+    retries and linear backoff; a unit that still fails keeps the partial
+    statuses/queries/time its attempts managed (UNKNOWN for the rest)
+    rather than an exception.  ``telemetry`` (optional dict) accumulates
+    ``worker_failures`` / ``worker_timeouts`` / ``worker_retries`` /
+    ``units_requeued`` / ``pool_failures`` counters.  ``collect`` turns on
+    worker-side span/metric collection (shipped back per unit).
     """
     payloads = [
-        sweep_unit_payload(solver, u, conflict_limit, wall_remaining)
-        for u in units
+        sweep_unit_payload(
+            solver,
+            u,
+            conflict_limit,
+            wall_remaining,
+            unit_index=i,
+            collect=collect,
+            trace_epoch=trace_epoch,
+        )
+        for i, u in enumerate(units)
     ]
     outputs: List[Optional[_WorkerOutput]] = [None] * len(payloads)
     retries = [0] * len(payloads)
     errors: List[Optional[str]] = [None] * len(payloads)
+    partial: Dict[int, Tuple[List[str], int, float]] = {}
 
     # One wall window for the whole sweep (pool phase + serial requeues),
     # anchored at dispatch time so retries cannot stretch the budget.
@@ -269,8 +362,22 @@ def sweep_units_parallel(
         _bump(telemetry, "units_requeued", len(pending))
     for index in pending:
         payload = payloads[index]
+        attempt_states: List[Dict[str, Any]] = []
+
+        def attempt(p: _Payload = payload) -> _WorkerOutput:
+            progress: Dict[str, Any] = {
+                "statuses": [],
+                "sat_queries": 0,
+                "t0": time.perf_counter(),
+            }
+            attempt_states.append(progress)
+            try:
+                return _sweep_unit_worker(p, progress)
+            finally:
+                progress["seconds"] = time.perf_counter() - progress["t0"]
+
         result, error, n_retries = run_with_retries(
-            lambda p=payload: _sweep_unit_worker(p),
+            attempt,
             attempts=attempts,
             backoff_seconds=backoff_seconds,
             deadline=serial_deadline,
@@ -282,24 +389,49 @@ def sweep_units_parallel(
         else:
             _bump(telemetry, "worker_failures")
             errors[index] = repr(error) if error is not None else "unknown"
+            # Preserve partial work from the failed attempts: the furthest
+            # attempt's statuses (each one independently proven) and the
+            # query/time totals across all attempts.
+            statuses = max(
+                (state["statuses"] for state in attempt_states),
+                key=len,
+                default=[],
+            )
+            partial[index] = (
+                list(statuses),
+                sum(state["sat_queries"] for state in attempt_states),
+                sum(state.get("seconds", 0.0) for state in attempt_states),
+            )
 
     results: List[UnitResult] = []
     for index, unit in enumerate(units):
         out = outputs[index]
         if out is None:
-            # Lost unit: every candidate stays unknown; sound, just slower.
+            # Lost unit: keep decided prefixes, UNKNOWN for the remainder
+            # — sound (losing merges, never verdicts), just slower.
+            statuses, sat_queries, seconds = partial.get(index, ([], 0, 0.0))
+            statuses = statuses + [UNKNOWN] * (
+                len(unit.candidates) - len(statuses)
+            )
             results.append(
                 UnitResult(
-                    [UNKNOWN] * len(unit.candidates),
-                    0,
-                    0.0,
+                    statuses[: len(unit.candidates)],
+                    sat_queries,
+                    seconds,
                     error=errors[index] or "worker lost",
                     retries=retries[index],
                 )
             )
         else:
-            statuses, sat_queries, seconds = out
+            statuses, sat_queries, seconds, obs = out
             results.append(
-                UnitResult(statuses, sat_queries, seconds, retries=retries[index])
+                UnitResult(
+                    statuses,
+                    sat_queries,
+                    seconds,
+                    retries=retries[index],
+                    events=(obs or {}).get("events"),
+                    metrics=(obs or {}).get("metrics"),
+                )
             )
     return results

@@ -5,13 +5,17 @@
     python -m repro verify  golden.blif revised.blif [--rewrite] [--no-unate]
                             [--jobs N] [--cec-cache FILE]
                             [--time-limit S] [--bdd-node-limit N]
+                            [--trace FILE] [--metrics-out FILE]
+                            [--quiet] [--verbose]
     python -m repro retime  circuit.blif -o out.blif [--min-area] [--period N]
     python -m repro synth   circuit.blif -o out.blif [--effort medium]
     python -m repro expose  circuit.blif [--weighted] [--no-unate] [-o out.blif]
     python -m repro stats   circuit.blif
     python -m repro table1  [--quick] [--jobs N] [--cache FILE] [--time-limit S]
                             [--on-error skip|abort] [--checkpoint FILE --resume]
-    python -m repro table2  [--quick] [--on-error skip|abort]
+                            [--trace FILE] [--metrics-out FILE]
+    python -m repro table2  [--quick] [--on-error skip|abort] [--trace FILE]
+    python -m repro profile run.jsonl [--top N] [--chrome OUT] [--validate]
 
 Exit codes of ``verify``: 0 equivalent, 1 not equivalent (or
 inconclusive), 2 unknown — a resource budget ran dry; the reason code is
@@ -24,20 +28,32 @@ load-enabled latches).
 from __future__ import annotations
 
 import argparse
-import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.netlist.blif import parse_blif_file, write_blif
 from repro.netlist.validate import validate_circuit
+from repro.obs.console import Console
 
 __all__ = ["main"]
 
 
+def _console(args) -> Console:
+    """A console honouring the command's --quiet/--verbose flags."""
+    return Console(
+        quiet=getattr(args, "quiet", False),
+        verbose=getattr(args, "verbose", False),
+    )
+
+
 def _cmd_verify(args) -> int:
     from repro.core.verify import SeqVerdict, check_sequential_equivalence
+    from repro.flows.report import compact_stats
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
     from repro.runtime.budget import Budget
 
+    console = _console(args)
     c1 = parse_blif_file(args.golden)
     c2 = parse_blif_file(args.revised)
     validate_circuit(c1)
@@ -47,37 +63,60 @@ def _cmd_verify(args) -> int:
         budget = Budget(
             wall_seconds=args.time_limit, bdd_nodes=args.bdd_node_limit
         )
-    result = check_sequential_equivalence(
-        c1,
-        c2,
-        use_unateness=not args.no_unate,
-        event_rewrite=args.rewrite,
-        n_jobs=args.jobs,
-        cec_cache=args.cec_cache,
-        budget=budget,
-    )
-    print(f"verdict: {result.verdict.value} (method: {result.method})")
+    tracer = None
+    if args.trace:
+        tracer = Tracer(
+            path=args.trace,
+            meta={"command": "verify", "golden": args.golden, "revised": args.revised},
+        )
+    registry = MetricsRegistry() if args.metrics_out else None
+    try:
+        result = check_sequential_equivalence(
+            c1,
+            c2,
+            use_unateness=not args.no_unate,
+            event_rewrite=args.rewrite,
+            n_jobs=args.jobs,
+            cec_cache=args.cec_cache,
+            budget=budget,
+            tracer=tracer,
+            metrics=registry,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+        if registry is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(registry.to_json(indent=2))
+    console.result(f"verdict: {result.verdict.value} (method: {result.method})")
     if result.reason is not None:
-        print(f"  reason: {result.reason}")
-    for key in sorted(result.stats):
-        print(f"  {key}: {result.stats[key]}")
+        console.result(f"  reason: {result.reason}")
+    shown = (
+        dict(result.stats) if args.verbose else compact_stats(result.stats)
+    )
+    for key in sorted(shown):
+        console.info(f"  {key}: {shown[key]}")
     if result.counterexample is not None:
-        print("counterexample input sequence:")
+        console.result("counterexample input sequence:")
         for t, vec in enumerate(result.counterexample):
             bits = " ".join(f"{k}={int(v)}" for k, v in sorted(vec.items()))
-            print(f"  cycle {t}: {bits}")
+            console.result(f"  cycle {t}: {bits}")
         if result.failing_output:
-            print(f"  differing output: {result.failing_output}")
+            console.result(f"  differing output: {result.failing_output}")
         if args.vcd:
             from repro.sim.vcd import dump_counterexample
 
             dump_counterexample(c1, c2, result.counterexample, args.vcd)
-            print(f"wrote waveform to {args.vcd}")
+            console.info(f"wrote waveform to {args.vcd}")
     if args.report:
         from repro.core.report import write_report
 
         write_report(result, c1, c2, args.report)
-        print(f"wrote report to {args.report}")
+        console.info(f"wrote report to {args.report}")
+    if args.trace:
+        console.info(f"wrote trace to {args.trace} (see: repro profile {args.trace})")
+    if args.metrics_out:
+        console.info(f"wrote metrics to {args.metrics_out}")
     if result.verdict is SeqVerdict.EQUIVALENT:
         return 0
     if result.verdict is SeqVerdict.UNKNOWN:
@@ -85,25 +124,55 @@ def _cmd_verify(args) -> int:
     return 1
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs.profile import render_profile
+    from repro.obs.trace import export_chrome_trace, read_events
+
+    console = _console(args)
+    events = read_events(args.trace)
+    if not events:
+        console.error(f"no events in {args.trace}")
+        return 1
+    if args.validate:
+        from repro.obs.schema import validate_events
+
+        errors = validate_events(events)
+        if errors:
+            console.error(f"{len(errors)} schema violation(s) in {args.trace}:")
+            for err in errors[:20]:
+                console.error(f"  {err}")
+            return 1
+        console.info(f"{len(events)} events: schema OK")
+    console.result(render_profile(events, top=args.top))
+    if args.chrome:
+        n = export_chrome_trace(events, args.chrome)
+        console.info(
+            f"wrote {n} Chrome trace_event(s) to {args.chrome} "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        )
+    return 0
+
+
 def _cmd_retime(args) -> int:
     from repro.retime.apply import retime_min_area, retime_min_period
 
+    console = _console(args)
     circuit = parse_blif_file(args.circuit)
     validate_circuit(circuit)
     if args.min_area:
         retimed, period = retime_min_area(circuit, period=args.period)
         if retimed is None:
-            print(f"infeasible at period {period}", file=sys.stderr)
+            console.error(f"infeasible at period {period}")
             return 1
-        print(f"min-area retiming at period {period}: "
-              f"{circuit.num_latches()} -> {retimed.num_latches()} latches")
+        console.result(f"min-area retiming at period {period}: "
+                       f"{circuit.num_latches()} -> {retimed.num_latches()} latches")
     else:
         retimed, old, new = retime_min_period(circuit)
-        print(f"min-period retiming: period {old} -> {new}, "
-              f"{circuit.num_latches()} -> {retimed.num_latches()} latches")
+        console.result(f"min-period retiming: period {old} -> {new}, "
+                       f"{circuit.num_latches()} -> {retimed.num_latches()} latches")
     validate_circuit(retimed)
     Path(args.output).write_text(write_blif(retimed))
-    print(f"wrote {args.output}")
+    console.info(f"wrote {args.output}")
     return 0
 
 
@@ -112,21 +181,25 @@ def _cmd_synth(args) -> int:
     from repro.synth.depth import circuit_depth
     from repro.synth.network import node_literals
 
+    console = _console(args)
     circuit = parse_blif_file(args.circuit)
     validate_circuit(circuit)
     before = (circuit_depth(circuit), node_literals(circuit))
     optimised = optimize_sequential_delay(circuit, effort=args.effort)
     validate_circuit(optimised)
     after = (circuit_depth(optimised), node_literals(optimised))
-    print(f"depth: {before[0]} -> {after[0]}, literals: {before[1]} -> {after[1]}")
+    console.result(
+        f"depth: {before[0]} -> {after[0]}, literals: {before[1]} -> {after[1]}"
+    )
     Path(args.output).write_text(write_blif(optimised))
-    print(f"wrote {args.output}")
+    console.info(f"wrote {args.output}")
     return 0
 
 
 def _cmd_expose(args) -> int:
     from repro.core.expose import choose_latches_to_expose, prepare_circuit
 
+    console = _console(args)
     circuit = parse_blif_file(args.circuit)
     validate_circuit(circuit)
     strategy = "weighted" if args.weighted else "count"
@@ -135,13 +208,15 @@ def _cmd_expose(args) -> int:
     )
     total = circuit.num_latches()
     pct = 100 * len(exposed) / total if total else 0
-    print(f"latches: {total}")
-    print(f"to expose: {len(exposed)} ({pct:.0f}%): {sorted(exposed)}")
-    print(f"to remodel (positive unate): {len(remodel)}: {sorted(remodel)}")
+    console.result(f"latches: {total}")
+    console.result(f"to expose: {len(exposed)} ({pct:.0f}%): {sorted(exposed)}")
+    console.result(
+        f"to remodel (positive unate): {len(remodel)}: {sorted(remodel)}"
+    )
     if args.output:
         prepared = prepare_circuit(circuit, use_unateness=not args.no_unate)
         Path(args.output).write_text(write_blif(prepared.circuit))
-        print(f"wrote prepared (acyclic) circuit to {args.output}")
+        console.info(f"wrote prepared (acyclic) circuit to {args.output}")
     return 0
 
 
@@ -149,12 +224,15 @@ def _cmd_stats(args) -> int:
     from repro.synth.depth import circuit_depth
     from repro.synth.techmap import mapped_stats, tech_map
 
+    console = _console(args)
     circuit = parse_blif_file(args.circuit)
     validate_circuit(circuit)
-    print(circuit)
-    print(f"unit-delay depth: {circuit_depth(circuit)}")
+    console.result(str(circuit))
+    console.result(f"unit-delay depth: {circuit_depth(circuit)}")
     mapped = tech_map(circuit)
-    print(f"mapped ({{INV, NAND2, NOR2}}, fanout<=4): {mapped_stats(mapped)}")
+    console.result(
+        f"mapped ({{INV, NAND2, NOR2}}, fanout<=4): {mapped_stats(mapped)}"
+    )
     return 0
 
 
@@ -178,6 +256,14 @@ def _cmd_table1(args) -> int:
         forwarded.extend(["--checkpoint", args.checkpoint])
     if args.resume:
         forwarded.append("--resume")
+    if args.quiet:
+        forwarded.append("--quiet")
+    if args.verbose:
+        forwarded.append("--verbose")
+    if args.trace:
+        forwarded.extend(["--trace", args.trace])
+    if args.metrics_out:
+        forwarded.extend(["--metrics-out", args.metrics_out])
     return table1_main(forwarded)
 
 
@@ -189,6 +275,12 @@ def _cmd_table2(args) -> int:
         forwarded.append("--quick")
     if args.on_error != "skip":
         forwarded.extend(["--on-error", args.on_error])
+    if args.quiet:
+        forwarded.append("--quiet")
+    if args.verbose:
+        forwarded.append("--verbose")
+    if args.trace:
+        forwarded.extend(["--trace", args.trace])
     return table2_main(forwarded)
 
 
@@ -199,9 +291,24 @@ def build_parser() -> argparse.ArgumentParser:
         description="Sequential equivalence checking via combinational "
         "verification (Ranjan et al., DATE 1999)",
     )
+    # Shared verbosity flags; every subcommand prints through the same
+    # Console so --quiet / --verbose mean the same thing everywhere.
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress lines (results still print)",
+    )
+    verbosity.add_argument(
+        "--verbose", action="store_true", help="extra diagnostics"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("verify", help="check sequential equivalence of two BLIF circuits")
+    p = sub.add_parser(
+        "verify",
+        parents=[verbosity],
+        help="check sequential equivalence of two BLIF circuits",
+    )
     p.add_argument("golden")
     p.add_argument("revised")
     p.add_argument("--rewrite", action="store_true", help="enable the Eq. 5 event rewrite")
@@ -234,33 +341,83 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="live-node cap for the engine's bounded BDD attempts",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a structured JSONL trace of the run (see: repro profile)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's metrics registry as JSON",
+    )
     p.set_defaults(func=_cmd_verify)
 
-    p = sub.add_parser("retime", help="retime a BLIF circuit")
+    p = sub.add_parser(
+        "profile",
+        parents=[verbosity],
+        help="per-stage hotspot report from a --trace JSONL file",
+    )
+    p.add_argument("trace", help="JSONL trace written by a --trace run")
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many slowest obligations to list (default 10)",
+    )
+    p.add_argument(
+        "--chrome",
+        default=None,
+        metavar="OUT",
+        help="also export a Chrome trace_event JSON file",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check every event before profiling",
+    )
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("retime", parents=[verbosity], help="retime a BLIF circuit")
     p.add_argument("circuit")
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--min-area", action="store_true", help="constrained min-area instead of min-period")
     p.add_argument("--period", type=int, default=None, help="target period for --min-area")
     p.set_defaults(func=_cmd_retime)
 
-    p = sub.add_parser("synth", help="run the delay-oriented synthesis script")
+    p = sub.add_parser(
+        "synth", parents=[verbosity], help="run the delay-oriented synthesis script"
+    )
     p.add_argument("circuit")
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--effort", choices=["low", "medium", "high"], default="medium")
     p.set_defaults(func=_cmd_synth)
 
-    p = sub.add_parser("expose", help="feedback analysis: latches to expose/remodel")
+    p = sub.add_parser(
+        "expose",
+        parents=[verbosity],
+        help="feedback analysis: latches to expose/remodel",
+    )
     p.add_argument("circuit")
     p.add_argument("-o", "--output", default=None, help="write the prepared acyclic circuit")
     p.add_argument("--weighted", action="store_true", help="penalty-aware selection (Sec. 9)")
     p.add_argument("--no-unate", action="store_true")
     p.set_defaults(func=_cmd_expose)
 
-    p = sub.add_parser("stats", help="area/delay report after technology mapping")
+    p = sub.add_parser(
+        "stats",
+        parents=[verbosity],
+        help="area/delay report after technology mapping",
+    )
     p.add_argument("circuit")
     p.set_defaults(func=_cmd_stats)
 
-    p = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p = sub.add_parser(
+        "table1", parents=[verbosity], help="regenerate the paper's Table 1"
+    )
     p.add_argument("--quick", action="store_true")
     p.add_argument(
         "--jobs", type=int, default=1, help="CEC sweep worker processes"
@@ -299,15 +456,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay rows already in --checkpoint instead of recomputing",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a structured JSONL trace of the run",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's aggregated metrics registry as JSON",
+    )
     p.set_defaults(func=_cmd_table1)
 
-    p = sub.add_parser("table2", help="regenerate the paper's Table 2")
+    p = sub.add_parser(
+        "table2", parents=[verbosity], help="regenerate the paper's Table 2"
+    )
     p.add_argument("--quick", action="store_true")
     p.add_argument(
         "--on-error",
         choices=("skip", "abort"),
         default="skip",
         help="failing rows: record ERROR and continue (skip) or stop (abort)",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a structured JSONL trace of the run",
     )
     p.set_defaults(func=_cmd_table2)
     return parser

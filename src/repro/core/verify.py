@@ -34,6 +34,7 @@ from repro.core.expose import PreparedCircuit, prepare_circuit
 from repro.core.timedvar import ExprTable
 from repro.netlist.circuit import Circuit
 from repro.netlist.graph import feedback_latches
+from repro.obs.trace import coerce_tracer
 from repro.sim.exact3 import BOT, exact3_outputs
 
 __all__ = [
@@ -97,6 +98,8 @@ def check_sequential_equivalence(
     n_jobs: int = 1,
     cec_cache=None,
     budget=None,
+    tracer=None,
+    metrics=None,
 ) -> SeqCheckResult:
     """Check exact-3-valued sequential equivalence of two circuits.
 
@@ -113,6 +116,10 @@ def check_sequential_equivalence(
     ``budget`` — a :class:`repro.runtime.Budget` or bare wall-clock
     seconds — resource-governs the CEC step; exhaustion yields verdict
     UNKNOWN with :attr:`SeqCheckResult.reason` set instead of a hang.
+    ``tracer`` / ``metrics`` — a :class:`repro.obs.trace.Tracer` and a
+    :class:`repro.obs.metrics.MetricsRegistry` — record the span tree
+    (``seq.check`` → preparation/lowering phases → the CEC engine's own
+    spans) and the full metric set; both default to no-ops.
     """
     t0 = time.perf_counter()
     if set(c1.inputs) != set(c2.inputs):
@@ -120,44 +127,74 @@ def check_sequential_equivalence(
     if set(c1.outputs) != set(c2.outputs):
         raise ValueError("circuits must have identical output names")
 
+    tracer = coerce_tracer(tracer)
     kind1, kind2 = _classify(c1), _classify(c2)
     stats: Dict[str, float] = {}
+    root = tracer.span(
+        "seq.check", cat="flow", c1=c1.name, c2=c2.name, kind1=kind1, kind2=kind2
+    )
+    try:
+        if "feedback" in (kind1, kind2):
+            if not prepare:
+                raise ValueError(
+                    "circuits have feedback latches; pass prepare=True or "
+                    "prepare them explicitly with prepare_circuit()"
+                )
+            with tracer.span("seq.phase.prepare", cat="phase"):
+                prep1 = prepare_circuit(
+                    c1, use_unateness=use_unateness, pinned=pinned
+                )
+                shared_exposure = sorted(prep1.exposed)
+                missing = [n for n in shared_exposure if n not in c2.latches]
+                if missing:
+                    raise ValueError(
+                        f"cannot mirror exposure: latches {missing} absent in "
+                        f"{c2.name!r}; expose compatible latch sets explicitly"
+                    )
+                prep2 = prepare_circuit(
+                    c2, use_unateness=use_unateness, expose=shared_exposure
+                )
+            stats["exposed"] = len(prep1.exposed)
+            stats["remodelled"] = len(prep1.remodelled)
+            c1p, c2p = prep1.circuit, prep2.circuit
+            kind1, kind2 = _classify(c1p), _classify(c2p)
+        else:
+            c1p, c2p = c1, c2
 
-    if "feedback" in (kind1, kind2):
-        if not prepare:
-            raise ValueError(
-                "circuits have feedback latches; pass prepare=True or "
-                "prepare them explicitly with prepare_circuit()"
+        enabled = "acyclic-enabled" in (kind1, kind2)
+        if enabled:
+            result = _check_via_edbf(
+                c1p,
+                c2p,
+                event_rewrite,
+                stats,
+                n_jobs,
+                cec_cache,
+                budget,
+                tracer,
+                metrics,
             )
-        prep1 = prepare_circuit(c1, use_unateness=use_unateness, pinned=pinned)
-        shared_exposure = sorted(prep1.exposed)
-        missing = [n for n in shared_exposure if n not in c2.latches]
-        if missing:
-            raise ValueError(
-                f"cannot mirror exposure: latches {missing} absent in "
-                f"{c2.name!r}; expose compatible latch sets explicitly"
+        else:
+            result = _check_via_cbf(
+                c1p,
+                c2p,
+                stats,
+                validate_cex,
+                c1,
+                c2,
+                n_jobs,
+                cec_cache,
+                budget,
+                tracer,
+                metrics,
             )
-        prep2 = prepare_circuit(
-            c2, use_unateness=use_unateness, expose=shared_exposure
-        )
-        stats["exposed"] = len(prep1.exposed)
-        stats["remodelled"] = len(prep1.remodelled)
-        c1p, c2p = prep1.circuit, prep2.circuit
-        kind1, kind2 = _classify(c1p), _classify(c2p)
-    else:
-        c1p, c2p = c1, c2
-
-    enabled = "acyclic-enabled" in (kind1, kind2)
-    if enabled:
-        result = _check_via_edbf(
-            c1p, c2p, event_rewrite, stats, n_jobs, cec_cache, budget
-        )
-    else:
-        result = _check_via_cbf(
-            c1p, c2p, stats, validate_cex, c1, c2, n_jobs, cec_cache, budget
-        )
-    result.stats["total_time"] = time.perf_counter() - t0
-    return result
+        result.stats["total_time"] = time.perf_counter() - t0
+        root.annotate(verdict=result.verdict.value, method=result.method)
+        if result.reason:
+            root.annotate(reason=result.reason)
+        return result
+    finally:
+        root.close()
 
 
 def _check_via_cbf(
@@ -170,20 +207,34 @@ def _check_via_cbf(
     n_jobs: int = 1,
     cec_cache=None,
     budget=None,
+    tracer=None,
+    metrics=None,
 ) -> SeqCheckResult:
-    table = ExprTable()
-    cbf1 = compute_cbf(c1, table)
-    cbf2 = compute_cbf(c2, table)
-    d1, d2 = cbf1.depth(), cbf2.depth()
-    stats["depth1"], stats["depth2"] = d1, d2
-    # Lemma 5.1 filter is on *semantic* depth; syntactic depths may differ.
-    all_vars = sorted(cbf1.variables() | cbf2.variables(), key=repr)
-    comb1 = cbf_to_circuit(cbf1, name=c1.name + "_H", extra_inputs=all_vars)
-    comb2 = cbf_to_circuit(cbf2, name=c2.name + "_J", extra_inputs=all_vars)
+    tracer = coerce_tracer(tracer)
+    with tracer.span("seq.phase.lower", cat="phase", method="cbf"):
+        table = ExprTable()
+        cbf1 = compute_cbf(c1, table)
+        cbf2 = compute_cbf(c2, table)
+        d1, d2 = cbf1.depth(), cbf2.depth()
+        stats["depth1"], stats["depth2"] = d1, d2
+        # Lemma 5.1 filter is on *semantic* depth; syntactic depths differ.
+        all_vars = sorted(cbf1.variables() | cbf2.variables(), key=repr)
+        comb1 = cbf_to_circuit(
+            cbf1, name=c1.name + "_H", extra_inputs=all_vars
+        )
+        comb2 = cbf_to_circuit(
+            cbf2, name=c2.name + "_J", extra_inputs=all_vars
+        )
     stats["comb_gates1"] = comb1.num_gates()
     stats["comb_gates2"] = comb2.num_gates()
     cec = check_equivalence(
-        comb1, comb2, n_jobs=n_jobs, cache=cec_cache, budget=budget
+        comb1,
+        comb2,
+        n_jobs=n_jobs,
+        cache=cec_cache,
+        budget=budget,
+        tracer=tracer,
+        metrics=metrics,
     )
     stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
     if cec.verdict is CecVerdict.EQUIVALENT:
@@ -193,20 +244,21 @@ def _check_via_cbf(
             SeqVerdict.UNKNOWN, "cbf", stats=stats, reason=cec.reason
         )
     assert cec.counterexample is not None
-    sequence = _lift_cbf_counterexample(
-        cec.counterexample, max(d1, d2), set(orig1.inputs)
-    )
-    failing = cec.failing_output
-    if failing is not None and failing.startswith("__out_"):
-        failing = failing[len("__out_") :]
-    if validate_cex:
-        confirmed = _trace_distinguishes(orig1, orig2, sequence)
-        stats["cex_confirmed"] = float(confirmed)
-        # Theorem 5.1 says this must distinguish; if simulation cannot
-        # confirm it (sampling limits on >16-latch circuits), the verdict
-        # stands but the flag records it.
-        if confirmed:
-            sequence = minimize_counterexample(orig1, orig2, sequence)
+    with tracer.span("seq.phase.lift_cex", cat="phase"):
+        sequence = _lift_cbf_counterexample(
+            cec.counterexample, max(d1, d2), set(orig1.inputs)
+        )
+        failing = cec.failing_output
+        if failing is not None and failing.startswith("__out_"):
+            failing = failing[len("__out_") :]
+        if validate_cex:
+            confirmed = _trace_distinguishes(orig1, orig2, sequence)
+            stats["cex_confirmed"] = float(confirmed)
+            # Theorem 5.1 says this must distinguish; if simulation cannot
+            # confirm it (sampling limits on >16-latch circuits), the
+            # verdict stands but the flag records it.
+            if confirmed:
+                sequence = minimize_counterexample(orig1, orig2, sequence)
     return SeqCheckResult(
         SeqVerdict.NOT_EQUIVALENT,
         "cbf",
@@ -265,18 +317,32 @@ def _check_via_edbf(
     n_jobs: int = 1,
     cec_cache=None,
     budget=None,
+    tracer=None,
+    metrics=None,
 ) -> SeqCheckResult:
-    context = EventContext(rewrite=event_rewrite)
-    edbf1 = compute_edbf(c1, context)
-    edbf2 = compute_edbf(c2, context)
-    all_vars = sorted(edbf1.variables() | edbf2.variables(), key=repr)
-    stats["events"] = context.num_events()
-    comb1 = edbf_to_circuit(edbf1, name=c1.name + "_H", extra_inputs=all_vars)
-    comb2 = edbf_to_circuit(edbf2, name=c2.name + "_J", extra_inputs=all_vars)
+    tracer = coerce_tracer(tracer)
+    with tracer.span("seq.phase.lower", cat="phase", method="edbf"):
+        context = EventContext(rewrite=event_rewrite)
+        edbf1 = compute_edbf(c1, context)
+        edbf2 = compute_edbf(c2, context)
+        all_vars = sorted(edbf1.variables() | edbf2.variables(), key=repr)
+        stats["events"] = context.num_events()
+        comb1 = edbf_to_circuit(
+            edbf1, name=c1.name + "_H", extra_inputs=all_vars
+        )
+        comb2 = edbf_to_circuit(
+            edbf2, name=c2.name + "_J", extra_inputs=all_vars
+        )
     stats["comb_gates1"] = comb1.num_gates()
     stats["comb_gates2"] = comb2.num_gates()
     cec = check_equivalence(
-        comb1, comb2, n_jobs=n_jobs, cache=cec_cache, budget=budget
+        comb1,
+        comb2,
+        n_jobs=n_jobs,
+        cache=cec_cache,
+        budget=budget,
+        tracer=tracer,
+        metrics=metrics,
     )
     stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
     if cec.verdict is CecVerdict.EQUIVALENT:

@@ -28,6 +28,7 @@ from typing import Dict, Optional
 from repro.core.expose import prepare_circuit
 from repro.core.verify import SeqVerdict, check_sequential_equivalence
 from repro.netlist.circuit import Circuit
+from repro.obs.trace import coerce_tracer
 from repro.retime.apply import retime_min_area, retime_min_period
 from repro.synth.depth import circuit_depth
 from repro.synth.script import optimize_sequential_delay
@@ -155,6 +156,8 @@ def run_flow(
     n_jobs: int = 1,
     cec_cache=None,
     budget=None,
+    tracer=None,
+    metrics=None,
 ) -> FlowResult:
     """Run the full Fig. 19 experiment on one circuit.
 
@@ -167,15 +170,52 @@ def run_flow(
     merges of structurally recurring cones.  ``budget`` (a
     :class:`repro.runtime.Budget` or bare seconds) resource-governs the
     verification step; exhaustion yields an UNKNOWN verdict with
-    :attr:`FlowResult.verify_reason` set, never a hang.
+    :attr:`FlowResult.verify_reason` set, never a hang.  ``tracer`` /
+    ``metrics`` thread the observability sinks through the flow: the row
+    gets a ``flow.row`` span enclosing exposure, synthesis, and the
+    verification step's full span tree.
     """
+    tracer = coerce_tracer(tracer)
+    row_span = tracer.span("flow.row", cat="flow", circuit=circuit.name)
+    try:
+        return _run_flow(
+            circuit,
+            use_unateness,
+            effort,
+            verify,
+            build_unexposed_variants,
+            n_jobs,
+            cec_cache,
+            budget,
+            tracer,
+            metrics,
+            row_span,
+        )
+    finally:
+        row_span.close()
+
+
+def _run_flow(
+    circuit: Circuit,
+    use_unateness: bool,
+    effort: str,
+    verify: bool,
+    build_unexposed_variants: bool,
+    n_jobs: int,
+    cec_cache,
+    budget,
+    tracer,
+    metrics,
+    row_span,
+) -> FlowResult:
     result = FlowResult(circuit.name)
     result.latches_a = circuit.num_latches()
 
     # Step 1: A -> B (expose the minimal feedback vertex set).  Exposed
     # latches stay physically present in the design (only frozen), so they
     # count towards the latch totals of B-derived circuits, as in Table 1.
-    prep = prepare_circuit(circuit, use_unateness=use_unateness)
+    with tracer.span("flow.phase.expose", cat="phase"):
+        prep = prepare_circuit(circuit, use_unateness=use_unateness)
     b_circuit = prep.circuit
     n_exposed = len(prep.exposed)
     result.pct_exposed = (
@@ -184,6 +224,7 @@ def run_flow(
     result.latches["B"] = b_circuit.num_latches() + n_exposed
 
     # Step 3 first: D = combinational optimisation of A (baseline delay).
+    opt_span = tracer.span("flow.phase.optimize", cat="phase")
     d_circuit = optimize_sequential_delay(circuit, effort, name=circuit.name + "_D")
     _measure(result, "D", d_circuit)
     d_depth = circuit_depth(d_circuit)
@@ -250,6 +291,7 @@ def run_flow(
                 result.notes += "G infeasible; "
         except ValueError as exc:
             result.notes += f"G skipped ({exc}); "
+    opt_span.close()
 
     # Steps 7-8: combinational verification of B vs C (H vs J).
     if verify:
@@ -260,9 +302,14 @@ def run_flow(
             n_jobs=n_jobs,
             cec_cache=cec_cache,
             budget=budget,
+            tracer=tracer,
+            metrics=metrics,
         )
         result.verify_seconds = time.perf_counter() - t0
         result.verify_verdict = check.verdict
         result.verify_reason = check.reason
         result.verify_stats = dict(check.stats)
+        row_span.annotate(
+            verdict=check.verdict.value, verify_seconds=result.verify_seconds
+        )
     return result

@@ -2,9 +2,44 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["render_table", "summarize_engine_stats"]
+__all__ = ["render_table", "summarize_engine_stats", "compact_stats"]
+
+#: Robustness/cascade counters that are all-zero on a healthy unbudgeted
+#: run.  ``EngineStats.as_dict`` always emits them (stable key set); the
+#: render layer drops the zero ones so reports stay readable.
+SUPPRESS_WHEN_ZERO = frozenset(
+    {
+        "cascade_sim",
+        "cascade_bdd",
+        "cascade_sat",
+        "bdd_blowups",
+        "budget_exhausted",
+        "worker_failures",
+        "worker_timeouts",
+        "worker_retries",
+        "units_requeued",
+        "pool_failures",
+    }
+)
+
+
+def compact_stats(stats: Mapping[str, float]) -> Dict[str, float]:
+    """Render-time zero suppression for the canonical stats key set.
+
+    The engine emits every counter on every run (so the schema is stable
+    for aggregation and tests); this drops the robustness counters that
+    are zero — the display form previous releases printed.  Prefix
+    variants (``cec_cascade_sat``, …) are suppressed the same way.
+    """
+    out: Dict[str, float] = {}
+    for key, value in stats.items():
+        base = key.rsplit("cec_", 1)[-1] if "cec_" in key else key
+        if base in SUPPRESS_WHEN_ZERO and not value:
+            continue
+        out[key] = value
+    return out
 
 
 def render_table(

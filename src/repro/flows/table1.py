@@ -20,7 +20,6 @@ Run as a module for the full table::
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -29,6 +28,8 @@ from repro.cec.cache import ProofCache
 from repro.flows.checkpoint import Checkpoint
 from repro.flows.flow import FlowResult, run_flow
 from repro.flows.report import render_table, summarize_engine_stats
+from repro.obs.console import Console
+from repro.obs.trace import coerce_tracer
 from repro.runtime.budget import REASON_TIMEOUT, Budget
 
 __all__ = ["table1_row", "run_table1", "QUICK_SET"]
@@ -55,6 +56,8 @@ def table1_row(
     n_jobs: int = 1,
     cec_cache=None,
     budget: Union[None, int, float, Budget] = None,
+    tracer=None,
+    metrics=None,
 ) -> FlowResult:
     """Run the flow for one Table 1 circuit."""
     circuit = build_table1_circuit(name)
@@ -65,6 +68,8 @@ def table1_row(
         n_jobs=n_jobs,
         cec_cache=cec_cache,
         budget=budget,
+        tracer=tracer,
+        metrics=metrics,
     )
 
 
@@ -89,6 +94,9 @@ def run_table1(
     on_error: str = "skip",
     checkpoint=None,
     resume: bool = False,
+    console: Optional[Console] = None,
+    tracer=None,
+    metrics=None,
 ) -> List[FlowResult]:
     """Run the Table 1 harness and print the table.
 
@@ -105,9 +113,17 @@ def run_table1(
     :class:`~repro.flows.checkpoint.Checkpoint`) records every finished
     row immediately; with ``resume=True`` already-recorded rows are
     replayed instead of recomputed.
+
+    Output goes through a :class:`repro.obs.console.Console` — pass one
+    to control ``--quiet`` / ``--verbose``; the legacy ``stream``
+    argument still works (None keeps the harness silent).  ``tracer`` /
+    ``metrics`` thread the observability sinks through every row's flow.
     """
     if on_error not in ("skip", "abort"):
         raise ValueError(f"on_error must be 'skip' or 'abort', got {on_error!r}")
+    if console is None:
+        console = Console.for_stream(stream)
+    tracer = coerce_tracer(tracer)
     if names is None:
         names = [entry[0] for entry in TABLE1_CIRCUITS]
     cache = ProofCache.coerce(cec_cache)
@@ -127,11 +143,12 @@ def run_table1(
         if resume:
             recorded = store.load()
     results: List[FlowResult] = []
+    run_span = tracer.span("flow.table1", cat="flow", rows=len(names))
     for name in names:
         if name in recorded:
             result = FlowResult.from_dict(recorded[name])
-            if stream is not None:
-                print(f"  {name}: resumed from checkpoint", file=stream, flush=True)
+            console.info(f"  {name}: resumed from checkpoint")
+            tracer.instant("flow.row.resumed", circuit=name)
             results.append(result)
             continue
         t0 = time.perf_counter()
@@ -143,6 +160,8 @@ def run_table1(
                 n_jobs,
                 cache,
                 budget=_row_budget(time_limit, bdd_node_limit),
+                tracer=tracer,
+                metrics=metrics,
             )
             if result.verify_reason == REASON_TIMEOUT:
                 result.status = "timeout"
@@ -152,30 +171,32 @@ def run_table1(
             if on_error == "abort":
                 if cache is not None:
                     cache.save()
+                run_span.close()
                 raise
             result = FlowResult(name, status="error", error=repr(exc))
             result.notes = "row failed; "
+            tracer.instant("flow.row.error", circuit=name, error=repr(exc))
         elapsed = time.perf_counter() - t0
-        if stream is not None:
-            if result.status == "error":
-                line = f"  {name}: ERROR after {elapsed:.1f}s ({result.error})"
-            else:
-                line = (
-                    f"  {name}: flow {elapsed:.1f}s verify "
-                    f"{result.verify_seconds:.2f}s {result.verify_verdict}"
-                )
-            print(line, file=stream, flush=True)
+        if result.status == "error":
+            console.info(
+                f"  {name}: ERROR after {elapsed:.1f}s ({result.error})"
+            )
+        else:
+            verdict = (
+                result.verify_verdict.value if result.verify_verdict else "-"
+            )
+            console.info(
+                f"  {name}: flow {elapsed:.1f}s verify "
+                f"{result.verify_seconds:.2f}s {verdict}"
+            )
         results.append(result)
         if store is not None:
             store.record(name, result.to_dict())
+    run_span.close()
     if cache is not None:
         cache.save()
-    if stream is not None:
-        print(format_table1(results), file=stream)
-        print(
-            summarize_engine_stats(r.verify_stats for r in results),
-            file=stream,
-        )
+    console.result(format_table1(results))
+    console.result(summarize_engine_stats(r.verify_stats for r in results))
     return results
 
 
@@ -293,6 +314,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="replay rows already recorded in --checkpoint instead of "
         "recomputing them",
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-row progress lines (the table still prints)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="extra diagnostics"
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a structured JSONL trace of the run (see repro profile)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's aggregated metrics registry as JSON",
+    )
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
@@ -302,18 +343,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names = QUICK_SET
     else:
         names = [entry[0] for entry in TABLE1_CIRCUITS]
-    run_table1(
-        names,
-        use_unateness=args.unate,
-        stream=sys.stdout,
-        n_jobs=args.jobs,
-        cec_cache=args.cache,
-        time_limit=args.time_limit,
-        bdd_node_limit=args.bdd_node_limit,
-        on_error=args.on_error,
-        checkpoint=args.checkpoint,
-        resume=args.resume,
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+    console = Console(quiet=args.quiet, verbose=args.verbose)
+    tracer = (
+        Tracer(path=args.trace, meta={"command": "table1", "rows": len(names)})
+        if args.trace
+        else None
     )
+    registry = MetricsRegistry() if args.metrics_out else None
+    try:
+        run_table1(
+            names,
+            use_unateness=args.unate,
+            n_jobs=args.jobs,
+            cec_cache=args.cache,
+            time_limit=args.time_limit,
+            bdd_node_limit=args.bdd_node_limit,
+            on_error=args.on_error,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            console=console,
+            tracer=tracer,
+            metrics=registry,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+        if registry is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(registry.to_json(indent=2))
     return 0
 
 

@@ -14,7 +14,6 @@ Run as a module::
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
@@ -22,6 +21,8 @@ from typing import List, Optional, Sequence
 from repro.bench.industrial import TABLE2_CIRCUITS, build_table2_circuit
 from repro.core.expose import choose_latches_to_expose
 from repro.flows.report import render_table
+from repro.obs.console import Console
+from repro.obs.trace import coerce_tracer
 
 __all__ = ["table2_row", "run_table2", "Table2Row"]
 
@@ -59,39 +60,50 @@ def table2_row(name: str) -> Table2Row:
 
 
 def run_table2(
-    names: Optional[Sequence[str]] = None, stream=None, on_error: str = "skip"
+    names: Optional[Sequence[str]] = None,
+    stream=None,
+    on_error: str = "skip",
+    console: Optional[Console] = None,
+    tracer=None,
 ) -> List[Table2Row]:
-    """Run the Table 2 harness; prints when ``stream`` given.
+    """Run the Table 2 harness; prints through ``console``.
 
     ``on_error="skip"`` (default) records a row whose analysis raises as
-    an ERROR row and continues; ``"abort"`` re-raises.
+    an ERROR row and continues; ``"abort"`` re-raises.  The legacy
+    ``stream`` argument still works (None keeps the harness silent when
+    no ``console`` is passed).
     """
     if on_error not in ("skip", "abort"):
         raise ValueError(f"on_error must be 'skip' or 'abort', got {on_error!r}")
+    if console is None:
+        console = Console.for_stream(stream)
+    tracer = coerce_tracer(tracer)
     if names is None:
         names = [entry[0] for entry in TABLE2_CIRCUITS]
     rows = []
+    run_span = tracer.span("flow.table2", cat="flow", rows=len(names))
     for name in names:
         try:
-            row = table2_row(name)
+            with tracer.span("flow.row", cat="flow", circuit=name):
+                row = table2_row(name)
         except KeyboardInterrupt:
             raise
         except Exception as exc:
             if on_error == "abort":
+                run_span.close()
                 raise
             row = Table2Row(name, 0, 0, 0, 0, 0.0, status="error", error=repr(exc))
-        if stream is not None:
-            if row.status == "error":
-                line = f"  {name}: ERROR ({row.error})"
-            else:
-                line = (
-                    f"  {name}: {row.exposed_structural}/{row.latches} "
-                    f"exposed ({row.seconds:.1f}s)"
-                )
-            print(line, file=stream, flush=True)
+            tracer.instant("flow.row.error", circuit=name, error=repr(exc))
+        if row.status == "error":
+            console.info(f"  {name}: ERROR ({row.error})")
+        else:
+            console.info(
+                f"  {name}: {row.exposed_structural}/{row.latches} "
+                f"exposed ({row.seconds:.1f}s)"
+            )
         rows.append(row)
-    if stream is not None:
-        print(format_table2(rows), file=stream)
+    run_span.close()
+    console.result(format_table2(rows))
     return rows
 
 
@@ -137,6 +149,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="a row whose analysis raises: record an ERROR row and "
         "continue (skip, default) or stop the run (abort)",
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-row progress lines (the table still prints)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="extra diagnostics"
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a structured JSONL trace of the run (see repro profile)",
+    )
     args = parser.parse_args(argv)
     if args.circuits:
         names = args.circuits
@@ -144,7 +170,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names = [e[0] for e in TABLE2_CIRCUITS if e[1] <= 700]
     else:
         names = None
-    run_table2(names, stream=sys.stdout, on_error=args.on_error)
+    from repro.obs.trace import Tracer
+
+    console = Console(quiet=args.quiet, verbose=args.verbose)
+    tracer = (
+        Tracer(path=args.trace, meta={"command": "table2"})
+        if args.trace
+        else None
+    )
+    try:
+        run_table2(names, on_error=args.on_error, console=console, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
     return 0
 
 

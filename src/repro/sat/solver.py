@@ -206,7 +206,45 @@ class Solver:
         unsatisfiable=False with model=None and the caller should treat it
         as UNKNOWN (exposed via the :attr:`last_unknown` flag, with the
         exhausted resource named in :attr:`last_unknown_reason`).
+
+        Per-call effort (the deltas of the cumulative ``stats_*``
+        counters) lands in :attr:`last_call_stats` after every call; with
+        a :class:`~repro.obs.metrics.MetricsRegistry` attached via
+        :attr:`metrics`, each call also feeds the ``sat.*_per_call``
+        histograms and the ``sat.calls`` / ``sat.unknowns`` counters.
         """
+        c0 = self.stats_conflicts
+        d0 = self.stats_decisions
+        p0 = self.stats_propagations
+        try:
+            return self._solve_impl(
+                assumptions, conflict_limit, propagation_limit, deadline
+            )
+        finally:
+            self.last_call_stats = {
+                "conflicts": self.stats_conflicts - c0,
+                "decisions": self.stats_decisions - d0,
+                "propagations": self.stats_propagations - p0,
+            }
+            if self.metrics is not None:
+                self._record_call_metrics()
+
+    def _record_call_metrics(self) -> None:
+        registry = self.metrics
+        registry.inc("sat.calls")
+        if self.last_unknown:
+            registry.inc("sat.unknowns")
+        for key, value in self.last_call_stats.items():
+            registry.inc(f"sat.{key}", value)
+            registry.observe(f"sat.{key}_per_call", value)
+
+    def _solve_impl(
+        self,
+        assumptions: Sequence[int],
+        conflict_limit: Optional[int],
+        propagation_limit: Optional[int],
+        deadline: Optional[float],
+    ) -> SATResult:
         self.last_unknown = False
         self.last_unknown_reason = None
         if not self._ok:
@@ -422,6 +460,11 @@ class Solver:
     _poll_tick = 0
     last_unknown = False
     last_unknown_reason: Optional[str] = None
+    #: Per-call effort deltas of the last ``solve`` call.
+    last_call_stats: Dict[str, int] = {}
+    #: Optional ``repro.obs.metrics.MetricsRegistry``; when attached, every
+    #: call feeds the ``sat.*`` counters and per-call effort histograms.
+    metrics = None
 
     def _pick_branch(self) -> int:
         best = -1

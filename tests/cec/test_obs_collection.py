@@ -1,0 +1,174 @@
+"""Worker-side observability collection and partial-stat preservation.
+
+Dispatcher-level tests for the two sweep-path guarantees added with the
+observability stack: (a) when collection is on, every unit ships back its
+own metrics snapshot and span buffer; (b) a unit whose attempts all die
+keeps the SAT queries, wall time, and independently-proven statuses its
+attempts managed instead of degrading to a zero-stat all-UNKNOWN row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cec import parallel
+from repro.cec.engine import (
+    _class_candidates,
+    _signature_classes,
+    check_equivalence,
+)
+from repro.cec.miter import build_miter
+from repro.cec.parallel import EQ, NEQ, UNKNOWN, sweep_units_parallel
+from repro.cec.partition import partition_candidates
+from repro.obs.schema import validate_events
+from repro.obs.trace import Tracer
+from repro.sat.solver import Solver
+
+from tests.cec.test_sweep_parallel import xor_chain, xor_tree
+
+
+def solver_and_units(n_units=2, n=8):
+    """A loaded parent solver plus self-contained work units.
+
+    ``n_units`` must be >= 2: a 1-way partition skips cone computation
+    (the serial sweep never ships payloads), so its units cannot be
+    exported to workers.
+    """
+    miter = build_miter(xor_chain(n), xor_tree(n))
+    cnf, _ = miter.aig.to_cnf()
+    solver = Solver()
+    assert solver.add_cnf(cnf)
+    classes = _signature_classes(miter.aig, 4, 64, 0)
+    words, _ = miter.aig.random_simulate(width=64, seed=0)
+    units = partition_candidates(
+        miter.aig, _class_candidates(classes, words), n_units
+    )
+    return solver, units
+
+
+class TestWorkerCollection:
+    def test_collect_ships_metrics_and_spans(self):
+        solver, units = solver_and_units(n_units=2)
+        results = sweep_units_parallel(
+            solver, units, 2000, n_jobs=1, collect=True, trace_epoch=0.0
+        )
+        assert len(results) == len(units)
+        for index, (unit, result) in enumerate(zip(units, results)):
+            assert len(result.statuses) == len(unit.candidates)
+            assert result.metrics is not None
+            assert result.metrics["counters"]["sat.calls"] == result.sat_queries
+            assert result.events is not None
+            (span,) = [e for e in result.events if e["type"] == "span"]
+            assert span["name"] == "sweep.unit"
+            assert span["cat"] == "worker"
+            assert span["args"]["unit"] == index
+            assert span["args"]["sat_queries"] == result.sat_queries
+
+    def test_collect_off_ships_nothing(self):
+        solver, units = solver_and_units()
+        for result in sweep_units_parallel(solver, units, 2000, n_jobs=1):
+            assert result.events is None
+            assert result.metrics is None
+            assert result.error is None
+
+    def test_worker_spans_land_in_engine_trace(self):
+        tracer = Tracer(sink=[])
+        result = check_equivalence(
+            xor_chain(16), xor_tree(16), n_jobs=4, tracer=tracer
+        )
+        tracer.close()
+        events = tracer.events
+        assert validate_events(events) == []
+        unit_spans = [
+            e
+            for e in events
+            if e["type"] == "span" and e["name"] == "sweep.unit"
+        ]
+        if result.stats["n_units"] > 1:
+            assert len(unit_spans) == result.stats["n_units"]
+            sweep = next(
+                e
+                for e in events
+                if e["type"] == "span" and e["name"] == "cec.phase.sweep"
+            )
+            for span in unit_spans:
+                assert span["parent"] == sweep["id"]
+                assert isinstance(span["args"]["worker"], int)
+
+
+class FailingSolver(Solver):
+    """A solver whose ``solve`` dies after a fixed number of calls.
+
+    The counter is class-level on purpose: the dispatcher builds a fresh
+    solver per attempt, and the retries must keep failing for the unit to
+    be recorded as lost.
+    """
+
+    calls = 0
+    fail_after = 0
+
+    def solve(self, *args, **kwargs):
+        type(self).calls += 1
+        if type(self).calls > type(self).fail_after:
+            raise RuntimeError("injected mid-unit solver death")
+        return super().solve(*args, **kwargs)
+
+
+class TestPartialStatPreservation:
+    def test_lost_unit_keeps_partial_statuses_and_queries(self, monkeypatch):
+        solver, units = solver_and_units(n_units=2)
+        (unit,) = units  # the 8-input pair partitions into one real unit
+        assert len(unit.candidates) >= 2
+        FailingSolver.calls = 0
+        FailingSolver.fail_after = 3  # first candidate decided, then die
+        monkeypatch.setattr(parallel, "Solver", FailingSolver)
+        (result,) = sweep_units_parallel(
+            solver, units, 2000, n_jobs=1, backoff_seconds=0.0
+        )
+        assert result.error is not None
+        assert len(result.statuses) == len(unit.candidates)
+        # The decided prefix survives; only the remainder is UNKNOWN.
+        assert result.statuses[0] in (EQ, NEQ)
+        assert UNKNOWN in result.statuses
+        # Partial effort is preserved, not zeroed: the first attempt got
+        # three queries in before dying (retries add theirs on top).
+        assert result.sat_queries >= 3
+        assert result.seconds > 0.0
+
+    def test_immediate_death_degrades_to_all_unknown(self, monkeypatch):
+        solver, units = solver_and_units(n_units=2)
+        (unit,) = units
+        FailingSolver.calls = 0
+        FailingSolver.fail_after = 0
+        monkeypatch.setattr(parallel, "Solver", FailingSolver)
+        (result,) = sweep_units_parallel(
+            solver, units, 2000, n_jobs=1, backoff_seconds=0.0
+        )
+        assert result.error is not None
+        assert result.statuses == [UNKNOWN] * len(unit.candidates)
+        assert result.sat_queries == 0
+
+    def test_lost_units_surface_in_engine_stats_and_trace(self, monkeypatch):
+        # Engine level: dying workers must show up as contained failures
+        # (telemetry counters, sweep unknowns, lost-unit instants) while
+        # the verdict stays identical to the serial run.
+        plain = check_equivalence(xor_chain(16), xor_tree(16))
+        FailingSolver.calls = 0
+        FailingSolver.fail_after = 1  # die mid-candidate, retries too
+        monkeypatch.setattr(parallel, "Solver", FailingSolver)
+        tracer = Tracer(sink=[])
+        faulty = check_equivalence(
+            xor_chain(16), xor_tree(16), n_jobs=4, tracer=tracer
+        )
+        tracer.close()
+        assert faulty.verdict is plain.verdict
+        assert faulty.stats["worker_failures"] > 0
+        assert faulty.stats["units_requeued"] > 0
+        assert faulty.stats["sweep_unknown"] > 0
+        lost = [
+            e
+            for e in tracer.events
+            if e["type"] == "instant" and e["name"] == "sweep.unit.lost"
+        ]
+        assert len(lost) == faulty.stats["n_units"]
+        assert validate_events(tracer.events) == []

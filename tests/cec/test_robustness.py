@@ -224,9 +224,14 @@ class TestBudgetedEngine:
         nulled = check_equivalence(c1, c2, budget=Budget())
         assert plain.verdict is nulled.verdict
         assert plain.reason is None and nulled.reason is None
-        # An all-None budget must not leak cascade counters into stats.
-        assert "cascade_sat" not in nulled.stats
-        assert "cascade_bdd" not in nulled.stats
+        # Canonical keys are always present; an all-None budget takes the
+        # classic path, so the cascade counters must all stay zero.
+        assert nulled.stats["cascade_sat"] == 0
+        assert nulled.stats["cascade_bdd"] == 0
+        assert nulled.stats["cascade_sim"] == 0
+        # The two paths must agree key-for-key (satellite of the
+        # zero-suppression fix: suppression happens at render time only).
+        assert set(plain.stats) == set(nulled.stats)
 
     def test_hard_miter_budget_returns_within_two_x(self):
         c1, c2 = xor_chain(1500), xor_tree(1500)

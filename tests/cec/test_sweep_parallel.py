@@ -177,9 +177,9 @@ class TestParallelSweep:
             m.aig, _class_candidates(classes, words), 2
         )
         for unit in units:
-            num_vars, clauses, queries, _, _ = sweep_unit_payload(
+            num_vars, clauses, queries = sweep_unit_payload(
                 solver, unit, 2000
-            )
+            )[:3]
             assert len(queries) == len(unit.candidates)
             for clause in clauses:
                 assert all(1 <= abs(lit) <= num_vars for lit in clause)
