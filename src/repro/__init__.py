@@ -47,6 +47,17 @@ from repro.core import (
     sequential_depth,
 )
 from repro.cec import CecVerdict, CheckResult, check_equivalence
+from repro.api import (
+    EXIT_EQUIVALENT,
+    EXIT_NOT_EQUIVALENT,
+    EXIT_UNKNOWN,
+    VerificationResult,
+    VerifyReport,
+    VerifyRequest,
+    exit_code_for_verdict,
+    verify_batch,
+    verify_pair,
+)
 
 __version__ = "1.0.0"
 
@@ -73,5 +84,14 @@ __all__ = [
     "CecVerdict",
     "CheckResult",
     "check_equivalence",
+    "EXIT_EQUIVALENT",
+    "EXIT_NOT_EQUIVALENT",
+    "EXIT_UNKNOWN",
+    "VerificationResult",
+    "VerifyReport",
+    "VerifyRequest",
+    "exit_code_for_verdict",
+    "verify_batch",
+    "verify_pair",
     "__version__",
 ]

@@ -193,6 +193,12 @@ class CheckResult:
     ``reason`` carries the machine-readable cause of an UNKNOWN verdict
     (a ``REASON_*`` code from :mod:`repro.runtime.budget`); it is None for
     decided verdicts.
+
+    Implements the common verification-result protocol
+    (:class:`repro.api.VerificationResult`): ``verdict`` / ``reason`` /
+    ``stats`` / ``counterexample`` / ``failing_output`` / ``equivalent`` /
+    :meth:`as_dict`, shared with
+    :class:`repro.core.verify.SeqCheckResult`.
     """
 
     verdict: CecVerdict
@@ -202,6 +208,10 @@ class CheckResult:
     engine: Optional[EngineStats] = None
     reason: Optional[str] = None
 
+    #: Combinational checks have one proving method; present so the
+    #: canonical ``as_dict()`` key set matches ``SeqCheckResult``'s.
+    method: str = "cec"
+
     @property
     def equivalent(self) -> bool:
         """True when the verdict is EQUIVALENT."""
@@ -209,6 +219,29 @@ class CheckResult:
 
     def __bool__(self) -> bool:
         return self.equivalent
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical JSON-able form: the one key set every result type uses.
+
+        The keys are exactly ``repro.api.RESULT_KEYS`` — ``verdict`` (the
+        enum's string value), ``method``, ``reason``, ``counterexample``
+        (here a single input assignment), ``failing_output`` and
+        ``stats``.  :attr:`engine` is a live-object view and deliberately
+        not part of the serialised form; its content is already flattened
+        into :attr:`stats`.
+        """
+        return {
+            "verdict": self.verdict.value,
+            "method": self.method,
+            "reason": self.reason,
+            "counterexample": (
+                dict(self.counterexample)
+                if self.counterexample is not None
+                else None
+            ),
+            "failing_output": self.failing_output,
+            "stats": dict(self.stats),
+        }
 
 
 def _signature_classes(

@@ -16,10 +16,20 @@
                             [--trace FILE] [--metrics-out FILE]
     python -m repro table2  [--quick] [--on-error skip|abort] [--trace FILE]
     python -m repro profile run.jsonl [--top N] [--chrome OUT] [--validate]
+    python -m repro batch   manifest.json [--jobs N] [--time-limit S]
+                            [--cache FILE] [--store FILE --resume]
+                            [--retries N] [--in-process]
+                            [--trace FILE] [--metrics-out FILE]
+    python -m repro serve   [--jobs N] [--cache FILE] [--store FILE]
+                            [--queue-size N]  (JSONL jobs on stdin,
+                            JSONL results on stdout)
 
-Exit codes of ``verify``: 0 equivalent, 1 not equivalent (or
-inconclusive), 2 unknown — a resource budget ran dry; the reason code is
-printed.
+Exit codes of ``verify`` (and the per-job codes of ``batch``): 0
+equivalent, 1 not equivalent (a counterexample is printed), 2 unknown —
+undecided, with the reason printed (a resource budget ran dry, a worker
+failed, or the conservative EDBF check was inconclusive).  ``batch``
+itself exits 1 if any job refuted, else 2 if any job was undecided,
+else 0.
 
 Circuits are read and written in BLIF (with the ``.enable`` extension for
 load-enabled latches).
@@ -47,22 +57,22 @@ def _console(args) -> Console:
 
 
 def _cmd_verify(args) -> int:
-    from repro.core.verify import SeqVerdict, check_sequential_equivalence
+    from repro.api import VerifyRequest, verify_pair
     from repro.flows.report import compact_stats
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import Tracer
-    from repro.runtime.budget import Budget
 
     console = _console(args)
-    c1 = parse_blif_file(args.golden)
-    c2 = parse_blif_file(args.revised)
-    validate_circuit(c1)
-    validate_circuit(c2)
-    budget = None
-    if args.time_limit is not None or args.bdd_node_limit is not None:
-        budget = Budget(
-            wall_seconds=args.time_limit, bdd_nodes=args.bdd_node_limit
-        )
+    request = VerifyRequest(
+        golden=args.golden,
+        revised=args.revised,
+        use_unateness=not args.no_unate,
+        event_rewrite=args.rewrite,
+        jobs=args.jobs,
+        cache=args.cec_cache,
+        time_limit=args.time_limit,
+        bdd_node_limit=args.bdd_node_limit,
+    )
     tracer = None
     if args.trace:
         tracer = Tracer(
@@ -71,16 +81,156 @@ def _cmd_verify(args) -> int:
         )
     registry = MetricsRegistry() if args.metrics_out else None
     try:
-        result = check_sequential_equivalence(
-            c1,
-            c2,
-            use_unateness=not args.no_unate,
-            event_rewrite=args.rewrite,
-            n_jobs=args.jobs,
-            cec_cache=args.cec_cache,
-            budget=budget,
-            tracer=tracer,
-            metrics=registry,
+        report = verify_pair(request, tracer=tracer, metrics=registry)
+    finally:
+        if tracer is not None:
+            tracer.close()
+        if registry is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(registry.to_json(indent=2))
+    console.result(f"verdict: {report.verdict} (method: {report.method})")
+    if report.reason is not None:
+        console.result(f"  reason: {report.reason}")
+    shown = (
+        dict(report.stats) if args.verbose else compact_stats(report.stats)
+    )
+    for key in sorted(shown):
+        console.info(f"  {key}: {shown[key]}")
+    if report.counterexample is not None:
+        console.result("counterexample input sequence:")
+        for t, vec in enumerate(report.counterexample):
+            bits = " ".join(f"{k}={int(v)}" for k, v in sorted(vec.items()))
+            console.result(f"  cycle {t}: {bits}")
+        if report.failing_output:
+            console.result(f"  differing output: {report.failing_output}")
+        if args.vcd:
+            from repro.sim.vcd import dump_counterexample
+
+            c1, c2 = request.load()
+            dump_counterexample(c1, c2, report.counterexample, args.vcd)
+            console.info(f"wrote waveform to {args.vcd}")
+    if args.report:
+        from repro.core.report import write_report
+
+        c1, c2 = request.load()
+        write_report(report, c1, c2, args.report)
+        console.info(f"wrote report to {args.report}")
+    if args.trace:
+        console.info(f"wrote trace to {args.trace} (see: repro profile {args.trace})")
+    if args.metrics_out:
+        console.info(f"wrote metrics to {args.metrics_out}")
+    # Exit-code contract (see docs/API.md): 0 equivalent, 1 not
+    # equivalent, 2 undecided — including the conservative EDBF
+    # INCONCLUSIVE outcome, which is "could not decide", not a refutation.
+    return report.exit_code
+
+
+def _cmd_batch(args) -> int:
+    import asyncio
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.service import BatchRunner, load_manifest
+
+    console = _console(args)
+    try:
+        requests = load_manifest(args.manifest)
+    except (OSError, ValueError) as exc:
+        console.error(f"bad manifest {args.manifest}: {exc}")
+        return 2
+    if not requests:
+        console.error(f"manifest {args.manifest} has no jobs")
+        return 2
+    tracer = None
+    if args.trace:
+        tracer = Tracer(
+            path=args.trace,
+            meta={"command": "batch", "manifest": args.manifest, "jobs": args.jobs},
+        )
+    registry = MetricsRegistry() if args.metrics_out else None
+    runner = BatchRunner(
+        jobs=args.jobs,
+        budget=args.time_limit,
+        cache=args.cache,
+        store=args.store,
+        resume=args.resume,
+        retries=args.retries,
+        use_processes=not args.in_process,
+        tracer=tracer,
+        metrics=registry,
+    )
+    console.info(
+        f"batch: {len(requests)} job(s) on {args.jobs} lane(s)"
+        + (f", budget {args.time_limit:g}s" if args.time_limit else "")
+    )
+    try:
+        results = asyncio.run(runner.run(requests))
+    finally:
+        if tracer is not None:
+            tracer.close()
+        if registry is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(registry.to_json(indent=2))
+    # Per-job summary: one line per manifest row, every row accounted for.
+    counts = {0: 0, 1: 0, 2: 0}
+    for result in results:
+        counts[result.exit_code] += 1
+        line = f"[{result.status:>9}] {result.report.summary()}"
+        if result.error and args.verbose:
+            line += f" error={result.error}"
+        console.result(line)
+    console.result(
+        f"batch summary: {counts[0]} equivalent, "
+        f"{counts[1]} not equivalent, {counts[2]} unknown"
+    )
+    if registry is not None:
+        hits = registry.counter("service.cache.hits")
+        misses = registry.counter("service.cache.misses")
+        if hits or misses:
+            console.info(f"proof cache: {hits:g} hit(s), {misses:g} miss(es)")
+    if args.trace:
+        console.info(f"wrote trace to {args.trace} (see: repro profile {args.trace})")
+    if args.metrics_out:
+        console.info(f"wrote metrics to {args.metrics_out}")
+    # The batch exit code mirrors the per-job contract: any refutation
+    # dominates (1), else any undecided job (2), else success (0).
+    if counts[1]:
+        return 1
+    if counts[2]:
+        return 2
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import sys
+
+    from repro.obs.console import Console
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.service import BatchRunner
+
+    # stdout is the JSONL protocol channel; human chatter goes to stderr.
+    console = Console(
+        quiet=args.quiet, verbose=args.verbose, stream=sys.stderr
+    )
+    tracer = Tracer(path=args.trace, meta={"command": "serve"}) if args.trace else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    runner = BatchRunner(
+        jobs=args.jobs,
+        budget=args.time_limit,
+        cache=args.cache,
+        store=args.store,
+        resume=args.resume,
+        retries=args.retries,
+        use_processes=not args.in_process,
+        tracer=tracer,
+        metrics=registry,
+    )
+    console.info(f"serve: reading JSONL jobs from stdin ({args.jobs} lane(s))")
+    try:
+        emitted = asyncio.run(
+            runner.serve(sys.stdin, sys.stdout, queue_maxsize=args.queue_size)
         )
     finally:
         if tracer is not None:
@@ -88,40 +238,8 @@ def _cmd_verify(args) -> int:
         if registry is not None:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(registry.to_json(indent=2))
-    console.result(f"verdict: {result.verdict.value} (method: {result.method})")
-    if result.reason is not None:
-        console.result(f"  reason: {result.reason}")
-    shown = (
-        dict(result.stats) if args.verbose else compact_stats(result.stats)
-    )
-    for key in sorted(shown):
-        console.info(f"  {key}: {shown[key]}")
-    if result.counterexample is not None:
-        console.result("counterexample input sequence:")
-        for t, vec in enumerate(result.counterexample):
-            bits = " ".join(f"{k}={int(v)}" for k, v in sorted(vec.items()))
-            console.result(f"  cycle {t}: {bits}")
-        if result.failing_output:
-            console.result(f"  differing output: {result.failing_output}")
-        if args.vcd:
-            from repro.sim.vcd import dump_counterexample
-
-            dump_counterexample(c1, c2, result.counterexample, args.vcd)
-            console.info(f"wrote waveform to {args.vcd}")
-    if args.report:
-        from repro.core.report import write_report
-
-        write_report(result, c1, c2, args.report)
-        console.info(f"wrote report to {args.report}")
-    if args.trace:
-        console.info(f"wrote trace to {args.trace} (see: repro profile {args.trace})")
-    if args.metrics_out:
-        console.info(f"wrote metrics to {args.metrics_out}")
-    if result.verdict is SeqVerdict.EQUIVALENT:
-        return 0
-    if result.verdict is SeqVerdict.UNKNOWN:
-        return 2  # resource budget ran dry: neither proven nor refuted
-    return 1
+    console.info(f"serve: emitted {emitted} result(s)")
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -469,6 +587,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's aggregated metrics registry as JSON",
     )
     p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser(
+        "batch",
+        parents=[verbosity],
+        help="verify a manifest of circuit pairs on the batch service",
+    )
+    p.add_argument("manifest", help="JSON manifest of circuit-pair jobs")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="concurrent worker lanes (default 1)",
+    )
+    p.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="batch wall-clock budget; each job gets an even slice of "
+        "the remaining time (exhaustion = verdict 'unknown')",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help="shared persistent CEC proof cache, warmed across jobs",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="FILE",
+        help="append-only JSONL result store (one line per finished job)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay already-decided pairs from --store instead of re-running",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra in-worker attempts for a failing job (default 2)",
+    )
+    p.add_argument(
+        "--in-process",
+        action="store_true",
+        help="run jobs on threads in this process instead of a process pool",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a structured JSONL trace of the run",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's aggregated metrics registry as JSON",
+    )
+    p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        parents=[verbosity],
+        help="long-running verification service: JSONL jobs on stdin, "
+        "JSONL results on stdout",
+    )
+    p.add_argument("--jobs", type=int, default=1, help="concurrent worker lanes")
+    p.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="service budget; jobs receive slices of the remaining time",
+    )
+    p.add_argument(
+        "--cache", default=None, metavar="FILE", help="shared CEC proof cache"
+    )
+    p.add_argument(
+        "--store", default=None, metavar="FILE", help="JSONL result store"
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="answer already-decided pairs from --store without re-running",
+    )
+    p.add_argument(
+        "--retries", type=int, default=2, metavar="N", help="in-worker retries"
+    )
+    p.add_argument(
+        "--in-process",
+        action="store_true",
+        help="run jobs on threads instead of a process pool",
+    )
+    p.add_argument(
+        "--queue-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bound the intake queue (0 = unbounded): backpressure on stdin",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="FILE", help="write a JSONL trace"
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="FILE", help="write metrics JSON"
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "table2", parents=[verbosity], help="regenerate the paper's Table 2"

@@ -62,11 +62,20 @@ def render_report(
     golden: Circuit,
     revised: Circuit,
 ) -> str:
-    """Render a Markdown verification report."""
+    """Render a Markdown verification report.
+
+    Accepts any result shape that satisfies the
+    :class:`repro.api.VerificationResult` protocol: ``result.verdict``
+    may be the :class:`SeqVerdict` enum or its canonical string form
+    (as on :class:`repro.api.VerifyReport`).
+    """
+    verdict = result.verdict
+    if not isinstance(verdict, SeqVerdict):
+        verdict = SeqVerdict(str(verdict))
     lines: List[str] = [
         "# Sequential equivalence report",
         "",
-        _VERDICT_TEXT[result.verdict],
+        _VERDICT_TEXT[verdict],
         "",
         f"- method: `{result.method or 'n/a'}`"
         + (" (CBF — exact)" if result.method == "cbf" else "")

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -59,6 +60,11 @@ class SeqCheckResult:
     ``reason`` carries the machine-readable cause of an UNKNOWN verdict
     (a ``REASON_*`` code from :mod:`repro.runtime.budget`, e.g.
     ``"timeout"`` or ``"bdd-blowup"``); it is None for decided verdicts.
+
+    Implements the common verification-result protocol
+    (:class:`repro.api.VerificationResult`): ``verdict`` / ``reason`` /
+    ``stats`` / ``counterexample`` / ``failing_output`` / ``equivalent`` /
+    :meth:`as_dict`, shared with :class:`repro.cec.CheckResult`.
     """
 
     verdict: SeqVerdict
@@ -76,6 +82,27 @@ class SeqCheckResult:
     def __bool__(self) -> bool:
         return self.equivalent
 
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical JSON-able form: the one key set every result type uses.
+
+        The keys are exactly ``repro.api.RESULT_KEYS`` — ``verdict`` (the
+        enum's string value), ``method``, ``reason``, ``counterexample``
+        (here a list of per-cycle input dicts), ``failing_output`` and
+        ``stats``.
+        """
+        return {
+            "verdict": self.verdict.value,
+            "method": self.method,
+            "reason": self.reason,
+            "counterexample": (
+                [dict(v) for v in self.counterexample]
+                if self.counterexample is not None
+                else None
+            ),
+            "failing_output": self.failing_output,
+            "stats": dict(self.stats),
+        }
+
 
 def _classify(circuit: Circuit) -> str:
     if not circuit.latches:
@@ -87,6 +114,11 @@ def _classify(circuit: Circuit) -> str:
     return "acyclic-regular"
 
 
+#: Sentinel distinguishing "not passed" from an explicit None for the
+#: deprecated ``cec_cache=`` alias below.
+_UNSET = object()
+
+
 def check_sequential_equivalence(
     c1: Circuit,
     c2: Circuit,
@@ -96,10 +128,11 @@ def check_sequential_equivalence(
     validate_cex: bool = True,
     pinned: Sequence[str] = (),
     n_jobs: int = 1,
-    cec_cache=None,
+    cache=None,
     budget=None,
     tracer=None,
     metrics=None,
+    cec_cache=_UNSET,
 ) -> SeqCheckResult:
     """Check exact-3-valued sequential equivalence of two circuits.
 
@@ -110,17 +143,32 @@ def check_sequential_equivalence(
     canonicalisation (opt-in; see :mod:`repro.core.events` for why it is
     tied to the transparent-enable reading).  ``validate_cex`` replays CBF
     counterexamples through exact-3-valued simulation as a
-    defence-in-depth check.  ``n_jobs`` and ``cec_cache`` (a
+    defence-in-depth check.  ``n_jobs`` and ``cache`` (a
     :class:`repro.cec.ProofCache` or a path) are forwarded to the CEC
-    engine: parallel SAT sweeping and the persistent proof cache.
-    ``budget`` — a :class:`repro.runtime.Budget` or bare wall-clock
+    engine: parallel SAT sweeping and the persistent proof cache —
+    ``cache`` is the same kwarg name :func:`repro.cec.check_equivalence`
+    uses; the old ``cec_cache=`` spelling still works but emits a
+    :class:`DeprecationWarning`.  ``budget`` — a
+    :class:`repro.runtime.Budget` or bare wall-clock
     seconds — resource-governs the CEC step; exhaustion yields verdict
     UNKNOWN with :attr:`SeqCheckResult.reason` set instead of a hang.
     ``tracer`` / ``metrics`` — a :class:`repro.obs.trace.Tracer` and a
     :class:`repro.obs.metrics.MetricsRegistry` — record the span tree
     (``seq.check`` → preparation/lowering phases → the CEC engine's own
     spans) and the full metric set; both default to no-ops.
+
+    Prefer calling through the stable facade :func:`repro.api.verify_pair`,
+    which wraps this function behind one request/report pair of types.
     """
+    if cec_cache is not _UNSET:
+        warnings.warn(
+            "check_sequential_equivalence(cec_cache=...) is deprecated; "
+            "use cache=... (the same kwarg check_equivalence takes)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if cache is None:
+            cache = cec_cache
     t0 = time.perf_counter()
     if set(c1.inputs) != set(c2.inputs):
         raise ValueError("circuits must have identical input names")
@@ -169,7 +217,7 @@ def check_sequential_equivalence(
                 event_rewrite,
                 stats,
                 n_jobs,
-                cec_cache,
+                cache,
                 budget,
                 tracer,
                 metrics,
@@ -183,7 +231,7 @@ def check_sequential_equivalence(
                 c1,
                 c2,
                 n_jobs,
-                cec_cache,
+                cache,
                 budget,
                 tracer,
                 metrics,
@@ -205,7 +253,7 @@ def _check_via_cbf(
     orig1: Circuit,
     orig2: Circuit,
     n_jobs: int = 1,
-    cec_cache=None,
+    cache=None,
     budget=None,
     tracer=None,
     metrics=None,
@@ -231,7 +279,7 @@ def _check_via_cbf(
         comb1,
         comb2,
         n_jobs=n_jobs,
-        cache=cec_cache,
+        cache=cache,
         budget=budget,
         tracer=tracer,
         metrics=metrics,
@@ -315,7 +363,7 @@ def _check_via_edbf(
     event_rewrite: bool,
     stats: Dict[str, float],
     n_jobs: int = 1,
-    cec_cache=None,
+    cache=None,
     budget=None,
     tracer=None,
     metrics=None,
@@ -339,7 +387,7 @@ def _check_via_edbf(
         comb1,
         comb2,
         n_jobs=n_jobs,
-        cache=cec_cache,
+        cache=cache,
         budget=budget,
         tracer=tracer,
         metrics=metrics,

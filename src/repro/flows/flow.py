@@ -21,12 +21,12 @@ against D as in Table 1.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.api import VerifyRequest, verify_pair
 from repro.core.expose import prepare_circuit
-from repro.core.verify import SeqVerdict, check_sequential_equivalence
+from repro.core.verify import SeqVerdict
 from repro.netlist.circuit import Circuit
 from repro.obs.trace import coerce_tracer
 from repro.retime.apply import retime_min_area, retime_min_period
@@ -293,23 +293,26 @@ def _run_flow(
             result.notes += f"G skipped ({exc}); "
     opt_span.close()
 
-    # Steps 7-8: combinational verification of B vs C (H vs J).
+    # Steps 7-8: combinational verification of B vs C (H vs J), routed
+    # through the stable facade (repro.api) like every other caller.
     if verify:
-        t0 = time.perf_counter()
-        check = check_sequential_equivalence(
-            b_circuit,
-            c_circuit,
-            n_jobs=n_jobs,
-            cec_cache=cec_cache,
+        report = verify_pair(
+            VerifyRequest(
+                golden=b_circuit,
+                revised=c_circuit,
+                name=circuit.name,
+                jobs=n_jobs,
+                cache=cec_cache,
+            ),
             budget=budget,
             tracer=tracer,
             metrics=metrics,
         )
-        result.verify_seconds = time.perf_counter() - t0
-        result.verify_verdict = check.verdict
-        result.verify_reason = check.reason
-        result.verify_stats = dict(check.stats)
+        result.verify_seconds = report.elapsed_seconds
+        result.verify_verdict = SeqVerdict(report.verdict)
+        result.verify_reason = report.reason
+        result.verify_stats = dict(report.stats)
         row_span.annotate(
-            verdict=check.verdict.value, verify_seconds=result.verify_seconds
+            verdict=report.verdict, verify_seconds=result.verify_seconds
         )
     return result

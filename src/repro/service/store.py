@@ -1,0 +1,191 @@
+"""Append-only JSONL result store with resume.
+
+The store is the batch service's durable memory.  Every finished job is
+appended as one JSON line, flushed immediately, so a killed run loses at
+most the line being written.  A later run pointed at the same store file
+*resumes*: pairs whose fingerprint already has a **decided** verdict
+(``equivalent`` / ``not_equivalent``) are skipped and replayed from disk,
+while pairs that previously ended ``unknown`` (budget exhaustion, worker
+failure) are re-run — an undecided outcome is a fact about the budget,
+not the circuits, so it should not be cached as if it were an answer.
+
+File format::
+
+    {"type": "header", "version": 1, "config": {...}}
+    {"type": "result", ...JobResult.to_dict()...}
+    {"type": "result", ...}
+
+The header pins the store schema and the verdict-relevant run
+configuration.  Like :class:`repro.flows.checkpoint.Checkpoint`, a
+mismatched header means earlier results were produced under different
+assumptions: the load honours only results after the **last** matching
+header, so appending a fresh header safely "fences off" stale history
+without rewriting the file (append-only is the whole point).  Unparsable
+lines (torn writes) are counted and skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.service.jobs import JobResult
+
+__all__ = ["ResultStore", "STORE_VERSION"]
+
+#: Result-store schema version (bumped on incompatible line layout).
+STORE_VERSION = 1
+
+_DECIDED = ("equivalent", "not_equivalent")
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`~repro.service.jobs.JobResult`.
+
+    ``config`` holds verdict-relevant settings for the run (whatever the
+    caller wants fenced — typically the manifest's option defaults).  On
+    :meth:`open`, if the file's effective header disagrees, a new header
+    is appended and all earlier results are ignored for resume purposes.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.config: Dict[str, Any] = dict(config or {})
+        self._handle = None
+        #: fingerprint -> stored result, for results under a matching header.
+        self._results: Dict[str, JobResult] = {}
+        #: lines that failed to parse during load (observability, not errors).
+        self.corrupt_lines = 0
+        #: results discarded because they predate the matching header.
+        self.fenced_results = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "ResultStore":
+        """Load prior results and open the file for appending."""
+        self._load()
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh or self._header_mismatch:
+            self._append_line(
+                {"type": "header", "version": STORE_VERSION, "config": self.config}
+            )
+        return self
+
+    def close(self) -> None:
+        """Flush and close the append handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, result: JobResult) -> None:
+        """Persist one finished job (flushed before returning)."""
+        if self._handle is None:
+            raise RuntimeError("ResultStore.append() before open()")
+        self._append_line({"type": "result", **result.to_dict()})
+        self._results[result.fingerprint] = result
+
+    def _append_line(self, payload: Mapping[str, Any]) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    # ------------------------------------------------------------------
+    # resume queries
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[JobResult]:
+        """The stored result for a fingerprint, if any."""
+        return self._results.get(fingerprint)
+
+    def decided(self, fingerprint: str) -> Optional[JobResult]:
+        """The stored result iff its verdict is decided (resume-skippable)."""
+        result = self._results.get(fingerprint)
+        if result is None or result.report is None:
+            return None
+        if result.report.verdict in _DECIDED:
+            return result
+        return None
+
+    def results(self) -> List[JobResult]:
+        """All loaded/appended results (last write per fingerprint wins)."""
+        return list(self._results.values())
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._results
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        self._results.clear()
+        self.corrupt_lines = 0
+        self.fenced_results = 0
+        self._header_mismatch = False
+        if not os.path.exists(self.path):
+            return
+        header_ok = False
+        seen_any_line = False
+        for payload in self._iter_lines():
+            seen_any_line = True
+            kind = payload.get("type")
+            if kind == "header":
+                header_ok = (
+                    payload.get("version") == STORE_VERSION
+                    and dict(payload.get("config") or {}) == self.config
+                )
+                if not header_ok:
+                    # Everything gathered so far predates a fence.
+                    self.fenced_results += len(self._results)
+                    self._results.clear()
+                continue
+            if kind != "result":
+                self.corrupt_lines += 1
+                continue
+            if not header_ok:
+                self.fenced_results += 1
+                continue
+            try:
+                result = JobResult.from_dict(payload)
+            except (TypeError, ValueError, KeyError):
+                self.corrupt_lines += 1
+                continue
+            if result.fingerprint:
+                self._results[result.fingerprint] = result
+        # A non-empty file whose trailing effective header disagrees (or
+        # that lacks a header entirely) needs a fresh fencing header.
+        self._header_mismatch = seen_any_line and not header_ok
+
+    def _iter_lines(self) -> Iterator[Dict[str, Any]]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    self.corrupt_lines += 1
+                    continue
+                if isinstance(payload, dict):
+                    yield payload
+                else:
+                    self.corrupt_lines += 1

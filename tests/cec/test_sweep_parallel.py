@@ -301,12 +301,15 @@ class TestRetimedSweepCoverage:
         retimed, _, _ = retime_min_period(c1)
         resynth = optimize_sequential_delay(retimed, "medium", name="resynth")
         cache = ProofCache()
-        cold = check_sequential_equivalence(c1, resynth, cec_cache=cache)
-        warm = check_sequential_equivalence(
-            c1, resynth, cec_cache=cache, n_jobs=2
-        )
+        cold = check_sequential_equivalence(c1, resynth, cache=cache)
+        warm = check_sequential_equivalence(c1, resynth, cache=cache, n_jobs=2)
         assert cold.equivalent and warm.equivalent
         assert warm.stats.get("cec_cache_hits", 0) > 0
+        # The pre-facade kwarg spelling still works, behind a warning.
+        with pytest.warns(DeprecationWarning, match="cec_cache"):
+            legacy = check_sequential_equivalence(c1, resynth, cec_cache=cache)
+        assert legacy.equivalent
+        assert legacy.stats.get("cec_cache_hits", 0) > 0
 
 
 class TestBugfixRegressions:

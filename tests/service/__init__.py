@@ -1,0 +1,1 @@
+"""Tests for the batch verification service (repro.service)."""

@@ -1,0 +1,272 @@
+"""End-to-end batch service runs: verdicts, budgets, resume, CLI, serve.
+
+Builds a small workload on disk — equivalent retimed+resynthesised
+pairs, an identical pair, a duplicate row, and a mutated (refutable)
+revision — then drives it through :func:`repro.api.verify_batch`, the
+``repro batch`` CLI and the ``repro serve`` stream loop, checking the
+service-level guarantees: per-job verdicts and exit codes, shared
+proof-cache warmth, budget-slice exhaustion surfacing ``REASON_*``
+codes, store resume, schema-valid traces, and a DeprecationWarning-free
+first-party path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import warnings
+
+import pytest
+
+from repro.api import VerifyRequest, verify_batch
+from repro.bench.mutations import apply_mutation, enumerate_mutations
+from repro.bench.pipeline import pipeline_circuit
+from repro.netlist.blif import write_blif
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_events
+from repro.obs.trace import Tracer
+from repro.runtime.budget import KNOWN_REASONS
+from repro.service.jobs import JobResult
+from repro.service.store import ResultStore
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """BLIF files + manifest rows for a small mixed batch."""
+    from repro.retime.apply import retime_min_period
+    from repro.synth.script import optimize_sequential_delay
+
+    tmp = tmp_path_factory.mktemp("batch")
+    rows = []
+    for seed in (1, 2):
+        golden = pipeline_circuit(stages=2, width=3, seed=seed, name=f"g{seed}")
+        revised, _, _ = retime_min_period(golden)
+        revised = optimize_sequential_delay(revised, "medium", name=f"r{seed}")
+        gp = tmp / f"g{seed}.blif"
+        rp = tmp / f"r{seed}.blif"
+        gp.write_text(write_blif(golden))
+        rp.write_text(write_blif(revised))
+        rows.append({"golden": gp.name, "revised": rp.name, "name": f"eq{seed}"})
+    # A mutated revision: provably not equivalent (a live gate inverted).
+    golden = pipeline_circuit(stages=2, width=3, seed=1, name="g1")
+    mutation = next(
+        m for m in enumerate_mutations(golden) if m.kind == "negation"
+    )
+    mutated = apply_mutation(golden, mutation)
+    mp = tmp / "mutated.blif"
+    mp.write_text(write_blif(mutated))
+    rows.append({"golden": "g1.blif", "revised": "mutated.blif", "name": "neq"})
+    # A duplicate of eq1 under another name: must dedup, not re-solve.
+    rows.append({"golden": "g1.blif", "revised": "r1.blif", "name": "eq1-dup"})
+    manifest = tmp / "manifest.json"
+    manifest.write_text(json.dumps({"version": 1, "jobs": rows}))
+    return {"dir": tmp, "manifest": manifest, "rows": rows}
+
+
+def _requests(workload):
+    from repro.service.jobs import load_manifest
+
+    return load_manifest(workload["manifest"])
+
+
+class TestVerifyBatch:
+    def test_mixed_verdicts_in_request_order(self, workload, tmp_path):
+        events = []
+        metrics = MetricsRegistry()
+        reports = verify_batch(
+            _requests(workload),
+            jobs=2,
+            cache=tmp_path / "cache.json",
+            store=tmp_path / "results.jsonl",
+            use_processes=False,
+            tracer=Tracer(sink=events),
+            metrics=metrics,
+        )
+        assert [r.name for r in reports] == ["eq1", "eq2", "neq", "eq1-dup"]
+        assert [r.exit_code for r in reports] == [0, 0, 1, 0]
+        assert reports[2].counterexample is not None
+        # The duplicate row mirrors eq1's report without a second solve.
+        assert reports[3].fingerprint == reports[0].fingerprint
+        assert metrics.counter("service.jobs.deduped") == 1
+        assert metrics.counter("service.jobs.done") == 3
+        # The trace is schema-valid and carries per-job pair spans.
+        assert validate_events(events) == []
+        job_spans = [
+            e
+            for e in events
+            if e.get("type") == "span"
+            and str(e.get("name", "")).startswith("job.")
+        ]
+        assert len(job_spans) == 3
+        # The store parses back as JSONL, one result line per solved job.
+        store = ResultStore(tmp_path / "results.jsonl").open()
+        try:
+            assert len(store) == 3
+        finally:
+            store.close()
+
+    def test_warm_cache_on_second_run(self, workload, tmp_path):
+        cache = tmp_path / "warm-cache.json"
+        cold = MetricsRegistry()
+        verify_batch(
+            _requests(workload),
+            cache=cache,
+            use_processes=False,
+            metrics=cold,
+        )
+        warm = MetricsRegistry()
+        verify_batch(
+            _requests(workload),
+            cache=cache,
+            use_processes=False,
+            metrics=warm,
+        )
+        assert warm.counter("service.cache.hits") > 0
+        assert (
+            warm.counter("service.cache.misses")
+            < cold.counter("service.cache.misses")
+        )
+
+    def test_resume_skips_decided_pairs(self, workload, tmp_path):
+        store = tmp_path / "resume.jsonl"
+        first = MetricsRegistry()
+        verify_batch(
+            _requests(workload),
+            store=store,
+            resume=True,
+            use_processes=False,
+            metrics=first,
+        )
+        assert first.counter("service.jobs.resumed") == 0
+        second = MetricsRegistry()
+        reports = verify_batch(
+            _requests(workload),
+            store=store,
+            resume=True,
+            use_processes=False,
+            metrics=second,
+        )
+        # Every distinct decided pair replays from the store; nothing runs.
+        assert second.counter("service.jobs.resumed") == 3
+        assert second.counter("service.jobs.done") == 0
+        assert [r.exit_code for r in reports] == [0, 0, 1, 0]
+
+    def test_budget_slices_surface_reason_codes(self, workload):
+        reports = verify_batch(
+            _requests(workload)[:2],
+            budget=0.0,  # nothing can finish: every slice is exhausted
+            use_processes=False,
+        )
+        for report in reports:
+            assert report.verdict == "unknown"
+            assert report.reason in KNOWN_REASONS
+            assert report.exit_code == 2
+
+    def test_process_pool_matches_in_process(self, workload, tmp_path):
+        reports = verify_batch(
+            _requests(workload),
+            jobs=2,
+            use_processes=True,
+        )
+        assert [r.exit_code for r in reports] == [0, 0, 1, 0]
+
+    def test_no_first_party_deprecation_warnings(self, workload):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            reports = verify_batch(
+                _requests(workload)[:1], use_processes=False
+            )
+        assert reports[0].exit_code == 0
+
+
+class TestBatchCli:
+    def test_exit_code_reflects_worst_job(self, workload, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "batch",
+                str(workload["manifest"]),
+                "--jobs",
+                "2",
+                "--in-process",
+                "--store",
+                str(tmp_path / "store.jsonl"),
+                "--trace",
+                str(tmp_path / "trace.jsonl"),
+                "--metrics-out",
+                str(tmp_path / "metrics.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1  # the mutated pair refutes: 1 dominates
+        assert "not_equivalent" in out
+        assert "batch summary:" in out
+        # Artifacts parse: trace is schema-valid, metrics is valid JSON.
+        from repro.obs.trace import read_events
+
+        events = read_events(tmp_path / "trace.jsonl")
+        assert events and validate_events(events) == []
+        metrics = json.loads((tmp_path / "metrics.json").read_text())
+        assert metrics["counters"]["service.jobs.done"] == 3
+
+    def test_all_equivalent_exits_zero(self, workload, tmp_path, capsys):
+        from repro.cli import main
+
+        rows = [r for r in workload["rows"] if r["name"].startswith("eq")]
+        manifest = tmp_path / "eq-only.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "jobs": [
+                        {
+                            **row,
+                            "golden": str(workload["dir"] / row["golden"]),
+                            "revised": str(workload["dir"] / row["revised"]),
+                        }
+                        for row in rows
+                    ],
+                }
+            )
+        )
+        assert main(["batch", str(manifest), "--in-process", "--quiet"]) == 0
+
+    def test_bad_manifest_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "jobs": []}))
+        assert main(["batch", str(bad)]) == 2
+
+
+class TestServe:
+    def test_jsonl_stream_round_trip(self, workload):
+        import asyncio
+
+        from repro.service.scheduler import BatchRunner
+
+        rows = []
+        for request in _requests(workload)[:3]:
+            rows.append(json.dumps(request.to_dict()))
+        rows.append("{not json")
+        in_stream = io.StringIO("\n".join(rows) + "\n")
+        out_stream = io.StringIO()
+        runner = BatchRunner(jobs=2, use_processes=False)
+        emitted = asyncio.run(runner.serve(in_stream, out_stream))
+        lines = [
+            json.loads(line)
+            for line in out_stream.getvalue().splitlines()
+            if line
+        ]
+        results = [l for l in lines if l["type"] == "result"]
+        errors = [l for l in lines if l["type"] == "error"]
+        assert emitted == 3
+        assert len(results) == 3
+        assert len(errors) == 1
+        by_name = {r["name"]: r for r in results}
+        assert by_name["eq1"]["exit_code"] == 0
+        assert by_name["neq"]["exit_code"] == 1
+        # Each emitted line parses back into a JobResult.
+        for line in results:
+            JobResult.from_dict(line)

@@ -1,0 +1,136 @@
+"""Job/JobResult schemas and the batch-manifest format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import EXIT_UNKNOWN, VerifyReport
+from repro.service.jobs import (
+    Job,
+    JobResult,
+    JobState,
+    load_manifest,
+    parse_manifest,
+)
+
+
+class TestJob:
+    def test_sort_key_orders_by_priority_then_seq(self):
+        from repro.api import VerifyRequest
+
+        hi = Job(
+            request=VerifyRequest("g.blif", "r.blif", priority=5),
+            fingerprint="a",
+            seq=7,
+        )
+        lo = Job(
+            request=VerifyRequest("g.blif", "r.blif", priority=0),
+            fingerprint="b",
+            seq=1,
+        )
+        assert hi.sort_key() < lo.sort_key()
+
+    def test_to_dict_is_json_stable(self):
+        from repro.api import VerifyRequest
+
+        job = Job(
+            request=VerifyRequest("g.blif", "r.blif", name="row"),
+            fingerprint="abc",
+            seq=3,
+        )
+        data = json.loads(json.dumps(job.to_dict()))
+        assert data["fingerprint"] == "abc"
+        assert data["state"] == "pending"
+        assert data["request"]["name"] == "row"
+
+
+class TestJobResult:
+    def test_exit_code_defined_without_report(self):
+        result = JobResult(name="x", fingerprint="f", status="failed")
+        assert result.exit_code == EXIT_UNKNOWN
+
+    def test_round_trip(self):
+        report = VerifyReport(
+            verdict="not_equivalent",
+            method="cec",
+            name="x",
+            fingerprint="f",
+            stats={"cec_sat_queries": 3.0},
+        )
+        result = JobResult(
+            name="x",
+            fingerprint="f",
+            status=JobState.DONE.value,
+            report=report,
+            attempts=2,
+            lane=1,
+            elapsed_seconds=0.5,
+        )
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["exit_code"] == 1
+        back = JobResult.from_dict(data)
+        assert back.report is not None
+        assert back.report.verdict == "not_equivalent"
+        assert back.attempts == 2
+        assert back.lane == 1
+        assert back.exit_code == 1
+
+
+class TestManifest:
+    def test_envelope_with_defaults(self, tmp_path):
+        manifest = {
+            "version": 1,
+            "defaults": {"time_limit": 9.0, "priority": 2},
+            "jobs": [
+                {"golden": "g.blif", "revised": "r.blif"},
+                {"golden": "g.blif", "revised": "r.blif", "priority": 7},
+            ],
+        }
+        requests = parse_manifest(manifest)
+        assert [r.priority for r in requests] == [2, 7]
+        assert all(r.time_limit == 9.0 for r in requests)
+
+    def test_bare_list_accepted(self):
+        requests = parse_manifest(
+            [{"golden": "g.blif", "revised": "r.blif", "name": "only"}]
+        )
+        assert len(requests) == 1
+        assert requests[0].name == "only"
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            parse_manifest({"version": 99, "jobs": []})
+
+    def test_bad_row_names_its_index(self):
+        with pytest.raises(ValueError, match="row 1"):
+            parse_manifest(
+                {
+                    "version": 1,
+                    "jobs": [
+                        {"golden": "g.blif", "revised": "r.blif"},
+                        {"golden": "g.blif"},  # missing revised
+                    ],
+                }
+            )
+
+    def test_load_manifest_resolves_relative_paths(self, tmp_path):
+        from repro.bench.pipeline import pipeline_circuit
+        from repro.netlist.blif import write_blif
+
+        circuit = pipeline_circuit(stages=1, width=2, seed=0, name="tiny")
+        (tmp_path / "tiny.blif").write_text(write_blif(circuit))
+        path = tmp_path / "manifest.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "jobs": [{"golden": "tiny.blif", "revised": "tiny.blif"}],
+                }
+            )
+        )
+        requests = load_manifest(path)
+        golden, revised = requests[0].load()
+        assert golden.name == "tiny"
+        assert revised.name == "tiny"

@@ -1,0 +1,125 @@
+"""ResultStore: append-only persistence, resume, header fencing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import VerifyReport
+from repro.service.jobs import JobResult, JobState
+from repro.service.store import ResultStore
+
+
+def _result(name: str, verdict: str, fingerprint: str = "") -> JobResult:
+    fingerprint = fingerprint or f"fp-{name}"
+    return JobResult(
+        name=name,
+        fingerprint=fingerprint,
+        status=JobState.DONE.value,
+        report=VerifyReport(
+            verdict=verdict, method="cbf", name=name, fingerprint=fingerprint
+        ),
+    )
+
+
+class TestAppendLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append(_result("a", "equivalent"))
+            store.append(_result("b", "not_equivalent"))
+        reopened = ResultStore(path).open()
+        try:
+            assert len(reopened) == 2
+            assert reopened.get("fp-a").report.verdict == "equivalent"
+            assert reopened.get("fp-b").report.verdict == "not_equivalent"
+        finally:
+            reopened.close()
+
+    def test_last_write_per_fingerprint_wins(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append(_result("a", "unknown", fingerprint="same"))
+            store.append(_result("a", "equivalent", fingerprint="same"))
+        reopened = ResultStore(path).open()
+        try:
+            assert reopened.get("same").report.verdict == "equivalent"
+        finally:
+            reopened.close()
+
+    def test_corrupt_lines_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append(_result("a", "equivalent"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{torn-write\n")  # simulated crash mid-append
+        reopened = ResultStore(path).open()
+        try:
+            assert len(reopened) == 1
+            assert reopened.corrupt_lines == 1
+        finally:
+            reopened.close()
+
+
+class TestResume:
+    def test_decided_skips_only_definitive_verdicts(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path) as store:
+            store.append(_result("eq", "equivalent"))
+            store.append(_result("neq", "not_equivalent"))
+            store.append(_result("unk", "unknown"))
+        reopened = ResultStore(path).open()
+        try:
+            assert reopened.decided("fp-eq") is not None
+            assert reopened.decided("fp-neq") is not None
+            # An unknown verdict is a fact about the budget, not the
+            # circuits: it must be re-run, not resumed.
+            assert reopened.decided("fp-unk") is None
+            assert "fp-unk" in reopened
+        finally:
+            reopened.close()
+
+
+class TestHeaderFencing:
+    def test_config_mismatch_fences_old_results(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path, config={"event_rewrite": False}) as store:
+            store.append(_result("a", "equivalent"))
+        # Same file, different verdict-relevant config: prior results
+        # must not resume, and a fresh fencing header is appended.
+        second = ResultStore(path, config={"event_rewrite": True}).open()
+        try:
+            assert len(second) == 0
+            assert second.fenced_results == 1
+            second.append(_result("b", "equivalent"))
+        finally:
+            second.close()
+        # Re-open under each config: only its own results are visible.
+        under_new = ResultStore(path, config={"event_rewrite": True}).open()
+        try:
+            assert under_new.get("fp-b") is not None
+            assert under_new.get("fp-a") is None
+        finally:
+            under_new.close()
+
+    def test_headerless_file_is_fenced_wholesale(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        line = {"type": "result", **_result("a", "equivalent").to_dict()}
+        path.write_text(json.dumps(line) + "\n")
+        store = ResultStore(path).open()
+        try:
+            assert len(store) == 0
+            assert store.fenced_results == 1
+        finally:
+            store.close()
+
+    def test_file_stays_append_only(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultStore(path, config={"v": 1}) as store:
+            store.append(_result("a", "equivalent"))
+        size_before = path.stat().st_size
+        with ResultStore(path, config={"v": 2}) as store:
+            store.append(_result("b", "equivalent"))
+        # The fence never rewrites history; the file only grows.
+        assert path.stat().st_size > size_before
+        first_line = path.read_text().splitlines()[0]
+        assert json.loads(first_line)["type"] == "header"

@@ -1,0 +1,267 @@
+"""The stable repro.api facade: schema, exit codes, deprecation shims.
+
+Covers satellite guarantees of the API redesign:
+
+* ``VerifyRequest`` / ``VerifyReport`` round-trip through their JSON
+  dict forms (the manifest-row / result-store schemas);
+* fingerprints are content-addressed (names and engine knobs don't
+  matter, verdict-relevant options do);
+* every result type emits exactly the canonical ``RESULT_KEYS`` set and
+  satisfies the :class:`repro.api.VerificationResult` protocol;
+* the exit-code contract (0 / 1 / 2, INCONCLUSIVE → 2);
+* the deprecated ``cec_cache=`` spelling warns but still works.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro.api import (
+    EXIT_EQUIVALENT,
+    EXIT_NOT_EQUIVALENT,
+    EXIT_UNKNOWN,
+    RESULT_KEYS,
+    REASON_INCONCLUSIVE,
+    VerificationResult,
+    VerifyReport,
+    VerifyRequest,
+    exit_code_for_verdict,
+    verify_pair,
+)
+from repro.bench.pipeline import pipeline_circuit
+from repro.cec.engine import check_equivalence
+from repro.core.verify import SeqVerdict, check_sequential_equivalence
+from repro.netlist.blif import write_blif
+
+
+@pytest.fixture(scope="module")
+def pair(tmp_path_factory):
+    """BLIF paths of an equivalent (golden, retimed+resynthesised) pair.
+
+    The revision is structurally different enough that the CEC engine
+    must do real SAT work — budget and proof-cache behaviour is
+    observable, unlike an identical or merely retimed copy.
+    """
+    from repro.retime.apply import retime_min_period
+    from repro.synth.script import optimize_sequential_delay
+
+    tmp = tmp_path_factory.mktemp("facade")
+    golden = pipeline_circuit(stages=2, width=3, seed=1, name="g")
+    revised, _, _ = retime_min_period(golden)
+    revised = optimize_sequential_delay(revised, "medium", name="r")
+    gp, rp = tmp / "g.blif", tmp / "r.blif"
+    gp.write_text(write_blif(golden))
+    rp.write_text(write_blif(revised))
+    return str(gp), str(rp)
+
+
+class TestRequestRoundTrip:
+    def test_to_from_dict(self, pair):
+        request = VerifyRequest(
+            golden=pair[0],
+            revised=pair[1],
+            name="row",
+            priority=3,
+            event_rewrite=True,
+            time_limit=5.0,
+            metadata={"suite": "unit"},
+        )
+        data = json.loads(json.dumps(request.to_dict()))
+        back = VerifyRequest.from_dict(data)
+        assert back.name == "row"
+        assert back.priority == 3
+        assert back.event_rewrite is True
+        assert back.time_limit == 5.0
+        assert back.metadata == {"suite": "unit"}
+        assert back.fingerprint() == request.fingerprint()
+
+    def test_inline_circuits_round_trip(self):
+        circuit = pipeline_circuit(stages=1, width=2, seed=0, name="inline")
+        request = VerifyRequest(golden=circuit, revised=circuit)
+        data = request.to_dict()
+        assert "golden_blif" in data and "revised_blif" in data
+        back = VerifyRequest.from_dict(data)
+        assert back.fingerprint() == request.fingerprint()
+
+    def test_unknown_keys_rejected(self, pair):
+        with pytest.raises(ValueError, match="unknown"):
+            VerifyRequest.from_dict(
+                {"golden": pair[0], "revised": pair[1], "time_limt": 3}
+            )
+
+    def test_base_dir_resolves_relative_paths(self, pair, tmp_path):
+        import os
+
+        base = os.path.dirname(pair[0])
+        request = VerifyRequest.from_dict(
+            {"golden": "g.blif", "revised": "r.blif"}, base_dir=base
+        )
+        assert request.load()[0].name == "g"
+
+    def test_default_name_derivation(self, pair):
+        request = VerifyRequest(golden=pair[0], revised=pair[1])
+        assert request.name == "g~r"
+
+
+class TestFingerprint:
+    def test_name_and_engine_knobs_do_not_change_it(self, pair):
+        a = VerifyRequest(golden=pair[0], revised=pair[1], name="a", jobs=4)
+        b = VerifyRequest(
+            golden=pair[0], revised=pair[1], name="b", time_limit=1.0
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_verdict_relevant_options_change_it(self, pair):
+        a = VerifyRequest(golden=pair[0], revised=pair[1])
+        b = VerifyRequest(golden=pair[0], revised=pair[1], event_rewrite=True)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_different_circuits_change_it(self, pair):
+        a = VerifyRequest(golden=pair[0], revised=pair[1])
+        b = VerifyRequest(golden=pair[0], revised=pair[0])
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestResultProtocol:
+    def test_seq_result_canonical_keys(self):
+        circuit = pipeline_circuit(stages=1, width=2, seed=0)
+        result = check_sequential_equivalence(circuit, circuit)
+        assert isinstance(result, VerificationResult)
+        assert tuple(result.as_dict().keys()) == RESULT_KEYS
+
+    def test_cec_result_canonical_keys(self):
+        from repro.bench.random_circuits import random_combinational
+
+        circuit = random_combinational(n_inputs=3, n_gates=8, seed=0)
+        result = check_equivalence(circuit, circuit)
+        assert isinstance(result, VerificationResult)
+        assert tuple(result.as_dict().keys()) == RESULT_KEYS
+
+    def test_report_includes_canonical_keys(self, pair):
+        report = verify_pair(pair[0], pair[1])
+        data = report.as_dict()
+        for key in RESULT_KEYS:
+            assert key in data
+        back = VerifyReport.from_dict(json.loads(json.dumps(data)))
+        assert back.verdict == report.verdict
+        assert back.stats == report.stats
+        assert back.fingerprint == report.fingerprint
+
+
+class TestExitCodeContract:
+    def test_mapping(self):
+        assert exit_code_for_verdict(SeqVerdict.EQUIVALENT) == EXIT_EQUIVALENT
+        assert (
+            exit_code_for_verdict(SeqVerdict.NOT_EQUIVALENT)
+            == EXIT_NOT_EQUIVALENT
+        )
+        assert exit_code_for_verdict(SeqVerdict.UNKNOWN) == EXIT_UNKNOWN
+        # The bugfix: a conservative EDBF mismatch is "could not decide",
+        # not a refutation — it must exit 2, not 1.
+        assert exit_code_for_verdict(SeqVerdict.INCONCLUSIVE) == EXIT_UNKNOWN
+        assert exit_code_for_verdict("equivalent") == 0
+
+    def test_inconclusive_report_reason(self):
+        report = VerifyReport.from_result(
+            _FakeResult(SeqVerdict.INCONCLUSIVE.value)
+        )
+        assert report.verdict == "inconclusive"
+        assert report.reason == REASON_INCONCLUSIVE
+        assert report.exit_code == EXIT_UNKNOWN
+        assert not report.decided
+
+    def test_verify_pair_exit_codes(self, pair):
+        assert verify_pair(pair[0], pair[1]).exit_code == EXIT_EQUIVALENT
+        budget_starved = verify_pair(pair[0], pair[1], time_limit=0.0)
+        assert budget_starved.exit_code == EXIT_UNKNOWN
+        assert budget_starved.reason is not None
+
+    def test_cli_inconclusive_exits_2(self, tmp_path, monkeypatch, capsys):
+        # Drive the real CLI while forcing an INCONCLUSIVE verdict at the
+        # facade boundary: the printed verdict and exit code must follow
+        # the documented contract.
+        from repro import cli
+
+        report = VerifyReport.from_result(
+            _FakeResult(SeqVerdict.INCONCLUSIVE.value)
+        )
+        monkeypatch.setattr(
+            "repro.api.check_sequential_equivalence",
+            lambda *a, **k: _FakeResult(SeqVerdict.INCONCLUSIVE.value),
+        )
+        golden = tmp_path / "g.blif"
+        golden.write_text(
+            write_blif(pipeline_circuit(stages=1, width=2, seed=0))
+        )
+        rc = cli.main(["verify", str(golden), str(golden)])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "inconclusive" in out
+        assert report.reason in out
+
+
+class _FakeResult:
+    """Minimal object satisfying the VerificationResult protocol."""
+
+    def __init__(self, verdict: str):
+        self.verdict = verdict
+        self.reason = None
+        self.failing_output = None
+
+    @property
+    def equivalent(self) -> bool:
+        return self.verdict == "equivalent"
+
+    def as_dict(self):
+        return {
+            "verdict": self.verdict,
+            "method": "fake",
+            "reason": self.reason,
+            "counterexample": None,
+            "failing_output": self.failing_output,
+            "stats": {},
+        }
+
+
+class TestDeprecationShims:
+    def test_cec_cache_kwarg_warns_and_forwards(self, pair):
+        from repro.cec.cache import ProofCache
+        from repro.netlist.blif import parse_blif_file
+
+        golden = parse_blif_file(pair[0])
+        revised = parse_blif_file(pair[1])
+        cache = ProofCache()
+        with pytest.warns(DeprecationWarning, match="cec_cache"):
+            result = check_sequential_equivalence(
+                golden, revised, cec_cache=cache
+            )
+        assert result.equivalent
+        with pytest.warns(DeprecationWarning):
+            warm = check_sequential_equivalence(
+                golden, revised, cec_cache=cache
+            )
+        assert warm.stats.get("cec_cache_hits", 0) > 0
+
+    def test_new_spelling_does_not_warn(self):
+        circuit = pipeline_circuit(stages=1, width=2, seed=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = check_sequential_equivalence(circuit, circuit, cache=None)
+        assert result.equivalent
+
+
+class TestPackageSurface:
+    def test_facade_reexported_from_repro(self):
+        for name in (
+            "VerifyRequest",
+            "VerifyReport",
+            "verify_pair",
+            "verify_batch",
+            "exit_code_for_verdict",
+        ):
+            assert hasattr(repro, name)
+            assert name in repro.__all__
