@@ -1,0 +1,131 @@
+"""CEC refinement benchmark: SAT queries and wall time, refine on vs off.
+
+Runs the sweep engine over a corpus of random-circuit pairs (resynthesised
+equivalents, mutated near-misses, and unrelated pairs) under deliberately
+narrow initial signatures — the regime where counterexample-guided
+refinement matters — and writes ``BENCH_cec.json``:
+
+* per-pair and aggregate ``sat_queries`` / wall time / refinement rounds,
+  with refinement on and off, in serial and parallel (``n_jobs>1``) modes;
+* a hard assertion that every configuration returns the same verdict on
+  every pair (the acceptance criterion for the refinement loop).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cec.py [-o BENCH_cec.json]
+
+Exit code 0 means all verdicts agreed; 1 means a divergence (the JSON is
+still written for the post-mortem).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Tuple
+
+from repro.bench.mutations import sample_mutations
+from repro.bench.random_circuits import random_combinational
+from repro.cec.engine import check_equivalence
+from repro.synth.script import script_delay
+
+# One narrow 8-bit simulation round: plenty of spurious signature
+# classes, which is exactly what refinement is for.
+NARROW = dict(sim_rounds=1, sim_width=8)
+
+MODES: List[Tuple[str, Dict]] = [
+    ("refine_serial", dict(refine=True, n_jobs=1)),
+    ("norefine_serial", dict(refine=False, n_jobs=1)),
+    ("refine_parallel", dict(refine=True, n_jobs=4)),
+    ("norefine_parallel", dict(refine=False, n_jobs=4)),
+]
+
+
+def corpus(n_random: int = 4, n_mutants: int = 3) -> List[Tuple[str, object, object]]:
+    """(name, golden, revised) pairs: equivalent, mutated, and unrelated."""
+    pairs = []
+    for seed in range(n_random):
+        c1 = random_combinational(n_inputs=9, n_gates=80, seed=seed)
+        c2 = c1.copy("resynth")
+        script_delay(c2)
+        pairs.append((f"resynth_{seed}", c1, c2))
+        other = random_combinational(
+            n_inputs=9, n_gates=80, seed=seed + 101, name="other"
+        )
+        pairs.append((f"unrelated_{seed}", c1, other))
+    base = random_combinational(n_inputs=9, n_gates=80, seed=77)
+    for mutation, mutant in sample_mutations(base, n_mutants, seed=7):
+        pairs.append((f"mutant_{mutation.kind}_{mutation.target}", base, mutant))
+    return pairs
+
+
+def run(pairs) -> Dict:
+    rows = []
+    totals = {name: {"sat_queries": 0, "seconds": 0.0} for name, _ in MODES}
+    divergences = []
+    for name, golden, revised in pairs:
+        row = {"pair": name}
+        verdicts = {}
+        for mode, options in MODES:
+            t0 = time.perf_counter()
+            result = check_equivalence(golden, revised, **NARROW, **options)
+            elapsed = time.perf_counter() - t0
+            verdicts[mode] = result.verdict.value
+            row[mode] = {
+                "verdict": result.verdict.value,
+                "sat_queries": int(result.stats["sat_queries"]),
+                "seconds": round(elapsed, 4),
+                "refine_rounds": int(result.stats["refine_rounds"]),
+                "refine_patterns": int(result.stats["refine_patterns"]),
+                "refine_saved": int(result.stats["refine_saved"]),
+            }
+            totals[mode]["sat_queries"] += int(result.stats["sat_queries"])
+            totals[mode]["seconds"] += elapsed
+        if len(set(verdicts.values())) != 1:
+            divergences.append({"pair": name, "verdicts": verdicts})
+        rows.append(row)
+    for mode in totals:
+        totals[mode]["seconds"] = round(totals[mode]["seconds"], 4)
+    saved = (
+        totals["norefine_serial"]["sat_queries"]
+        - totals["refine_serial"]["sat_queries"]
+    )
+    return {
+        "benchmark": "cec_refinement",
+        "config": dict(NARROW),
+        "pairs": rows,
+        "totals": totals,
+        "sat_queries_saved_by_refinement": saved,
+        "verdict_divergences": divergences,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_cec.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    report = run(corpus())
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    totals = report["totals"]
+    for mode, agg in totals.items():
+        print(f"{mode:20s} sat_queries={agg['sat_queries']:6d} "
+              f"seconds={agg['seconds']:.3f}")
+    print(f"refinement saved {report['sat_queries_saved_by_refinement']} "
+          f"SAT queries (serial)")
+    if report["verdict_divergences"]:
+        print(f"VERDICT DIVERGENCE on {len(report['verdict_divergences'])} "
+              "pair(s) -- see JSON")
+        return 1
+    if report["sat_queries_saved_by_refinement"] <= 0:
+        print("WARNING: refinement did not reduce SAT queries on this corpus")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -231,6 +231,26 @@ class AIG:
         pi_words = {name: rng.getrandbits(width) for name in self.pi_names}
         return self.simulate(pi_words, mask), mask
 
+    def simulate_patterns(
+        self, assignments: Sequence[Dict[str, bool]]
+    ) -> Tuple[List[int], int]:
+        """Bit-parallel simulation of explicit PI assignments.
+
+        Each assignment becomes one bit column (assignment ``i`` is bit
+        ``i``); PIs absent from an assignment default to False.  Returns
+        ``(node words, mask)`` exactly like :meth:`random_simulate`, so
+        the columns can be appended to existing simulation signatures.
+        """
+        width = len(assignments)
+        mask = (1 << width) - 1
+        pi_words = {name: 0 for name in self.pi_names}
+        for i, assignment in enumerate(assignments):
+            bit = 1 << i
+            for name in self.pi_names:
+                if assignment.get(name, False):
+                    pi_words[name] |= bit
+        return self.simulate(pi_words, mask), mask
+
     def eval_outputs(self, pi_values: Dict[str, bool]) -> Dict[str, bool]:
         """Evaluate all registered outputs on one assignment."""
         words = self.simulate({n: int(v) for n, v in pi_values.items()}, 1)

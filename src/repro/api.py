@@ -170,6 +170,7 @@ class VerifyRequest:
     # Engine options (verdict-preserving; not fingerprinted).
     jobs: int = 1
     cache: Union[None, str, os.PathLike] = None
+    refine: bool = True
     # Resource budget (None = unlimited).
     time_limit: Optional[float] = None
     sat_conflicts: Optional[int] = None
@@ -226,8 +227,9 @@ class VerifyRequest:
         option, so two manifest rows naming byte-identical files dedup
         even under different names/paths, while requests differing in a
         way that can change the verdict never collide.  Engine options
-        (``jobs``, ``cache``) and budgets are deliberately excluded:
-        they affect *whether* a verdict is reached, not which one.
+        (``jobs``, ``cache``, ``refine``) and budgets are deliberately
+        excluded: they affect *whether* a verdict is reached, not which
+        one.
         """
         h = hashlib.sha256()
         h.update(_blif_bytes(self.golden))
@@ -260,6 +262,7 @@ class VerifyRequest:
             "event_rewrite",
             "validate_cex",
             "jobs",
+            "refine",
             "time_limit",
             "sat_conflicts",
             "sat_propagations",
@@ -302,6 +305,7 @@ class VerifyRequest:
             "validate_cex",
             "jobs",
             "cache",
+            "refine",
             "time_limit",
             "sat_conflicts",
             "sat_propagations",
@@ -334,6 +338,7 @@ class VerifyRequest:
             "validate_cex",
             "jobs",
             "cache",
+            "refine",
             "time_limit",
             "sat_conflicts",
             "sat_propagations",
@@ -505,6 +510,7 @@ def verify_pair(
         validate_cex=request.validate_cex,
         n_jobs=request.jobs,
         cache=request.cache,
+        refine=request.refine,
         budget=Budget.coerce(budget) if budget is not None else request.budget(),
         tracer=tracer,
         metrics=metrics,

@@ -25,17 +25,23 @@ uninstrumented path stays unchanged.
 from __future__ import annotations
 
 import enum
+import hashlib
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.aig.aig import AIG
 from repro.bdd.bdd import BDD
 from repro.bdd.circuit2bdd import circuit_bdds
 from repro.cec.cache import EQ, NEQ, ProofCache
 from repro.cec.miter import MiterAIG, build_miter
-from repro.cec.parallel import UNKNOWN, UnitResult, sweep_units_parallel
+from repro.cec.parallel import (
+    DEFERRED,
+    UNKNOWN,
+    UnitResult,
+    sweep_units_parallel,
+)
 from repro.cec.partition import Candidate, WorkUnit, partition_candidates
 from repro.netlist.circuit import Circuit
 from repro.obs.metrics import MetricsRegistry
@@ -61,6 +67,13 @@ __all__ = [
 #: set one explicitly; small enough that a blow-up costs milliseconds.
 DEFAULT_BDD_NODE_LIMIT = 100_000
 
+#: Cap on counterexample-guided refinement rounds.  Each round appends the
+#: previous round's refuting SAT models as simulation columns and
+#: re-splits the surviving signature classes; the loop converges as soon
+#: as a round yields no new pattern, so this cap only bounds adversarial
+#: worst cases.
+DEFAULT_REFINE_ROUNDS = 8
+
 #: EngineStats counter field → canonical registry metric.  One table used
 #: in both directions so the flat stats view and the metrics sink can
 #: never drift apart.
@@ -73,6 +86,10 @@ _COUNTER_METRICS: Dict[str, str] = {
     "cache_hits": "cec.cache.hits",
     "cache_misses": "cec.cache.misses",
     "cache_stores": "cec.cache.stores",
+    "refine_rounds": "cec.refine.rounds",
+    "refine_patterns": "cec.refine.patterns",
+    "refine_splits": "cec.refine.splits",
+    "refine_saved": "cec.refine.queries_saved",
     "cascade_sim": "cec.cascade.sim",
     "cascade_bdd": "cec.cascade.bdd",
     "cascade_sat": "cec.cascade.sat",
@@ -129,6 +146,11 @@ class EngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
+    # Counterexample-guided refinement (fraiging) telemetry.
+    refine_rounds: int = 0
+    refine_patterns: int = 0
+    refine_splits: int = 0
+    refine_saved: int = 0
     # Cascade outcomes (budget-governed checks only).
     cascade_sim: int = 0
     cascade_bdd: int = 0
@@ -244,47 +266,107 @@ class CheckResult:
         }
 
 
-def _signature_classes(
-    aig: AIG, rounds: int, width: int, seed: int
-) -> Dict[int, List[int]]:
-    """Partition AND nodes by normalised simulation signature.
+def _round_seed(seed: int, r: int) -> int:
+    """Mix ``(seed, r)`` into an independent per-round pattern seed.
 
-    The signature of a node is the concatenation of its simulation words
-    over several rounds, complemented if its first bit is 1 so that a node
-    and its complement land in the same class.
+    Plain ``seed + r`` makes round ``r`` of seed ``s`` identical to round
+    0 of seed ``s + r``, so neighbouring seeds share most of their
+    pattern stream.  Hash mixing keeps runs deterministic (hashlib, so no
+    ``PYTHONHASHSEED`` dependence) while making the streams of different
+    ``(seed, round)`` pairs independent.
     """
-    signatures: Dict[int, int] = {}
+    digest = hashlib.blake2b(
+        f"{seed}/{r}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _initial_signatures(
+    aig: AIG, rounds: int, width: int, seed: int
+) -> Tuple[List[int], int]:
+    """Multi-round simulation signatures for every node.
+
+    Returns ``(signatures, mask)`` where ``signatures[n]`` concatenates
+    node ``n``'s simulation words over all rounds.  Every node gets a
+    signature — including constant node 0 (always 0) and the PIs — so
+    stuck-at-constant nodes join the constant's class and are proven
+    against the constant directly instead of pairwise.
+    """
+    signatures = [0] * aig.num_nodes()
     mask_total = 0
     for r in range(rounds):
-        words, mask = aig.random_simulate(width=width, seed=seed + r)
-        for node in range(1, aig.num_nodes()):
-            signatures[node] = signatures.get(node, 0) << width | (
+        words, mask = aig.random_simulate(
+            width=width, seed=_round_seed(seed, r)
+        )
+        for node in range(aig.num_nodes()):
+            signatures[node] = (signatures[node] << width) | (
                 words[node] & mask
             )
         mask_total = (mask_total << width) | mask
+    return signatures, mask_total
+
+
+def _signature_classes(
+    signatures: Sequence[int], mask: int, nodes: Sequence[int]
+) -> Dict[int, List[int]]:
+    """Partition ``nodes`` by normalised signature.
+
+    A signature whose first bit is 1 is complemented so a node and its
+    complement land in the same class.  Only classes with at least two
+    members survive; members are listed in node order.
+    """
     classes: Dict[int, List[int]] = {}
-    for node, sig in signatures.items():
+    for node in sorted(nodes):
+        sig = signatures[node]
         if sig & 1:
-            sig ^= mask_total
+            sig ^= mask
         classes.setdefault(sig, []).append(node)
-    return {sig: nodes for sig, nodes in classes.items() if len(nodes) > 1}
+    return {
+        sig: members for sig, members in classes.items() if len(members) > 1
+    }
 
 
 def _class_candidates(
-    classes: Dict[int, List[int]], words: List[int]
+    aig: AIG,
+    classes: Dict[int, List[int]],
+    signatures: Sequence[int],
+    resolved: Optional[Set[Tuple[int, int, bool]]] = None,
+    group_offset: int = 0,
 ) -> List[List[Candidate]]:
-    """Candidate pairs per signature class (relative phase from ``words``)."""
+    """Candidate pairs per signature class.
+
+    The representative is the class's smallest node — constant node 0
+    when present, so constant-equivalent nodes merge with the constant.
+    Relative phase comes from the full multi-round signature (raw
+    signatures equal means same phase; the class already folded the
+    complement in).  Pairs of two non-AND nodes are skipped: two distinct
+    PIs, or a PI and the constant, are never equal, so their query is
+    guaranteed SAT and proves nothing.  ``resolved`` drops pairs an
+    earlier refinement round already decided; ``group_offset`` keeps
+    class (group) ids unique across rounds.
+    """
     class_list: List[List[Candidate]] = []
-    for nodes in classes.values():
-        nodes.sort()
-        rep = nodes[0]
-        class_list.append(
-            [
-                Candidate(rep, node, phase_equal=words[node] == words[rep])
-                for node in nodes[1:]
-            ]
-        )
+    group = group_offset
+    for members in classes.values():
+        rep = members[0]
+        rep_is_and = rep != 0 and not aig.is_pi_node(rep)
+        cls: List[Candidate] = []
+        for node in members[1:]:
+            if not rep_is_and and aig.is_pi_node(node):
+                continue
+            phase = signatures[node] == signatures[rep]
+            if resolved is not None and (rep, node, phase) in resolved:
+                continue
+            cls.append(Candidate(rep, node, phase_equal=phase, group=group))
+        if cls:
+            class_list.append(cls)
+        group += 1
     return class_list
+
+
+def _pair_key(cand: Candidate) -> Tuple[int, int, bool]:
+    """Identity of a candidate query across refinement rounds."""
+    return (cand.rep, cand.node, cand.phase_equal)
 
 
 def _sweep_unit_serial(
@@ -293,12 +375,43 @@ def _sweep_unit_serial(
     unit: WorkUnit,
     conflict_limit: Optional[int],
     deadline: Optional[float] = None,
+    defer: bool = False,
+    collect_models: bool = False,
+    pi_nodes: Optional[Sequence[int]] = None,
 ) -> UnitResult:
-    """Sweep one unit on the parent's incremental solver (the serial path)."""
+    """Sweep one unit on the parent's incremental solver (the serial path).
+
+    ``defer`` / ``collect_models`` mirror the worker path: after one NEQ
+    in a signature class the class's remaining queries are deferred to
+    the refinement loop, and refuting models are shipped back as
+    ``{pi node: value}`` assignments (``pi_nodes`` lists the AIG's PI
+    node ids; their CNF variable is ``node + 1``).
+    """
     t0 = time.perf_counter()
     statuses: List[str] = []
+    models: List[Optional[Dict[int, bool]]] = []
+    refuted_groups: Set[int] = set()
+    pi_vars = (
+        [(node + 1, node) for node in pi_nodes]
+        if collect_models and pi_nodes is not None
+        else []
+    )
     sat_queries = 0
+
+    def record_neq(model: Optional[Dict[int, bool]]) -> None:
+        statuses.append(NEQ)
+        if collect_models and model is not None:
+            models.append(
+                {node: bool(model.get(var, False)) for var, node in pi_vars}
+            )
+        else:
+            models.append(None)
+
     for cand in unit.candidates:
+        if defer and cand.group in refuted_groups:
+            statuses.append(DEFERRED)
+            models.append(None)
+            continue
         a = lit2cnf(cand.rep_lit)
         b = lit2cnf(cand.node_lit)
         # UNSAT(a != b) in both directions means equal.
@@ -309,10 +422,12 @@ def _sweep_unit_serial(
         )
         sat_queries += 1
         if r1.satisfiable:
-            statuses.append(NEQ)
+            record_neq(r1.model)
+            refuted_groups.add(cand.group)
             continue
         if solver.last_unknown:
             statuses.append(UNKNOWN)
+            models.append(None)
             continue
         r2 = solver.solve(
             assumptions=[-a, b],
@@ -321,16 +436,84 @@ def _sweep_unit_serial(
         )
         sat_queries += 1
         if r2.satisfiable:
-            statuses.append(NEQ)
+            record_neq(r2.model)
+            refuted_groups.add(cand.group)
             continue
         if solver.last_unknown:
             statuses.append(UNKNOWN)
+            models.append(None)
             continue
         # Proven equal: add merge clauses to help later queries.
         solver.add_clause([-a, b])
         solver.add_clause([a, -b])
         statuses.append(EQ)
-    return UnitResult(statuses, sat_queries, time.perf_counter() - t0)
+        models.append(None)
+    return UnitResult(
+        statuses,
+        sat_queries,
+        time.perf_counter() - t0,
+        models=models if collect_models else None,
+    )
+
+
+def _model_to_pattern(aig: AIG, model: Dict[int, bool]) -> Dict[str, bool]:
+    """Translate a ``{pi node: value}`` model into a named PI assignment.
+
+    PIs outside the refuting query's cone are unconstrained; they default
+    to False so the pattern is total and deterministic.
+    """
+    return {
+        name: bool(model.get(node, False))
+        for node, name in zip(aig.pis, aig.pi_names)
+    }
+
+
+def _refine_signatures(
+    aig: AIG,
+    signatures: Sequence[int],
+    mask: int,
+    collected: Sequence[Tuple[Candidate, Dict[str, bool]]],
+) -> Tuple[List[int], int, int]:
+    """Append one sweep round's refuting models as new signature columns.
+
+    ``collected`` pairs each NEQ candidate with the PI assignment its SAT
+    model produced.  Every model is validated by re-simulation before any
+    column lands in the signatures — its column must actually drive the
+    pair's literals apart, mirroring :func:`_validate_counterexample` —
+    because refining on a fictitious pattern would silently degrade class
+    quality while a bogus model means the engine state is corrupt.
+    Duplicate assignments are folded into one column.  Returns the new
+    ``(signatures, mask, patterns_added)``.
+    """
+    unique: List[Dict[str, bool]] = []
+    column_of: Dict[Tuple[bool, ...], int] = {}
+    columns: List[int] = []
+    for _, pattern in collected:
+        key = tuple(bool(pattern.get(name, False)) for name in aig.pi_names)
+        index = column_of.get(key)
+        if index is None:
+            index = len(unique)
+            column_of[key] = index
+            unique.append(pattern)
+        columns.append(index)
+    words, new_mask = aig.simulate_patterns(unique)
+
+    def lit_bit(lit: int, column: int) -> int:
+        return ((words[lit >> 1] >> column) & 1) ^ (lit & 1)
+
+    for (cand, _), column in zip(collected, columns):
+        if lit_bit(cand.rep_lit, column) == lit_bit(cand.node_lit, column):
+            raise RuntimeError(
+                f"sweep NEQ model for pair ({cand.rep}, {cand.node}) does "
+                "not distinguish it under re-simulation; CEC engine state "
+                "is inconsistent"
+            )
+    width = len(unique)
+    refined = [
+        (sig << width) | (words[node] & new_mask)
+        for node, sig in enumerate(signatures)
+    ]
+    return refined, (mask << width) | new_mask, width
 
 
 def _extract_counterexample(
@@ -643,6 +826,8 @@ def check_equivalence(
     sweep: bool = True,
     conflict_limit: Optional[int] = None,
     seed: int = 0,
+    refine: bool = True,
+    refine_rounds: int = DEFAULT_REFINE_ROUNDS,
     n_jobs: int = 1,
     cache: Union[None, str, os.PathLike, ProofCache] = None,
     budget: Union[None, int, float, Budget] = None,
@@ -658,6 +843,15 @@ def check_equivalence(
     ``cache`` — a :class:`~repro.cec.cache.ProofCache` or a path to one —
     replays previously-proven candidate and output verdicts by structural
     cone hash, skipping their SAT queries entirely.
+
+    ``refine`` (default on) closes the simulation↔solver loop FRAIG
+    style: every refuting SAT model from the sweep is appended as a new
+    simulation-pattern column, the surviving signature classes are
+    re-split, and the sweep repeats until no new pattern appears (or
+    ``refine_rounds`` is reached).  While refinement is active, one NEQ
+    inside a signature class defers the class's remaining queries — the
+    new pattern usually splits the class, so most deferred queries are
+    never spent.  ``refine=False`` restores the single-pass sweep.
 
     ``budget`` — a :class:`~repro.runtime.Budget` or bare wall-clock
     seconds — switches the output checks onto the fallback cascade
@@ -743,141 +937,254 @@ def check_equivalence(
         solver.add_clause([-a, b])
         solver.add_clause([a, -b])
 
+    def bump_gauge(name: str, delta: float) -> None:
+        registry.set_gauge(name, registry.gauge(name, 0.0) + delta)
+
     if sweep and (budget is None or not budget.expired()):
         t_sim = time.perf_counter()
         with tracer.span("cec.phase.simulate", cat="phase"):
-            classes = _signature_classes(aig, sim_rounds, sim_width, seed)
-            # One simulation round determines relative phases for classes.
-            words, _ = aig.random_simulate(width=sim_width, seed=seed)
-            class_list = _class_candidates(classes, words)
-        registry.inc(
-            "cec.sweep.candidates", sum(len(cls) for cls in class_list)
-        )
+            signatures, sig_mask = _initial_signatures(
+                aig, sim_rounds, sim_width, seed
+            )
         registry.set_gauge(
             "cec.phase.simulate.seconds", time.perf_counter() - t_sim
         )
 
-        # Cache pass: replay known verdicts, keep the rest for solving.
-        if proof_cache is not None:
-            t_cache = time.perf_counter()
-            with tracer.span("cec.phase.cache", cat="phase"):
-                pending: List[List[Candidate]] = []
-                for cls in class_list:
-                    keep: List[Candidate] = []
-                    for cand in cls:
-                        key = aig.pair_cone_key(cand.rep_lit, cand.node_lit)
-                        known = proof_cache.get(key)
-                        if known == EQ:
-                            registry.inc("cec.cache.hits")
-                            registry.inc("cec.sweep.merges")
-                            merge(
-                                lit2cnf(cand.rep_lit), lit2cnf(cand.node_lit)
-                            )
-                        elif known == NEQ:
-                            registry.inc("cec.cache.hits")
-                            registry.inc("cec.sweep.refuted")
-                        else:
-                            registry.inc("cec.cache.misses")
-                            keep.append(cand)
-                    if keep:
-                        pending.append(keep)
-                class_list = pending
-            registry.set_gauge(
-                "cec.phase.cache.seconds", time.perf_counter() - t_cache
-            )
-
-        t_part = time.perf_counter()
-        with tracer.span("cec.phase.partition", cat="phase"):
-            units = partition_candidates(aig, class_list, n_jobs)
-        registry.set_gauge("cec.n_units", len(units))
-        registry.set_gauge(
-            "cec.phase.partition.seconds", time.perf_counter() - t_part
-        )
-
-        t_sweep = time.perf_counter()
-        sweep_span = tracer.span(
-            "cec.phase.sweep", cat="phase", n_units=len(units)
-        )
         sweep_limit = conflict_limit or 2000
         if budget is not None and budget.sat_conflicts is not None:
             sweep_limit = min(sweep_limit, budget.sat_conflicts)
-        parallel = n_jobs > 1 and len(units) > 1
-        collect = tracer.enabled or caller_metrics is not None
-        if parallel:
-            wall_remaining = budget.remaining() if budget is not None else None
-            # The pool window is a backstop above the in-worker deadline:
-            # it only fires when a worker is hung or dead, so give it a
-            # little slack before killing the pool.
-            unit_timeout = (
-                wall_remaining * 1.25 + 0.25
-                if wall_remaining is not None
-                else None
+
+        # The refinement loop.  ``active`` holds nodes still eligible for
+        # classes (EQ-proven nodes retire onto their representative);
+        # ``resolved`` holds (rep, node, phase) queries already decided
+        # so they are never re-derived; ``deferred_open`` tracks deferred
+        # queries that have not reappeared — at exit, those are the SAT
+        # queries refinement genuinely saved.
+        active = set(range(aig.num_nodes()))
+        resolved: Set[Tuple[int, int, bool]] = set()
+        deferred_open: Set[Tuple[int, int, bool]] = set()
+        group_offset = 0
+        round_no = 0
+        force_final = False
+        while budget is None or not budget.expired():
+            refining = refine and round_no < refine_rounds and not force_final
+            classes = _signature_classes(signatures, sig_mask, active)
+            class_list = _class_candidates(
+                aig, classes, signatures, resolved, group_offset
             )
-            telemetry: Dict[str, int] = {}
-            results = sweep_units_parallel(
-                solver,
-                units,
-                sweep_limit,
-                n_jobs,
-                wall_remaining=wall_remaining,
-                unit_timeout=unit_timeout,
-                telemetry=telemetry,
-                collect=collect,
-                trace_epoch=tracer.epoch,
+            group_offset += len(classes)
+            if not class_list:
+                break
+            registry.inc(
+                "cec.sweep.candidates", sum(len(cls) for cls in class_list)
             )
-            for tele_key, value in telemetry.items():
-                registry.inc(_TELEMETRY_METRICS[tele_key], value)
-            registry.set_gauge(
-                "cec.parallel.wall_seconds", time.perf_counter() - t_sweep
+            if deferred_open:
+                # A deferred query that comes back as a candidate was not
+                # saved after all; it is about to be solved (or deferred
+                # again).
+                for cls in class_list:
+                    for cand in cls:
+                        deferred_open.discard(_pair_key(cand))
+
+            # Cache pass: replay known verdicts, keep the rest for solving.
+            if proof_cache is not None:
+                t_cache = time.perf_counter()
+                with tracer.span("cec.phase.cache", cat="phase"):
+                    pending: List[List[Candidate]] = []
+                    for cls in class_list:
+                        keep: List[Candidate] = []
+                        for cand in cls:
+                            key = aig.pair_cone_key(
+                                cand.rep_lit, cand.node_lit
+                            )
+                            known = proof_cache.get(key)
+                            if known == EQ:
+                                registry.inc("cec.cache.hits")
+                                registry.inc("cec.sweep.merges")
+                                merge(
+                                    lit2cnf(cand.rep_lit),
+                                    lit2cnf(cand.node_lit),
+                                )
+                                active.discard(cand.node)
+                            elif known == NEQ:
+                                registry.inc("cec.cache.hits")
+                                registry.inc("cec.sweep.refuted")
+                                resolved.add(_pair_key(cand))
+                            else:
+                                registry.inc("cec.cache.misses")
+                                keep.append(cand)
+                        if keep:
+                            pending.append(keep)
+                    class_list = pending
+                bump_gauge(
+                    "cec.phase.cache.seconds", time.perf_counter() - t_cache
+                )
+
+            t_part = time.perf_counter()
+            with tracer.span("cec.phase.partition", cat="phase"):
+                units = partition_candidates(aig, class_list, n_jobs)
+            registry.max_gauge("cec.n_units", len(units))
+            bump_gauge(
+                "cec.phase.partition.seconds", time.perf_counter() - t_part
             )
-        else:
-            results = [
-                _sweep_unit_serial(
-                    solver, lit2cnf, unit, sweep_limit, deadline=deadline
+
+            t_sweep = time.perf_counter()
+            sweep_span = tracer.span(
+                "cec.phase.sweep",
+                cat="phase",
+                n_units=len(units),
+                round=round_no,
+            )
+            parallel = n_jobs > 1 and len(units) > 1
+            collect = tracer.enabled or caller_metrics is not None
+            if parallel:
+                wall_remaining = (
+                    budget.remaining() if budget is not None else None
                 )
-                for unit in units
-            ]
-        for index, (unit, result) in enumerate(zip(units, results)):
-            if result.events:
-                tracer.adopt(result.events, parent=sweep_span, worker=index)
-            if result.metrics:
-                registry.merge(result.metrics)
-            if result.error:
-                tracer.instant(
-                    "sweep.unit.lost",
-                    unit=index,
-                    error=result.error,
-                    retries=result.retries,
+                # The pool window is a backstop above the in-worker
+                # deadline: it only fires when a worker is hung or dead,
+                # so give it a little slack before killing the pool.
+                unit_timeout = (
+                    wall_remaining * 1.25 + 0.25
+                    if wall_remaining is not None
+                    else None
                 )
-            elif result.retries:
-                tracer.instant(
-                    "sweep.unit.requeued", unit=index, retries=result.retries
+                telemetry: Dict[str, int] = {}
+                results = sweep_units_parallel(
+                    solver,
+                    units,
+                    sweep_limit,
+                    n_jobs,
+                    wall_remaining=wall_remaining,
+                    unit_timeout=unit_timeout,
+                    telemetry=telemetry,
+                    collect=collect,
+                    trace_epoch=tracer.epoch,
+                    defer=refining,
+                    collect_models=refining,
+                    pi_nodes=aig.pis,
                 )
-            registry.append(_WORKER_SECONDS, result.seconds)
-            registry.inc("cec.sat_queries", result.sat_queries)
-            for cand, status in zip(unit.candidates, result.statuses):
-                if status == EQ:
-                    registry.inc("cec.sweep.merges")
-                    if parallel:
-                        # Worker proofs happen off-solver; merge them here.
-                        merge(lit2cnf(cand.rep_lit), lit2cnf(cand.node_lit))
-                elif status == NEQ:
-                    registry.inc("cec.sweep.refuted")
-                else:
-                    registry.inc("cec.sweep.unknown")
-                if proof_cache is not None and status != UNKNOWN:
-                    key = aig.pair_cone_key(cand.rep_lit, cand.node_lit)
-                    proof_cache.put(key, status)
-                    registry.inc("cec.cache.stores")
-        sweep_span.annotate(
-            merges=int(registry.counter("cec.sweep.merges")),
-            refuted=int(registry.counter("cec.sweep.refuted")),
-            unknown=int(registry.counter("cec.sweep.unknown")),
-        )
-        sweep_span.close()
-        registry.set_gauge(
-            "cec.phase.sweep.seconds", time.perf_counter() - t_sweep
-        )
+                for tele_key, value in telemetry.items():
+                    registry.inc(_TELEMETRY_METRICS[tele_key], value)
+                bump_gauge(
+                    "cec.parallel.wall_seconds", time.perf_counter() - t_sweep
+                )
+            else:
+                results = [
+                    _sweep_unit_serial(
+                        solver,
+                        lit2cnf,
+                        unit,
+                        sweep_limit,
+                        deadline=deadline,
+                        defer=refining,
+                        collect_models=refining,
+                        pi_nodes=aig.pis,
+                    )
+                    for unit in units
+                ]
+            collected: List[Tuple[Candidate, Dict[str, bool]]] = []
+            deferred_this_round = False
+            for index, (unit, result) in enumerate(zip(units, results)):
+                if result.events:
+                    tracer.adopt(result.events, parent=sweep_span, worker=index)
+                if result.metrics:
+                    registry.merge(result.metrics)
+                if result.error:
+                    tracer.instant(
+                        "sweep.unit.lost",
+                        unit=index,
+                        error=result.error,
+                        retries=result.retries,
+                    )
+                elif result.retries:
+                    tracer.instant(
+                        "sweep.unit.requeued",
+                        unit=index,
+                        retries=result.retries,
+                    )
+                registry.append(_WORKER_SECONDS, result.seconds)
+                registry.inc("cec.sat_queries", result.sat_queries)
+                for ci, (cand, status) in enumerate(
+                    zip(unit.candidates, result.statuses)
+                ):
+                    if status == EQ:
+                        registry.inc("cec.sweep.merges")
+                        if parallel:
+                            # Worker proofs happen off-solver; merge here.
+                            merge(
+                                lit2cnf(cand.rep_lit), lit2cnf(cand.node_lit)
+                            )
+                        active.discard(cand.node)
+                    elif status == NEQ:
+                        registry.inc("cec.sweep.refuted")
+                        resolved.add(_pair_key(cand))
+                        model = result.model_for(ci)
+                        if refining and model is not None:
+                            collected.append(
+                                (cand, _model_to_pattern(aig, model))
+                            )
+                    elif status == DEFERRED:
+                        deferred_this_round = True
+                        deferred_open.add(_pair_key(cand))
+                    else:
+                        registry.inc("cec.sweep.unknown")
+                        resolved.add(_pair_key(cand))
+                    if proof_cache is not None and status in (EQ, NEQ):
+                        key = aig.pair_cone_key(cand.rep_lit, cand.node_lit)
+                        proof_cache.put(key, status)
+                        registry.inc("cec.cache.stores")
+            sweep_span.annotate(
+                merges=int(registry.counter("cec.sweep.merges")),
+                refuted=int(registry.counter("cec.sweep.refuted")),
+                unknown=int(registry.counter("cec.sweep.unknown")),
+            )
+            sweep_span.close()
+            bump_gauge(
+                "cec.phase.sweep.seconds", time.perf_counter() - t_sweep
+            )
+
+            if collected and refining:
+                t_refine = time.perf_counter()
+                with tracer.span(
+                    "cec.phase.refine",
+                    cat="phase",
+                    round=round_no,
+                    models=len(collected),
+                ) as refine_span:
+                    signatures, sig_mask, n_patterns = _refine_signatures(
+                        aig, signatures, sig_mask, collected
+                    )
+                    splits = 0
+                    for members in classes.values():
+                        alive = [n for n in members if n in active]
+                        if len(alive) < 2:
+                            continue
+                        sigs = set()
+                        for n in alive:
+                            s = signatures[n]
+                            if s & 1:
+                                s ^= sig_mask
+                            sigs.add(s)
+                        if len(sigs) > 1:
+                            splits += 1
+                    refine_span.annotate(patterns=n_patterns, splits=splits)
+                registry.inc("cec.refine.rounds")
+                registry.inc("cec.refine.patterns", n_patterns)
+                registry.inc("cec.refine.splits", splits)
+                bump_gauge(
+                    "cec.phase.refine.seconds", time.perf_counter() - t_refine
+                )
+                round_no += 1
+                continue
+            if deferred_this_round and refining:
+                # No usable model came back (e.g. a lost worker swallowed
+                # it) but queries were deferred on its account: finish
+                # them in one last non-deferring pass.
+                force_final = True
+                continue
+            break
+        registry.inc("cec.refine.queries_saved", len(deferred_open))
     stats["sweep_merges"] = registry.counter("cec.sweep.merges")
     stats["sweep_refuted"] = registry.counter("cec.sweep.refuted")
     stats["sweep_unknown"] = registry.counter("cec.sweep.unknown")

@@ -55,23 +55,43 @@ __all__ = ["UnitResult", "sweep_units_parallel", "sweep_unit_payload"]
 EQ = "eq"
 NEQ = "neq"
 UNKNOWN = "unknown"
+#: A query skipped because an earlier query already refuted its signature
+#: class this round; the refinement loop re-simulates with the refuting
+#: model and re-splits the class, so the pair is re-derived (or proven
+#: distinct) from better signatures instead of burning a SAT query now.
+DEFERRED = "deferred"
 
 # payload: (num_vars, clauses, queries, conflict_limit, wall_remaining,
-#           unit_index, collect, trace_epoch) — the first five fields are
-# the original layout; the trailing three carry observability context.
+#           unit_index, collect, trace_epoch, defer, collect_models,
+#           pi_map) — the first five fields are the original layout; the
+# next three carry observability context; the trailing three carry the
+# refinement context (per-group deferral and NEQ-model collection, with
+# ``pi_map`` mapping the unit's dense solver variables back to global PI
+# node ids so models make sense to the parent).
 _Payload = Tuple[
     int,
     List[List[int]],
-    List[Tuple[int, int, bool]],
+    List[Tuple[int, int, bool, int]],
     Optional[int],
     Optional[float],
     int,
     bool,
     float,
+    bool,
+    bool,
+    List[Tuple[int, int]],
 ]
-# (statuses, sat_queries, seconds, obs) where obs is None or
-# {"metrics": registry.to_dict(), "events": [trace events]}.
-_WorkerOutput = Tuple[List[str], int, float, Optional[Dict[str, Any]]]
+# (statuses, sat_queries, seconds, obs, models) where obs is None or
+# {"metrics": registry.to_dict(), "events": [trace events]} and models
+# aligns with statuses (a {pi node: value} dict per NEQ when collection
+# is on, None otherwise).
+_WorkerOutput = Tuple[
+    List[str],
+    int,
+    float,
+    Optional[Dict[str, Any]],
+    Optional[List[Optional[Dict[int, bool]]]],
+]
 
 # Test seam: fault-injection hook run at worker entry (both in workers and
 # on the in-process path).  ``fork`` children inherit a monkeypatched
@@ -87,6 +107,9 @@ class UnitResult:
     remainder are UNKNOWN.  ``retries`` counts how many re-attempts the
     dispatcher spent on the unit.  ``events`` / ``metrics`` carry the
     worker-side trace events and metrics snapshot when collection was on.
+    ``models`` aligns with ``statuses`` when NEQ-model collection was on:
+    the refuting PI assignment (``{pi node id: value}``) per NEQ status,
+    None elsewhere — the raw material of the refinement loop.
     """
 
     def __init__(
@@ -98,6 +121,7 @@ class UnitResult:
         retries: int = 0,
         events: Optional[List[Dict[str, Any]]] = None,
         metrics: Optional[Dict[str, Any]] = None,
+        models: Optional[List[Optional[Dict[int, bool]]]] = None,
     ) -> None:
         self.statuses = statuses
         self.sat_queries = sat_queries
@@ -106,6 +130,13 @@ class UnitResult:
         self.retries = retries
         self.events = events
         self.metrics = metrics
+        self.models = models
+
+    def model_for(self, index: int) -> Optional[Dict[int, bool]]:
+        """The refuting model for candidate ``index``, if one was shipped."""
+        if self.models is None or index >= len(self.models):
+            return None
+        return self.models[index]
 
 
 def sweep_unit_payload(
@@ -116,6 +147,9 @@ def sweep_unit_payload(
     unit_index: int = 0,
     collect: bool = False,
     trace_epoch: float = 0.0,
+    defer: bool = False,
+    collect_models: bool = False,
+    pi_nodes: Optional[Sequence[int]] = None,
 ) -> _Payload:
     """Build one worker payload from the parent solver's clause slice.
 
@@ -125,6 +159,13 @@ def sweep_unit_payload(
     ``collect`` asks the worker to record its own spans/metrics and ship
     them back; ``trace_epoch`` anchors worker timestamps on the parent's
     timeline (``CLOCK_MONOTONIC`` is system-wide under ``fork``).
+
+    ``defer`` turns on per-group deferral (after one NEQ in a signature
+    class, the class's remaining queries come back DEFERRED instead of
+    being solved); ``collect_models`` asks for the refuting PI assignment
+    of every NEQ, translated back to global node ids via ``pi_nodes``
+    (the AIG's PI node list — only PIs inside the unit's cone appear in a
+    model, the rest are unconstrained).
     """
     nodes = sorted(unit.cone)
     var_of: Dict[int, int] = {node + 1: i + 1 for i, node in enumerate(nodes)}
@@ -133,9 +174,16 @@ def sweep_unit_payload(
         for clause in solver.export_clauses(var_of)
     ]
     queries = [
-        (var_of[c.rep + 1], var_of[c.node + 1], c.phase_equal)
+        (var_of[c.rep + 1], var_of[c.node + 1], c.phase_equal, c.group)
         for c in unit.candidates
     ]
+    pi_map: List[Tuple[int, int]] = []
+    if collect_models and pi_nodes is not None:
+        pi_map = [
+            (var_of[node + 1], node)
+            for node in pi_nodes
+            if node + 1 in var_of
+        ]
     return (
         len(nodes),
         clauses,
@@ -145,6 +193,9 @@ def sweep_unit_payload(
         unit_index,
         collect,
         trace_epoch,
+        defer,
+        collect_models,
+        pi_map,
     )
 
 
@@ -166,6 +217,9 @@ def _sweep_unit_worker(
         unit_index,
         collect,
         trace_epoch,
+        defer,
+        collect_models,
+        pi_map,
     ) = payload
     if _fault_hook is not None:
         _fault_hook(payload)
@@ -190,11 +244,28 @@ def _sweep_unit_worker(
         if not solver.add_clause(clause):
             raise RuntimeError("inconsistent CNF slice in sweep worker")
     statuses: List[str] = []
+    models: List[Optional[Dict[int, bool]]] = []
+    refuted_groups: set = set()
     sat_queries = 0
     if progress is not None:
         progress["statuses"] = statuses
+        progress["models"] = models
         progress["sat_queries"] = 0
-    for a, b_var, phase_equal in queries:
+
+    def record_neq(model: Optional[Dict[int, bool]]) -> None:
+        statuses.append(NEQ)
+        if collect_models and model is not None:
+            models.append(
+                {node: bool(model.get(var, False)) for var, node in pi_map}
+            )
+        else:
+            models.append(None)
+
+    for a, b_var, phase_equal, group in queries:
+        if defer and group in refuted_groups:
+            statuses.append(DEFERRED)
+            models.append(None)
+            continue
         b = b_var if phase_equal else -b_var
         r1 = solver.solve(
             assumptions=[a, -b],
@@ -205,10 +276,12 @@ def _sweep_unit_worker(
         if progress is not None:
             progress["sat_queries"] = sat_queries
         if r1.satisfiable:
-            statuses.append(NEQ)
+            record_neq(r1.model)
+            refuted_groups.add(group)
             continue
         if solver.last_unknown:
             statuses.append(UNKNOWN)
+            models.append(None)
             continue
         r2 = solver.solve(
             assumptions=[-a, b],
@@ -219,20 +292,24 @@ def _sweep_unit_worker(
         if progress is not None:
             progress["sat_queries"] = sat_queries
         if r2.satisfiable:
-            statuses.append(NEQ)
+            record_neq(r2.model)
+            refuted_groups.add(group)
             continue
         if solver.last_unknown:
             statuses.append(UNKNOWN)
+            models.append(None)
             continue
         solver.add_clause([-a, b])
         solver.add_clause([a, -b])
         statuses.append(EQ)
+        models.append(None)
     obs: Optional[Dict[str, Any]] = None
     if registry is not None and tracer is not None and span is not None:
         span.annotate(sat_queries=sat_queries)
         span.close()
         obs = {"metrics": registry.to_dict(), "events": tracer.events}
-    return statuses, sat_queries, time.perf_counter() - t0, obs
+    out_models = models if collect_models else None
+    return statuses, sat_queries, time.perf_counter() - t0, obs, out_models
 
 
 def _bump(telemetry: Optional[Dict[str, int]], key: str, by: int = 1) -> None:
@@ -317,6 +394,9 @@ def sweep_units_parallel(
     telemetry: Optional[Dict[str, int]] = None,
     collect: bool = False,
     trace_epoch: float = 0.0,
+    defer: bool = False,
+    collect_models: bool = False,
+    pi_nodes: Optional[Sequence[int]] = None,
 ) -> List[UnitResult]:
     """Sweep all units; results align with ``units``, faults contained.
 
@@ -330,6 +410,8 @@ def sweep_units_parallel(
     ``worker_failures`` / ``worker_timeouts`` / ``worker_retries`` /
     ``units_requeued`` / ``pool_failures`` counters.  ``collect`` turns on
     worker-side span/metric collection (shipped back per unit).
+    ``defer`` / ``collect_models`` / ``pi_nodes`` carry the refinement
+    context into each payload (see :func:`sweep_unit_payload`).
     """
     payloads = [
         sweep_unit_payload(
@@ -340,13 +422,19 @@ def sweep_units_parallel(
             unit_index=i,
             collect=collect,
             trace_epoch=trace_epoch,
+            defer=defer,
+            collect_models=collect_models,
+            pi_nodes=pi_nodes,
         )
         for i, u in enumerate(units)
     ]
     outputs: List[Optional[_WorkerOutput]] = [None] * len(payloads)
     retries = [0] * len(payloads)
     errors: List[Optional[str]] = [None] * len(payloads)
-    partial: Dict[int, Tuple[List[str], int, float]] = {}
+    partial: Dict[
+        int,
+        Tuple[List[str], int, float, Optional[List[Optional[Dict[int, bool]]]]],
+    ] = {}
 
     # One wall window for the whole sweep (pool phase + serial requeues),
     # anchored at dispatch time so retries cannot stretch the budget.
@@ -367,6 +455,7 @@ def sweep_units_parallel(
         def attempt(p: _Payload = payload) -> _WorkerOutput:
             progress: Dict[str, Any] = {
                 "statuses": [],
+                "models": [],
                 "sat_queries": 0,
                 "t0": time.perf_counter(),
             }
@@ -392,15 +481,18 @@ def sweep_units_parallel(
             # Preserve partial work from the failed attempts: the furthest
             # attempt's statuses (each one independently proven) and the
             # query/time totals across all attempts.
-            statuses = max(
-                (state["statuses"] for state in attempt_states),
-                key=len,
-                default=[],
+            best = max(
+                attempt_states,
+                key=lambda state: len(state["statuses"]),
+                default=None,
             )
+            statuses = best["statuses"] if best is not None else []
+            best_models = best["models"] if best is not None else []
             partial[index] = (
                 list(statuses),
                 sum(state["sat_queries"] for state in attempt_states),
                 sum(state.get("seconds", 0.0) for state in attempt_states),
+                list(best_models) if collect_models else None,
             )
 
     results: List[UnitResult] = []
@@ -409,21 +501,27 @@ def sweep_units_parallel(
         if out is None:
             # Lost unit: keep decided prefixes, UNKNOWN for the remainder
             # — sound (losing merges, never verdicts), just slower.
-            statuses, sat_queries, seconds = partial.get(index, ([], 0, 0.0))
-            statuses = statuses + [UNKNOWN] * (
-                len(unit.candidates) - len(statuses)
+            statuses, sat_queries, seconds, part_models = partial.get(
+                index, ([], 0, 0.0, None)
             )
+            n = len(unit.candidates)
+            statuses = (statuses + [UNKNOWN] * (n - len(statuses)))[:n]
+            if part_models is not None:
+                part_models = (part_models + [None] * (n - len(part_models)))[
+                    :n
+                ]
             results.append(
                 UnitResult(
-                    statuses[: len(unit.candidates)],
+                    statuses,
                     sat_queries,
                     seconds,
                     error=errors[index] or "worker lost",
                     retries=retries[index],
+                    models=part_models,
                 )
             )
         else:
-            statuses, sat_queries, seconds, obs = out
+            statuses, sat_queries, seconds, obs, models = out
             results.append(
                 UnitResult(
                     statuses,
@@ -432,6 +530,7 @@ def sweep_units_parallel(
                     retries=retries[index],
                     events=(obs or {}).get("events"),
                     metrics=(obs or {}).get("metrics"),
+                    models=models,
                 )
             )
     return results

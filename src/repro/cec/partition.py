@@ -38,11 +38,18 @@ __all__ = ["Candidate", "WorkUnit", "partition_candidates"]
 
 @dataclass(frozen=True)
 class Candidate:
-    """One sweep query: prove ``node`` equal (or complementary) to ``rep``."""
+    """One sweep query: prove ``node`` equal (or complementary) to ``rep``.
+
+    ``group`` identifies the signature class the pair came from.  Classes
+    are never split across work units, so a sweeper that sees one NEQ in a
+    group may defer the group's remaining queries: the refinement loop
+    will re-simulate with the refuting model and split the class anyway.
+    """
 
     rep: int
     node: int
     phase_equal: bool
+    group: int = 0
 
     @property
     def rep_lit(self) -> int:

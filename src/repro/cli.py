@@ -3,7 +3,7 @@
 ::
 
     python -m repro verify  golden.blif revised.blif [--rewrite] [--no-unate]
-                            [--jobs N] [--cec-cache FILE]
+                            [--jobs N] [--cec-cache FILE] [--no-refine]
                             [--time-limit S] [--bdd-node-limit N]
                             [--trace FILE] [--metrics-out FILE]
                             [--quiet] [--verbose]
@@ -70,6 +70,7 @@ def _cmd_verify(args) -> int:
         event_rewrite=args.rewrite,
         jobs=args.jobs,
         cache=args.cec_cache,
+        refine=not args.no_refine,
         time_limit=args.time_limit,
         bdd_node_limit=args.bdd_node_limit,
     )
@@ -364,6 +365,8 @@ def _cmd_table1(args) -> int:
         forwarded.extend(["--jobs", str(args.jobs)])
     if args.cache:
         forwarded.extend(["--cache", args.cache])
+    if args.no_refine:
+        forwarded.append("--no-refine")
     if args.time_limit is not None:
         forwarded.extend(["--time-limit", str(args.time_limit)])
     if args.bdd_node_limit is not None:
@@ -443,6 +446,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cec-cache",
         default=None,
         help="persistent CEC proof-cache file (reused across runs)",
+    )
+    p.add_argument(
+        "--no-refine",
+        action="store_true",
+        help="disable counterexample-guided refinement in the CEC sweep",
     )
     p.add_argument(
         "--time-limit",
@@ -542,6 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--cache", default=None, help="persistent CEC proof-cache file"
+    )
+    p.add_argument(
+        "--no-refine",
+        action="store_true",
+        help="disable counterexample-guided refinement in the CEC sweep",
     )
     p.add_argument(
         "--time-limit",

@@ -129,6 +129,7 @@ def check_sequential_equivalence(
     pinned: Sequence[str] = (),
     n_jobs: int = 1,
     cache=None,
+    refine: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -148,7 +149,10 @@ def check_sequential_equivalence(
     engine: parallel SAT sweeping and the persistent proof cache —
     ``cache`` is the same kwarg name :func:`repro.cec.check_equivalence`
     uses; the old ``cec_cache=`` spelling still works but emits a
-    :class:`DeprecationWarning`.  ``budget`` — a
+    :class:`DeprecationWarning`.  ``refine`` (default on) enables the CEC
+    sweep's counterexample-guided refinement loop — refuting SAT models
+    become new simulation patterns that re-split the signature classes;
+    pass False for the single-pass sweep.  ``budget`` — a
     :class:`repro.runtime.Budget` or bare wall-clock
     seconds — resource-governs the CEC step; exhaustion yields verdict
     UNKNOWN with :attr:`SeqCheckResult.reason` set instead of a hang.
@@ -218,6 +222,7 @@ def check_sequential_equivalence(
                 stats,
                 n_jobs,
                 cache,
+                refine,
                 budget,
                 tracer,
                 metrics,
@@ -232,6 +237,7 @@ def check_sequential_equivalence(
                 c2,
                 n_jobs,
                 cache,
+                refine,
                 budget,
                 tracer,
                 metrics,
@@ -254,6 +260,7 @@ def _check_via_cbf(
     orig2: Circuit,
     n_jobs: int = 1,
     cache=None,
+    refine: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -280,6 +287,7 @@ def _check_via_cbf(
         comb2,
         n_jobs=n_jobs,
         cache=cache,
+        refine=refine,
         budget=budget,
         tracer=tracer,
         metrics=metrics,
@@ -364,6 +372,7 @@ def _check_via_edbf(
     stats: Dict[str, float],
     n_jobs: int = 1,
     cache=None,
+    refine: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -388,6 +397,7 @@ def _check_via_edbf(
         comb2,
         n_jobs=n_jobs,
         cache=cache,
+        refine=refine,
         budget=budget,
         tracer=tracer,
         metrics=metrics,

@@ -155,6 +155,7 @@ def run_flow(
     build_unexposed_variants: bool = True,
     n_jobs: int = 1,
     cec_cache=None,
+    refine: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -167,7 +168,9 @@ def run_flow(
     the paper predicts from functional analysis.  ``n_jobs`` and
     ``cec_cache`` reach the CEC engine inside the verification step —
     a cache shared across rows (and across runs) skips already-proven
-    merges of structurally recurring cones.  ``budget`` (a
+    merges of structurally recurring cones.  ``refine=False`` disables the
+    engine's counterexample-guided refinement loop (the ``--no-refine``
+    escape hatch).  ``budget`` (a
     :class:`repro.runtime.Budget` or bare seconds) resource-governs the
     verification step; exhaustion yields an UNKNOWN verdict with
     :attr:`FlowResult.verify_reason` set, never a hang.  ``tracer`` /
@@ -186,6 +189,7 @@ def run_flow(
             build_unexposed_variants,
             n_jobs,
             cec_cache,
+            refine,
             budget,
             tracer,
             metrics,
@@ -203,6 +207,7 @@ def _run_flow(
     build_unexposed_variants: bool,
     n_jobs: int,
     cec_cache,
+    refine: bool,
     budget,
     tracer,
     metrics,
@@ -303,6 +308,7 @@ def _run_flow(
                 name=circuit.name,
                 jobs=n_jobs,
                 cache=cec_cache,
+                refine=refine,
             ),
             budget=budget,
             tracer=tracer,

@@ -55,6 +55,7 @@ def table1_row(
     effort: str = "medium",
     n_jobs: int = 1,
     cec_cache=None,
+    refine: bool = True,
     budget: Union[None, int, float, Budget] = None,
     tracer=None,
     metrics=None,
@@ -67,6 +68,7 @@ def table1_row(
         effort=effort,
         n_jobs=n_jobs,
         cec_cache=cec_cache,
+        refine=refine,
         budget=budget,
         tracer=tracer,
         metrics=metrics,
@@ -89,6 +91,7 @@ def run_table1(
     stream=None,
     n_jobs: int = 1,
     cec_cache=None,
+    refine: bool = True,
     time_limit: Optional[float] = None,
     bdd_node_limit: Optional[int] = None,
     on_error: str = "skip",
@@ -103,6 +106,8 @@ def run_table1(
     A ``cec_cache`` (path or :class:`repro.cec.ProofCache`) is shared by
     every row's verification step and flushed at the end, so a second run
     of the harness replays the proven merges instead of re-solving them.
+    ``refine=False`` disables the CEC engine's counterexample-guided
+    refinement loop (the ``--no-refine`` escape hatch).
 
     ``time_limit`` / ``bdd_node_limit`` build a fresh per-row
     :class:`~repro.runtime.Budget` for the verification step; a row whose
@@ -159,6 +164,7 @@ def run_table1(
                 effort,
                 n_jobs,
                 cache,
+                refine=refine,
                 budget=_row_budget(time_limit, bdd_node_limit),
                 tracer=tracer,
                 metrics=metrics,
@@ -281,6 +287,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="persistent CEC proof-cache file shared across rows and runs",
     )
     parser.add_argument(
+        "--no-refine",
+        action="store_true",
+        help="disable counterexample-guided refinement in the CEC sweep",
+    )
+    parser.add_argument(
         "--time-limit",
         type=float,
         default=None,
@@ -359,6 +370,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             use_unateness=args.unate,
             n_jobs=args.jobs,
             cec_cache=args.cache,
+            refine=not args.no_refine,
             time_limit=args.time_limit,
             bdd_node_limit=args.bdd_node_limit,
             on_error=args.on_error,

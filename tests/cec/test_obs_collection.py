@@ -14,6 +14,7 @@ import pytest
 from repro.cec import parallel
 from repro.cec.engine import (
     _class_candidates,
+    _initial_signatures,
     _signature_classes,
     check_equivalence,
 )
@@ -38,10 +39,10 @@ def solver_and_units(n_units=2, n=8):
     cnf, _ = miter.aig.to_cnf()
     solver = Solver()
     assert solver.add_cnf(cnf)
-    classes = _signature_classes(miter.aig, 4, 64, 0)
-    words, _ = miter.aig.random_simulate(width=64, seed=0)
+    signatures, mask = _initial_signatures(miter.aig, 4, 64, 0)
+    classes = _signature_classes(signatures, mask, range(miter.aig.num_nodes()))
     units = partition_candidates(
-        miter.aig, _class_candidates(classes, words), n_units
+        miter.aig, _class_candidates(miter.aig, classes, signatures), n_units
     )
     return solver, units
 

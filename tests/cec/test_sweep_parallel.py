@@ -80,11 +80,15 @@ def retimed_resynthesised_pair(seed=0):
 class TestPartition:
     def _classes(self, aig, n=None):
         """Signature-class candidates straight from the engine's helpers."""
-        from repro.cec.engine import _class_candidates, _signature_classes
+        from repro.cec.engine import (
+            _class_candidates,
+            _initial_signatures,
+            _signature_classes,
+        )
 
-        classes = _signature_classes(aig, rounds=4, width=64, seed=0)
-        words, _ = aig.random_simulate(width=64, seed=0)
-        return _class_candidates(classes, words)
+        signatures, mask = _initial_signatures(aig, rounds=4, width=64, seed=0)
+        classes = _signature_classes(signatures, mask, range(aig.num_nodes()))
+        return _class_candidates(aig, classes, signatures)
 
     def test_units_cover_all_candidates_once(self):
         m = build_miter(xor_chain(16), xor_tree(16))
@@ -169,12 +173,18 @@ class TestParallelSweep:
         cnf, _ = m.aig.to_cnf()
         solver = Solver()
         assert solver.add_cnf(cnf)
-        from repro.cec.engine import _class_candidates, _signature_classes
+        from repro.cec.engine import (
+            _class_candidates,
+            _initial_signatures,
+            _signature_classes,
+        )
 
-        classes = _signature_classes(m.aig, 4, 64, 0)
-        words, _ = m.aig.random_simulate(width=64, seed=0)
+        signatures, mask = _initial_signatures(m.aig, 4, 64, 0)
+        classes = _signature_classes(
+            signatures, mask, range(m.aig.num_nodes())
+        )
         units = partition_candidates(
-            m.aig, _class_candidates(classes, words), 2
+            m.aig, _class_candidates(m.aig, classes, signatures), 2
         )
         for unit in units:
             num_vars, clauses, queries = sweep_unit_payload(
