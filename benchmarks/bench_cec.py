@@ -1,14 +1,23 @@
-"""CEC refinement benchmark: SAT queries and wall time, refine on vs off.
+"""CEC sweep benchmark: refine × preprocess × jobs matrix + sim throughput.
 
 Runs the sweep engine over a corpus of random-circuit pairs (resynthesised
 equivalents, mutated near-misses, and unrelated pairs) under deliberately
 narrow initial signatures — the regime where counterexample-guided
 refinement matters — and writes ``BENCH_cec.json``:
 
-* per-pair and aggregate ``sat_queries`` / wall time / refinement rounds,
-  with refinement on and off, in serial and parallel (``n_jobs>1``) modes;
+* per-pair and aggregate ``sat_queries`` / wall time / refinement rounds
+  across the full mode matrix: refinement on/off × preprocessing on/off ×
+  serial/parallel (``n_jobs>1``);
 * a hard assertion that every configuration returns the same verdict on
-  every pair (the acceptance criterion for the refinement loop).
+  every pair (the acceptance criterion for refinement *and* for the
+  pre-sweep AIG rewriting);
+* preprocessing effect per pair (AND nodes before/after, nodes removed);
+* simulation throughput (node-words per second) of the engine's
+  signature hot path, old vs new: the pre-PR per-round scalar loop
+  (one 64-bit ``simulate`` call plus a per-node concatenation pass per
+  round) against the current single wide ``simulate_words`` call, on
+  sweep-scale AIGs, plus the single-lane kernel-vs-scalar rate for the
+  refinement-corpus regime.
 
 Usage::
 
@@ -25,9 +34,11 @@ import json
 import time
 from typing import Dict, List, Tuple
 
+from repro.aig import simkernel
 from repro.bench.mutations import sample_mutations
 from repro.bench.random_circuits import random_combinational
 from repro.cec.engine import check_equivalence
+from repro.cec.miter import build_miter
 from repro.synth.script import script_delay
 
 # One narrow 8-bit simulation round: plenty of spurious signature
@@ -35,11 +46,25 @@ from repro.synth.script import script_delay
 NARROW = dict(sim_rounds=1, sim_width=8)
 
 MODES: List[Tuple[str, Dict]] = [
-    ("refine_serial", dict(refine=True, n_jobs=1)),
-    ("norefine_serial", dict(refine=False, n_jobs=1)),
-    ("refine_parallel", dict(refine=True, n_jobs=4)),
-    ("norefine_parallel", dict(refine=False, n_jobs=4)),
+    ("refine_serial", dict(refine=True, n_jobs=1, preprocess=True)),
+    ("norefine_serial", dict(refine=False, n_jobs=1, preprocess=True)),
+    ("refine_parallel", dict(refine=True, n_jobs=4, preprocess=True)),
+    ("norefine_parallel", dict(refine=False, n_jobs=4, preprocess=True)),
+    ("refine_serial_nopre", dict(refine=True, n_jobs=1, preprocess=False)),
+    ("norefine_serial_nopre", dict(refine=False, n_jobs=1, preprocess=False)),
+    ("refine_parallel_nopre", dict(refine=True, n_jobs=4, preprocess=False)),
+    ("norefine_parallel_nopre", dict(refine=False, n_jobs=4, preprocess=False)),
 ]
+
+#: Sizes (AND nodes) of the synthetic deep AIGs the throughput section
+#: simulates.  The sweep corpus miters strash down to a few hundred
+#: nodes — call-overhead territory — so throughput is measured on
+#: sweep-scale subjects built directly.
+SIM_SUBJECT_ANDS = (10_000, 30_000)
+
+#: Signature corpus shapes measured: the engine default (4 rounds of 64
+#: patterns) and a denser 16-round corpus.
+SIM_SIGNATURE_ROUNDS = (4, 16)
 
 
 def corpus(n_random: int = 4, n_mutants: int = 3) -> List[Tuple[str, object, object]]:
@@ -58,6 +83,135 @@ def corpus(n_random: int = 4, n_mutants: int = 3) -> List[Tuple[str, object, obj
     for mutation, mutant in sample_mutations(base, n_mutants, seed=7):
         pairs.append((f"mutant_{mutation.kind}_{mutation.target}", base, mutant))
     return pairs
+
+
+def _deep_aig(n_pis: int, n_ands: int, seed: int):
+    """A deep random AND network built directly on the AIG API.
+
+    Random *circuits* strash down to a few hundred nodes, so the
+    throughput subjects are built node by node: each AND samples its
+    fanins (randomly complemented) from a sliding window of recent
+    literals, which keeps the network deep and irreducible.
+    """
+    import random as _random
+
+    from repro.aig.aig import AIG
+
+    rng = _random.Random(seed)
+    aig = AIG()
+    lits = [aig.add_pi(f"i{k}") for k in range(n_pis)]
+    while aig.num_ands() < n_ands:
+        a, b = rng.sample(lits[-2000:], 2)
+        lits.append(
+            aig.and_(a ^ (rng.random() < 0.5), b ^ (rng.random() < 0.5))
+        )
+    return aig
+
+
+def _old_signatures(aig, rounds: int, width: int, seed: int):
+    """Replica of the pre-vectorisation signature hot path.
+
+    One narrow scalar ``simulate`` call per round plus a per-node
+    big-int concatenation pass — exactly what ``_initial_signatures``
+    did before it packed all rounds into a single wide corpus.
+    """
+    import random as _random
+
+    from repro.cec.engine import _round_seed
+
+    signatures = [0] * aig.num_nodes()
+    mask_total = 0
+    for r in range(rounds):
+        rng = _random.Random(_round_seed(seed, r))
+        mask = (1 << width) - 1
+        pi_words = {n: rng.getrandbits(width) for n in aig.pi_names}
+        words = aig.simulate(pi_words, mask)
+        for node in range(aig.num_nodes()):
+            signatures[node] = (signatures[node] << width) | (
+                words[node] & mask
+            )
+        mask_total = (mask_total << width) | mask
+    return signatures, mask_total
+
+
+def sim_throughput(seed: int = 5) -> Dict:
+    """Signature hot path old vs new, plus the single-lane kernel rate."""
+    import random as _random
+
+    from repro.cec.engine import _initial_signatures
+
+    rows = []
+    worst_speedup = None
+    for n_ands in SIM_SUBJECT_ANDS:
+        aig = _deep_aig(48, n_ands, seed)
+        aig.sim_schedule()  # schedule build is amortised; prebuild it
+        for rounds in SIM_SIGNATURE_ROUNDS:
+            t0 = time.perf_counter()
+            old = _old_signatures(aig, rounds, 64, seed)
+            t_old = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            new = _initial_signatures(aig, rounds, 64, seed)
+            t_new = time.perf_counter() - t0
+            assert old == new, "old/new signature divergence"
+            words = aig.num_nodes() * rounds
+            speedup = round(t_old / t_new, 2)
+            rows.append(
+                {
+                    "ands": n_ands,
+                    "rounds": rounds,
+                    "old_words_per_sec": round(words / t_old),
+                    "new_words_per_sec": round(words / t_new),
+                    "speedup": speedup,
+                }
+            )
+            if worst_speedup is None or speedup < worst_speedup:
+                worst_speedup = speedup
+
+    # The refinement-corpus regime: one 64-pattern lane, where the
+    # dispatch prefers the numpy kernel over the scalar path.
+    kernel_row: Dict = {"kernel_available": simkernel.HAVE_NUMPY}
+    aig = _deep_aig(48, SIM_SUBJECT_ANDS[-1], seed)
+    rng = _random.Random(seed ^ 0xC0FFEE)
+    pi_words = {name: rng.getrandbits(64) for name in aig.pi_names}
+    aig.sim_schedule()
+    t0 = time.perf_counter()
+    scalar = aig.simulate_words(dict(pi_words), 64, use_kernel=False)
+    t_scalar = time.perf_counter() - t0
+    kernel_row["scalar_words_per_sec"] = round(aig.num_nodes() / t_scalar)
+    if simkernel.HAVE_NUMPY:
+        t0 = time.perf_counter()
+        vector = aig.simulate_words(dict(pi_words), 64, use_kernel=True)
+        t_kernel = time.perf_counter() - t0
+        assert vector == scalar, "kernel/oracle divergence"
+        kernel_row["kernel_words_per_sec"] = round(
+            aig.num_nodes() / t_kernel
+        )
+        kernel_row["kernel_speedup"] = round(t_scalar / t_kernel, 2)
+    return {
+        "signature_path": rows,
+        "hot_path_speedup": worst_speedup,
+        "single_lane": kernel_row,
+    }
+
+
+def preprocess_effect(pairs) -> List[Dict]:
+    """AND-node reduction of the pre-sweep rewriting on every miter."""
+    from repro.aig.rewrite import preprocess_miter
+
+    rows = []
+    for name, golden, revised in pairs:
+        miter = build_miter(golden, revised)
+        before = miter.aig.num_ands()
+        pre, removed = preprocess_miter(miter)
+        rows.append(
+            {
+                "pair": name,
+                "ands_before": before,
+                "ands_after": pre.aig.num_ands(),
+                "nodes_removed": removed,
+            }
+        )
+    return rows
 
 
 def run(pairs) -> Dict:
@@ -79,6 +233,9 @@ def run(pairs) -> Dict:
                 "refine_rounds": int(result.stats["refine_rounds"]),
                 "refine_patterns": int(result.stats["refine_patterns"]),
                 "refine_saved": int(result.stats["refine_saved"]),
+                "preprocess_removed": int(
+                    result.stats["preprocess_removed"]
+                ),
             }
             totals[mode]["sat_queries"] += int(result.stats["sat_queries"])
             totals[mode]["seconds"] += elapsed
@@ -92,11 +249,13 @@ def run(pairs) -> Dict:
         - totals["refine_serial"]["sat_queries"]
     )
     return {
-        "benchmark": "cec_refinement",
+        "benchmark": "cec_sweep",
         "config": dict(NARROW),
         "pairs": rows,
         "totals": totals,
         "sat_queries_saved_by_refinement": saved,
+        "preprocess": preprocess_effect(pairs),
+        "sim_throughput": sim_throughput(),
         "verdict_divergences": divergences,
     }
 
@@ -117,6 +276,28 @@ def main(argv=None) -> int:
               f"seconds={agg['seconds']:.3f}")
     print(f"refinement saved {report['sat_queries_saved_by_refinement']} "
           f"SAT queries (serial)")
+    removed = sum(r["nodes_removed"] for r in report["preprocess"])
+    print(f"preprocessing removed {removed} AND nodes across "
+          f"{len(report['preprocess'])} miters")
+    thr = report["sim_throughput"]
+    for row in thr["signature_path"]:
+        print(f"signatures ands={row['ands']:6d} rounds={row['rounds']:3d} "
+              f"old={row['old_words_per_sec']:,} words/s "
+              f"new={row['new_words_per_sec']:,} words/s "
+              f"({row['speedup']}x)")
+    lane = thr["single_lane"]
+    if lane["kernel_available"]:
+        print(f"single-lane corpus: scalar {lane['scalar_words_per_sec']:,} "
+              f"words/s, kernel {lane['kernel_words_per_sec']:,} words/s "
+              f"({lane['kernel_speedup']}x)")
+    else:
+        print(f"single-lane corpus: scalar "
+              f"{lane['scalar_words_per_sec']:,} words/s "
+              "(numpy kernel unavailable)")
+    print(f"signature hot-path speedup (worst measured): "
+          f"{thr['hot_path_speedup']}x")
+    if removed <= 0:
+        print("WARNING: preprocessing removed no AND nodes on this corpus")
     if report["verdict_divergences"]:
         print(f"VERDICT DIVERGENCE on {len(report['verdict_divergences'])} "
               "pair(s) -- see JSON")

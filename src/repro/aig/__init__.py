@@ -1,9 +1,20 @@
 """And-Inverter Graph with structural hashing.
 
 * :mod:`repro.aig.aig` — the :class:`AIG` container, circuit import, and
-  bit-parallel simulation;
+  bit-parallel simulation (scalar oracle + corpus dispatch);
+* :mod:`repro.aig.simkernel` — the vectorised numpy simulation kernel
+  (levelised schedule, ``uint64`` lane arrays, optional dependency);
+* :mod:`repro.aig.rewrite` — pre-sweep preprocessing: constant
+  propagation, strash, local two-level rewrites, dead-node elimination.
 """
 
 from repro.aig.aig import AIG, aig_from_circuit, aig_to_circuit
+from repro.aig.rewrite import preprocess_miter, rewrite_cone
 
-__all__ = ["AIG", "aig_from_circuit", "aig_to_circuit"]
+__all__ = [
+    "AIG",
+    "aig_from_circuit",
+    "aig_to_circuit",
+    "preprocess_miter",
+    "rewrite_cone",
+]

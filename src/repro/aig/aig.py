@@ -36,6 +36,9 @@ class AIG:
         self.pi_names: List[str] = []
         self._pi_index: Dict[str, int] = {}
         self.outputs: List[Tuple[str, int]] = []  # (name, literal)
+        # Cached levelised simulation schedule (repro.aig.simkernel);
+        # invalidated whenever a node is added.
+        self._schedule = None
 
     # ------------------------------------------------------------------
     # construction
@@ -48,6 +51,7 @@ class AIG:
         self._fanin0.append(0)
         self._fanin1.append(0)
         self._is_pi.append(True)
+        self._schedule = None
         self.pis.append(node)
         self.pi_names.append(name)
         self._pi_index[name] = node
@@ -77,6 +81,7 @@ class AIG:
             self._fanin1.append(b)
             self._is_pi.append(False)
             self._strash[key] = node
+            self._schedule = None
         return 2 * node
 
     def or_(self, a: int, b: int) -> int:
@@ -207,7 +212,15 @@ class AIG:
     # simulation
     # ------------------------------------------------------------------
     def simulate(self, pi_words: Dict[str, int], mask: int) -> List[int]:
-        """Bit-parallel simulation; returns a word per node."""
+        """Bit-parallel simulation; returns a word per node.
+
+        This is the pure-Python scalar path — one big-int word per node,
+        evaluated in creation order.  It is kept verbatim as the
+        differential-test oracle for the vectorised kernel
+        (:mod:`repro.aig.simkernel`), which :meth:`simulate_words` (and
+        therefore :meth:`random_simulate` / :meth:`simulate_patterns`)
+        dispatches to for large corpora.
+        """
         words = [0] * self.num_nodes()
         for node, name in zip(self.pis, self.pi_names):
             words[node] = pi_words[name] & mask
@@ -222,6 +235,63 @@ class AIG:
             words[node] = lit_word(self._fanin0[node]) & lit_word(self._fanin1[node])
         return words
 
+    def sim_schedule(self):
+        """The cached levelised simulation schedule (None without numpy).
+
+        Built lazily by :mod:`repro.aig.simkernel` and invalidated on
+        any mutation (:meth:`add_pi` / :meth:`and_` creating a node).
+        """
+        from repro.aig import simkernel
+
+        if not simkernel.HAVE_NUMPY:
+            return None
+        if self._schedule is None:
+            self._schedule = simkernel.build_schedule(
+                self.num_nodes(),
+                self.pis,
+                self._is_pi,
+                self._fanin0,
+                self._fanin1,
+            )
+        return self._schedule
+
+    def simulate_words(
+        self,
+        pi_words: Dict[str, int],
+        width: int,
+        use_kernel: Optional[bool] = None,
+    ) -> List[int]:
+        """Simulate a ``width``-pattern corpus; returns a word per node.
+
+        Routes through the vectorised numpy kernel when it is available
+        and the corpus is big enough to pay for the dispatch
+        (``use_kernel=None``); ``use_kernel=True`` / ``False`` force the
+        kernel or the scalar oracle (differential tests).  Both paths
+        return bit-identical words; PIs absent from ``pi_words`` default
+        to 0.
+        """
+        from repro.aig import simkernel
+
+        if use_kernel is None or use_kernel:
+            schedule = self.sim_schedule()
+            if schedule is not None and (
+                use_kernel or simkernel.worthwhile(schedule, width)
+            ):
+                lane_mask = (1 << width) - 1
+                node_words = {
+                    node: pi_words.get(name, 0) & lane_mask
+                    for node, name in zip(self.pis, self.pi_names)
+                }
+                return simkernel.evaluate(schedule, node_words, width)
+            if use_kernel:
+                raise RuntimeError(
+                    "use_kernel=True requires numpy (repro.aig.simkernel)"
+                )
+        mask = (1 << width) - 1
+        return self.simulate(
+            {name: pi_words.get(name, 0) for name in self.pi_names}, mask
+        )
+
     def random_simulate(
         self, width: int = 64, seed: int = 0
     ) -> Tuple[List[int], int]:
@@ -229,7 +299,7 @@ class AIG:
         rng = random.Random(seed)
         mask = (1 << width) - 1
         pi_words = {name: rng.getrandbits(width) for name in self.pi_names}
-        return self.simulate(pi_words, mask), mask
+        return self.simulate_words(pi_words, width), mask
 
     def simulate_patterns(
         self, assignments: Sequence[Dict[str, bool]]
@@ -237,9 +307,11 @@ class AIG:
         """Bit-parallel simulation of explicit PI assignments.
 
         Each assignment becomes one bit column (assignment ``i`` is bit
-        ``i``); PIs absent from an assignment default to False.  Returns
-        ``(node words, mask)`` exactly like :meth:`random_simulate`, so
-        the columns can be appended to existing simulation signatures.
+        ``i``); PIs absent from an assignment default to False.  Corpora
+        wider than 64 patterns evaluate as multiple ``uint64`` lanes on
+        the vectorised kernel.  Returns ``(node words, mask)`` exactly
+        like :meth:`random_simulate`, so the columns can be appended to
+        existing simulation signatures.
         """
         width = len(assignments)
         mask = (1 << width) - 1
@@ -249,7 +321,7 @@ class AIG:
             for name in self.pi_names:
                 if assignment.get(name, False):
                     pi_words[name] |= bit
-        return self.simulate(pi_words, mask), mask
+        return self.simulate_words(pi_words, width), mask
 
     def eval_outputs(self, pi_values: Dict[str, bool]) -> Dict[str, bool]:
         """Evaluate all registered outputs on one assignment."""

@@ -1,0 +1,162 @@
+"""Vectorised bit-parallel AIG simulation over numpy ``uint64`` lanes.
+
+The scalar :meth:`repro.aig.AIG.simulate` walks nodes one at a time and
+carries each node's pattern word as a Python big int — fine for a single
+64-bit round, but the sweep engine evaluates whole pattern corpora
+(multi-round signatures, refinement columns), where per-node interpreter
+overhead dominates.  This module evaluates the AIG level by level on a
+``(num_nodes, n_lanes)`` ``uint64`` array instead: one fancy-indexed
+gather + XOR (complement) + AND per level, amortising the Python
+overhead across every node of the level and every 64-pattern lane.
+
+The kernel is an exact drop-in: pattern ``i`` is bit ``i`` of each
+node's word, and the returned per-node words are bit-identical to the
+scalar path (the scalar ``simulate`` stays in :mod:`repro.aig.aig` as
+the differential-test oracle).  The schedule — a levelised topological
+order plus fanin/complement arrays — is computed once per AIG and
+cached; the AIG invalidates it on any mutation.
+
+``numpy`` is optional: :data:`HAVE_NUMPY` is False when the import
+fails and callers (the AIG dispatch) fall back to the scalar path.
+The dispatch (:func:`worthwhile`) routes only large single-lane corpora
+here — for multi-lane corpora the scalar path's big-int ops already
+amortise the interpreter overhead across every lane at once, and the
+kernel's per-node conversion back to Python ints stops paying off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+__all__ = ["HAVE_NUMPY", "SimSchedule", "build_schedule", "evaluate"]
+
+#: Below this many node-lanes the scalar path wins: the kernel's fixed
+#: per-call cost (array allocation, per-level dispatch) is only paid back
+#: once there is real bulk work to vectorise.
+MIN_NODE_LANES = 4096
+
+#: Above this many ``uint64`` lanes the scalar path wins: CPython
+#: big-int bitwise ops on wide words run near memory bandwidth, while
+#: the kernel pays a per-node ``int.from_bytes`` conversion on the way
+#: out that grows with the lane count.  Measured on random 10k-50k-AND
+#: AIGs: the kernel is ~3x faster at 1 lane and ~0.9x from 2 lanes up.
+MAX_KERNEL_LANES = 1
+
+
+class SimSchedule:
+    """Levelised evaluation plan for one AIG snapshot.
+
+    ``levels`` holds one tuple per logic level ``>= 1``:
+    ``(nodes, fanin0_nodes, fanin1_nodes, neg0, neg1)`` — all
+    ``uint64``/``intp`` numpy arrays, with ``neg*`` being 0 or the
+    all-ones word so a complemented fanin is one XOR away.  ``pi_nodes``
+    lists the PI node ids in :attr:`AIG.pis` order.
+    """
+
+    __slots__ = ("num_nodes", "pi_nodes", "levels")
+
+    def __init__(self, num_nodes: int, pi_nodes, levels) -> None:
+        self.num_nodes = num_nodes
+        self.pi_nodes = pi_nodes
+        self.levels = levels
+
+
+def build_schedule(
+    num_nodes: int,
+    pis: Sequence[int],
+    is_pi: Sequence[bool],
+    fanin0: Sequence[int],
+    fanin1: Sequence[int],
+) -> SimSchedule:
+    """Compute the levelised schedule of an AIG's node arrays.
+
+    Level 0 is the constant node and the PIs; an AND node's level is one
+    above its deepest fanin.  Nodes are stored in creation order inside
+    each level, which is already topological.
+    """
+    assert _np is not None
+    level = [0] * num_nodes
+    per_level: Dict[int, List[int]] = {}
+    for node in range(1, num_nodes):
+        if is_pi[node]:
+            continue
+        lv = 1 + max(level[fanin0[node] >> 1], level[fanin1[node] >> 1])
+        level[node] = lv
+        per_level.setdefault(lv, []).append(node)
+
+    ones = _np.uint64(0xFFFFFFFFFFFFFFFF)
+    zero = _np.uint64(0)
+    levels = []
+    for lv in sorted(per_level):
+        nodes = per_level[lv]
+        f0 = [fanin0[n] for n in nodes]
+        f1 = [fanin1[n] for n in nodes]
+        levels.append(
+            (
+                _np.asarray(nodes, dtype=_np.intp),
+                _np.asarray([l >> 1 for l in f0], dtype=_np.intp),
+                _np.asarray([l >> 1 for l in f1], dtype=_np.intp),
+                _np.asarray([ones if l & 1 else zero for l in f0]),
+                _np.asarray([ones if l & 1 else zero for l in f1]),
+            )
+        )
+    return SimSchedule(num_nodes, _np.asarray(list(pis), dtype=_np.intp), levels)
+
+
+def worthwhile(schedule: SimSchedule, width: int) -> bool:
+    """Is this corpus in the regime where the kernel beats the scalar path?
+
+    Two-sided: the corpus must be big enough to amortise the kernel's
+    fixed dispatch cost (:data:`MIN_NODE_LANES`) but narrow enough that
+    the per-node big-int conversion out of the lane array does not
+    dominate (:data:`MAX_KERNEL_LANES`).  Wide corpora are better served
+    by the scalar path, whose big-int bitwise ops scale with width at
+    near memory bandwidth.
+    """
+    n_lanes = max(1, (width + 63) // 64)
+    if n_lanes > MAX_KERNEL_LANES:
+        return False
+    return schedule.num_nodes * n_lanes >= MIN_NODE_LANES
+
+
+def evaluate(
+    schedule: SimSchedule, pi_words: Dict[int, int], width: int
+) -> List[int]:
+    """Evaluate a pattern corpus; returns one Python int word per node.
+
+    ``pi_words`` maps PI *node id* to its pattern word (bit ``i`` =
+    pattern ``i``); absent PIs default to 0.  ``width`` is the corpus
+    width in patterns.  The result is bit-identical to the scalar
+    :meth:`AIG.simulate` under the same mask: every returned word is
+    masked to ``width`` bits.
+    """
+    assert _np is not None
+    n_lanes = max(1, (width + 63) // 64)
+    lanes = _np.zeros((schedule.num_nodes, n_lanes), dtype=_np.uint64)
+    n_bytes = n_lanes * 8
+    for node in schedule.pi_nodes.tolist():
+        word = pi_words.get(node, 0)
+        if word:
+            lanes[node] = _np.frombuffer(
+                word.to_bytes(n_bytes, "little"), dtype="<u8"
+            )
+    for nodes, f0, f1, neg0, neg1 in schedule.levels:
+        # One gather + complement + AND per level; complements may set
+        # bits above ``width``, but AND/XOR are bitwise so the final mask
+        # below restores exact scalar-path words.
+        lanes[nodes] = (lanes[f0] ^ neg0[:, None]) & (lanes[f1] ^ neg1[:, None])
+    mask = (1 << width) - 1
+    if n_lanes == 1:
+        return [w & mask for w in lanes[:, 0].tolist()]
+    raw = _np.ascontiguousarray(lanes, dtype="<u8").tobytes()
+    return [
+        int.from_bytes(raw[i : i + n_bytes], "little") & mask
+        for i in range(0, len(raw), n_bytes)
+    ]

@@ -171,6 +171,7 @@ class VerifyRequest:
     jobs: int = 1
     cache: Union[None, str, os.PathLike] = None
     refine: bool = True
+    preprocess: bool = True
     # Resource budget (None = unlimited).
     time_limit: Optional[float] = None
     sat_conflicts: Optional[int] = None
@@ -227,7 +228,8 @@ class VerifyRequest:
         option, so two manifest rows naming byte-identical files dedup
         even under different names/paths, while requests differing in a
         way that can change the verdict never collide.  Engine options
-        (``jobs``, ``cache``, ``refine``) and budgets are deliberately
+        (``jobs``, ``cache``, ``refine``, ``preprocess``) and budgets are
+        deliberately
         excluded: they affect *whether* a verdict is reached, not which
         one.
         """
@@ -263,6 +265,7 @@ class VerifyRequest:
             "validate_cex",
             "jobs",
             "refine",
+            "preprocess",
             "time_limit",
             "sat_conflicts",
             "sat_propagations",
@@ -306,6 +309,7 @@ class VerifyRequest:
             "jobs",
             "cache",
             "refine",
+            "preprocess",
             "time_limit",
             "sat_conflicts",
             "sat_propagations",
@@ -339,6 +343,7 @@ class VerifyRequest:
             "jobs",
             "cache",
             "refine",
+            "preprocess",
             "time_limit",
             "sat_conflicts",
             "sat_propagations",
@@ -511,6 +516,7 @@ def verify_pair(
         n_jobs=request.jobs,
         cache=request.cache,
         refine=request.refine,
+        preprocess=request.preprocess,
         budget=Budget.coerce(budget) if budget is not None else request.budget(),
         tracer=tracer,
         metrics=metrics,

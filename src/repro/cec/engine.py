@@ -27,11 +27,13 @@ from __future__ import annotations
 import enum
 import hashlib
 import os
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.aig.aig import AIG
+from repro.aig.rewrite import preprocess_miter
 from repro.bdd.bdd import BDD
 from repro.bdd.circuit2bdd import circuit_bdds
 from repro.cec.cache import EQ, NEQ, ProofCache
@@ -90,6 +92,7 @@ _COUNTER_METRICS: Dict[str, str] = {
     "refine_patterns": "cec.refine.patterns",
     "refine_splits": "cec.refine.splits",
     "refine_saved": "cec.refine.queries_saved",
+    "preprocess_removed": "cec.preprocess.nodes_removed",
     "cascade_sim": "cec.cascade.sim",
     "cascade_bdd": "cec.cascade.bdd",
     "cascade_sat": "cec.cascade.sat",
@@ -291,19 +294,22 @@ def _initial_signatures(
     signature — including constant node 0 (always 0) and the PIs — so
     stuck-at-constant nodes join the constant's class and are proven
     against the constant directly instead of pairwise.
+
+    All rounds are packed into one wide corpus (round ``r`` occupies bit
+    columns ``[(rounds-1-r)*width, (rounds-r)*width)``, so round 0 stays
+    most significant) and evaluated in a single
+    :meth:`~repro.aig.aig.AIG.simulate_words` call — one pass over the
+    AIG, vectorised when the numpy kernel is available.  Bit-identical
+    to the historical per-round shift-and-concatenate loop.
     """
-    signatures = [0] * aig.num_nodes()
-    mask_total = 0
+    pi_words = {name: 0 for name in aig.pi_names}
     for r in range(rounds):
-        words, mask = aig.random_simulate(
-            width=width, seed=_round_seed(seed, r)
-        )
-        for node in range(aig.num_nodes()):
-            signatures[node] = (signatures[node] << width) | (
-                words[node] & mask
-            )
-        mask_total = (mask_total << width) | mask
-    return signatures, mask_total
+        rng = random.Random(_round_seed(seed, r))
+        shift = (rounds - 1 - r) * width
+        for name in aig.pi_names:
+            pi_words[name] |= rng.getrandbits(width) << shift
+    total_width = rounds * width
+    return aig.simulate_words(pi_words, total_width), (1 << total_width) - 1
 
 
 def _signature_classes(
@@ -828,6 +834,7 @@ def check_equivalence(
     seed: int = 0,
     refine: bool = True,
     refine_rounds: int = DEFAULT_REFINE_ROUNDS,
+    preprocess: bool = True,
     n_jobs: int = 1,
     cache: Union[None, str, os.PathLike, ProofCache] = None,
     budget: Union[None, int, float, Budget] = None,
@@ -852,6 +859,15 @@ def check_equivalence(
     inside a signature class defers the class's remaining queries — the
     new pattern usually splits the class, so most deferred queries are
     never spent.  ``refine=False`` restores the single-pass sweep.
+
+    ``preprocess`` (default on) rewrites the miter before any sweep —
+    constant propagation, structural hashing, local two-level rewrites
+    and dead-node elimination (:func:`repro.aig.rewrite.preprocess_miter`)
+    — so every downstream phase works on a smaller AIG.  The rewrites
+    are semantics-preserving, so verdicts with preprocessing on and off
+    are identical; the AND-node reduction is recorded as
+    ``cec.preprocess.nodes_removed``.  ``preprocess=False`` sweeps the
+    raw miter.
 
     ``budget`` — a :class:`~repro.runtime.Budget` or bare wall-clock
     seconds — switches the output checks onto the fallback cascade
@@ -922,6 +938,22 @@ def check_equivalence(
         root.annotate(structural=True)
         return finish(CheckResult(CecVerdict.EQUIVALENT))
 
+    if preprocess and (budget is None or not budget.expired()):
+        t_pre = time.perf_counter()
+        with tracer.span("cec.phase.preprocess", cat="phase"):
+            miter, removed = preprocess_miter(miter)
+        registry.set_gauge(
+            "cec.phase.preprocess.seconds", time.perf_counter() - t_pre
+        )
+        registry.inc("cec.preprocess.nodes_removed", removed)
+        stats["aig_ands_preprocessed"] = miter.aig.num_ands()
+        if miter.trivially_equivalent:
+            # The rewrites hashed every output pair onto one literal:
+            # equivalence is now structural, no solver needed.
+            stats["structural"] = 1
+            root.annotate(structural=True, preprocessed=True)
+            return finish(CheckResult(CecVerdict.EQUIVALENT))
+
     aig = miter.aig
     t_enc = time.perf_counter()
     with tracer.span("cec.phase.encode", cat="phase"):
@@ -946,9 +978,15 @@ def check_equivalence(
             signatures, sig_mask = _initial_signatures(
                 aig, sim_rounds, sim_width, seed
             )
-        registry.set_gauge(
-            "cec.phase.simulate.seconds", time.perf_counter() - t_sim
-        )
+        sim_seconds = time.perf_counter() - t_sim
+        registry.set_gauge("cec.phase.simulate.seconds", sim_seconds)
+        # Throughput in 64-bit node-words: nodes × lanes / wall seconds.
+        sim_lanes = max(1, (sim_rounds * sim_width + 63) // 64)
+        if sim_seconds > 0:
+            registry.set_gauge(
+                "cec.sim.words_per_sec",
+                aig.num_nodes() * sim_lanes / sim_seconds,
+            )
 
         sweep_limit = conflict_limit or 2000
         if budget is not None and budget.sat_conflicts is not None:

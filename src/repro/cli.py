@@ -4,7 +4,8 @@
 
     python -m repro verify  golden.blif revised.blif [--rewrite] [--no-unate]
                             [--jobs N] [--cec-cache FILE] [--no-refine]
-                            [--time-limit S] [--bdd-node-limit N]
+                            [--no-preprocess] [--time-limit S]
+                            [--bdd-node-limit N]
                             [--trace FILE] [--metrics-out FILE]
                             [--quiet] [--verbose]
     python -m repro retime  circuit.blif -o out.blif [--min-area] [--period N]
@@ -71,6 +72,7 @@ def _cmd_verify(args) -> int:
         jobs=args.jobs,
         cache=args.cec_cache,
         refine=not args.no_refine,
+        preprocess=not args.no_preprocess,
         time_limit=args.time_limit,
         bdd_node_limit=args.bdd_node_limit,
     )
@@ -367,6 +369,8 @@ def _cmd_table1(args) -> int:
         forwarded.extend(["--cache", args.cache])
     if args.no_refine:
         forwarded.append("--no-refine")
+    if args.no_preprocess:
+        forwarded.append("--no-preprocess")
     if args.time_limit is not None:
         forwarded.extend(["--time-limit", str(args.time_limit)])
     if args.bdd_node_limit is not None:
@@ -451,6 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-refine",
         action="store_true",
         help="disable counterexample-guided refinement in the CEC sweep",
+    )
+    p.add_argument(
+        "--no-preprocess",
+        action="store_true",
+        help="disable pre-sweep AIG rewriting of the CEC miter",
     )
     p.add_argument(
         "--time-limit",
@@ -555,6 +564,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-refine",
         action="store_true",
         help="disable counterexample-guided refinement in the CEC sweep",
+    )
+    p.add_argument(
+        "--no-preprocess",
+        action="store_true",
+        help="disable pre-sweep AIG rewriting of the CEC miter",
     )
     p.add_argument(
         "--time-limit",

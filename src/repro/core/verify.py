@@ -130,6 +130,7 @@ def check_sequential_equivalence(
     n_jobs: int = 1,
     cache=None,
     refine: bool = True,
+    preprocess: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -152,7 +153,11 @@ def check_sequential_equivalence(
     :class:`DeprecationWarning`.  ``refine`` (default on) enables the CEC
     sweep's counterexample-guided refinement loop — refuting SAT models
     become new simulation patterns that re-split the signature classes;
-    pass False for the single-pass sweep.  ``budget`` — a
+    pass False for the single-pass sweep.  ``preprocess`` (default on)
+    rewrites the lowered miter AIG before sweeping — constant
+    propagation, strashing, local two-level rewrites and dead-node
+    elimination; semantics-preserving, so verdicts are unchanged.
+    ``budget`` — a
     :class:`repro.runtime.Budget` or bare wall-clock
     seconds — resource-governs the CEC step; exhaustion yields verdict
     UNKNOWN with :attr:`SeqCheckResult.reason` set instead of a hang.
@@ -223,6 +228,7 @@ def check_sequential_equivalence(
                 n_jobs,
                 cache,
                 refine,
+                preprocess,
                 budget,
                 tracer,
                 metrics,
@@ -238,6 +244,7 @@ def check_sequential_equivalence(
                 n_jobs,
                 cache,
                 refine,
+                preprocess,
                 budget,
                 tracer,
                 metrics,
@@ -261,6 +268,7 @@ def _check_via_cbf(
     n_jobs: int = 1,
     cache=None,
     refine: bool = True,
+    preprocess: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -288,6 +296,7 @@ def _check_via_cbf(
         n_jobs=n_jobs,
         cache=cache,
         refine=refine,
+        preprocess=preprocess,
         budget=budget,
         tracer=tracer,
         metrics=metrics,
@@ -373,6 +382,7 @@ def _check_via_edbf(
     n_jobs: int = 1,
     cache=None,
     refine: bool = True,
+    preprocess: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -398,6 +408,7 @@ def _check_via_edbf(
         n_jobs=n_jobs,
         cache=cache,
         refine=refine,
+        preprocess=preprocess,
         budget=budget,
         tracer=tracer,
         metrics=metrics,

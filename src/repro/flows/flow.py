@@ -156,6 +156,7 @@ def run_flow(
     n_jobs: int = 1,
     cec_cache=None,
     refine: bool = True,
+    preprocess: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -169,8 +170,9 @@ def run_flow(
     ``cec_cache`` reach the CEC engine inside the verification step —
     a cache shared across rows (and across runs) skips already-proven
     merges of structurally recurring cones.  ``refine=False`` disables the
-    engine's counterexample-guided refinement loop (the ``--no-refine``
-    escape hatch).  ``budget`` (a
+    engine's counterexample-guided refinement loop and ``preprocess=False``
+    its pre-sweep AIG rewriting (the ``--no-refine`` / ``--no-preprocess``
+    escape hatches).  ``budget`` (a
     :class:`repro.runtime.Budget` or bare seconds) resource-governs the
     verification step; exhaustion yields an UNKNOWN verdict with
     :attr:`FlowResult.verify_reason` set, never a hang.  ``tracer`` /
@@ -190,6 +192,7 @@ def run_flow(
             n_jobs,
             cec_cache,
             refine,
+            preprocess,
             budget,
             tracer,
             metrics,
@@ -208,6 +211,7 @@ def _run_flow(
     n_jobs: int,
     cec_cache,
     refine: bool,
+    preprocess: bool,
     budget,
     tracer,
     metrics,
@@ -309,6 +313,7 @@ def _run_flow(
                 jobs=n_jobs,
                 cache=cec_cache,
                 refine=refine,
+                preprocess=preprocess,
             ),
             budget=budget,
             tracer=tracer,

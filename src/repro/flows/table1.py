@@ -56,6 +56,7 @@ def table1_row(
     n_jobs: int = 1,
     cec_cache=None,
     refine: bool = True,
+    preprocess: bool = True,
     budget: Union[None, int, float, Budget] = None,
     tracer=None,
     metrics=None,
@@ -69,6 +70,7 @@ def table1_row(
         n_jobs=n_jobs,
         cec_cache=cec_cache,
         refine=refine,
+        preprocess=preprocess,
         budget=budget,
         tracer=tracer,
         metrics=metrics,
@@ -92,6 +94,7 @@ def run_table1(
     n_jobs: int = 1,
     cec_cache=None,
     refine: bool = True,
+    preprocess: bool = True,
     time_limit: Optional[float] = None,
     bdd_node_limit: Optional[int] = None,
     on_error: str = "skip",
@@ -107,7 +110,8 @@ def run_table1(
     every row's verification step and flushed at the end, so a second run
     of the harness replays the proven merges instead of re-solving them.
     ``refine=False`` disables the CEC engine's counterexample-guided
-    refinement loop (the ``--no-refine`` escape hatch).
+    refinement loop and ``preprocess=False`` its pre-sweep AIG rewriting
+    (the ``--no-refine`` / ``--no-preprocess`` escape hatches).
 
     ``time_limit`` / ``bdd_node_limit`` build a fresh per-row
     :class:`~repro.runtime.Budget` for the verification step; a row whose
@@ -165,6 +169,7 @@ def run_table1(
                 n_jobs,
                 cache,
                 refine=refine,
+                preprocess=preprocess,
                 budget=_row_budget(time_limit, bdd_node_limit),
                 tracer=tracer,
                 metrics=metrics,
@@ -292,6 +297,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="disable counterexample-guided refinement in the CEC sweep",
     )
     parser.add_argument(
+        "--no-preprocess",
+        action="store_true",
+        help="disable pre-sweep AIG rewriting of the CEC miter",
+    )
+    parser.add_argument(
         "--time-limit",
         type=float,
         default=None,
@@ -371,6 +381,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_jobs=args.jobs,
             cec_cache=args.cache,
             refine=not args.no_refine,
+            preprocess=not args.no_preprocess,
             time_limit=args.time_limit,
             bdd_node_limit=args.bdd_node_limit,
             on_error=args.on_error,

@@ -38,7 +38,19 @@ __all__ = ["Solver", "SATResult"]
 
 @dataclass
 class SATResult:
-    """Outcome of a :meth:`Solver.solve` call."""
+    """Outcome of a :meth:`Solver.solve` call.
+
+    ``model`` maps DIMACS variables to their values and covers only the
+    variables the solver actually assigned (on an incremental solver every
+    variable is assigned at SAT, so in practice that is all of them — but
+    an unassigned variable is *unconstrained*, and reporting it as False
+    would be inventing a value).
+
+    ``conflicts`` / ``decisions`` / ``propagations`` are the solver's
+    *cumulative lifetime totals* at the end of the call, not this call's
+    effort — on an incremental solver they grow monotonically across
+    calls.  Per-call deltas live in :attr:`Solver.last_call_stats`.
+    """
 
     satisfiable: bool
     model: Optional[Dict[int, bool]] = None
@@ -103,6 +115,24 @@ class Solver:
         self.stats_conflicts = 0
         self.stats_decisions = 0
         self.stats_propagations = 0
+        # Per-call search state.  All of this used to live as class-level
+        # attributes, which made ``last_call_stats`` (a mutable dict) and
+        # the unknown/limit flags shared across *every* Solver instance;
+        # per-instance initialisation keeps concurrent solvers independent.
+        self._num_assumed = 0
+        self._last_search_conflicts = 0
+        self._deadline_at: Optional[float] = None
+        self._prop_stop: Optional[int] = None
+        self._poll_tick = 0
+        #: True when the last ``solve`` call gave up on a resource limit.
+        self.last_unknown = False
+        #: The ``REASON_*`` code of the exhausted resource, else None.
+        self.last_unknown_reason: Optional[str] = None
+        #: Per-call effort deltas of the last ``solve`` call.
+        self.last_call_stats: Dict[str, int] = {}
+        #: Optional ``repro.obs.metrics.MetricsRegistry``; when attached,
+        #: every call feeds the ``sat.*`` counters and per-call histograms.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # problem construction
@@ -199,7 +229,9 @@ class Solver:
     ) -> SATResult:
         """Solve under assumptions.
 
-        ``conflict_limit`` bounds total conflicts for this call;
+        ``conflict_limit`` bounds this call's conflicts exactly — each
+        restart's Luby budget is capped at the limit's remainder, so the
+        search stops at (never beyond) the limit;
         ``propagation_limit`` bounds total propagations; ``deadline`` is an
         absolute ``time.monotonic()`` timestamp polled inside the search
         loop.  When any limit is exceeded the result is reported
@@ -268,10 +300,17 @@ class Solver:
 
         while True:
             budget = 64 * _luby(restart_count + 1)
+            if conflict_limit is not None:
+                # Cap the restart's budget at what is left of the caller's
+                # limit, so the search hands control back *at* the limit
+                # instead of overrunning to the next Luby restart boundary
+                # (the floor of 64 made small limits overshoot by >10x).
+                remaining = conflict_limit - conflicts_this_call
+                if remaining <= 0:
+                    return self._unknown_result(REASON_CONFLICT_LIMIT)
+                budget = min(budget, remaining)
             restart_count += 1
-            status = self._search(
-                budget, assumption_queue, conflict_counter=[0]
-            )
+            status = self._search(budget, assumption_queue)
             conflicts_this_call += self._last_search_conflicts
             if status == "budget-time":
                 return self._unknown_result(REASON_TIMEOUT)
@@ -279,7 +318,9 @@ class Solver:
                 return self._unknown_result(REASON_PROPAGATION_LIMIT)
             if status == "sat":
                 model = {
-                    v + 1: self._assign[v] == 1 for v in range(self._num_vars)
+                    v + 1: self._assign[v] == 1
+                    for v in range(self._num_vars)
+                    if self._assign[v] != -1
                 }
                 self._cancel_until(0)
                 return SATResult(
@@ -392,12 +433,7 @@ class Solver:
                 return conflict
         return None
 
-    def _search(
-        self,
-        conflict_budget: int,
-        assumptions: List[int],
-        conflict_counter: List[int],
-    ) -> str:
+    def _search(self, conflict_budget: int, assumptions: List[int]) -> str:
         self._last_search_conflicts = 0
         while True:
             if (
@@ -452,19 +488,6 @@ class Solver:
             self.stats_decisions += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, None)
-
-    _num_assumed = 0
-    _last_search_conflicts = 0
-    _deadline_at: Optional[float] = None
-    _prop_stop: Optional[int] = None
-    _poll_tick = 0
-    last_unknown = False
-    last_unknown_reason: Optional[str] = None
-    #: Per-call effort deltas of the last ``solve`` call.
-    last_call_stats: Dict[str, int] = {}
-    #: Optional ``repro.obs.metrics.MetricsRegistry``; when attached, every
-    #: call feeds the ``sat.*`` counters and per-call effort histograms.
-    metrics = None
 
     def _pick_branch(self) -> int:
         best = -1

@@ -1,0 +1,166 @@
+"""Vectorised simulation kernel: bit-identity against the scalar oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aig import simkernel
+from repro.aig.aig import AIG, aig_from_circuit
+from repro.bench.random_circuits import random_combinational
+
+needs_numpy = pytest.mark.skipif(
+    not simkernel.HAVE_NUMPY, reason="numpy not available"
+)
+
+
+def _random_aig(seed: int, n_inputs: int = 7, n_gates: int = 60) -> AIG:
+    aig, _ = aig_from_circuit(
+        random_combinational(
+            n_inputs=n_inputs, n_gates=n_gates, n_outputs=4, seed=seed
+        )
+    )
+    return aig
+
+
+def _random_words(aig: AIG, width: int, seed: int):
+    rng = random.Random(seed)
+    return {name: rng.getrandbits(width) for name in aig.pi_names}
+
+
+class TestDifferentialIdentity:
+    """Property: kernel and scalar oracle agree bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @needs_numpy
+    def test_kernel_matches_oracle_random_aigs(self, seed):
+        aig = _random_aig(seed)
+        width = random.Random(seed ^ 0xFEED).choice([1, 13, 64, 65, 200])
+        pi_words = _random_words(aig, width, seed)
+        mask = (1 << width) - 1
+        scalar = aig.simulate(dict(pi_words), mask)
+        vector = aig.simulate_words(dict(pi_words), width, use_kernel=True)
+        assert vector == scalar
+
+    @pytest.mark.parametrize("seed", range(4))
+    @needs_numpy
+    def test_random_simulate_identical_with_and_without_kernel(self, seed):
+        # random_simulate routes through simulate_words; the dispatch
+        # decision (kernel vs scalar) must never change the words.
+        aig = _random_aig(seed, n_gates=80)
+        forced, mask1 = (
+            aig.simulate_words(
+                _random_words(aig, 64, seed), 64, use_kernel=True
+            ),
+            (1 << 64) - 1,
+        )
+        scalar = aig.simulate(
+            {n: w for n, w in _random_words(aig, 64, seed).items()}, mask1
+        )
+        assert forced == scalar
+
+    @needs_numpy
+    def test_single_lane_and_multi_lane_agree(self):
+        aig = _random_aig(3)
+        pi_words = _random_words(aig, 64, 11)
+        one_lane = aig.simulate_words(dict(pi_words), 64, use_kernel=True)
+        # Same corpus zero-extended to three lanes: low 64 bits identical.
+        three_lane = aig.simulate_words(dict(pi_words), 192, use_kernel=True)
+        mask = (1 << 64) - 1
+        assert [w & mask for w in three_lane] == one_lane
+
+
+class TestEdgeCases:
+    def test_simulate_patterns_empty_corpus(self):
+        aig = _random_aig(0)
+        words, mask = aig.simulate_patterns([])
+        assert mask == 0
+        assert words == [0] * aig.num_nodes()
+
+    def test_simulate_patterns_multi_lane_corpus(self):
+        # >64 patterns means multiple uint64 lanes on the kernel path.
+        aig = _random_aig(1, n_inputs=5, n_gates=40)
+        rng = random.Random(42)
+        patterns = [
+            {name: rng.random() < 0.5 for name in aig.pi_names}
+            for _ in range(130)
+        ]
+        words, mask = aig.simulate_patterns(patterns)
+        assert mask == (1 << 130) - 1
+        # Cross-check a sample of columns against single-pattern eval.
+        for col in (0, 63, 64, 129):
+            expected = aig.simulate(
+                {n: int(patterns[col][n]) for n in aig.pi_names}, 1
+            )
+            assert [(w >> col) & 1 for w in words] == expected
+
+    def test_kernel_requires_numpy_when_forced(self):
+        aig = _random_aig(2)
+        if simkernel.HAVE_NUMPY:
+            aig.simulate_words(_random_words(aig, 8, 0), 8, use_kernel=True)
+        else:
+            with pytest.raises(RuntimeError):
+                aig.simulate_words(
+                    _random_words(aig, 8, 0), 8, use_kernel=True
+                )
+
+    def test_missing_pis_default_to_zero(self):
+        aig = _random_aig(4)
+        scalar = aig.simulate(
+            {name: 0 for name in aig.pi_names}, (1 << 16) - 1
+        )
+        assert aig.simulate_words({}, 16, use_kernel=False) == scalar
+        if simkernel.HAVE_NUMPY:
+            assert aig.simulate_words({}, 16, use_kernel=True) == scalar
+
+
+@needs_numpy
+class TestScheduleCache:
+    def test_schedule_is_cached(self):
+        aig = _random_aig(5)
+        assert aig.sim_schedule() is aig.sim_schedule()
+
+    def test_mutation_invalidates_schedule(self):
+        aig = _random_aig(6)
+        before = aig.sim_schedule()
+        a = aig.add_pi("fresh_pi")
+        b = aig.add_pi("fresh_pi2")
+        aig.and_(a, b)
+        after = aig.sim_schedule()
+        assert after is not before
+        assert after.num_nodes == aig.num_nodes()
+        # And the refreshed schedule still simulates correctly.
+        pi_words = _random_words(aig, 32, 9)
+        assert aig.simulate_words(dict(pi_words), 32, use_kernel=True) == (
+            aig.simulate(dict(pi_words), (1 << 32) - 1)
+        )
+
+    def test_worthwhile_thresholds_small_workloads_out(self):
+        aig = _random_aig(7, n_inputs=3, n_gates=4)
+        schedule = aig.sim_schedule()
+        assert schedule is not None
+        # Too little bulk work: fixed dispatch cost dominates.
+        assert not simkernel.worthwhile(schedule, 1)
+        # Too wide: scalar big-int ops win, conversion cost dominates.
+        assert not simkernel.worthwhile(schedule, 64 * 100000)
+
+    def test_worthwhile_accepts_big_narrow_corpora(self):
+        # Random circuits strash down to a few hundred nodes; build the
+        # deep AIG directly so num_nodes clears MIN_NODE_LANES.
+        rng = random.Random(8)
+        big = AIG()
+        lits = [big.add_pi(f"i{k}") for k in range(16)]
+        while big.num_nodes() < simkernel.MIN_NODE_LANES + 64:
+            a, b = rng.sample(lits[-256:], 2)
+            lits.append(
+                big.and_(a ^ (rng.random() < 0.5), b ^ (rng.random() < 0.5))
+            )
+        schedule = big.sim_schedule()
+        assert simkernel.worthwhile(schedule, 64)
+        assert simkernel.worthwhile(
+            schedule, 64 * simkernel.MAX_KERNEL_LANES
+        )
+        assert not simkernel.worthwhile(
+            schedule, 64 * (simkernel.MAX_KERNEL_LANES + 1)
+        )

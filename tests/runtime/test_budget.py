@@ -147,12 +147,22 @@ class TestSolverBudgets:
         assert elapsed < window * 2 + 0.2  # the ~2x-budget return contract
 
     def test_limit_never_degrades_a_finished_answer(self):
-        # PHP(5,4) is refuted inside the first restart window, so even a
-        # tiny conflict limit must not turn the real UNSAT into UNKNOWN.
+        # PHP(5,4) refutes in 28 conflicts, so a limit the search finishes
+        # within must not turn the real UNSAT into UNKNOWN.  (A limit
+        # *below* the finishing cost now correctly reports UNKNOWN — the
+        # limit is exact, no longer checked only at restart boundaries.)
+        solver = _loaded_solver(4)
+        result = solver.solve(conflict_limit=64)
+        assert not result.satisfiable
+        assert not solver.last_unknown
+
+    def test_limit_below_finishing_cost_is_unknown(self):
         solver = _loaded_solver(4)
         result = solver.solve(conflict_limit=1)
         assert not result.satisfiable
-        assert not solver.last_unknown
+        assert solver.last_unknown
+        assert solver.last_unknown_reason == REASON_CONFLICT_LIMIT
+        assert solver.last_call_stats["conflicts"] <= 1
 
     def test_unknown_state_clears_on_next_solve(self):
         solver = _loaded_solver(6)

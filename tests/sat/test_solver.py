@@ -9,6 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.runtime.budget import REASON_CONFLICT_LIMIT
 from repro.sat.cnf import CNF
 from repro.sat.solver import Solver
 
@@ -185,3 +186,102 @@ class TestCNF:
         a.extend_from(b, offset=2)
         assert a.num_vars == 3
         assert a.clauses[-1] == (-3,)
+
+
+def _pigeonhole_solver(holes: int) -> Solver:
+    """PHP(holes+1, holes): UNSAT with no short proof — reliably hard."""
+    pigeons = holes + 1
+
+    def var(i: int, j: int) -> int:
+        return i * holes + j + 1
+
+    solver = Solver()
+    solver.ensure_vars(pigeons * holes)
+    for i in range(pigeons):
+        assert solver.add_clause([var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i in range(pigeons):
+            for k in range(i + 1, pigeons):
+                assert solver.add_clause([-var(i, j), -var(k, j)])
+    return solver
+
+
+class TestConflictLimitContract:
+    """conflict_limit is exact: stop *at* the limit, never beyond it."""
+
+    @pytest.mark.parametrize("limit", [1, 8, 30])
+    def test_limit_is_never_overrun(self, limit):
+        # The historical bug: limits were only checked at restart
+        # boundaries, whose Luby budgets have a floor of 64 conflicts, so
+        # conflict_limit=8 could burn 64+ conflicts before reporting.
+        solver = _pigeonhole_solver(6)
+        result = solver.solve(conflict_limit=limit)
+        assert solver.last_call_stats["conflicts"] <= limit
+        if solver.last_unknown:
+            assert solver.last_unknown_reason == REASON_CONFLICT_LIMIT
+            assert not result.satisfiable
+            assert result.model is None
+
+    def test_limit_eight_reports_conflict_limit(self):
+        solver = _pigeonhole_solver(6)
+        result = solver.solve(conflict_limit=8)
+        assert not result.satisfiable
+        assert solver.last_unknown
+        assert solver.last_unknown_reason == REASON_CONFLICT_LIMIT
+        assert solver.last_call_stats["conflicts"] <= 8
+
+    def test_limit_spanning_restarts_accumulates(self):
+        # A limit above one Luby window (64) must still be exact across
+        # the restart boundary.
+        solver = _pigeonhole_solver(7)
+        solver.solve(conflict_limit=100)
+        assert solver.last_call_stats["conflicts"] <= 100
+
+    def test_limit_zero_is_immediate_unknown(self):
+        solver = _pigeonhole_solver(6)
+        result = solver.solve(conflict_limit=0)
+        assert not result.satisfiable
+        assert solver.last_unknown
+        assert solver.last_unknown_reason == REASON_CONFLICT_LIMIT
+        assert solver.last_call_stats["conflicts"] == 0
+
+
+class TestInstanceState:
+    """Per-call state is per-instance, never shared across solvers."""
+
+    def test_last_call_stats_not_shared(self):
+        a, b = Solver(), Solver()
+        assert a.last_call_stats is not b.last_call_stats
+        a.add_clause([1, 2])
+        a.solve()
+        assert a.last_call_stats["decisions"] >= 0
+        assert b.last_call_stats == {}
+
+    def test_unknown_flags_not_shared(self):
+        limited = _pigeonhole_solver(6)
+        fresh = Solver()
+        limited.solve(conflict_limit=1)
+        assert limited.last_unknown
+        assert not fresh.last_unknown
+        assert fresh.last_unknown_reason is None
+
+    def test_sat_model_covers_only_assigned_vars(self):
+        # ensure_vars can grow the tables past what the clauses constrain;
+        # the model must not invent False for untouched variables.
+        s = Solver()
+        s.add_clause([1])
+        result = s.solve()
+        assert result.satisfiable
+        assert result.model is not None
+        assert result.model[1] is True
+        assert all(v in (True, False) for v in result.model.values())
+
+    def test_results_report_cumulative_totals(self):
+        s = _pigeonhole_solver(4)
+        r1 = s.solve()
+        r2 = s.solve()
+        # Cumulative solver totals grow monotonically across calls...
+        assert r2.conflicts >= r1.conflicts
+        assert r2.propagations >= r1.propagations
+        # ...while per-call effort lives in last_call_stats.
+        assert s.last_call_stats["conflicts"] == r2.conflicts - r1.conflicts
