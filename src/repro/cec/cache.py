@@ -18,9 +18,13 @@ The on-disk format is a versioned JSON envelope,
 ``{"version": N, "proofs": {key: verdict}}``.  Loads are paranoid — a
 poisoned cache must degrade to cache misses, never to wrong verdicts:
 
-* files that fail to parse, lack the envelope, or carry a different
-  schema version are ignored wholesale (an incompatible older format is
-  *not* guessed at);
+* files that fail to parse or lack the envelope shape are **quarantined**
+  — renamed to ``<path>.corrupt`` (a one-time ``RuntimeWarning`` points
+  at it, and ``cec.cache.corrupt_files`` counts it) so the evidence
+  survives for diagnosis instead of being silently overwritten by the
+  next save;
+* files carrying a different schema version are ignored wholesale (an
+  incompatible older format is *not* corruption, and *not* guessed at);
 * entries whose value is not a valid verdict are dropped individually.
 
 Saves merge with the file's current content and write via a temp file +
@@ -33,7 +37,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from typing import Dict, Optional, Union
+
+from repro.runtime import chaos
 
 __all__ = ["ProofCache", "EQ", "NEQ", "SCHEMA_VERSION"]
 
@@ -58,6 +65,8 @@ class ProofCache:
         self._dirty = False
         # Optional repro.obs.metrics.MetricsRegistry (see attach_metrics).
         self.metrics = None
+        #: backing files quarantined as corrupt over this instance's life.
+        self.corrupt_files = 0
         if self.path is not None:
             self._data.update(self._read_file(self.path))
 
@@ -65,12 +74,15 @@ class ProofCache:
         """Attach a :class:`repro.obs.metrics.MetricsRegistry`.
 
         Records the entry count at attach time (``cec.cache.entries``)
-        and counts persisted saves (``cec.cache.saves``); the hit/miss
+        and any load-time quarantines (``cec.cache.corrupt_files``), and
+        counts persisted saves (``cec.cache.saves``); the hit/miss
         traffic itself is counted by the engine, which knows *why* it
         consulted the cache.
         """
         self.metrics = registry
         registry.set_gauge("cec.cache.entries", len(self._data))
+        if self.corrupt_files:
+            registry.inc("cec.cache.corrupt_files", self.corrupt_files)
 
     @staticmethod
     def coerce(
@@ -81,24 +93,58 @@ class ProofCache:
             return cache
         return ProofCache(cache)
 
-    @staticmethod
-    def _read_file(path: str) -> Dict[str, str]:
-        """Load and validate a cache file; any corruption yields ``{}``."""
+    def _read_file(self, path: str) -> Dict[str, str]:
+        """Load and validate a cache file; corruption quarantines it.
+
+        A file that exists but cannot be a proof cache (unparsable JSON,
+        wrong envelope shape) is renamed to ``<path>.corrupt`` and
+        reported; the load degrades to an empty cache either way.  A
+        file from a *different schema version* is merely ignored — old
+        formats are incompatible, not damaged.
+        """
+        chaos.fire("cache.load", path)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 raw = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            return {}
+        except ValueError:
+            self._quarantine(path, "unparsable JSON")
             return {}
         if not isinstance(raw, dict):
+            self._quarantine(path, "root is not an object")
             return {}
         if raw.get("version") != SCHEMA_VERSION:
             return {}  # unknown or missing schema: ignore, don't misread
         proofs = raw.get("proofs")
         if not isinstance(proofs, dict):
+            self._quarantine(path, "'proofs' is not an object")
             return {}
         return {
             str(k): str(v) for k, v in proofs.items() if str(v) in _VALID
         }
+
+    def _quarantine(self, path: str, why: str) -> None:
+        """Set a corrupt cache file aside as ``<path>.corrupt``."""
+        self.corrupt_files += 1
+        if self.metrics is not None:
+            self.metrics.inc("cec.cache.corrupt_files")
+        quarantined = path + ".corrupt"
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = None  # unlinkable (permissions); still degrade
+        warnings.warn(
+            f"corrupt proof cache {path!r} ({why}): "
+            + (
+                f"quarantined as {quarantined!r}"
+                if quarantined
+                else "could not quarantine"
+            )
+            + "; continuing with an empty cache",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def get(self, key: str) -> Optional[str]:
         """Cached verdict for a pair-cone key, or None."""
@@ -116,6 +162,7 @@ class ProofCache:
         """Merge into the backing file atomically (no-op when unbacked)."""
         if self.path is None or not self._dirty:
             return
+        chaos.fire("cache.save", self.path)
         merged = self._read_file(self.path)
         merged.update(self._data)
         directory = os.path.dirname(os.path.abspath(self.path))

@@ -29,6 +29,7 @@ import hashlib
 import os
 import random
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -917,7 +918,17 @@ def check_equivalence(
 
     def finish(result: CheckResult) -> CheckResult:
         if proof_cache is not None:
-            proof_cache.save()
+            try:
+                proof_cache.save()
+            except Exception as exc:  # noqa: BLE001 - the verdict is
+                # already decided; losing cache persistence (full disk,
+                # injected save fault) must not lose the answer.
+                registry.inc("cec.cache.save_failures")
+                warnings.warn(
+                    f"proof cache save failed: {exc}; verdict unaffected",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         stats["time"] = time.perf_counter() - t0
         engine = EngineStats.from_metrics(registry)
         stats.update(engine.as_dict())

@@ -41,12 +41,14 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.pool
+import random
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cec.partition import WorkUnit
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.runtime import chaos
 from repro.runtime.retry import run_with_retries
 from repro.sat.solver import Solver
 
@@ -93,9 +95,12 @@ _WorkerOutput = Tuple[
     Optional[List[Optional[Dict[int, bool]]]],
 ]
 
-# Test seam: fault-injection hook run at worker entry (both in workers and
-# on the in-process path).  ``fork`` children inherit a monkeypatched
-# value, so tests can simulate crashing workers deterministically.
+# Legacy test seam: fault-injection hook run at worker entry (both in
+# workers and on the in-process path).  ``fork`` children inherit a
+# monkeypatched value, so tests can simulate crashing workers
+# deterministically.  New code should prefer the shared registry in
+# :mod:`repro.runtime.chaos` (the ``worker.entry`` site fires right after
+# this hook); the attribute stays for existing monkeypatch users.
 _fault_hook: Optional[Callable[[_Payload], None]] = None
 
 
@@ -223,6 +228,8 @@ def _sweep_unit_worker(
     ) = payload
     if _fault_hook is not None:
         _fault_hook(payload)
+    chaos.ensure_env_plan()
+    chaos.fire("worker.entry", payload)
     t0 = time.perf_counter()
     deadline = (
         time.monotonic() + wall_remaining if wall_remaining is not None else None
@@ -465,11 +472,16 @@ def sweep_units_parallel(
             finally:
                 progress["seconds"] = time.perf_counter() - progress["t0"]
 
+        # Exponential backoff with full jitter, seeded per unit: when a
+        # whole pool dies at once the serial requeues of its units must
+        # not retry in lockstep, yet every run's schedule is reproducible.
         result, error, n_retries = run_with_retries(
             attempt,
             attempts=attempts,
             backoff_seconds=backoff_seconds,
             deadline=serial_deadline,
+            exponential=True,
+            rng=random.Random(index + 1),
         )
         retries[index] = n_retries
         _bump(telemetry, "worker_retries", n_retries)

@@ -20,10 +20,16 @@
     python -m repro batch   manifest.json [--jobs N] [--time-limit S]
                             [--cache FILE] [--store FILE --resume]
                             [--retries N] [--in-process]
+                            [--lease-ttl S --lease-attempts N]
+                            [--chaos PLAN.json --chaos-log FILE]
                             [--trace FILE] [--metrics-out FILE]
     python -m repro serve   [--jobs N] [--cache FILE] [--store FILE]
-                            [--queue-size N]  (JSONL jobs on stdin,
-                            JSONL results on stdout)
+                            [--queue-size N] [--tcp HOST:PORT]
+                            [--lease-ttl S] [--chaos PLAN.json]
+                            (JSONL jobs on stdin, JSONL results on
+                            stdout; --tcp serves the same protocol over
+                            a socket instead)
+    python -m repro worker  HOST:PORT [--lanes N] [--in-process]
 
 Exit codes of ``verify`` (and the per-job codes of ``batch``): 0
 equivalent, 1 not equivalent (a counterexample is printed), 2 unknown —
@@ -128,6 +134,50 @@ def _cmd_verify(args) -> int:
     return report.exit_code
 
 
+def _setup_chaos(args, console, registry=None):
+    """Install the ``--chaos`` fault plan; returns (ok, plan).
+
+    The plan is exported through ``REPRO_CHAOS`` so process-pool workers
+    re-install it on entry even under the ``spawn`` start method.
+    """
+    import os
+
+    from repro.runtime import chaos
+
+    path = getattr(args, "chaos", None)
+    if not path:
+        return True, None
+    try:
+        plan = chaos.FaultPlan.load(path)
+    except (OSError, ValueError) as exc:
+        console.error(f"bad chaos plan {path}: {exc}")
+        return False, None
+    chaos.install(plan, metrics=registry)
+    os.environ[chaos.ENV_VAR] = os.path.abspath(path)
+    console.info(
+        f"chaos: fault plan {path} armed "
+        f"({len(plan.rules)} rule(s), seed {plan.seed})"
+    )
+    return True, plan
+
+
+def _write_chaos_log(args, plan, console) -> None:
+    """Dump the chaos firing log (the CI trace artifact), if asked to."""
+    import json as _json
+
+    out = getattr(args, "chaos_log", None)
+    if not out or plan is None:
+        return
+    with open(out, "w", encoding="utf-8") as handle:
+        _json.dump(
+            {"plan": plan.to_dict(), "fired": plan.log},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+    console.info(f"chaos: {len(plan.log)} firing(s) logged to {out}")
+
+
 def _cmd_batch(args) -> int:
     import asyncio
 
@@ -150,7 +200,12 @@ def _cmd_batch(args) -> int:
             path=args.trace,
             meta={"command": "batch", "manifest": args.manifest, "jobs": args.jobs},
         )
-    registry = MetricsRegistry() if args.metrics_out else None
+    registry = (
+        MetricsRegistry() if (args.metrics_out or args.chaos) else None
+    )
+    ok, plan = _setup_chaos(args, console, registry)
+    if not ok:
+        return 2
     runner = BatchRunner(
         jobs=args.jobs,
         budget=args.time_limit,
@@ -161,6 +216,8 @@ def _cmd_batch(args) -> int:
         use_processes=not args.in_process,
         tracer=tracer,
         metrics=registry,
+        lease_ttl=args.lease_ttl,
+        lease_attempts=args.lease_attempts,
     )
     console.info(
         f"batch: {len(requests)} job(s) on {args.jobs} lane(s)"
@@ -171,9 +228,10 @@ def _cmd_batch(args) -> int:
     finally:
         if tracer is not None:
             tracer.close()
-        if registry is not None:
+        if registry is not None and args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(registry.to_json(indent=2))
+        _write_chaos_log(args, plan, console)
     # Per-job summary: one line per manifest row, every row accounted for.
     counts = {0: 0, 1: 0, 2: 0}
     for result in results:
@@ -218,7 +276,12 @@ def _cmd_serve(args) -> int:
         quiet=args.quiet, verbose=args.verbose, stream=sys.stderr
     )
     tracer = Tracer(path=args.trace, meta={"command": "serve"}) if args.trace else None
-    registry = MetricsRegistry() if args.metrics_out else None
+    registry = (
+        MetricsRegistry() if (args.metrics_out or args.chaos) else None
+    )
+    ok, plan = _setup_chaos(args, console, registry)
+    if not ok:
+        return 2
     runner = BatchRunner(
         jobs=args.jobs,
         budget=args.time_limit,
@@ -229,19 +292,87 @@ def _cmd_serve(args) -> int:
         use_processes=not args.in_process,
         tracer=tracer,
         metrics=registry,
+        lease_ttl=args.lease_ttl,
+        lease_attempts=args.lease_attempts,
     )
-    console.info(f"serve: reading JSONL jobs from stdin ({args.jobs} lane(s))")
     try:
-        emitted = asyncio.run(
-            runner.serve(sys.stdin, sys.stdout, queue_maxsize=args.queue_size)
-        )
+        if args.tcp:
+            from repro.service import TcpServer, parse_hostport
+
+            try:
+                host, port = parse_hostport(args.tcp)
+            except ValueError as exc:
+                console.error(f"bad --tcp address: {exc}")
+                return 2
+            server = TcpServer(
+                runner,
+                host,
+                port,
+                read_timeout=args.read_timeout,
+                queue_maxsize=args.queue_size,
+            )
+
+            async def _serve_tcp() -> int:
+                await server.start()
+                console.info(
+                    f"serve: listening on {server.host}:{server.port} "
+                    f"({server.local_lanes} local lane(s); SIGTERM drains)"
+                )
+                return await server.run()
+
+            emitted = asyncio.run(_serve_tcp())
+        else:
+            console.info(
+                f"serve: reading JSONL jobs from stdin ({args.jobs} lane(s))"
+            )
+            emitted = asyncio.run(
+                runner.serve(
+                    sys.stdin, sys.stdout, queue_maxsize=args.queue_size
+                )
+            )
     finally:
         if tracer is not None:
             tracer.close()
-        if registry is not None:
+        if registry is not None and args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(registry.to_json(indent=2))
+        _write_chaos_log(args, plan, console)
     console.info(f"serve: emitted {emitted} result(s)")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    import asyncio
+    import sys
+
+    from repro.obs.console import Console
+    from repro.service import parse_hostport, run_worker
+
+    console = Console(
+        quiet=args.quiet, verbose=args.verbose, stream=sys.stderr
+    )
+    ok, _ = _setup_chaos(args, console)
+    if not ok:
+        return 2
+    try:
+        host, port = parse_hostport(args.address)
+    except ValueError as exc:
+        console.error(f"bad address: {exc}")
+        return 2
+    console.info(f"worker: connecting to {host}:{port} ({args.lanes} lane(s))")
+    try:
+        solved = asyncio.run(
+            run_worker(
+                host,
+                port,
+                lanes=args.lanes,
+                use_processes=not args.in_process,
+            )
+        )
+    except (ConnectionError, OSError) as exc:
+        console.error(f"worker: connection failed: {exc}")
+        return 2
+    console.info(f"worker: solved {solved} job(s); server closed")
     return 0
 
 
@@ -665,6 +796,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="run jobs on threads in this process instead of a process pool",
     )
     p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="S",
+        help="lease TTL per dispatched job; a hung worker loses its "
+        "lease and the job is requeued (default: leases off)",
+    )
+    p.add_argument(
+        "--lease-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="lease expiries before a job is quarantined as poison "
+        "(default 3)",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="arm a deterministic fault-injection plan (JSON) for this run",
+    )
+    p.add_argument(
+        "--chaos-log",
+        default=None,
+        metavar="FILE",
+        help="write the chaos firing log (JSON) after the run",
+    )
+    p.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -716,7 +875,49 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="N",
-        help="bound the intake queue (0 = unbounded): backpressure on stdin",
+        help="bound the intake queue (0 = unbounded): backpressure on "
+        "stdin / client sockets",
+    )
+    p.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve the JSONL protocol over TCP instead of stdio; "
+        "accepts client and remote-worker connections",
+    )
+    p.add_argument(
+        "--read-timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="per-connection read timeout for --tcp (default 300)",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="S",
+        help="lease TTL per dispatched job (default: leases off locally; "
+        "remote workers always run leased)",
+    )
+    p.add_argument(
+        "--lease-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="lease expiries before quarantining a job as poison",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="arm a deterministic fault-injection plan (JSON)",
+    )
+    p.add_argument(
+        "--chaos-log",
+        default=None,
+        metavar="FILE",
+        help="write the chaos firing log (JSON) after the run",
     )
     p.add_argument(
         "--trace", default=None, metavar="FILE", help="write a JSONL trace"
@@ -725,6 +926,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="FILE", help="write metrics JSON"
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        parents=[verbosity],
+        help="connect to a `repro serve --tcp` server and solve its jobs",
+    )
+    p.add_argument("address", metavar="HOST:PORT", help="server to join")
+    p.add_argument(
+        "--lanes", type=int, default=1, help="concurrent jobs to accept"
+    )
+    p.add_argument(
+        "--in-process",
+        action="store_true",
+        help="solve on threads instead of a process pool",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="arm a fault-injection plan in this worker",
+    )
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "table2", parents=[verbosity], help="regenerate the paper's Table 2"

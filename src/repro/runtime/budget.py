@@ -16,6 +16,8 @@ Reason codes (stable strings, used in reports/checkpoints):
 ``propagation-limit``       the SAT propagation cap was reached
 ``bdd-blowup``              BDD construction exceeded the node limit
 ``worker-failure``          a sweep worker crashed/hung past its retries
+``poison-job``              a job's lease expired too many times and the
+                            service quarantined it instead of retrying
 ``resource-limit``          generic/unclassified resource exhaustion
 ==========================  ==============================================
 
@@ -40,6 +42,7 @@ __all__ = [
     "REASON_PROPAGATION_LIMIT",
     "REASON_BDD_BLOWUP",
     "REASON_WORKER_FAILURE",
+    "REASON_POISON_JOB",
     "REASON_RESOURCE_LIMIT",
     "KNOWN_REASONS",
 ]
@@ -49,6 +52,7 @@ REASON_CONFLICT_LIMIT = "conflict-limit"
 REASON_PROPAGATION_LIMIT = "propagation-limit"
 REASON_BDD_BLOWUP = "bdd-blowup"
 REASON_WORKER_FAILURE = "worker-failure"
+REASON_POISON_JOB = "poison-job"
 REASON_RESOURCE_LIMIT = "resource-limit"
 
 KNOWN_REASONS = frozenset(
@@ -58,6 +62,7 @@ KNOWN_REASONS = frozenset(
         REASON_PROPAGATION_LIMIT,
         REASON_BDD_BLOWUP,
         REASON_WORKER_FAILURE,
+        REASON_POISON_JOB,
         REASON_RESOURCE_LIMIT,
     }
 )

@@ -60,6 +60,7 @@ class JobState(enum.Enum):
     CANCELLED = "cancelled"
     RESUMED = "resumed"  # replayed from the result store, not re-run
     DEDUPED = "deduped"  # collapsed onto an identical in-flight job
+    QUARANTINED = "quarantined"  # poison job: its leases kept expiring
 
 
 @dataclass
@@ -107,7 +108,8 @@ class JobResult:
 
     ``status`` is the lifecycle outcome (a :class:`JobState` value
     string: ``done`` / ``failed`` / ``cancelled`` / ``resumed`` /
-    ``deduped``); ``report`` is the verification outcome itself.  A
+    ``deduped`` / ``quarantined``); ``report`` is the verification
+    outcome itself.  A
     failed job still carries a report — verdict ``unknown`` with the
     responsible ``REASON_*`` code — so batch summaries never need a
     second error channel, and :attr:`exit_code` is always defined and

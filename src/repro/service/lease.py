@@ -1,0 +1,198 @@
+"""Per-job leases: the service's hung/crashed-worker containment.
+
+A *lease* is the scheduler's claim check on one dispatched job: "worker
+X is solving fingerprint F and must show life before deadline D".  The
+holder (a local lane awaiting its executor future, or a TCP worker
+connection) *heartbeats* to extend the deadline; a lease that reaches
+its deadline without a heartbeat is **expired** — the worker is presumed
+crashed, hung, or partitioned, and the job goes back to the queue after
+an exponential-backoff-with-jitter pause.
+
+Expiry is charged to the *job*, not the worker: a job whose leases keep
+expiring regardless of where it runs is not unlucky, it is **poison**
+(an input that hangs or kills workers deterministically).  After
+``max_attempts`` expiries the scheduler must stop retrying and
+quarantine the job as a canonical UNKNOWN with
+:data:`~repro.runtime.budget.REASON_POISON_JOB` — one bad obligation is
+never allowed to starve the rest of the batch (the same containment the
+parallel sweep applies to hung unit workers, generalised to the whole
+service).
+
+The table is deliberately passive — pure bookkeeping over an injectable
+clock and seeded RNG, no tasks or callbacks of its own — so schedulers
+drive it from whatever wait-loop they already have, and tests drive it
+from a fake clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime.retry import backoff_pause
+
+__all__ = ["Lease", "LeaseTable"]
+
+#: Default lease time-to-live (seconds) when a caller enables leasing
+#: without choosing one; generous against slow SAT calls, small enough
+#: that a dead TCP worker is detected within one coffee sip.
+DEFAULT_TTL = 30.0
+
+#: Default expiries before a job is quarantined as poison.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass
+class Lease:
+    """One live claim on a dispatched job."""
+
+    fingerprint: str
+    lane: Optional[str] = None
+    deadline: float = 0.0
+    granted_at: float = 0.0
+    heartbeats: int = 0
+    #: monotonically increasing grant id — distinguishes a re-grant of
+    #: the same fingerprint from the lease a stale holder still quotes.
+    token: int = 0
+
+
+class LeaseTable:
+    """TTL leases with heartbeats, expiry accounting and backoff.
+
+    One table serves one scheduler run.  All times come from ``clock``
+    (``time.monotonic`` by default) and all jitter from ``rng``, so the
+    whole expiry/backoff schedule is reproducible under test.
+    """
+
+    def __init__(
+        self,
+        ttl: float = DEFAULT_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.ttl = float(ttl)
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.rng = rng if rng is not None else random.Random()
+        self.clock = clock
+        self._leases: Dict[str, Lease] = {}
+        #: fingerprint -> lease expiries so far (cleared on release).
+        self._expiries: Dict[str, int] = {}
+        self._tokens = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def grant(self, fingerprint: str, lane: Optional[str] = None) -> Lease:
+        """Claim a job for a holder; replaces any stale lease on it."""
+        now = self.clock()
+        lease = Lease(
+            fingerprint=fingerprint,
+            lane=lane,
+            deadline=now + self.ttl,
+            granted_at=now,
+            token=next(self._tokens),
+        )
+        self._leases[fingerprint] = lease
+        return lease
+
+    def heartbeat(self, fingerprint: str) -> bool:
+        """Extend a live lease by one TTL; False if there is none.
+
+        A heartbeat for an already-expired-and-requeued job returns
+        False — the stale holder learns its claim is gone and must drop
+        the result rather than racing the re-run.
+        """
+        lease = self._leases.get(fingerprint)
+        if lease is None:
+            return False
+        lease.deadline = self.clock() + self.ttl
+        lease.heartbeats += 1
+        return True
+
+    def release(self, fingerprint: str) -> Optional[Lease]:
+        """The job finished: drop its lease and forget its expiries."""
+        self._expiries.pop(fingerprint, None)
+        return self._leases.pop(fingerprint, None)
+
+    def expire(self, fingerprint: str) -> int:
+        """Record one expiry; returns the job's total expiry count.
+
+        The lease is dropped (the holder is presumed gone); the caller
+        decides between requeue (count < :attr:`max_attempts`) and
+        quarantine (count >= :attr:`max_attempts`, see
+        :meth:`poisoned`).
+        """
+        self._leases.pop(fingerprint, None)
+        count = self._expiries.get(fingerprint, 0) + 1
+        self._expiries[fingerprint] = count
+        return count
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[Lease]:
+        """The live lease on a job, if any."""
+        return self._leases.get(fingerprint)
+
+    def remaining(self, fingerprint: str) -> Optional[float]:
+        """Seconds until the lease expires (clamped at 0), or None."""
+        lease = self._leases.get(fingerprint)
+        if lease is None:
+            return None
+        return max(0.0, lease.deadline - self.clock())
+
+    def expired(self, fingerprint: str) -> bool:
+        """True when the job holds a lease that has passed its deadline."""
+        lease = self._leases.get(fingerprint)
+        return lease is not None and self.clock() >= lease.deadline
+
+    def expiries(self, fingerprint: str) -> int:
+        """How many leases this job has burned so far."""
+        return self._expiries.get(fingerprint, 0)
+
+    def poisoned(self, fingerprint: str) -> bool:
+        """True once the job has exhausted its lease attempts."""
+        return self.expiries(fingerprint) >= self.max_attempts
+
+    def sweep(self) -> List[Lease]:
+        """Pop every currently-expired lease (TCP dispatch watchdog).
+
+        Returns the popped leases; expiry counts are charged exactly as
+        :meth:`expire` would.
+        """
+        now = self.clock()
+        dead = [
+            lease
+            for lease in self._leases.values()
+            if now >= lease.deadline
+        ]
+        for lease in dead:
+            self.expire(lease.fingerprint)
+        return dead
+
+    def backoff(self, attempt: int) -> float:
+        """The jittered pause before requeue number ``attempt``."""
+        return backoff_pause(
+            attempt,
+            self.backoff_base,
+            exponential=True,
+            backoff_cap=self.backoff_cap,
+            rng=self.rng,
+        )
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __repr__(self) -> str:
+        return (
+            f"LeaseTable(ttl={self.ttl:g}s, live={len(self._leases)}, "
+            f"troubled={len(self._expiries)})"
+        )

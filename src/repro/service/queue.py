@@ -104,6 +104,22 @@ class JobQueue:
         async with cond:
             cond.notify_all()
 
+    def reinject(self, job: Job) -> None:
+        """Put a dispatched-but-unfinished job back on the heap.
+
+        The lease-expiry path: the job is still *active* (its dedup
+        entry, duplicates and unfinished count are untouched — it was
+        never finished), it just lost its worker.  Reinjection therefore
+        bypasses intake entirely: no closed check (a batch queue closes
+        after submission, but requeues must still land), no dedup, no
+        maxsize (the slot it occupied was already accounted).
+        """
+        job.seq = next(self._seq)  # requeue goes to the back of its band
+        job.state = JobState.PENDING
+        heapq.heappush(self._heap, (*job.sort_key(), job))
+        if self._cond is not None:
+            asyncio.ensure_future(self._notify())
+
     def close(self) -> None:
         """Stop intake; draining lanes see None once the queue is empty."""
         self._closed = True

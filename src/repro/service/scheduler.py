@@ -18,9 +18,22 @@ into the run's shared state:
   job N's proofs.  Warm-hit totals aggregate into the
   ``service.cache.*`` counters.
 * **retry/backoff** — each worker invocation runs under
-  :func:`repro.runtime.run_with_retries`; a job that still fails is
-  recorded as ``failed`` with an ``unknown``/``worker-failure`` report,
-  never dropped.
+  :func:`repro.runtime.run_with_retries` (exponential backoff with full
+  jitter, seeded per fingerprint); a job that still fails is recorded as
+  ``failed`` with an ``unknown``/``worker-failure`` report, never
+  dropped.
+* **leases** — with ``lease_ttl`` set, every dispatched job is covered
+  by a TTL lease (:class:`~repro.service.lease.LeaseTable`).  A job
+  whose worker hangs past the lease is *abandoned and requeued* with
+  jittered backoff; one that burns ``lease_attempts`` leases is
+  quarantined as UNKNOWN/:data:`~repro.runtime.budget.REASON_POISON_JOB`
+  instead of starving the batch — the sweep's hung-worker containment,
+  generalised to the whole service.
+* **chaos** — the dispatch path is instrumented with
+  :mod:`repro.runtime.chaos` sites (``scheduler.dispatch``,
+  ``worker.entry``, ``store.append``, ``transport.recv``); under an
+  installed :class:`~repro.runtime.chaos.FaultPlan` every one of these
+  seams fails on demand, and none of them may lose a job.
 * **observability** — workers buffer trace events against the parent's
   epoch and the parent re-parents them with
   :meth:`~repro.obs.Tracer.adopt` under a per-job ``pair`` span; worker
@@ -40,8 +53,10 @@ import asyncio
 import dataclasses
 import json
 import os
+import random
 import time
 import traceback
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
@@ -49,19 +64,29 @@ from repro.api import VerifyReport, VerifyRequest, verify_pair
 from repro.core.verify import SeqVerdict
 from repro.obs.metrics import TIME_BUCKETS, MetricsRegistry
 from repro.obs.trace import Tracer, coerce_tracer
-from repro.runtime.budget import REASON_WORKER_FAILURE, Budget
+from repro.runtime import chaos
+from repro.runtime.budget import (
+    REASON_POISON_JOB,
+    REASON_WORKER_FAILURE,
+    Budget,
+)
 from repro.runtime.retry import run_with_retries
 from repro.service.jobs import Job, JobResult, JobState
+from repro.service.lease import LeaseTable
 from repro.service.queue import JobQueue
 from repro.service.store import ResultStore
 
 __all__ = ["BatchRunner", "execute_request"]
 
-#: Pause before a worker-internal re-attempt (grows linearly per retry).
+#: Base pause before a worker-internal re-attempt (jittered, exponential).
 RETRY_BACKOFF_SECONDS = 0.05
 
 #: Reason recorded on jobs cancelled before (or while) running.
 REASON_CANCELLED = "cancelled"
+
+#: Cap on one protocol line in ``serve`` streams; a longer line is
+#: answered with a structured error instead of ballooning memory.
+MAX_LINE_BYTES = 1 << 20
 
 
 # ----------------------------------------------------------------------
@@ -76,6 +101,7 @@ def execute_request(payload: Dict[str, Any]) -> Dict[str, Any]:
     Verification itself goes through :func:`repro.api.verify_pair` — the
     service adds no second verification code path.
     """
+    chaos.ensure_env_plan()
     request = VerifyRequest.from_dict(payload["request"])
     fingerprint = payload["fingerprint"]
     epoch = payload.get("trace_epoch")
@@ -87,12 +113,22 @@ def execute_request(payload: Dict[str, Any]) -> Dict[str, Any]:
         if request.time_limit is not None
         else None
     )
+
+    def attempt_once() -> VerifyReport:
+        # The chaos site sits inside the retried callable: an injected
+        # worker crash exercises the same containment a real one would
+        # (in-worker retry first, worker-failure degradation after).
+        chaos.fire("worker.entry", fingerprint)
+        return verify_pair(request, tracer=tracer, metrics=metrics)
+
     t0 = time.perf_counter()
     report, error, retries = run_with_retries(
-        lambda: verify_pair(request, tracer=tracer, metrics=metrics),
+        attempt_once,
         attempts=attempts,
         backoff_seconds=RETRY_BACKOFF_SECONDS,
         deadline=deadline,
+        exponential=True,
+        rng=random.Random(int(fingerprint[:8], 16) if fingerprint else 0),
     )
     elapsed = time.perf_counter() - t0
     if report is None:
@@ -126,6 +162,19 @@ def execute_request(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _swallow_result(future) -> None:
+    """Done-callback for abandoned (lease-expired) dispatch futures.
+
+    Retrieves the result/exception so a late answer from a presumed-dead
+    worker neither races the re-run nor trips asyncio's "exception was
+    never retrieved" warning.
+    """
+    try:
+        future.exception()
+    except (asyncio.CancelledError, Exception):  # noqa: BLE001
+        pass
+
+
 class BatchRunner:
     """Shards verification jobs over asyncio lanes and a worker pool.
 
@@ -145,6 +194,11 @@ class BatchRunner:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         store_config: Optional[Dict[str, Any]] = None,
+        lease_ttl: Optional[float] = None,
+        lease_attempts: int = 3,
+        lease_backoff: float = 0.05,
+        lease_backoff_cap: float = 2.0,
+        lease_seed: int = 0,
     ) -> None:
         self.lanes = max(1, int(jobs))
         self.budget = Budget.coerce(budget)
@@ -156,6 +210,12 @@ class BatchRunner:
         self.use_processes = bool(use_processes)
         self.tracer = coerce_tracer(tracer)
         self.metrics = metrics
+        # Lease policy (None TTL = leases off, today's exact behaviour).
+        self.lease_ttl = None if lease_ttl is None else float(lease_ttl)
+        self.lease_attempts = max(1, int(lease_attempts))
+        self.lease_backoff = float(lease_backoff)
+        self.lease_backoff_cap = float(lease_backoff_cap)
+        self.lease_seed = int(lease_seed)
 
     # ------------------------------------------------------------------
     # batch mode
@@ -204,7 +264,7 @@ class BatchRunner:
                 if state is JobState.DEDUPED:
                     self._count("service.jobs.deduped")
             queue.close()
-            await self._drive(queue, store, results)
+            await self._drive(queue, store, results, self._make_leases())
         finally:
             if store is not None:
                 store.close()
@@ -220,6 +280,7 @@ class BatchRunner:
         in_stream: TextIO,
         out_stream: TextIO,
         queue_maxsize: int = 0,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> int:
         """Stream job rows from ``in_stream``, emit result lines as done.
 
@@ -230,9 +291,16 @@ class BatchRunner:
         queue, lanes drain, and the method returns the number of results
         emitted.  A bounded ``queue_maxsize`` gives backpressure against
         a fast client.
+
+        Hostile input degrades per-line, never per-stream: malformed
+        JSON, an oversized line (``max_line_bytes``), or a line truncated
+        by mid-stream EOF each produce exactly one ``error`` response and
+        the loop keeps serving; every job actually accepted is still
+        drained and answered.
         """
         queue = JobQueue(maxsize=queue_maxsize)
         store = self._open_store()
+        leases = self._make_leases()
         emitted = 0
         lock = asyncio.Lock()
 
@@ -245,13 +313,19 @@ class BatchRunner:
                 out_stream.flush()
                 emitted += 1
 
+        def emit_error(message: str) -> None:
+            out_stream.write(
+                json.dumps({"type": "error", "error": message}) + "\n"
+            )
+            out_stream.flush()
+
         loop = asyncio.get_running_loop()
         flow_span = self.tracer.span("service.serve", cat="flow", jobs=self.lanes)
         executor = self._make_executor()
         try:
             lanes = [
                 asyncio.ensure_future(
-                    self._lane(lane, queue, executor, store, {}, emit)
+                    self._lane(lane, queue, executor, store, {}, emit, leases)
                 )
                 for lane in range(self.lanes)
             ]
@@ -259,18 +333,24 @@ class BatchRunner:
                 line = await loop.run_in_executor(None, in_stream.readline)
                 if not line:
                     break
+                try:
+                    line = await chaos.afire("transport.recv", line)
+                except chaos.ChaosError:
+                    break  # injected stream drop == EOF: drain what we took
                 line = line.strip()
                 if not line:
+                    continue
+                if len(line.encode("utf-8", "replace")) > max_line_bytes:
+                    emit_error(
+                        f"line exceeds {max_line_bytes} bytes; rejected"
+                    )
                     continue
                 try:
                     row = json.loads(line)
                     request = VerifyRequest.from_dict(row)
                     fingerprint = request.fingerprint()
                 except (ValueError, TypeError, OSError) as exc:
-                    out_stream.write(
-                        json.dumps({"type": "error", "error": str(exc)}) + "\n"
-                    )
-                    out_stream.flush()
+                    emit_error(str(exc))
                     continue
                 if self.resume and store is not None:
                     prior = store.decided(fingerprint)
@@ -305,13 +385,16 @@ class BatchRunner:
         queue: JobQueue,
         store: Optional[ResultStore],
         results: Dict[str, JobResult],
+        leases: Optional[LeaseTable] = None,
     ) -> None:
         """Run lanes to completion over an already-filled, closed queue."""
         executor = self._make_executor()
         try:
             lanes = [
                 asyncio.ensure_future(
-                    self._lane(lane, queue, executor, store, results, None)
+                    self._lane(
+                        lane, queue, executor, store, results, None, leases
+                    )
                 )
                 for lane in range(self.lanes)
             ]
@@ -340,18 +423,22 @@ class BatchRunner:
         store: Optional[ResultStore],
         results: Dict[str, JobResult],
         emit,
+        leases: Optional[LeaseTable] = None,
     ) -> None:
         loop = asyncio.get_running_loop()
         while True:
             job = await queue.get()
             if job is None:
                 return
-            result = await self._run_job(lane, job, queue, executor, loop)
-            terminal = (
-                JobState.DONE
-                if result.status == JobState.DONE.value
-                else JobState.FAILED
+            result = await self._run_job(
+                lane, job, queue, executor, loop, leases
             )
+            if result is None:
+                continue  # lease expired: the job is back on the queue
+            try:
+                terminal = JobState(result.status)
+            except ValueError:
+                terminal = JobState.FAILED
             duplicates = queue.finish(job, terminal)
             self._record(store, results, result)
             if emit is not None:
@@ -368,11 +455,31 @@ class BatchRunner:
         queue: JobQueue,
         executor: Optional[Executor],
         loop: asyncio.AbstractEventLoop,
-    ) -> JobResult:
+        leases: Optional[LeaseTable] = None,
+    ) -> Optional[JobResult]:
+        """Dispatch one job; returns its result, or None when requeued.
+
+        The None return is the lease-expiry path: the hung dispatch was
+        abandoned, the job is already back on the queue, and the lane
+        should simply pick up its next job.
+        """
         payload = self._payload_for(job, queue)
         t0 = time.perf_counter()
         try:
-            out = await loop.run_in_executor(executor, execute_request, payload)
+            # A dispatch-site fault is charged to the job (delay slows
+            # it, crash degrades it to worker-failure) — never the lane.
+            await chaos.afire("scheduler.dispatch", job.fingerprint)
+            future = loop.run_in_executor(executor, execute_request, payload)
+            if leases is None:
+                out = await future
+            else:
+                status, out = await self._await_leased(
+                    lane, job, queue, future, leases
+                )
+                if status == "requeued":
+                    return None
+                if status == "poisoned":
+                    return self._poisoned_result(job, lane, leases)
         except asyncio.CancelledError:
             self._count("service.jobs.cancelled")
             return self._cancelled_result(job, lane=lane)
@@ -486,7 +593,111 @@ class BatchRunner:
     ) -> None:
         results[result.fingerprint] = result
         if store is not None:
-            store.append(result)
+            try:
+                store.append(result)
+            except Exception as exc:  # noqa: BLE001 - durability degrades,
+                # the batch does not: the result stays in memory and is
+                # emitted; only its store line (hence resumability) is
+                # lost.  Full disks and injected store faults land here.
+                self._count("service.store.append_failures")
+                warnings.warn(
+                    f"result store append failed for "
+                    f"{result.name or result.fingerprint[:12]}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    async def _await_leased(
+        self,
+        lane: int,
+        job: Job,
+        queue: JobQueue,
+        future,
+        leases: LeaseTable,
+    ):
+        """Await a dispatch under a lease; returns (status, out).
+
+        ``("done", out)`` when the worker delivered within its lease;
+        ``("requeued", None)`` when the lease expired and the job was
+        put back on the queue (after a jittered backoff pause);
+        ``("poisoned", None)`` when the job burned its last lease.
+        Worker exceptions propagate to the caller's generic handling.
+        """
+        fingerprint = job.fingerprint
+        leases.grant(fingerprint, lane=str(lane))
+        while True:
+            timeout = leases.remaining(fingerprint)
+            try:
+                out = await asyncio.wait_for(asyncio.shield(future), timeout)
+            except asyncio.TimeoutError:
+                if not leases.expired(fingerprint):
+                    continue  # a heartbeat moved the deadline meanwhile
+                expiries = leases.expire(fingerprint)
+                # Abandon the in-flight future: if the hung worker ever
+                # does answer, the stale result (and any exception) is
+                # dropped on the floor rather than racing the re-run.
+                future.add_done_callback(_swallow_result)
+                self._count("service.lease.expired")
+                self.tracer.instant(
+                    "service.lease-expired",
+                    cat="event",
+                    job=job.name,
+                    lane=lane,
+                    attempt=expiries,
+                )
+                if expiries >= leases.max_attempts:
+                    self._count("service.lease.poisoned")
+                    return "poisoned", None
+                self._count("service.lease.requeued")
+                delay = leases.backoff(expiries)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                queue.reinject(job)
+                return "requeued", None
+            except BaseException:
+                leases.release(fingerprint)
+                raise
+            else:
+                leases.release(fingerprint)
+                return "done", out
+
+    def _poisoned_result(
+        self, job: Job, lane: int, leases: LeaseTable
+    ) -> JobResult:
+        """The canonical quarantine outcome of a poison job."""
+        expiries = leases.expiries(job.fingerprint)
+        self._count("service.jobs.quarantined")
+        return JobResult(
+            name=job.name,
+            fingerprint=job.fingerprint,
+            status=JobState.QUARANTINED.value,
+            report=VerifyReport(
+                verdict=SeqVerdict.UNKNOWN.value,
+                method="service",
+                reason=REASON_POISON_JOB,
+                name=job.name,
+                fingerprint=job.fingerprint,
+                metadata=dict(job.request.metadata),
+            ),
+            error=(
+                f"lease expired {expiries}x (ttl {leases.ttl:g}s); "
+                "job quarantined as poison"
+            ),
+            attempts=expiries,
+            lane=lane,
+        )
+
+    def _make_leases(self) -> Optional[LeaseTable]:
+        """A fresh lease table per run, or None when leasing is off."""
+        if self.lease_ttl is None:
+            return None
+        return LeaseTable(
+            ttl=self.lease_ttl,
+            max_attempts=self.lease_attempts,
+            backoff_base=self.lease_backoff,
+            backoff_cap=self.lease_backoff_cap,
+            rng=random.Random(self.lease_seed),
+        )
 
     def _cancelled_result(self, job: Job, lane: Optional[int] = None) -> JobResult:
         return JobResult(
@@ -547,8 +758,26 @@ class BatchRunner:
             store = self._store_arg
             if store._handle is None:
                 store.open()
-            return store
-        return ResultStore(self._store_arg, config=self._store_config).open()
+        else:
+            store = ResultStore(
+                self._store_arg, config=self._store_config
+            ).open()
+        if store.corrupt_lines:
+            # Skipped-but-counted is the load policy; surfacing it is
+            # ours: torn writes are expected after a crash, but a store
+            # that is *mostly* corrupt deserves operator eyes.
+            if self.metrics is not None:
+                self.metrics.set_gauge(
+                    "service.store.corrupt_lines", store.corrupt_lines
+                )
+            warnings.warn(
+                f"result store {store.path!r}: skipped "
+                f"{store.corrupt_lines} corrupt line(s) on load "
+                "(torn writes from a previous crash?)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return store
 
     def _make_executor(self) -> Optional[Executor]:
         # None = the loop's default thread pool (in-process execution);

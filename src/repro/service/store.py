@@ -30,6 +30,7 @@ import json
 import os
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
+from repro.runtime import chaos
 from repro.service.jobs import JobResult
 
 __all__ = ["ResultStore", "STORE_VERSION"]
@@ -99,6 +100,7 @@ class ResultStore:
         """Persist one finished job (flushed before returning)."""
         if self._handle is None:
             raise RuntimeError("ResultStore.append() before open()")
+        chaos.fire("store.append", result.fingerprint)
         self._append_line({"type": "result", **result.to_dict()})
         self._results[result.fingerprint] = result
 

@@ -1,0 +1,743 @@
+"""asyncio TCP transport for the batch service (``repro serve --tcp``).
+
+One :class:`TcpServer` exposes a :class:`~repro.service.scheduler.BatchRunner`
+over a newline-JSON socket protocol with two connection roles:
+
+* **clients** submit work: each line is one
+  :class:`~repro.api.VerifyRequest` row (exactly the stdio ``serve``
+  format) and each answer line is ``{"type": "result", ...}`` or
+  ``{"type": "error", ...}``.  Results stream back on the submitting
+  connection as they land, in completion order.
+* **workers** donate compute: a first line
+  ``{"type": "hello", "role": "worker", "lanes": N}`` turns the
+  connection into ``N`` remote lanes pulling from the same job queue as
+  the server's local lanes.  The server sends
+  ``{"type": "job", "id": fp, "ttl": s, "payload": {...}}``; the worker
+  answers with ``{"type": "heartbeat", "id": fp}`` lines while solving
+  and one ``{"type": "result", "id": fp, "out": {...}}`` when done
+  (``out`` is the :func:`~repro.service.scheduler.execute_request`
+  return dict).
+
+Robustness properties, in the order they matter:
+
+* **leases** — every remote dispatch is covered by a
+  :class:`~repro.service.lease.LeaseTable` lease; heartbeats extend it.
+  A worker that dies, hangs silently, or partitions loses its lease and
+  the job is requeued with jittered backoff; a job that burns
+  ``max_attempts`` leases is quarantined as UNKNOWN/``poison-job``.
+  Killing a worker mid-batch therefore delays its jobs, never loses
+  them.
+* **read timeouts** — every connection read is bounded
+  (``read_timeout``); a silent client is answered with an error and
+  disconnected instead of pinning server resources forever.
+* **backpressure** — the shared queue's ``maxsize`` makes client
+  submissions await a free slot, so one fast client cannot balloon
+  server memory.
+* **drain-then-exit** — SIGTERM (and SIGINT) stop intake, let every
+  accepted job finish and its result reach its client, then close.
+* **fault injection** — every received line passes the
+  ``transport.recv`` :mod:`~repro.runtime.chaos` site: a ``corrupt``
+  fault degrades to a per-line error, a ``crash`` fault drops the
+  connection — both containable, neither may lose an accepted job.
+
+Oversized lines: the stream limit rejects lines beyond
+``max_line_bytes``; on TCP the connection is closed after a final error
+line (unlike stdio serve, which degrades per-line), because the stream
+position inside an unbounded line is unrecoverable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import json
+import signal
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Deque, Dict, Optional, Set, Tuple
+
+from repro.api import VerifyRequest
+from repro.runtime import chaos
+from repro.service.jobs import Job, JobResult, JobState
+from repro.service.lease import LeaseTable
+from repro.service.queue import JobQueue, QueueClosedError
+from repro.service.scheduler import (
+    MAX_LINE_BYTES,
+    BatchRunner,
+    execute_request,
+)
+
+__all__ = ["TcpServer", "run_worker", "parse_hostport"]
+
+#: Default bound on one blocking connection read, seconds.
+DEFAULT_READ_TIMEOUT = 300.0
+
+#: Lease TTL applied to remote workers when the runner has leasing off.
+#: Remote dispatches are never allowed to run leaseless — a vanished
+#: TCP peer is exactly the failure leases exist for.
+REMOTE_DEFAULT_TTL = 30.0
+
+
+def parse_hostport(spec: str, default_port: int = 9431) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` / ``:PORT`` / ``HOST`` into an address pair."""
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty host:port")
+    if ":" in spec:
+        host, _, port_text = spec.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise ValueError(f"bad port in {spec!r}") from exc
+    else:
+        host, port = spec, default_port
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range in {spec!r}")
+    return host, port
+
+
+class _Client:
+    """One submitting connection: its writer, lock, and inflight count."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.inflight = 0
+        self.settled = asyncio.Event()
+        self.settled.set()
+
+    def track(self) -> None:
+        self.inflight += 1
+        self.settled.clear()
+
+    def untrack(self) -> None:
+        self.inflight -= 1
+        if self.inflight <= 0:
+            self.settled.set()
+
+    async def send(self, payload: Dict[str, Any]) -> None:
+        """Write one protocol line; a vanished client is not an error."""
+        try:
+            async with self.lock:
+                self.writer.write(
+                    (json.dumps(payload) + "\n").encode("utf-8")
+                )
+                await self.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+
+class _WorkerConn:
+    """One worker connection: pending dispatches and liveness."""
+
+    def __init__(self, writer: asyncio.StreamWriter, name: str) -> None:
+        self.writer = writer
+        self.name = name
+        self.lock = asyncio.Lock()
+        #: fingerprint -> future resolved by the connection reader.
+        self.pending: Dict[str, asyncio.Future] = {}
+        self.dead = False
+
+    async def send(self, payload: Dict[str, Any]) -> None:
+        async with self.lock:
+            self.writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+            await self.writer.drain()
+
+    def fail_pending(self, exc: BaseException) -> None:
+        """Connection died: error out every in-flight dispatch."""
+        self.dead = True
+        for future in self.pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self.pending.clear()
+
+
+class TcpServer:
+    """Newline-JSON TCP front end over one :class:`BatchRunner`.
+
+    ``local_lanes`` overrides how many in-process lanes pull from the
+    queue (default: the runner's ``jobs``); ``0`` makes the server a
+    pure coordinator that only dispatches to connected workers.
+    """
+
+    def __init__(
+        self,
+        runner: BatchRunner,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
+        queue_maxsize: int = 0,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        local_lanes: Optional[int] = None,
+    ) -> None:
+        self.runner = runner
+        self.host = host
+        self.port = int(port)
+        self.read_timeout = float(read_timeout)
+        self.queue_maxsize = max(0, int(queue_maxsize))
+        self.max_line_bytes = int(max_line_bytes)
+        self.local_lanes = (
+            runner.lanes if local_lanes is None else max(0, int(local_lanes))
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[JobQueue] = None
+        self._store = None
+        self._leases: Optional[LeaseTable] = None
+        self._remote_leases: Optional[LeaseTable] = None
+        self._executor = None
+        self._results: Dict[str, JobResult] = {}
+        self._waiters: Dict[str, Deque[Tuple[_Client, str]]] = {}
+        self._lane_tasks: list = []
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._shutdown: Optional[asyncio.Event] = None
+        self._drained = False
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start local lanes (idempotent)."""
+        if self._server is not None:
+            return
+        chaos.ensure_env_plan()
+        self._shutdown = asyncio.Event()
+        self._queue = JobQueue(maxsize=self.queue_maxsize)
+        self._store = self.runner._open_store()
+        self._leases = self.runner._make_leases()
+        self._remote_leases = self._leases or LeaseTable(
+            ttl=REMOTE_DEFAULT_TTL,
+            max_attempts=self.runner.lease_attempts,
+            backoff_base=self.runner.lease_backoff,
+            backoff_cap=self.runner.lease_backoff_cap,
+        )
+        self._executor = (
+            self.runner._make_executor() if self.local_lanes else None
+        )
+        self._lane_tasks = [
+            asyncio.ensure_future(
+                self.runner._lane(
+                    lane,
+                    self._queue,
+                    self._executor,
+                    self._store,
+                    self._results,
+                    self._route,
+                    self._leases,
+                )
+            )
+            for lane in range(self.local_lanes)
+        ]
+        # limit bounds one readline; +2 leaves room for the newline so a
+        # line of exactly max_line_bytes still parses.
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.host,
+            self.port,
+            limit=self.max_line_bytes + 2,
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        """Begin drain-then-exit (SIGTERM handler; safe to call twice)."""
+        if self._shutdown is None or self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        if self._queue is not None:
+            self._queue.close()
+
+    async def run(self, install_signals: bool = True) -> int:
+        """Serve until SIGTERM/SIGINT (or :meth:`request_shutdown`).
+
+        Returns the number of result lines emitted to clients.
+        """
+        await self.start()
+        loop = asyncio.get_running_loop()
+        installed = []
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+        try:
+            await self._shutdown.wait()
+            await self._drain()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+        return self.emitted
+
+    async def aclose(self) -> None:
+        """Drain and close (the test-friendly shutdown path)."""
+        if self._server is None:
+            return
+        self.request_shutdown()
+        await self._drain()
+
+    async def _drain(self) -> None:
+        if self._drained:
+            return
+        self._drained = True
+        self._server.close()
+        await self._server.wait_closed()
+        self._queue.close()
+        # Every job accepted before shutdown reaches a terminal state
+        # (solved locally, solved remotely, or lease-quarantined) and is
+        # routed before we tear connections down.
+        await self._queue.drain()
+        await asyncio.gather(*self._lane_tasks, return_exceptions=True)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.runner._shutdown_executor(self._executor)
+        if self._store is not None:
+            self._store.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            try:
+                first = await self._recv_line(reader)
+            except asyncio.TimeoutError:
+                await _Client(writer).send(
+                    {
+                        "type": "error",
+                        "error": (
+                            f"no input for {self.read_timeout:g}s; "
+                            "closing connection"
+                        ),
+                    }
+                )
+                return
+            except ValueError:
+                await _Client(writer).send(
+                    {
+                        "type": "error",
+                        "error": (
+                            f"line exceeds {self.max_line_bytes} bytes; "
+                            "closing connection"
+                        ),
+                    }
+                )
+                return
+            hello = None
+            if first is not None:
+                try:
+                    parsed = json.loads(first)
+                    if (
+                        isinstance(parsed, dict)
+                        and parsed.get("type") == "hello"
+                        and parsed.get("role") == "worker"
+                    ):
+                        hello = parsed
+                except ValueError:
+                    pass
+            if hello is not None:
+                await self._serve_worker(reader, writer, hello)
+            else:
+                await self._serve_client(reader, writer, first)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+
+    async def _recv_line(self, reader: asyncio.StreamReader) -> Optional[str]:
+        """One bounded, fault-instrumented line; None on EOF or drop.
+
+        Raises ``asyncio.TimeoutError`` when the peer stays silent past
+        ``read_timeout`` and ``ValueError`` for an oversized line
+        (stream-limit overrun) — the connection cannot be resynchronised
+        after either.
+        """
+        raw = await asyncio.wait_for(reader.readline(), self.read_timeout)
+        if not raw:
+            return None
+        line = raw.decode("utf-8", "replace")
+        try:
+            line = await chaos.afire("transport.recv", line)
+        except chaos.ChaosError:
+            return None  # injected connection drop
+        return line.strip()
+
+    # -------------------------- client role ---------------------------
+    async def _serve_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: Optional[str],
+    ) -> None:
+        client = _Client(writer)
+        line = first
+        while True:
+            if line is None:
+                break
+            if line:
+                keep_going = await self._accept_client_line(client, line)
+                if not keep_going:
+                    break
+            try:
+                line = await self._recv_line(reader)
+            except asyncio.TimeoutError:
+                await client.send(
+                    {
+                        "type": "error",
+                        "error": (
+                            f"no input for {self.read_timeout:g}s; "
+                            "closing connection"
+                        ),
+                    }
+                )
+                break
+            except ValueError:
+                await client.send(
+                    {
+                        "type": "error",
+                        "error": (
+                            f"line exceeds {self.max_line_bytes} bytes; "
+                            "closing connection"
+                        ),
+                    }
+                )
+                break
+        # EOF/disconnect: answers for already-accepted jobs still go out.
+        await client.settled.wait()
+
+    async def _accept_client_line(self, client: _Client, line: str) -> bool:
+        """Queue one submitted row; False when intake must stop."""
+        try:
+            row = json.loads(line)
+            request = VerifyRequest.from_dict(row)
+            fingerprint = request.fingerprint()
+        except (ValueError, TypeError, OSError) as exc:
+            await client.send({"type": "error", "error": str(exc)})
+            return True
+        if self.runner.resume and self._store is not None:
+            prior = self._store.decided(fingerprint)
+            if prior is not None:
+                self.runner._count("service.jobs.resumed")
+                await self._emit(
+                    client,
+                    JobResult(
+                        name=request.name,
+                        fingerprint=fingerprint,
+                        status=JobState.RESUMED.value,
+                        report=prior.report,
+                        attempts=0,
+                    ),
+                )
+                return True
+        job = Job(request=request, fingerprint=fingerprint)
+        # Register the waiter before the (possibly awaiting) put: the
+        # result may land before put() returns under backpressure.
+        self._waiters.setdefault(fingerprint, collections.deque()).append(
+            (client, request.name)
+        )
+        client.track()
+        try:
+            await self._queue.put(job)
+        except QueueClosedError:
+            self._unregister(client, fingerprint)
+            await client.send(
+                {"type": "error", "error": "server is draining; resubmit"}
+            )
+            return False
+        return True
+
+    def _unregister(self, client: _Client, fingerprint: str) -> None:
+        waiters = self._waiters.get(fingerprint)
+        if waiters:
+            for entry in waiters:
+                if entry[0] is client:
+                    waiters.remove(entry)
+                    break
+            if not waiters:
+                self._waiters.pop(fingerprint, None)
+        client.untrack()
+
+    async def _route(self, result: JobResult) -> None:
+        """Deliver one finished result to its submitting connection.
+
+        Lanes emit exactly one result per submission (the primary, then
+        one mirror per parked duplicate, in park order), so FIFO-popping
+        one waiter per emitted result pairs each answer with the
+        connection that asked for it.
+        """
+        waiters = self._waiters.get(result.fingerprint)
+        if not waiters:
+            return
+        client, name = waiters.popleft()
+        if not waiters:
+            self._waiters.pop(result.fingerprint, None)
+        if name and result.name != name:
+            result = BatchRunner._mirror_result(name, result)
+        await self._emit(client, result)
+        client.untrack()
+
+    async def _emit(self, client: _Client, result: JobResult) -> None:
+        await client.send({"type": "result", **result.to_dict()})
+        self.emitted += 1
+
+    # -------------------------- worker role ---------------------------
+    async def _serve_worker(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: Dict[str, Any],
+    ) -> None:
+        lanes = max(1, int(hello.get("lanes", 1) or 1))
+        peer = writer.get_extra_info("peername")
+        conn = _WorkerConn(writer, name=f"{peer[0]}:{peer[1]}" if peer else "?")
+        self.runner._count("service.transport.workers")
+        await conn.send(
+            {"type": "welcome", "ttl": self._remote_leases.ttl}
+        )
+        lane_tasks = [
+            asyncio.ensure_future(self._remote_lane(conn, index))
+            for index in range(lanes)
+        ]
+        try:
+            await self._worker_reader(reader, conn)
+        finally:
+            conn.fail_pending(ConnectionResetError("worker connection lost"))
+            await asyncio.gather(*lane_tasks, return_exceptions=True)
+
+    async def _worker_reader(
+        self, reader: asyncio.StreamReader, conn: _WorkerConn
+    ) -> None:
+        """Demultiplex one worker's heartbeat/result lines."""
+        while True:
+            try:
+                line = await self._recv_line(reader)
+            except (asyncio.TimeoutError, ValueError):
+                return  # silent or oversized worker: presumed dead
+            if line is None:
+                return
+            if not line:
+                continue
+            try:
+                msg = json.loads(line)
+            except ValueError:
+                continue  # a corrupt line never kills the connection
+            if not isinstance(msg, dict):
+                continue
+            kind = msg.get("type")
+            fingerprint = str(msg.get("id", ""))
+            if kind == "heartbeat":
+                self._remote_leases.heartbeat(fingerprint)
+            elif kind == "result":
+                future = conn.pending.pop(fingerprint, None)
+                if future is not None and not future.done():
+                    future.set_result(msg.get("out") or {})
+                # else: stale answer for a lease we already expired.
+
+    async def _remote_lane(self, conn: _WorkerConn, index: int) -> None:
+        """One server-side lane dispatching queue jobs to ``conn``."""
+        lane_label = f"tcp:{conn.name}#{index}"
+        runner = self.runner
+        leases = self._remote_leases
+        while not conn.dead:
+            job = await self._queue.get()
+            if job is None:
+                return
+            if conn.dead:
+                # The connection died while this lane waited on the
+                # queue; hand the job straight back.
+                self._queue.reinject(job)
+                return
+            payload = runner._payload_for(job, self._queue)
+            future = asyncio.get_running_loop().create_future()
+            conn.pending[job.fingerprint] = future
+            try:
+                await conn.send(
+                    {
+                        "type": "job",
+                        "id": job.fingerprint,
+                        "ttl": leases.ttl,
+                        "payload": payload,
+                    }
+                )
+            except (ConnectionError, OSError):
+                conn.pending.pop(job.fingerprint, None)
+                self._queue.reinject(job)
+                return
+            try:
+                status, out = await runner._await_leased(
+                    lane_label, job, self._queue, future, leases
+                )
+            except (ConnectionError, OSError):
+                # The connection died mid-solve: charge one lease expiry
+                # immediately rather than waiting out the TTL.
+                expiries = leases.expire(job.fingerprint)
+                runner._count("service.lease.expired")
+                if expiries >= leases.max_attempts:
+                    runner._count("service.lease.poisoned")
+                    await self._settle(
+                        job, runner._poisoned_result(job, lane_label, leases)
+                    )
+                else:
+                    runner._count("service.lease.requeued")
+                    self._queue.reinject(job)
+                return
+            if status == "requeued":
+                conn.pending.pop(job.fingerprint, None)
+                continue
+            if status == "poisoned":
+                conn.pending.pop(job.fingerprint, None)
+                await self._settle(
+                    job, runner._poisoned_result(job, lane_label, leases)
+                )
+                continue
+            report_result = self._remote_result(job, lane_label, out)
+            runner._fold_observability(job, lane_label, report_result, out)
+            await self._settle(job, report_result)
+
+    def _remote_result(
+        self, job: Job, lane_label: str, out: Dict[str, Any]
+    ) -> JobResult:
+        """Fold a worker's ``execute_request`` dict into a JobResult."""
+        from repro.api import VerifyReport
+
+        report = VerifyReport.from_dict(out["report"])
+        failed = out.get("error") is not None
+        return JobResult(
+            name=job.name,
+            fingerprint=job.fingerprint,
+            status=(JobState.FAILED if failed else JobState.DONE).value,
+            report=report,
+            error=out.get("error"),
+            attempts=int(out.get("attempts", 1)),
+            lane=lane_label,
+            elapsed_seconds=float(out.get("elapsed", 0.0)),
+        )
+
+    async def _settle(self, job: Job, result: JobResult) -> None:
+        """Terminal bookkeeping shared by all remote-lane outcomes."""
+        try:
+            terminal = JobState(result.status)
+        except ValueError:
+            terminal = JobState.FAILED
+        duplicates = self._queue.finish(job, terminal)
+        self.runner._record(self._store, self._results, result)
+        await self._route(result)
+        for dup in duplicates:
+            await self._route(
+                BatchRunner._mirror_result(dup.name, result)
+            )
+
+
+# ----------------------------------------------------------------------
+# the worker client
+# ----------------------------------------------------------------------
+async def run_worker(
+    host: str,
+    port: int,
+    *,
+    lanes: int = 1,
+    use_processes: bool = False,
+    heartbeat_floor: float = 0.02,
+) -> int:
+    """Connect to a :class:`TcpServer` and solve jobs until it closes.
+
+    Returns the number of jobs solved.  Heartbeats are sent at roughly a
+    third of the server-announced lease TTL, so a live-but-slow solve
+    keeps its lease while a killed worker process loses it within one
+    TTL.
+    """
+    lanes = max(1, int(lanes))
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=MAX_LINE_BYTES + 2
+    )
+    loop = asyncio.get_running_loop()
+    executor = ProcessPoolExecutor(max_workers=lanes) if use_processes else None
+    lock = asyncio.Lock()
+    solved = 0
+    tasks: Set[asyncio.Task] = set()
+
+    async def send(payload: Dict[str, Any]) -> None:
+        async with lock:
+            writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+            await writer.drain()
+
+    async def heartbeat(fingerprint: str, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            await send({"type": "heartbeat", "id": fingerprint})
+
+    async def solve(msg: Dict[str, Any], interval: float) -> None:
+        nonlocal solved
+        fingerprint = str(msg.get("id", ""))
+        beat = asyncio.ensure_future(heartbeat(fingerprint, interval))
+        try:
+            out = await loop.run_in_executor(
+                executor, execute_request, msg.get("payload") or {}
+            )
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            out = {
+                "report": None,
+                "error": f"{type(exc).__name__}: {exc}",
+                "attempts": 1,
+                "elapsed": 0.0,
+                "events": [],
+                "metrics": None,
+            }
+        finally:
+            beat.cancel()
+        if out.get("report") is None:
+            # A worker-side failure with no report would crash the
+            # server-side fold; ship a canonical worker-failure one.
+            from repro.core.verify import SeqVerdict
+            from repro.runtime.budget import REASON_WORKER_FAILURE
+            from repro.api import VerifyReport
+
+            out["report"] = VerifyReport(
+                verdict=SeqVerdict.UNKNOWN.value,
+                method="service",
+                reason=REASON_WORKER_FAILURE,
+                fingerprint=fingerprint,
+            ).as_dict()
+        await send({"type": "result", "id": fingerprint, "out": out})
+        solved += 1
+
+    try:
+        await send({"type": "hello", "role": "worker", "lanes": lanes})
+        raw = await reader.readline()
+        ttl = REMOTE_DEFAULT_TTL
+        if raw:
+            try:
+                welcome = json.loads(raw.decode("utf-8", "replace"))
+                ttl = float(welcome.get("ttl", ttl))
+            except (ValueError, TypeError):
+                pass
+        interval = max(float(heartbeat_floor), ttl / 3.0)
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                break
+            try:
+                msg = json.loads(raw.decode("utf-8", "replace"))
+            except ValueError:
+                continue
+            if isinstance(msg, dict) and msg.get("type") == "job":
+                task = asyncio.ensure_future(solve(msg, interval))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        await asyncio.gather(*tasks, return_exceptions=True)
+    finally:
+        for task in list(tasks):
+            task.cancel()
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        writer.close()
+    return solved

@@ -112,6 +112,36 @@ class TestCacheHardening:
         poisoned = check_equivalence(c1, c2, cache=path)
         assert poisoned.verdict is clean.verdict
 
+    def test_unparsable_file_quarantined_as_evidence(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        path = tmp_path / "proofs.json"
+        path.write_text("not json at all {{{")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            cache = ProofCache(path)
+        # The corrupt bytes are set aside, byte-for-byte, not destroyed.
+        assert not path.exists()
+        quarantined = tmp_path / "proofs.json.corrupt"
+        assert quarantined.read_text() == "not json at all {{{"
+        assert cache.corrupt_files == 1
+        registry = MetricsRegistry()
+        cache.attach_metrics(registry)
+        assert registry.counter("cec.cache.corrupt_files") == 1
+        # The next save writes a fresh file; the evidence stays put.
+        cache.put("k1", EQ)
+        cache.save()
+        assert path.exists() and quarantined.exists()
+
+    def test_version_mismatch_ignored_not_quarantined(self, tmp_path):
+        path = tmp_path / "proofs.json"
+        content = json.dumps({"version": 999, "proofs": {"k1": "eq"}})
+        path.write_text(content)
+        cache = ProofCache(path)
+        # Incompatible-but-well-formed is not corruption: file untouched.
+        assert cache.corrupt_files == 0
+        assert path.read_text() == content
+        assert not (tmp_path / "proofs.json.corrupt").exists()
+
 
 def multi_block_pair(blocks=4, width=10):
     """Equivalent multi-output pairs with cone-disjoint outputs.

@@ -1,0 +1,265 @@
+"""The seeded fault matrix: no chaos plan may lose or flip a job.
+
+One mixed ~50-row workload runs fault-free to establish a baseline, then
+re-runs under each seeded :class:`FaultPlan` in the matrix — worker
+crashes, dispatch delays, store-append crashes, cache-save crashes,
+transport drops, poison jobs.  The acceptance invariants, checked for
+every plan:
+
+* **accounted** — every submitted job comes back decided, UNKNOWN with a
+  ``REASON_*`` code, or failed-with-error; none vanish;
+* **verdict identity** — any job that still reaches a decided verdict
+  under faults reaches the *same* verdict as the fault-free baseline
+  (faults may cost answers, never change them);
+* **store survives** — the result store written under fire loads back
+  cleanly and can seed a resume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.api import VerifyRequest
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import chaos
+from repro.runtime.budget import KNOWN_REASONS, REASON_POISON_JOB
+from repro.runtime.chaos import FaultPlan, FaultRule
+from repro.service.jobs import JobState
+from repro.service.scheduler import BatchRunner
+from repro.service.store import ResultStore
+
+DECIDED = {"equivalent", "not_equivalent"}
+
+#: Terminal statuses a chaos run may produce (anything else = a lost job).
+ACCOUNTED = {
+    JobState.DONE.value,
+    JobState.FAILED.value,
+    JobState.DEDUPED.value,
+    JobState.RESUMED.value,
+    JobState.QUARANTINED.value,
+}
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """~50 manifest rows over 8 distinct fingerprints (eq and neq)."""
+    from repro.bench.mutations import apply_mutation, enumerate_mutations
+    from repro.bench.pipeline import pipeline_circuit
+    from repro.netlist.blif import write_blif
+
+    tmp = tmp_path_factory.mktemp("matrix")
+    pairs = []
+    for seed in (1, 2, 3, 4, 5):
+        c = pipeline_circuit(stages=2, width=3, seed=seed, name=f"c{seed}")
+        path = tmp / f"c{seed}.blif"
+        path.write_text(write_blif(c))
+        pairs.append((str(path), str(path)))  # identical: equivalent
+    for seed in (1, 2, 3):
+        c = pipeline_circuit(stages=2, width=3, seed=seed, name=f"c{seed}")
+        mutation = next(
+            m for m in enumerate_mutations(c) if m.kind == "negation"
+        )
+        mutant = apply_mutation(c, mutation)
+        path = tmp / f"m{seed}.blif"
+        path.write_text(write_blif(mutant))
+        pairs.append((str(tmp / f"c{seed}.blif"), str(path)))  # refutable
+    requests = []
+    for index in range(48):
+        golden, revised = pairs[index % len(pairs)]
+        requests.append(
+            VerifyRequest(golden=golden, revised=revised, name=f"row{index}")
+        )
+    return requests
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos(monkeypatch):
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    chaos.uninstall()
+    yield
+    chaos.uninstall()
+
+
+def _run_batch(requests, *, store=None, plan=None, resume=False, **kwargs):
+    if plan is not None:
+        chaos.install(plan)
+    else:
+        chaos.uninstall()
+    kwargs.setdefault("retries", 2)
+    runner = BatchRunner(
+        jobs=2,
+        use_processes=False,
+        store=store,
+        resume=resume,
+        **kwargs,
+    )
+    try:
+        return asyncio.run(runner.run(requests))
+    finally:
+        chaos.uninstall()
+
+
+def _assert_accounted(requests, results):
+    assert len(results) == len(requests)
+    for request, result in zip(requests, results):
+        assert result.name == request.name
+        assert result.status in ACCOUNTED, result.status
+        assert result.exit_code in (0, 1, 2)
+        report = result.report
+        assert report is not None
+        if report.verdict == "unknown":
+            assert report.reason, f"{result.name}: unknown without a reason"
+            assert report.reason in KNOWN_REASONS
+
+
+def _assert_verdict_identity(baseline, results):
+    expected = {r.name: r.report.verdict for r in baseline}
+    for result in results:
+        verdict = result.report.verdict
+        if verdict in DECIDED:
+            assert verdict == expected[result.name], result.name
+
+
+@pytest.fixture(scope="module")
+def baseline(workload):
+    chaos.uninstall()
+    runner = BatchRunner(jobs=2, use_processes=False, retries=2)
+    results = asyncio.run(runner.run(workload))
+    verdicts = {r.report.verdict for r in results}
+    assert verdicts == DECIDED  # the workload exercises both outcomes
+    return results
+
+
+class TestFaultMatrix:
+    def test_worker_crash_storm(self, workload, baseline):
+        plan = FaultPlan(
+            [FaultRule(site="worker.entry", action="crash", every=3)],
+            seed=11,
+        )
+        results = _run_batch(workload, plan=plan)
+        assert chaos.uninstall() is None  # _run_batch cleans up
+        _assert_accounted(workload, results)
+        _assert_verdict_identity(baseline, results)
+        assert plan.fired("worker.entry") >= 1
+
+    def test_dispatch_delays(self, workload, baseline):
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="scheduler.dispatch",
+                    action="delay",
+                    seconds=0.01,
+                    every=4,
+                )
+            ],
+            seed=12,
+        )
+        results = _run_batch(workload, plan=plan)
+        _assert_accounted(workload, results)
+        _assert_verdict_identity(baseline, results)
+        # Pure delays may never cost an answer, only time.
+        assert {r.report.verdict for r in results} == DECIDED
+        assert plan.fired("scheduler.dispatch") >= 1
+
+    def test_store_append_crashes(self, workload, baseline, tmp_path):
+        store_path = tmp_path / "under-fire.jsonl"
+        plan = FaultPlan(
+            [FaultRule(site="store.append", action="crash", hits=[2, 5, 7])],
+            seed=13,
+        )
+        with pytest.warns(RuntimeWarning, match="store append failed"):
+            results = _run_batch(workload, store=str(store_path), plan=plan)
+        _assert_accounted(workload, results)
+        _assert_verdict_identity(baseline, results)
+        # Losing a store line loses durability for that job, never the
+        # in-memory answer: every job still reported a decided verdict.
+        assert {r.report.verdict for r in results} == DECIDED
+        assert plan.fired("store.append") == 3
+        # The store written under fire loads back cleanly...
+        reloaded = ResultStore(store_path).open()
+        assert reloaded.corrupt_lines == 0
+        assert len(reloaded) >= 1
+        reloaded.close()
+        # ...and can seed a resume that fills the dropped lines back in.
+        resumed = _run_batch(workload, store=str(store_path), resume=True)
+        _assert_accounted(workload, resumed)
+        _assert_verdict_identity(baseline, resumed)
+
+    def test_cache_save_crashes(self, workload, baseline, tmp_path):
+        plan = FaultPlan(
+            [FaultRule(site="cache.save", action="crash", every=2)],
+            seed=14,
+        )
+        results = _run_batch(
+            workload, plan=plan, cache=str(tmp_path / "cache.json")
+        )
+        _assert_accounted(workload, results)
+        _assert_verdict_identity(baseline, results)
+        # A cache-save failure is post-verdict: no answer may be lost.
+        assert {r.report.verdict for r in results} == DECIDED
+        assert plan.fired("cache.save") >= 1
+
+    def test_transport_drop_midstream(self, workload, baseline):
+        """The stdio stream drops mid-batch: accepted jobs still answer."""
+        plan = FaultPlan(
+            [FaultRule(site="transport.recv", action="crash", hits=[25])],
+            seed=15,
+        )
+        chaos.install(plan)
+        runner = BatchRunner(jobs=2, use_processes=False, retries=2)
+        lines = "".join(
+            json.dumps(
+                {"golden": r.golden, "revised": r.revised, "name": r.name}
+            )
+            + "\n"
+            for r in workload
+        )
+        out = io.StringIO()
+        try:
+            emitted = asyncio.run(runner.serve(io.StringIO(lines), out))
+        finally:
+            chaos.uninstall()
+        rows = [json.loads(line) for line in out.getvalue().splitlines()]
+        results = [r for r in rows if r["type"] == "result"]
+        # The 25th line was dropped with the rest of the stream: exactly
+        # the 24 accepted jobs are answered — each one, exactly once.
+        assert plan.fired("transport.recv") == 1
+        assert emitted == len(results) == 24
+        expected = {r.name: r.report.verdict for r in baseline}
+        names = [r["name"] for r in results]
+        assert sorted(names) == sorted(f"row{i}" for i in range(24))
+        for row in results:
+            verdict = row["report"]["verdict"]
+            if verdict in DECIDED:
+                assert verdict == expected[row["name"]]
+
+    def test_poison_jobs_quarantined(self, workload, baseline):
+        """Jobs that hang every dispatch are quarantined, not looped."""
+        poison_rows = workload[:3]
+        plan = FaultPlan(
+            [FaultRule(site="worker.entry", action="delay", seconds=0.3)],
+            seed=16,
+        )
+        metrics = MetricsRegistry()
+        results = _run_batch(
+            poison_rows,
+            plan=plan,
+            metrics=metrics,
+            retries=0,
+            lease_ttl=0.05,
+            lease_attempts=2,
+            lease_backoff=0.0,
+            lease_backoff_cap=0.0,
+        )
+        _assert_accounted(poison_rows, results)
+        primary = [r for r in results if r.status != JobState.DEDUPED.value]
+        assert primary, "workload collapsed entirely onto duplicates"
+        for result in primary:
+            assert result.status == JobState.QUARANTINED.value
+            assert result.report.verdict == "unknown"
+            assert result.report.reason == REASON_POISON_JOB
+        assert metrics.counter("service.lease.poisoned") == len(primary)

@@ -1,0 +1,249 @@
+"""Lease-table semantics and the scheduler's lease-driven requeue.
+
+Pure-bookkeeping tests drive :class:`LeaseTable` from a fake clock;
+integration tests run a :class:`BatchRunner` with a tiny TTL against a
+workload whose workers hang (via an injected chaos delay), checking the
+two lease outcomes: requeue-and-recover, and quarantine-as-poison.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.runtime import chaos
+from repro.runtime.budget import REASON_POISON_JOB
+from repro.runtime.chaos import FaultPlan, FaultRule
+from repro.service.jobs import JobState
+from repro.service.lease import Lease, LeaseTable
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def table(clock):
+    return LeaseTable(
+        ttl=10.0, max_attempts=3, rng=random.Random(0), clock=clock
+    )
+
+
+class TestLeaseTable:
+    def test_grant_and_remaining(self, table, clock):
+        lease = table.grant("fp1", lane="0")
+        assert isinstance(lease, Lease)
+        assert table.get("fp1") is lease
+        assert table.remaining("fp1") == pytest.approx(10.0)
+        clock.advance(4)
+        assert table.remaining("fp1") == pytest.approx(6.0)
+        assert not table.expired("fp1")
+
+    def test_heartbeat_extends_deadline(self, table, clock):
+        table.grant("fp1")
+        clock.advance(9)
+        assert table.heartbeat("fp1")
+        clock.advance(9)
+        assert not table.expired("fp1")  # extended past the original TTL
+        assert table.get("fp1").heartbeats == 1
+
+    def test_heartbeat_after_expiry_tells_stale_holder(self, table, clock):
+        table.grant("fp1")
+        clock.advance(11)
+        assert table.expired("fp1")
+        table.expire("fp1")
+        # The lease is gone: the presumed-dead holder's heartbeat fails,
+        # so it knows to drop its result instead of racing the re-run.
+        assert not table.heartbeat("fp1")
+
+    def test_expiries_accumulate_until_release(self, table, clock):
+        for expected in (1, 2):
+            table.grant("fp1")
+            clock.advance(11)
+            assert table.expire("fp1") == expected
+        assert table.expiries("fp1") == 2
+        assert not table.poisoned("fp1")
+        table.grant("fp1")
+        clock.advance(11)
+        assert table.expire("fp1") == 3
+        assert table.poisoned("fp1")
+
+    def test_release_clears_history(self, table, clock):
+        table.grant("fp1")
+        clock.advance(11)
+        table.expire("fp1")
+        table.grant("fp1")
+        table.release("fp1")
+        assert table.expiries("fp1") == 0
+        assert table.get("fp1") is None
+
+    def test_remaining_clamps_at_zero(self, table, clock):
+        table.grant("fp1")
+        clock.advance(50)
+        assert table.remaining("fp1") == 0.0
+        assert table.expired("fp1")
+
+    def test_sweep_pops_only_expired(self, table, clock):
+        table.grant("old")
+        clock.advance(6)
+        table.grant("young")
+        clock.advance(5)  # old at 11s (expired), young at 5s (live)
+        dead = table.sweep()
+        assert [lease.fingerprint for lease in dead] == ["old"]
+        assert table.expiries("old") == 1
+        assert table.get("young") is not None
+
+    def test_regrant_bumps_token(self, table):
+        first = table.grant("fp1")
+        second = table.grant("fp1")
+        assert second.token > first.token
+
+    def test_backoff_deterministic_and_capped(self, clock):
+        a = LeaseTable(ttl=1, rng=random.Random(3), clock=clock)
+        b = LeaseTable(ttl=1, rng=random.Random(3), clock=clock)
+        pauses_a = [a.backoff(k) for k in range(1, 6)]
+        pauses_b = [b.backoff(k) for k in range(1, 6)]
+        assert pauses_a == pauses_b
+        assert all(0 <= p <= a.backoff_cap for p in pauses_a)
+
+
+@pytest.fixture
+def hang_workload(tmp_path):
+    """One real circuit pair; chaos makes its workers 'hang'."""
+    from repro.bench.pipeline import pipeline_circuit
+    from repro.netlist.blif import write_blif
+
+    golden = pipeline_circuit(stages=2, width=3, seed=1, name="g")
+    path = tmp_path / "g.blif"
+    path.write_text(write_blif(golden))
+    return str(path)
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos(monkeypatch):
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    chaos.uninstall()
+    yield
+    chaos.uninstall()
+
+
+def _run(runner, requests):
+    return asyncio.run(runner.run(requests))
+
+
+class TestSchedulerLeases:
+    def test_hung_worker_requeued_then_recovers(self, hang_workload):
+        """The first dispatch hangs past the TTL; the re-run decides."""
+        from repro.api import VerifyRequest
+        from repro.obs.metrics import MetricsRegistry
+        from repro.service.scheduler import BatchRunner
+
+        # Hit 1 of worker.entry sleeps well past the lease TTL; later
+        # hits (the in-worker retries and the requeued dispatch) run
+        # clean.  The delay is short enough for the thread to unwind
+        # before the test's event loop closes.
+        chaos.install(
+            FaultPlan(
+                [
+                    FaultRule(
+                        site="worker.entry",
+                        action="delay",
+                        seconds=0.4,
+                        hits=[1],
+                    )
+                ]
+            )
+        )
+        metrics = MetricsRegistry()
+        runner = BatchRunner(
+            jobs=1,
+            use_processes=False,
+            retries=0,
+            metrics=metrics,
+            lease_ttl=0.1,
+            lease_attempts=3,
+            lease_backoff=0.0,
+            lease_backoff_cap=0.0,
+        )
+        request = VerifyRequest(
+            golden=hang_workload, revised=hang_workload, name="hang-once"
+        )
+        results = _run(runner, [request])
+        assert len(results) == 1
+        assert results[0].status == JobState.DONE.value
+        assert results[0].report.verdict == "equivalent"
+        assert metrics.counter("service.lease.expired") >= 1
+        assert metrics.counter("service.lease.requeued") >= 1
+        assert metrics.counter("service.lease.poisoned") == 0
+
+    def test_poison_job_quarantined_as_unknown(self, hang_workload):
+        """Every dispatch hangs: the job must be quarantined, not loop."""
+        from repro.api import VerifyRequest
+        from repro.obs.metrics import MetricsRegistry
+        from repro.service.scheduler import BatchRunner
+
+        chaos.install(
+            FaultPlan(
+                [
+                    FaultRule(
+                        site="worker.entry", action="delay", seconds=0.3
+                    )
+                ]
+            )
+        )
+        metrics = MetricsRegistry()
+        runner = BatchRunner(
+            jobs=1,
+            use_processes=False,
+            retries=0,
+            metrics=metrics,
+            lease_ttl=0.05,
+            lease_attempts=2,
+            lease_backoff=0.0,
+            lease_backoff_cap=0.0,
+        )
+        request = VerifyRequest(
+            golden=hang_workload, revised=hang_workload, name="poison"
+        )
+        results = _run(runner, [request])
+        assert len(results) == 1
+        result = results[0]
+        assert result.status == JobState.QUARANTINED.value
+        assert result.report.verdict == "unknown"
+        assert result.report.reason == REASON_POISON_JOB
+        assert result.exit_code == 2
+        assert "poison" in (result.error or "")
+        assert metrics.counter("service.lease.poisoned") == 1
+        assert metrics.counter("service.jobs.quarantined") == 1
+
+    def test_leases_off_by_default(self, hang_workload):
+        """No TTL -> no lease machinery engages at all."""
+        from repro.api import VerifyRequest
+        from repro.obs.metrics import MetricsRegistry
+        from repro.service.scheduler import BatchRunner
+
+        metrics = MetricsRegistry()
+        runner = BatchRunner(
+            jobs=1, use_processes=False, retries=0, metrics=metrics
+        )
+        assert runner._make_leases() is None
+        request = VerifyRequest(
+            golden=hang_workload, revised=hang_workload, name="plain"
+        )
+        results = _run(runner, [request])
+        assert results[0].status == JobState.DONE.value
+        assert metrics.counter("service.lease.expired") == 0

@@ -1,0 +1,119 @@
+"""The ``repro serve`` stdio loop under hostile input.
+
+The loop's contract: per-line degradation, never per-stream.  Malformed
+JSON, an oversized line, or a line truncated by mid-stream EOF each
+produce exactly one structured ``{"type": "error"}`` response; the loop
+keeps serving afterwards, and no queue slot leaks (a bounded queue stays
+usable for later jobs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.service.scheduler import BatchRunner
+
+
+@pytest.fixture(scope="module")
+def pair(tmp_path_factory):
+    from repro.bench.pipeline import pipeline_circuit
+    from repro.netlist.blif import write_blif
+
+    tmp = tmp_path_factory.mktemp("hostile")
+    golden = pipeline_circuit(stages=2, width=3, seed=1, name="g")
+    path = tmp / "g.blif"
+    path.write_text(write_blif(golden))
+    return str(path)
+
+
+def _serve(lines, *, queue_maxsize=0, max_line_bytes=1 << 20, jobs=1):
+    runner = BatchRunner(jobs=jobs, use_processes=False, retries=0)
+    out = io.StringIO()
+    emitted = asyncio.run(
+        runner.serve(
+            io.StringIO(lines),
+            out,
+            queue_maxsize=queue_maxsize,
+            max_line_bytes=max_line_bytes,
+        )
+    )
+    rows = [json.loads(line) for line in out.getvalue().splitlines()]
+    return emitted, rows
+
+
+def _row(pair, name):
+    return json.dumps({"golden": pair, "revised": pair, "name": name})
+
+
+class TestHostileStdio:
+    def test_malformed_json_gets_one_error_and_loop_survives(self, pair):
+        lines = "\n".join(
+            ["{this is not json", _row(pair, "after-garbage")]
+        ) + "\n"
+        emitted, rows = _serve(lines)
+        errors = [r for r in rows if r["type"] == "error"]
+        results = [r for r in rows if r["type"] == "result"]
+        assert len(errors) == 1
+        assert len(results) == 1 and emitted == 1
+        assert results[0]["name"] == "after-garbage"
+        assert results[0]["report"]["verdict"] == "equivalent"
+
+    def test_wrong_shape_row_gets_structured_error(self, pair):
+        lines = "\n".join(
+            [json.dumps({"golden": pair}), _row(pair, "ok")]
+        ) + "\n"
+        _, rows = _serve(lines)
+        errors = [r for r in rows if r["type"] == "error"]
+        assert len(errors) == 1 and errors[0]["error"]
+
+    def test_oversized_line_rejected_not_fatal(self, pair):
+        big = json.dumps(
+            {"golden": pair, "revised": pair, "name": "x" * 4096}
+        )
+        lines = "\n".join([big, _row(pair, "small")]) + "\n"
+        emitted, rows = _serve(lines, max_line_bytes=1024)
+        errors = [r for r in rows if r["type"] == "error"]
+        results = [r for r in rows if r["type"] == "result"]
+        assert len(errors) == 1
+        assert "exceeds" in errors[0]["error"]
+        assert [r["name"] for r in results] == ["small"]
+        assert emitted == 1
+
+    def test_midstream_eof_truncated_line(self, pair):
+        # The final line has no newline and is cut mid-JSON: one error,
+        # and the complete job before it is still answered.
+        truncated = _row(pair, "never-finished")[:25]
+        lines = _row(pair, "whole") + "\n" + truncated
+        emitted, rows = _serve(lines)
+        errors = [r for r in rows if r["type"] == "error"]
+        results = [r for r in rows if r["type"] == "result"]
+        assert len(errors) == 1
+        assert [r["name"] for r in results] == ["whole"]
+        assert emitted == 1
+
+    def test_no_queue_slot_leak_on_bounded_queue(self, pair):
+        """Rejected lines must not consume bounded-queue slots.
+
+        With maxsize=1, ten hostile lines followed by three real jobs
+        only works if errors never occupy (and leak) queue capacity.
+        """
+        hostile = ["{broken" for _ in range(10)]
+        good = [_row(pair, f"job{i}") for i in range(3)]
+        lines = "\n".join(hostile + good) + "\n"
+        emitted, rows = _serve(lines, queue_maxsize=1)
+        errors = [r for r in rows if r["type"] == "error"]
+        results = [r for r in rows if r["type"] == "result"]
+        assert len(errors) == 10
+        assert len(results) == 3 and emitted == 3
+        statuses = {r["status"] for r in results}
+        assert statuses <= {"done", "deduped"}
+
+    def test_blank_lines_ignored(self, pair):
+        lines = "\n\n" + _row(pair, "solo") + "\n\n"
+        emitted, rows = _serve(lines)
+        assert emitted == 1
+        assert all(r["type"] == "result" for r in rows)
