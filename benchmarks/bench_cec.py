@@ -45,6 +45,16 @@ from repro.synth.script import script_delay
 # classes, which is exactly what refinement is for.
 NARROW = dict(sim_rounds=1, sim_width=8)
 
+#: Pairs that finish faster than this are re-timed best-of-N: below a
+#: few milliseconds, interpreter warm-up and scheduler jitter dominate
+#: the single-shot reading, which made small-pair ``seconds`` rows pure
+#: noise for ``repro bench compare``.
+REPEAT_THRESHOLD_SECONDS = 0.005
+
+#: Repeat cap for the best-of-N loop (total work stays bounded even if
+#: every pair is sub-threshold).
+MAX_TIMING_REPEATS = 5
+
 MODES: List[Tuple[str, Dict]] = [
     ("refine_serial", dict(refine=True, n_jobs=1, preprocess=True)),
     ("norefine_serial", dict(refine=False, n_jobs=1, preprocess=True)),
@@ -214,6 +224,32 @@ def preprocess_effect(pairs) -> List[Dict]:
     return rows
 
 
+def _timed_check(golden, revised, options) -> Tuple[object, float, int]:
+    """Time one mode on one pair, best-of-N for sub-threshold runs.
+
+    Returns ``(result, best_seconds, repeats)``.  The verdict must be
+    stable across repeats — a flapping verdict is a determinism bug, not
+    timing noise, and raises immediately.
+    """
+    best = None
+    result = None
+    repeats = 0
+    while True:
+        t0 = time.perf_counter()
+        res = check_equivalence(golden, revised, **NARROW, **options)
+        elapsed = time.perf_counter() - t0
+        repeats += 1
+        if result is not None and res.verdict != result.verdict:
+            raise AssertionError(
+                f"verdict flapped across timing repeats: "
+                f"{result.verdict.value} vs {res.verdict.value}"
+            )
+        result = res
+        best = elapsed if best is None else min(best, elapsed)
+        if best >= REPEAT_THRESHOLD_SECONDS or repeats >= MAX_TIMING_REPEATS:
+            return result, best, repeats
+
+
 def run(pairs) -> Dict:
     rows = []
     totals = {name: {"sat_queries": 0, "seconds": 0.0} for name, _ in MODES}
@@ -222,14 +258,13 @@ def run(pairs) -> Dict:
         row = {"pair": name}
         verdicts = {}
         for mode, options in MODES:
-            t0 = time.perf_counter()
-            result = check_equivalence(golden, revised, **NARROW, **options)
-            elapsed = time.perf_counter() - t0
+            result, elapsed, repeats = _timed_check(golden, revised, options)
             verdicts[mode] = result.verdict.value
             row[mode] = {
                 "verdict": result.verdict.value,
                 "sat_queries": int(result.stats["sat_queries"]),
                 "seconds": round(elapsed, 4),
+                "repeats": repeats,
                 "refine_rounds": int(result.stats["refine_rounds"]),
                 "refine_patterns": int(result.stats["refine_patterns"]),
                 "refine_saved": int(result.stats["refine_saved"]),

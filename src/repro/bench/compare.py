@@ -1,0 +1,246 @@
+"""Benchmark regression gating: diff a fresh BENCH_cec.json vs baseline.
+
+``repro bench compare fresh.json --baseline BENCH_cec.json`` compares
+the per-mode totals of two benchmark reports under per-metric
+percentage thresholds and exits nonzero when the fresh run regressed —
+the CI gate that turns the checked-in ``BENCH_cec.json`` from a
+write-only artifact into an enforced floor.
+
+Regression semantics, tuned for noisy CI boxes:
+
+* a mode/metric pair regresses when the fresh total exceeds the
+  baseline by **both** the relative threshold (default 20%) and an
+  absolute floor — a 3-query jump on a 5-query mode is real, a 0.8 ms
+  jump on a 2 ms total is scheduler noise;
+* ``sat_queries`` is deterministic (seeded engines), so its floor is
+  small; ``seconds`` carries a floor well above timer resolution;
+* any ``verdict_divergences`` in the fresh report fail the comparison
+  outright — correctness outranks every performance number;
+* a mode present in the baseline but missing from the fresh report
+  fails (a silently dropped configuration is not an improvement);
+  modes only in the fresh report are listed as additions, not failures;
+* the baseline compared against itself always passes — the identity
+  check CI runs to prove the gate itself is sound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "ABSOLUTE_FLOORS",
+    "MetricDelta",
+    "compare_reports",
+    "load_report",
+    "parse_thresholds",
+    "render_comparison",
+]
+
+#: Relative regression thresholds, percent over baseline, per metric.
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "sat_queries": 20.0,
+    "seconds": 20.0,
+}
+
+#: Absolute floors: a delta below this never counts as a regression,
+#: whatever the percentage says.  Keeps 2ms-total modes from failing CI
+#: on scheduler jitter and 5-query modes from failing on one extra call.
+ABSOLUTE_FLOORS: Dict[str, float] = {
+    "sat_queries": 3.0,
+    "seconds": 0.05,
+}
+
+
+@dataclass
+class MetricDelta:
+    """One mode/metric comparison row."""
+
+    mode: str
+    metric: str
+    baseline: float
+    fresh: float
+    threshold_pct: float
+    #: "ok" | "regression" | "improved" | "missing" | "added"
+    status: str
+
+    @property
+    def delta_pct(self) -> Optional[float]:
+        """Relative change, percent; None when the baseline is zero."""
+        if self.baseline == 0:
+            return None
+        return 100.0 * (self.fresh - self.baseline) / self.baseline
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready row for ``--json`` output and CI artifacts."""
+        return {
+            "mode": self.mode,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "fresh": self.fresh,
+            "delta_pct": (
+                None
+                if self.delta_pct is None
+                else round(self.delta_pct, 2)
+            ),
+            "threshold_pct": self.threshold_pct,
+            "status": self.status,
+        }
+
+
+def load_report(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Load one benchmark report; raises ValueError on a non-report."""
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict) or "totals" not in report:
+        raise ValueError(
+            f"{os.fspath(path)}: not a benchmark report (no 'totals')"
+        )
+    return report
+
+
+def parse_thresholds(specs: Optional[List[str]]) -> Dict[str, float]:
+    """Fold ``METRIC=PCT`` CLI specs over the default thresholds."""
+    thresholds = dict(DEFAULT_THRESHOLDS)
+    for spec in specs or ():
+        metric, sep, pct_text = spec.partition("=")
+        metric = metric.strip()
+        if not sep or not metric:
+            raise ValueError(
+                f"bad threshold {spec!r}: expected METRIC=PERCENT"
+            )
+        try:
+            thresholds[metric] = float(pct_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad threshold {spec!r}: {pct_text!r} is not a number"
+            ) from exc
+    return thresholds
+
+
+def compare_reports(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    thresholds: Optional[Mapping[str, float]] = None,
+) -> Tuple[List[MetricDelta], List[str]]:
+    """Compare two reports' per-mode totals.
+
+    Returns ``(deltas, failures)``; the comparison passes iff
+    ``failures`` is empty.
+    """
+    thresholds = dict(thresholds or DEFAULT_THRESHOLDS)
+    base_totals: Dict[str, Any] = dict(baseline.get("totals") or {})
+    fresh_totals: Dict[str, Any] = dict(fresh.get("totals") or {})
+    deltas: List[MetricDelta] = []
+    failures: List[str] = []
+
+    divergences = fresh.get("verdict_divergences") or []
+    if divergences:
+        names = ", ".join(
+            str(d.get("pair", "?")) for d in divergences[:5]
+        )
+        failures.append(
+            f"fresh report has {len(divergences)} verdict divergence(s) "
+            f"({names}); correctness failure, not a perf comparison"
+        )
+
+    for mode in sorted(base_totals):
+        base_row = base_totals[mode] or {}
+        fresh_row = fresh_totals.get(mode)
+        if fresh_row is None:
+            for metric in sorted(thresholds):
+                if metric in base_row:
+                    deltas.append(
+                        MetricDelta(
+                            mode,
+                            metric,
+                            float(base_row[metric]),
+                            0.0,
+                            thresholds[metric],
+                            "missing",
+                        )
+                    )
+            failures.append(
+                f"mode {mode!r} present in baseline but missing from "
+                "the fresh report"
+            )
+            continue
+        for metric, pct in sorted(thresholds.items()):
+            if metric not in base_row or metric not in fresh_row:
+                continue
+            base_value = float(base_row[metric])
+            fresh_value = float(fresh_row[metric])
+            allowed = base_value * (1.0 + pct / 100.0)
+            floor = ABSOLUTE_FLOORS.get(metric, 0.0)
+            regressed = (
+                fresh_value > allowed
+                and (fresh_value - base_value) > floor
+            )
+            if regressed:
+                status = "regression"
+                failures.append(
+                    f"{mode}.{metric}: {fresh_value:g} vs baseline "
+                    f"{base_value:g} (allowed {allowed:g}, +{pct:g}%)"
+                )
+            elif fresh_value < base_value:
+                status = "improved"
+            else:
+                status = "ok"
+            deltas.append(
+                MetricDelta(
+                    mode, metric, base_value, fresh_value, pct, status
+                )
+            )
+
+    for mode in sorted(set(fresh_totals) - set(base_totals)):
+        fresh_row = fresh_totals[mode] or {}
+        for metric in sorted(thresholds):
+            if metric in fresh_row:
+                deltas.append(
+                    MetricDelta(
+                        mode,
+                        metric,
+                        0.0,
+                        float(fresh_row[metric]),
+                        thresholds[metric],
+                        "added",
+                    )
+                )
+    return deltas, failures
+
+
+def render_comparison(
+    deltas: List[MetricDelta], failures: List[str]
+) -> str:
+    """Human-readable comparison table plus the verdict line."""
+    lines: List[str] = []
+    if deltas:
+        width = max(len(d.mode) for d in deltas)
+        for delta in deltas:
+            pct = delta.delta_pct
+            pct_text = "   n/a" if pct is None else f"{pct:+6.1f}%"
+            marker = {
+                "regression": "FAIL",
+                "missing": "MISS",
+                "added": " new",
+                "improved": "  ok",
+                "ok": "  ok",
+            }[delta.status]
+            lines.append(
+                f"{marker}  {delta.mode:<{width}s}  "
+                f"{delta.metric:<12s} {delta.baseline:>10g} -> "
+                f"{delta.fresh:>10g}  {pct_text} "
+                f"(limit +{delta.threshold_pct:g}%)"
+            )
+    for failure in failures:
+        lines.append(f"REGRESSION: {failure}")
+    lines.append(
+        "bench compare: "
+        + ("FAIL" if failures else "PASS")
+        + f" ({len([d for d in deltas if d.status == 'regression'])} "
+        f"regression(s) across {len(deltas)} comparison(s))"
+    )
+    return "\n".join(lines)

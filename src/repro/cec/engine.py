@@ -677,6 +677,13 @@ def _check_outputs_cascade(
         if l1 == l2:
             continue
         with tracer.span("cec.obligation", cat="obligation", output=name) as ob:
+            if tracer.enabled:
+                # Obligation features (cone size, sim width) feed the
+                # per-obligation log — dispatch-policy training data —
+                # so the cone walk only happens when tracing.
+                ob.annotate(
+                    cone=len(aig.cone_nodes((l1, l2))), width=sim_width
+                )
             key: Optional[str] = None
             if proof_cache is not None:
                 key = aig.pair_cone_key(l1, l2)
@@ -784,6 +791,8 @@ def _check_outputs_classic(
         if l1 == l2:
             continue
         with tracer.span("cec.obligation", cat="obligation", output=name) as ob:
+            if tracer.enabled:
+                ob.annotate(cone=len(aig.cone_nodes((l1, l2))))
             key: Optional[str] = None
             if proof_cache is not None:
                 key = aig.pair_cone_key(l1, l2)
@@ -1134,6 +1143,13 @@ def check_equivalence(
                 ]
             collected: List[Tuple[Candidate, Dict[str, bool]]] = []
             deferred_this_round = False
+            # Signature-class width per group id (members + representative)
+            # — an obligation feature for the per-candidate log below.
+            group_width: Dict[int, int] = {}
+            if tracer.enabled:
+                for cls in class_list:
+                    if cls:
+                        group_width[cls[0].group] = len(cls) + 1
             for index, (unit, result) in enumerate(zip(units, results)):
                 if result.events:
                     tracer.adopt(result.events, parent=sweep_span, worker=index)
@@ -1183,6 +1199,30 @@ def check_equivalence(
                         key = aig.pair_cone_key(cand.rep_lit, cand.node_lit)
                         proof_cache.put(key, status)
                         registry.inc("cec.cache.stores")
+                    if tracer.enabled:
+                        # One feature record per sweep candidate; unit
+                        # seconds are apportioned evenly — workers time
+                        # the unit, not individual queries.  The serial
+                        # path never computes unit cones, so derive the
+                        # candidate's own cone instead.
+                        tracer.instant(
+                            "cec.obligation.features",
+                            cat="obligation",
+                            kind="sweep",
+                            round=round_no,
+                            unit=index,
+                            group=cand.group,
+                            width=group_width.get(cand.group, 2),
+                            cone=len(
+                                aig.cone_nodes(
+                                    (cand.rep_lit, cand.node_lit)
+                                )
+                            ),
+                            engine="sat",
+                            verdict=status,
+                            seconds=result.seconds
+                            / max(1, len(unit.candidates)),
+                        )
             sweep_span.annotate(
                 merges=int(registry.counter("cec.sweep.merges")),
                 refuted=int(registry.counter("cec.sweep.refuted")),

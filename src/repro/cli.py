@@ -7,6 +7,7 @@
                             [--no-preprocess] [--time-limit S]
                             [--bdd-node-limit N]
                             [--trace FILE] [--metrics-out FILE]
+                            [--oblog FILE]
                             [--quiet] [--verbose]
     python -m repro retime  circuit.blif -o out.blif [--min-area] [--period N]
     python -m repro synth   circuit.blif -o out.blif [--effort medium]
@@ -23,13 +24,21 @@
                             [--lease-ttl S --lease-attempts N]
                             [--chaos PLAN.json --chaos-log FILE]
                             [--trace FILE] [--metrics-out FILE]
+                            [--telemetry FILE [--telemetry-interval S]]
+                            [--oblog FILE]
     python -m repro serve   [--jobs N] [--cache FILE] [--store FILE]
                             [--queue-size N] [--tcp HOST:PORT]
                             [--lease-ttl S] [--chaos PLAN.json]
+                            [--telemetry FILE [--telemetry-interval S]]
+                            [--prom-port N]
                             (JSONL jobs on stdin, JSONL results on
                             stdout; --tcp serves the same protocol over
-                            a socket instead)
+                            a socket instead; --prom-port exposes
+                            Prometheus text metrics next to --tcp)
     python -m repro worker  HOST:PORT [--lanes N] [--in-process]
+    python -m repro status  HOST:PORT [--watch] [--interval S] [--json]
+    python -m repro bench compare FRESH.json [--baseline BENCH_cec.json]
+                            [--threshold METRIC=PCT ...] [--json OUT]
 
 Exit codes of ``verify`` (and the per-job codes of ``batch``): 0
 equivalent, 1 not equivalent (a counterexample is printed), 2 unknown —
@@ -63,11 +72,35 @@ def _console(args) -> Console:
     )
 
 
+def _make_tracer(args, meta):
+    """The command's tracer: file-backed for --trace, in-memory when only
+    --oblog needs the event stream, None when neither is asked for."""
+    from repro.obs.trace import Tracer
+
+    if args.trace:
+        return Tracer(path=args.trace, meta=meta)
+    if getattr(args, "oblog", None):
+        return Tracer(sink=[], meta=meta)
+    return None
+
+
+def _write_oblog(args, tracer, console) -> None:
+    """Distil the closed tracer's events into the --oblog JSONL file."""
+    out = getattr(args, "oblog", None)
+    if not out or tracer is None:
+        return
+    from repro.obs.oblog import extract_obligation_records, write_obligation_log
+    from repro.obs.trace import read_events
+
+    events = read_events(args.trace) if args.trace else tracer.events
+    count = write_obligation_log(extract_obligation_records(events), out)
+    console.info(f"wrote {count} obligation record(s) to {out}")
+
+
 def _cmd_verify(args) -> int:
     from repro.api import VerifyRequest, verify_pair
     from repro.flows.report import compact_stats
     from repro.obs.metrics import MetricsRegistry
-    from repro.obs.trace import Tracer
 
     console = _console(args)
     request = VerifyRequest(
@@ -82,12 +115,10 @@ def _cmd_verify(args) -> int:
         time_limit=args.time_limit,
         bdd_node_limit=args.bdd_node_limit,
     )
-    tracer = None
-    if args.trace:
-        tracer = Tracer(
-            path=args.trace,
-            meta={"command": "verify", "golden": args.golden, "revised": args.revised},
-        )
+    tracer = _make_tracer(
+        args,
+        meta={"command": "verify", "golden": args.golden, "revised": args.revised},
+    )
     registry = MetricsRegistry() if args.metrics_out else None
     try:
         report = verify_pair(request, tracer=tracer, metrics=registry)
@@ -97,6 +128,7 @@ def _cmd_verify(args) -> int:
         if registry is not None:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(registry.to_json(indent=2))
+        _write_oblog(args, tracer, console)
     console.result(f"verdict: {report.verdict} (method: {report.method})")
     if report.reason is not None:
         console.result(f"  reason: {report.reason}")
@@ -182,7 +214,6 @@ def _cmd_batch(args) -> int:
     import asyncio
 
     from repro.obs.metrics import MetricsRegistry
-    from repro.obs.trace import Tracer
     from repro.service import BatchRunner, load_manifest
 
     console = _console(args)
@@ -194,15 +225,24 @@ def _cmd_batch(args) -> int:
     if not requests:
         console.error(f"manifest {args.manifest} has no jobs")
         return 2
-    tracer = None
-    if args.trace:
-        tracer = Tracer(
-            path=args.trace,
-            meta={"command": "batch", "manifest": args.manifest, "jobs": args.jobs},
-        )
-    registry = (
-        MetricsRegistry() if (args.metrics_out or args.chaos) else None
+    tracer = _make_tracer(
+        args,
+        meta={"command": "batch", "manifest": args.manifest, "jobs": args.jobs},
     )
+    registry = (
+        MetricsRegistry()
+        if (args.metrics_out or args.chaos or args.telemetry)
+        else None
+    )
+    telemetry = None
+    if args.telemetry:
+        from repro.obs.telemetry import TelemetrySampler
+
+        telemetry = TelemetrySampler(
+            path=args.telemetry,
+            interval=args.telemetry_interval,
+            source="batch",
+        )
     ok, plan = _setup_chaos(args, console, registry)
     if not ok:
         return 2
@@ -218,6 +258,7 @@ def _cmd_batch(args) -> int:
         metrics=registry,
         lease_ttl=args.lease_ttl,
         lease_attempts=args.lease_attempts,
+        telemetry=telemetry,
     )
     console.info(
         f"batch: {len(requests)} job(s) on {args.jobs} lane(s)"
@@ -228,10 +269,13 @@ def _cmd_batch(args) -> int:
     finally:
         if tracer is not None:
             tracer.close()
+        if telemetry is not None:
+            telemetry.close()  # run() already sampled + stopped the loop
         if registry is not None and args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(registry.to_json(indent=2))
         _write_chaos_log(args, plan, console)
+        _write_oblog(args, tracer, console)
     # Per-job summary: one line per manifest row, every row accounted for.
     counts = {0: 0, 1: 0, 2: 0}
     for result in results:
@@ -253,6 +297,8 @@ def _cmd_batch(args) -> int:
         console.info(f"wrote trace to {args.trace} (see: repro profile {args.trace})")
     if args.metrics_out:
         console.info(f"wrote metrics to {args.metrics_out}")
+    if args.telemetry:
+        console.info(f"wrote telemetry snapshots to {args.telemetry}")
     # The batch exit code mirrors the per-job contract: any refutation
     # dominates (1), else any undecided job (2), else success (0).
     if counts[1]:
@@ -275,10 +321,29 @@ def _cmd_serve(args) -> int:
     console = Console(
         quiet=args.quiet, verbose=args.verbose, stream=sys.stderr
     )
+    if args.prom_port is not None and not args.tcp:
+        console.error("--prom-port requires --tcp")
+        return 2
     tracer = Tracer(path=args.trace, meta={"command": "serve"}) if args.trace else None
     registry = (
-        MetricsRegistry() if (args.metrics_out or args.chaos) else None
+        MetricsRegistry()
+        if (
+            args.metrics_out
+            or args.chaos
+            or args.telemetry
+            or args.prom_port is not None
+        )
+        else None
     )
+    telemetry = None
+    if args.telemetry:
+        from repro.obs.telemetry import TelemetrySampler
+
+        telemetry = TelemetrySampler(
+            path=args.telemetry,
+            interval=args.telemetry_interval,
+            source="serve",
+        )
     ok, plan = _setup_chaos(args, console, registry)
     if not ok:
         return 2
@@ -294,6 +359,7 @@ def _cmd_serve(args) -> int:
         metrics=registry,
         lease_ttl=args.lease_ttl,
         lease_attempts=args.lease_attempts,
+        telemetry=telemetry,
     )
     try:
         if args.tcp:
@@ -310,6 +376,7 @@ def _cmd_serve(args) -> int:
                 port,
                 read_timeout=args.read_timeout,
                 queue_maxsize=args.queue_size,
+                prom_port=args.prom_port,
             )
 
             async def _serve_tcp() -> int:
@@ -318,6 +385,11 @@ def _cmd_serve(args) -> int:
                     f"serve: listening on {server.host}:{server.port} "
                     f"({server.local_lanes} local lane(s); SIGTERM drains)"
                 )
+                if server.prom_port is not None:
+                    console.info(
+                        "serve: Prometheus metrics on "
+                        f"http://{server.host}:{server.prom_port}/metrics"
+                    )
                 return await server.run()
 
             emitted = asyncio.run(_serve_tcp())
@@ -333,10 +405,14 @@ def _cmd_serve(args) -> int:
     finally:
         if tracer is not None:
             tracer.close()
+        if telemetry is not None:
+            telemetry.close()
         if registry is not None and args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(registry.to_json(indent=2))
         _write_chaos_log(args, plan, console)
+    if args.telemetry:
+        console.info(f"wrote telemetry snapshots to {args.telemetry}")
     console.info(f"serve: emitted {emitted} result(s)")
     return 0
 
@@ -374,6 +450,108 @@ def _cmd_worker(args) -> int:
         return 2
     console.info(f"worker: solved {solved} job(s); server closed")
     return 0
+
+
+def _cmd_status(args) -> int:
+    import asyncio
+    import json
+
+    from repro.obs.telemetry import render_snapshot
+    from repro.service import parse_hostport
+
+    console = _console(args)
+    try:
+        host, port = parse_hostport(args.address)
+    except ValueError as exc:
+        console.error(f"bad address: {exc}")
+        return 2
+
+    async def _observe() -> int:
+        reader, writer = await asyncio.open_connection(host, port)
+        hello = {
+            "type": "hello",
+            "role": "status",
+            "watch": bool(args.watch),
+            "interval": args.interval,
+        }
+        writer.write((json.dumps(hello) + "\n").encode("utf-8"))
+        await writer.drain()
+        seen = 0
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                try:
+                    snapshot = json.loads(raw.decode("utf-8", "replace"))
+                except ValueError:
+                    continue
+                if not isinstance(snapshot, dict):
+                    continue
+                seen += 1
+                if args.json:
+                    console.result(json.dumps(snapshot, sort_keys=True))
+                else:
+                    console.result(render_snapshot(snapshot))
+                if not args.watch:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if not seen:
+            console.error(f"status: no snapshot from {host}:{port}")
+            return 2
+        return 0
+
+    try:
+        return asyncio.run(_observe())
+    except (ConnectionError, OSError) as exc:
+        console.error(f"status: connection failed: {exc}")
+        return 2
+    except KeyboardInterrupt:
+        # ^C out of --watch is a normal way to leave the dashboard.
+        return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.bench.compare import (
+        compare_reports,
+        load_report,
+        parse_thresholds,
+        render_comparison,
+    )
+
+    console = _console(args)
+    try:
+        thresholds = parse_thresholds(args.threshold)
+        baseline = load_report(args.baseline)
+        fresh = load_report(args.fresh)
+    except (OSError, ValueError) as exc:
+        console.error(f"bench compare: {exc}")
+        return 2
+    deltas, failures = compare_reports(baseline, fresh, thresholds)
+    console.result(render_comparison(deltas, failures))
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(
+                {
+                    "baseline": args.baseline,
+                    "fresh": args.fresh,
+                    "passed": not failures,
+                    "failures": failures,
+                    "deltas": [d.to_dict() for d in deltas],
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+        console.info(f"wrote comparison to {args.json}")
+    return 1 if failures else 0
 
 
 def _cmd_profile(args) -> int:
@@ -619,6 +797,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the run's metrics registry as JSON",
     )
+    p.add_argument(
+        "--oblog",
+        default=None,
+        metavar="FILE",
+        help="write per-obligation feature records (JSONL): cone size, "
+        "class width, cascade stage, engine, verdict, seconds",
+    )
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
@@ -835,6 +1020,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the run's aggregated metrics registry as JSON",
     )
+    p.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="record periodic service-health snapshots (JSONL time-series)",
+    )
+    p.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between telemetry snapshots (default 1)",
+    )
+    p.add_argument(
+        "--oblog",
+        default=None,
+        metavar="FILE",
+        help="write per-obligation feature records (JSONL)",
+    )
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
@@ -925,6 +1129,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--metrics-out", default=None, metavar="FILE", help="write metrics JSON"
     )
+    p.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="record periodic service-health snapshots (JSONL time-series)",
+    )
+    p.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between telemetry snapshots (default 1)",
+    )
+    p.add_argument(
+        "--prom-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --tcp: also serve Prometheus text metrics on this "
+        "port (0 = pick a free one)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -948,6 +1173,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a fault-injection plan in this worker",
     )
     p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "status",
+        parents=[verbosity],
+        help="live fleet dashboard for a running `repro serve --tcp`",
+    )
+    p.add_argument("address", metavar="HOST:PORT", help="service to observe")
+    p.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep streaming snapshots until ^C (one-shot by default)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="refresh period for --watch (default 2)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print raw snapshot JSON lines instead of the dashboard",
+    )
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark utilities (see `repro bench compare`)",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    p = bench_sub.add_parser(
+        "compare",
+        parents=[verbosity],
+        help="diff a fresh benchmark report against the checked-in "
+        "baseline; exit 1 on regression",
+    )
+    p.add_argument(
+        "fresh", help="fresh report JSON (benchmarks/bench_cec.py -o)"
+    )
+    p.add_argument(
+        "--baseline",
+        default="BENCH_cec.json",
+        metavar="FILE",
+        help="baseline report to compare against (default BENCH_cec.json)",
+    )
+    p.add_argument(
+        "--threshold",
+        action="append",
+        default=None,
+        metavar="METRIC=PCT",
+        help="per-metric regression threshold in percent over baseline "
+        "(repeatable; defaults: sat_queries=20, seconds=20)",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        help="also write the comparison as machine-readable JSON",
+    )
+    p.set_defaults(func=_cmd_bench_compare)
 
     p = sub.add_parser(
         "table2", parents=[verbosity], help="regenerate the paper's Table 2"

@@ -46,6 +46,11 @@ TRACE_EVENT_SCHEMA: Dict[str, Any] = {
         "parent": {"type": ["integer", "null"]},
         "schema": {"type": "integer", "minimum": 1},
         "args": {"type": "object"},
+        # Provenance stamps: which process emitted the event.  Optional
+        # so pre-stamp traces still validate; adopted remote-worker
+        # events keep their origin's values.
+        "host": {"type": "string"},
+        "pid": {"type": "integer", "minimum": 0},
     },
     "oneOf": [
         {

@@ -1,0 +1,491 @@
+"""Fleet telemetry: periodic service snapshots and metric-delta streaming.
+
+Three pieces, all consumed by the batch service (``repro batch``,
+``repro serve``) and its front ends (``repro status``, the Prometheus
+endpoint):
+
+* :class:`TelemetrySampler` — samples a *probe* (a callable returning the
+  service's current state as nested ``{section: {key: number}}`` dicts)
+  into schema-validated snapshot records.  With a ``path`` it runs a
+  periodic asyncio task writing a JSONL time-series; without one it
+  samples on demand (the ``repro status`` / Prometheus paths), so a
+  server always has a current snapshot even when nothing is recorded.
+* :class:`MetricsDeltaFold` — the coordinator side of worker→coordinator
+  metrics streaming.  Remote workers ship *incremental* registry deltas
+  (each metric counted at most once across all deltas) tagged with a
+  per-worker sequence number; the fold applies each ``(source, seq)``
+  pair exactly once, so re-sent or stale deltas (lease retries, late
+  results from presumed-dead workers) never double-count, and
+  out-of-order application converges to the same totals because
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge` is commutative and
+  associative for counters, gauges and histograms.
+* :func:`render_prometheus` / :func:`render_snapshot` — the two read
+  surfaces: Prometheus text exposition (``--prom-port``) and the human
+  console dashboard (``repro status``).
+
+The snapshot schema is :data:`TELEMETRY_SNAPSHOT_SCHEMA`, validated by
+:func:`validate_snapshot` with the same hand-rolled draft-07 subset the
+trace schema uses — no ``jsonschema`` dependency anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import socket
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Union,
+)
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import _validate_against
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "TELEMETRY_SNAPSHOT_SCHEMA",
+    "TelemetrySampler",
+    "MetricsDeltaFold",
+    "validate_snapshot",
+    "validate_snapshots",
+    "read_snapshots",
+    "render_prometheus",
+    "render_snapshot",
+]
+
+#: Bumped on any incompatible change to the snapshot shape.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Sections a snapshot may carry; every leaf inside one must be numeric.
+SNAPSHOT_SECTIONS = (
+    "queue",      # depth / running / unfinished / closed (0|1)
+    "leases",     # live / troubled / expired / requeued / poisoned
+    "workers",    # connected remote workers / donated lanes
+    "jobs",       # terminal-state counters + emitted results
+    "throughput", # jobs_per_sec over the sampling interval
+    "cache",      # proof-cache hits / misses
+    "chaos",      # injected faults fired
+    "store",      # result-store health counters
+)
+
+TELEMETRY_SNAPSHOT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro telemetry snapshot",
+    "type": "object",
+    "required": ["type", "schema", "seq", "ts", "source", "host", "pid"],
+    "properties": {
+        "type": {"enum": ["snapshot"]},
+        "schema": {"type": "integer", "minimum": 1},
+        "seq": {"type": "integer", "minimum": 1},
+        "ts": {"type": "number", "minimum": 0},
+        "source": {"type": "string"},
+        "host": {"type": "string"},
+        "pid": {"type": "integer", "minimum": 0},
+        **{section: {"type": "object"} for section in SNAPSHOT_SECTIONS},
+    },
+}
+
+
+def validate_snapshot(snapshot: Any, index: int = 0) -> List[str]:
+    """Validate one snapshot record; returns violations (empty = valid)."""
+    where = f"snapshot[{index}]"
+    if not isinstance(snapshot, dict):
+        return [f"{where}: not a JSON object"]
+    errors = _validate_against(snapshot, TELEMETRY_SNAPSHOT_SCHEMA, where)
+    for section in SNAPSHOT_SECTIONS:
+        body = snapshot.get(section)
+        if body is None or not isinstance(body, dict):
+            continue
+        for key, value in body.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(
+                    f"{where}: {section}.{key} is "
+                    f"{type(value).__name__}, expected a number"
+                )
+    return errors
+
+
+def validate_snapshots(snapshots: Iterable[Any]) -> List[str]:
+    """Validate a snapshot stream; also checks per-source seq monotonicity."""
+    errors: List[str] = []
+    last_seq: Dict[tuple, int] = {}
+    for index, snapshot in enumerate(snapshots):
+        errors.extend(validate_snapshot(snapshot, index))
+        if not isinstance(snapshot, dict):
+            continue
+        seq = snapshot.get("seq")
+        key = (
+            snapshot.get("host"),
+            snapshot.get("pid"),
+            snapshot.get("source"),
+        )
+        if isinstance(seq, int):
+            prev = last_seq.get(key)
+            if prev is not None and seq <= prev:
+                errors.append(
+                    f"snapshot[{index}]: seq {seq} not above previous "
+                    f"{prev} for source {key}"
+                )
+            last_seq[key] = seq
+    return errors
+
+
+def read_snapshots(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Load a snapshot JSONL stream, skipping unparseable (torn) lines."""
+    snapshots: List[Dict[str, Any]] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                snapshots.append(record)
+    return snapshots
+
+
+class TelemetrySampler:
+    """Samples a probe into snapshot records; optionally on a period.
+
+    ``probe`` returns the instantaneous service state as
+    ``{section: {key: number}}``; the sampler stamps identity
+    (``host``/``pid``/``source``), a per-sampler ``seq``, the monotonic
+    ``ts``, and derives ``throughput.jobs_per_sec`` from the change in
+    terminal job counts since the previous sample.  ``sink`` may be a
+    list (tests) or a writable stream; ``path`` opens a JSONL file.
+    :meth:`start` / :meth:`aclose` run the periodic loop when a file or
+    sink is configured; :meth:`sample` works with or without one.
+    """
+
+    def __init__(
+        self,
+        probe: Optional[Callable[[], Mapping[str, Any]]] = None,
+        path: Union[None, str, os.PathLike] = None,
+        sink: Union[None, List[Dict[str, Any]], IO[str]] = None,
+        interval: float = 1.0,
+        source: str = "service",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if path is not None and sink is not None:
+            raise ValueError("pass either path or sink, not both")
+        self.probe = probe
+        self.interval = max(0.05, float(interval))
+        self.source = str(source)
+        self.clock = clock
+        self.host = socket.gethostname()
+        self.pid = os.getpid()
+        self._epoch = clock()
+        self._seq = 0
+        self._last: Optional[Dict[str, Any]] = None
+        self._prev_jobs: Optional[float] = None
+        self._prev_ts: Optional[float] = None
+        self._owns_stream = False
+        self._stream: Optional[IO[str]] = None
+        self._buffer: Optional[List[Dict[str, Any]]] = None
+        if path is not None:
+            self._stream = open(os.fspath(path), "w", encoding="utf-8")
+            self._owns_stream = True
+        elif isinstance(sink, list):
+            self._buffer = sink
+        elif sink is not None:
+            self._stream = sink
+        self._task: Optional[asyncio.Task] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    @property
+    def last(self) -> Optional[Dict[str, Any]]:
+        """The most recent snapshot, or None before the first sample."""
+        return self._last
+
+    @property
+    def recording(self) -> bool:
+        """True when snapshots are being written somewhere."""
+        return self._stream is not None or self._buffer is not None
+
+    def sample(self) -> Dict[str, Any]:
+        """Take one snapshot now: probe, stamp, derive throughput, emit."""
+        body: Dict[str, Any] = {}
+        if self.probe is not None:
+            body = {
+                section: dict(values)
+                for section, values in dict(self.probe() or {}).items()
+            }
+        now = self.clock()
+        ts = max(0.0, now - self._epoch)
+        self._seq += 1
+        snapshot: Dict[str, Any] = {
+            "type": "snapshot",
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "seq": self._seq,
+            "ts": round(ts, 6),
+            "source": self.source,
+            "host": self.host,
+            "pid": self.pid,
+        }
+        snapshot.update(body)
+        jobs = snapshot.get("jobs") or {}
+        settled = float(jobs.get("done", 0)) + float(jobs.get("failed", 0))
+        window = ts - self._prev_ts if self._prev_ts is not None else None
+        rate = 0.0
+        if window and window > 0 and self._prev_jobs is not None:
+            rate = max(0.0, settled - self._prev_jobs) / window
+        snapshot["throughput"] = {
+            "jobs_per_sec": round(rate, 4),
+            "interval_seconds": round(window or 0.0, 6),
+        }
+        self._prev_jobs = settled
+        self._prev_ts = ts
+        self._write(snapshot)
+        self._last = snapshot
+        return snapshot
+
+    def _write(self, snapshot: Dict[str, Any]) -> None:
+        if self._buffer is not None:
+            self._buffer.append(snapshot)
+        elif self._stream is not None:
+            try:
+                self._stream.write(json.dumps(snapshot) + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                # A full disk (or a closed stream at teardown) degrades
+                # recording, never the service it observes.
+                pass
+
+    # ------------------------------------------------------------------
+    # the periodic loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the periodic sampling task (idempotent; needs a loop)."""
+        if self._task is not None or not self.recording:
+            return
+        self._stop = asyncio.Event()
+        self._task = asyncio.ensure_future(self._run())
+
+    async def _run(self) -> None:
+        while True:
+            self.sample()
+            try:
+                await asyncio.wait_for(self._stop.wait(), self.interval)
+                return
+            except asyncio.TimeoutError:
+                continue
+
+    async def aclose(self) -> None:
+        """Stop the loop, take one final snapshot, close an owned file."""
+        if self._task is not None:
+            self._stop.set()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self.probe is not None and self.recording:
+            # The final state always lands in the stream, so even a run
+            # shorter than one interval records a usable time-series.
+            self.sample()
+        self.close()
+
+    def close(self) -> None:
+        """Synchronous teardown of an owned file (loop-free callers)."""
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+            self._stream = None
+
+
+class MetricsDeltaFold:
+    """Exactly-once application of streamed worker metric deltas.
+
+    Each worker tags its deltas with a monotonically increasing ``seq``;
+    the fold merges every ``(source, seq)`` pair into the target registry
+    at most once.  Idempotency is therefore a property of the fold (a
+    re-sent delta is a no-op), while order-independence is a property of
+    the registry's merge semantics — both are load-bearing because the
+    streaming path re-delivers partials on lease retry and TCP readers
+    interleave workers arbitrarily.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._seen: Dict[str, Set[int]] = {}
+        self.applied = 0
+        self.skipped = 0
+
+    def apply(
+        self, source: str, seq: Any, delta: Optional[Mapping[str, Any]]
+    ) -> bool:
+        """Merge one delta; False when it was a duplicate or unusable."""
+        try:
+            seq = int(seq)
+        except (TypeError, ValueError):
+            self.skipped += 1
+            return False
+        if not isinstance(delta, Mapping) or not delta:
+            self.skipped += 1
+            return False
+        seen = self._seen.setdefault(str(source), set())
+        if seq in seen:
+            self.skipped += 1
+            return False
+        seen.add(seq)
+        try:
+            self.registry.merge(delta)
+        except (AttributeError, TypeError, ValueError):
+            # A malformed delta from a hostile/buggy worker never poisons
+            # the coordinator registry; the seq stays consumed.
+            self.skipped += 1
+            return False
+        self.applied += 1
+        return True
+
+    def sources(self) -> List[str]:
+        """Every source that has had at least one delta applied."""
+        return sorted(self._seen)
+
+
+# ----------------------------------------------------------------------
+# read surfaces: Prometheus exposition and the console dashboard
+# ----------------------------------------------------------------------
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str = "repro_") -> str:
+    name = _PROM_BAD.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return prefix + name
+
+
+def render_prometheus(
+    metrics: Optional[MetricsRegistry] = None,
+    snapshot: Optional[Mapping[str, Any]] = None,
+    prefix: str = "repro_",
+) -> str:
+    """Render registry + snapshot as Prometheus text exposition (0.0.4).
+
+    Counters and gauges keep their dotted names with dots mapped to
+    underscores; histograms render as classic cumulative-bucket
+    histograms; series render as ``_count``/``_sum`` gauges.  Snapshot
+    sections land under ``<prefix>telemetry_<section>_<key>``.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, value: float) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {float(value):g}")
+
+    if metrics is not None:
+        data = metrics.to_dict()
+        for name in sorted(data["counters"]):
+            emit(_prom_name(name, prefix), "counter", data["counters"][name])
+        for name in sorted(data["gauges"]):
+            emit(_prom_name(name, prefix), "gauge", data["gauges"][name])
+        for name in sorted(data["histograms"]):
+            hist = data["histograms"][name]
+            prom = _prom_name(name, prefix)
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["counts"]):
+                cumulative += int(count)
+                lines.append(f'{prom}_bucket{{le="{bound:g}"}} {cumulative}')
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {int(hist["count"])}')
+            lines.append(f"{prom}_sum {float(hist['sum']):g}")
+            lines.append(f"{prom}_count {int(hist['count'])}")
+        for name in sorted(data["series"]):
+            values = data["series"][name]
+            prom = _prom_name(name, prefix)
+            emit(prom + "_count", "gauge", len(values))
+            emit(prom + "_sum", "gauge", sum(values))
+    if snapshot is not None:
+        for section in SNAPSHOT_SECTIONS:
+            body = snapshot.get(section)
+            if not isinstance(body, Mapping):
+                continue
+            for key in sorted(body):
+                value = body[key]
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                emit(
+                    _prom_name(f"telemetry.{section}.{key}", prefix),
+                    "gauge",
+                    value,
+                )
+        seq = snapshot.get("seq")
+        if isinstance(seq, (int, float)):
+            emit(_prom_name("telemetry.seq", prefix), "counter", seq)
+    return "\n".join(lines) + "\n"
+
+
+def render_snapshot(snapshot: Mapping[str, Any]) -> str:
+    """One human-readable dashboard block for ``repro status``."""
+
+    def section(name: str) -> Dict[str, Any]:
+        body = snapshot.get(name)
+        return dict(body) if isinstance(body, Mapping) else {}
+
+    def fmt(value: Any) -> str:
+        number = float(value)
+        return f"{int(number)}" if number == int(number) else f"{number:.2f}"
+
+    queue = section("queue")
+    leases = section("leases")
+    workers = section("workers")
+    jobs = section("jobs")
+    cache = section("cache")
+    chaos = section("chaos")
+    throughput = section("throughput")
+    lines = [
+        f"repro fleet [{snapshot.get('source', '?')}] "
+        f"{snapshot.get('host', '?')} pid={snapshot.get('pid', '?')}  "
+        f"seq={snapshot.get('seq', '?')}  t=+{snapshot.get('ts', 0):.1f}s"
+    ]
+
+    def row(label: str, body: Dict[str, Any], order: List[str]) -> None:
+        if not body:
+            return
+        keys = [k for k in order if k in body]
+        keys += [k for k in sorted(body) if k not in order]
+        lines.append(
+            f"  {label:<10s} "
+            + "  ".join(f"{k}={fmt(body[k])}" for k in keys)
+        )
+
+    row("queue", queue, ["depth", "running", "unfinished", "closed"])
+    row("leases", leases, ["live", "troubled", "expired", "requeued", "poisoned"])
+    row("workers", workers, ["connected", "lanes"])
+    row("jobs", jobs, ["done", "failed", "resumed", "deduped", "quarantined", "cancelled", "emitted"])
+    hits = float(cache.get("hits", 0))
+    misses = float(cache.get("misses", 0))
+    if hits or misses:
+        rate = 100.0 * hits / (hits + misses)
+        lines.append(
+            f"  {'cache':<10s} hits={fmt(hits)}  misses={fmt(misses)}  "
+            f"hit_rate={rate:.1f}%"
+        )
+    rate = throughput.get("jobs_per_sec")
+    if rate is not None:
+        lines.append(
+            f"  {'rate':<10s} {float(rate):.2f} jobs/s "
+            f"(over {float(throughput.get('interval_seconds', 0)):.1f}s)"
+        )
+    if chaos.get("faults_fired"):
+        lines.append(f"  {'chaos':<10s} faults_fired={fmt(chaos['faults_fired'])}")
+    return "\n".join(lines)

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Union
 
@@ -193,6 +194,11 @@ class Tracer:
         else:
             self._buffer = []
         self.epoch = epoch if epoch is not None else time.monotonic()
+        # Provenance: every event carries its origin process, so a trace
+        # assembled from remote workers (TCP service) stays attributable
+        # and multi-host Chrome exports land on distinct process tracks.
+        self.host = socket.gethostname()
+        self.pid = os.getpid()
         self._next_id = 1
         self._stack: List[int] = []
         self.emit(
@@ -213,7 +219,14 @@ class Tracer:
         return time.monotonic() - self.epoch
 
     def emit(self, record: Dict[str, Any]) -> None:
-        """Append one event record to the sink."""
+        """Append one event record to the sink.
+
+        ``host``/``pid`` are stamped with setdefault: locally-created
+        events get this tracer's identity, while adopted worker events
+        keep the identity their origin tracer stamped.
+        """
+        record.setdefault("host", self.host)
+        record.setdefault("pid", self.pid)
         if self._buffer is not None:
             self._buffer.append(record)
         elif self._stream is not None:
@@ -397,16 +410,28 @@ def export_chrome_trace(
     Spans become complete (``ph="X"``) events in microseconds; instants
     become thread-scoped ``ph="i"`` marks.  Events carrying a ``worker``
     arg land on their own thread track so the parallel sweep renders as
-    lanes.  Returns the number of exported events.
+    lanes; each distinct ``(host, pid)`` origin gets its own process
+    track so multi-host service traces don't collide.  Returns the
+    number of exported events.
     """
     events = read_events(source)
     trace_events: List[Dict[str, Any]] = []
+    # (host, pid) -> Chrome pid, in first-seen order: the coordinator
+    # (which wrote the meta event first) is process 0, exactly the pid
+    # traces without provenance stamps get.
+    origins: Dict[tuple, int] = {}
     for event in events:
         kind = event.get("type")
         args = event.get("args") or {}
         worker = args.get("worker")
         # Main-process events on tid 0; each sweep worker on its own lane.
         tid = worker + 1 if isinstance(worker, int) else 0
+        origin = (event.get("host"), event.get("pid"))
+        pid = (
+            0
+            if origin == (None, None)
+            else origins.setdefault(origin, len(origins))
+        )
         ts_us = float(event.get("ts", 0.0)) * 1e6
         if kind == "span":
             trace_events.append(
@@ -416,7 +441,7 @@ def export_chrome_trace(
                     "cat": str(event.get("cat", "")),
                     "ts": ts_us,
                     "dur": float(event.get("dur", 0.0)) * 1e6,
-                    "pid": 0,
+                    "pid": pid,
                     "tid": tid,
                     "args": args,
                 }
@@ -429,7 +454,7 @@ def export_chrome_trace(
                     "name": str(event.get("name", "")),
                     "cat": str(event.get("cat", "")),
                     "ts": ts_us,
-                    "pid": 0,
+                    "pid": pid,
                     "tid": tid,
                     "args": args,
                 }
@@ -444,7 +469,7 @@ def export_chrome_trace(
                         "ph": "C",
                         "name": str(event.get("name", "metrics")),
                         "ts": ts_us,
-                        "pid": 0,
+                        "pid": pid,
                         "tid": tid,
                         "args": numeric,
                     }

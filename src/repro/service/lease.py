@@ -188,6 +188,11 @@ class LeaseTable:
             rng=self.rng,
         )
 
+    @property
+    def troubled(self) -> int:
+        """Jobs carrying at least one expiry but not yet released."""
+        return len(self._expiries)
+
     def __len__(self) -> int:
         return len(self._leases)
 

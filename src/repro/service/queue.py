@@ -202,3 +202,17 @@ class JobQueue:
     def pending_names(self) -> List[str]:
         """Names of queued (not yet running) jobs, in schedule order."""
         return [job.name for _, _, job in sorted(self._heap)]
+
+    def snapshot(self) -> Dict[str, int]:
+        """Instantaneous queue state for the telemetry sampler.
+
+        ``running`` counts active jobs that have left the heap but not
+        yet finished — i.e. dispatched to a local or remote lane.
+        """
+        depth = len(self._heap)
+        return {
+            "depth": depth,
+            "running": max(0, len(self._active) - depth),
+            "unfinished": self._unfinished,
+            "closed": 1 if self._closed else 0,
+        }

@@ -63,6 +63,7 @@ from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 from repro.api import VerifyReport, VerifyRequest, verify_pair
 from repro.core.verify import SeqVerdict
 from repro.obs.metrics import TIME_BUCKETS, MetricsRegistry
+from repro.obs.telemetry import TelemetrySampler
 from repro.obs.trace import Tracer, coerce_tracer
 from repro.runtime import chaos
 from repro.runtime.budget import (
@@ -199,6 +200,7 @@ class BatchRunner:
         lease_backoff: float = 0.05,
         lease_backoff_cap: float = 2.0,
         lease_seed: int = 0,
+        telemetry: Optional[TelemetrySampler] = None,
     ) -> None:
         self.lanes = max(1, int(jobs))
         self.budget = Budget.coerce(budget)
@@ -216,6 +218,7 @@ class BatchRunner:
         self.lease_backoff = float(lease_backoff)
         self.lease_backoff_cap = float(lease_backoff_cap)
         self.lease_seed = int(lease_seed)
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # batch mode
@@ -231,6 +234,8 @@ class BatchRunner:
         results: Dict[str, JobResult] = {}
         order: List[tuple] = []
         store = self._open_store()
+        leases = self._make_leases()
+        self._start_telemetry(queue, leases)
         flow_span = self.tracer.span(
             "service.batch", cat="flow", jobs=self.lanes, requests=len(requests)
         )
@@ -264,8 +269,9 @@ class BatchRunner:
                 if state is JobState.DEDUPED:
                     self._count("service.jobs.deduped")
             queue.close()
-            await self._drive(queue, store, results, self._make_leases())
+            await self._drive(queue, store, results, leases)
         finally:
+            await self._stop_telemetry()
             if store is not None:
                 store.close()
             self._emit_run_metrics(flow_span)
@@ -301,6 +307,7 @@ class BatchRunner:
         queue = JobQueue(maxsize=queue_maxsize)
         store = self._open_store()
         leases = self._make_leases()
+        self._start_telemetry(queue, leases)
         emitted = 0
         lock = asyncio.Lock()
 
@@ -370,6 +377,7 @@ class BatchRunner:
             queue.close()
             await asyncio.gather(*lanes)
         finally:
+            await self._stop_telemetry()
             self._shutdown_executor(executor)
             if store is not None:
                 store.close()
@@ -686,6 +694,93 @@ class BatchRunner:
             attempts=expiries,
             lane=lane,
         )
+
+    def _worker_failure_result(self, job: Job, lane) -> JobResult:
+        """A failed/unknown outcome for a worker that answered garbage."""
+        return JobResult(
+            name=job.name,
+            fingerprint=job.fingerprint,
+            status=JobState.FAILED.value,
+            report=VerifyReport(
+                verdict=SeqVerdict.UNKNOWN.value,
+                method="service",
+                reason=REASON_WORKER_FAILURE,
+                name=job.name,
+                fingerprint=job.fingerprint,
+                metadata=dict(job.request.metadata),
+            ),
+            error="worker returned a malformed result",
+            attempts=1,
+            lane=lane,
+        )
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _telemetry_probe(self, queue: JobQueue, leases: Optional[LeaseTable], workers=None):
+        """Build the snapshot probe over this run's queue/lease state.
+
+        ``workers`` is an optional zero-arg callable contributing the
+        ``workers`` section (the TCP server knows its connections, the
+        runner does not).
+        """
+
+        def counter(name: str) -> float:
+            return self.metrics.counter(name) if self.metrics is not None else 0.0
+
+        def probe() -> Dict[str, Dict[str, float]]:
+            body: Dict[str, Dict[str, float]] = {
+                "queue": queue.snapshot(),
+                "leases": {
+                    "live": len(leases) if leases is not None else 0,
+                    "troubled": leases.troubled if leases is not None else 0,
+                    "expired": counter("service.lease.expired"),
+                    "requeued": counter("service.lease.requeued"),
+                    "poisoned": counter("service.lease.poisoned"),
+                },
+                "jobs": {
+                    "done": counter("service.jobs.done"),
+                    "failed": counter("service.jobs.failed"),
+                    "resumed": counter("service.jobs.resumed"),
+                    "deduped": counter("service.jobs.deduped"),
+                    "quarantined": counter("service.jobs.quarantined"),
+                    "cancelled": counter("service.jobs.cancelled"),
+                },
+                "cache": {
+                    "hits": counter("service.cache.hits"),
+                    "misses": counter("service.cache.misses"),
+                },
+                "chaos": {"faults_fired": counter("chaos.faults_fired")},
+                "store": {
+                    "corrupt_lines": (
+                        self.metrics.gauge("service.store.corrupt_lines")
+                        if self.metrics is not None
+                        else 0.0
+                    ),
+                    "append_failures": counter("service.store.append_failures"),
+                },
+            }
+            if workers is not None:
+                body["workers"] = workers()
+            return body
+
+        return probe
+
+    def _start_telemetry(
+        self,
+        queue: JobQueue,
+        leases: Optional[LeaseTable],
+        workers=None,
+    ) -> None:
+        """Point the sampler at this run's state and start its loop."""
+        if self.telemetry is None:
+            return
+        self.telemetry.probe = self._telemetry_probe(queue, leases, workers)
+        self.telemetry.start()
+
+    async def _stop_telemetry(self) -> None:
+        if self.telemetry is not None:
+            await self.telemetry.aclose()
 
     def _make_leases(self) -> Optional[LeaseTable]:
         """A fresh lease table per run, or None when leasing is off."""

@@ -9,14 +9,22 @@ over a newline-JSON socket protocol with two connection roles:
   ``{"type": "error", ...}``.  Results stream back on the submitting
   connection as they land, in completion order.
 * **workers** donate compute: a first line
-  ``{"type": "hello", "role": "worker", "lanes": N}`` turns the
-  connection into ``N`` remote lanes pulling from the same job queue as
-  the server's local lanes.  The server sends
+  ``{"type": "hello", "role": "worker", "lanes": N, "host": h, "pid": p}``
+  turns the connection into ``N`` remote lanes pulling from the same job
+  queue as the server's local lanes.  The server sends
   ``{"type": "job", "id": fp, "ttl": s, "payload": {...}}``; the worker
   answers with ``{"type": "heartbeat", "id": fp}`` lines while solving
   and one ``{"type": "result", "id": fp, "out": {...}}`` when done
   (``out`` is the :func:`~repro.service.scheduler.execute_request`
-  return dict).
+  return dict).  Heartbeat and result lines may carry a ``metrics``
+  field — an incremental registry delta ``{"seq": N, "data": {...}}``
+  folded into the coordinator registry exactly once per ``seq``
+  (see :class:`~repro.obs.telemetry.MetricsDeltaFold`).
+* **status observers** watch: a first line
+  ``{"type": "hello", "role": "status", "watch": bool, "interval": s}``
+  streams telemetry snapshots (one JSON object per line) — one-shot by
+  default, periodic with ``watch`` — without touching the job queue.
+  ``repro status`` is the console client for this role.
 
 Robustness properties, in the order they matter:
 
@@ -50,12 +58,21 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import itertools
 import json
+import os
 import signal
+import socket
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Deque, Dict, Optional, Set, Tuple
 
 from repro.api import VerifyRequest
+from repro.obs.metrics import TIME_BUCKETS, MetricsRegistry
+from repro.obs.telemetry import (
+    MetricsDeltaFold,
+    TelemetrySampler,
+    render_prometheus,
+)
 from repro.runtime import chaos
 from repro.service.jobs import Job, JobResult, JobState
 from repro.service.lease import LeaseTable
@@ -130,13 +147,35 @@ class _Client:
 class _WorkerConn:
     """One worker connection: pending dispatches and liveness."""
 
-    def __init__(self, writer: asyncio.StreamWriter, name: str) -> None:
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        name: str,
+        lanes: int = 1,
+        host: str = "",
+        pid: int = 0,
+    ) -> None:
         self.writer = writer
         self.name = name
+        self.lanes = lanes
+        self.host = host
+        self.pid = pid
         self.lock = asyncio.Lock()
         #: fingerprint -> future resolved by the connection reader.
         self.pending: Dict[str, asyncio.Future] = {}
         self.dead = False
+
+    @property
+    def key(self) -> str:
+        """Delta-stream source identity: peer address + announced pid.
+
+        The peer address alone is not enough (a restarted worker reuses
+        seq 1 from a new ephemeral port anyway, but a NATed pair of
+        workers can share an apparent host) — the announced pid breaks
+        the tie without trusting the worker for uniqueness across
+        reconnects, which the per-connection peername already provides.
+        """
+        return f"{self.name}/{self.host}:{self.pid}"
 
     async def send(self, payload: Dict[str, Any]) -> None:
         async with self.lock:
@@ -170,6 +209,7 @@ class TcpServer:
         queue_maxsize: int = 0,
         max_line_bytes: int = MAX_LINE_BYTES,
         local_lanes: Optional[int] = None,
+        prom_port: Optional[int] = None,
     ) -> None:
         self.runner = runner
         self.host = host
@@ -180,6 +220,13 @@ class TcpServer:
         self.local_lanes = (
             runner.lanes if local_lanes is None else max(0, int(local_lanes))
         )
+        #: None = no Prometheus endpoint; 0 = bind an ephemeral port
+        #: (rewritten with the bound port after :meth:`start`).
+        self.prom_port = None if prom_port is None else int(prom_port)
+        self.telemetry: Optional[TelemetrySampler] = None
+        self._prom_server: Optional[asyncio.AbstractServer] = None
+        self._delta_fold: Optional[MetricsDeltaFold] = None
+        self._workers: Set[_WorkerConn] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._queue: Optional[JobQueue] = None
         self._store = None
@@ -229,6 +276,18 @@ class TcpServer:
             )
             for lane in range(self.local_lanes)
         ]
+        if self.runner.metrics is not None:
+            self._delta_fold = MetricsDeltaFold(self.runner.metrics)
+        # The runner's sampler (``--telemetry``) records to file; with no
+        # recording configured a bare sampler still serves on-demand
+        # snapshots to ``repro status`` and the Prometheus endpoint.
+        self.telemetry = self.runner.telemetry or TelemetrySampler(
+            source="serve"
+        )
+        self.telemetry.probe = self.runner._telemetry_probe(
+            self._queue, self._remote_leases, workers=self._worker_stats
+        )
+        self.telemetry.start()
         # limit bounds one readline; +2 leaves room for the newline so a
         # line of exactly max_line_bytes still parses.
         self._server = await asyncio.start_server(
@@ -240,6 +299,21 @@ class TcpServer:
         sockets = self._server.sockets or []
         if sockets:
             self.port = sockets[0].getsockname()[1]
+        if self.prom_port is not None:
+            self._prom_server = await asyncio.start_server(
+                self._serve_prometheus, self.host, self.prom_port
+            )
+            prom_sockets = self._prom_server.sockets or []
+            if prom_sockets:
+                self.prom_port = prom_sockets[0].getsockname()[1]
+
+    def _worker_stats(self) -> Dict[str, int]:
+        """The ``workers`` snapshot section: live connections and lanes."""
+        live = [conn for conn in self._workers if not conn.dead]
+        return {
+            "connected": len(live),
+            "lanes": sum(conn.lanes for conn in live),
+        }
 
     def request_shutdown(self) -> None:
         """Begin drain-then-exit (SIGTERM handler; safe to call twice)."""
@@ -285,6 +359,9 @@ class TcpServer:
         self._drained = True
         self._server.close()
         await self._server.wait_closed()
+        if self._prom_server is not None:
+            self._prom_server.close()
+            await self._prom_server.wait_closed()
         self._queue.close()
         # Every job accepted before shutdown reaches a terminal state
         # (solved locally, solved remotely, or lease-quarantined) and is
@@ -295,6 +372,8 @@ class TcpServer:
             task.cancel()
         await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self.runner._shutdown_executor(self._executor)
+        if self.telemetry is not None:
+            await self.telemetry.aclose()
         if self._store is not None:
             self._store.close()
 
@@ -338,13 +417,15 @@ class TcpServer:
                     if (
                         isinstance(parsed, dict)
                         and parsed.get("type") == "hello"
-                        and parsed.get("role") == "worker"
+                        and parsed.get("role") in ("worker", "status")
                     ):
                         hello = parsed
                 except ValueError:
                     pass
-            if hello is not None:
+            if hello is not None and hello.get("role") == "worker":
                 await self._serve_worker(reader, writer, hello)
+            elif hello is not None:
+                await self._serve_status(writer, hello)
             else:
                 await self._serve_client(reader, writer, first)
         except asyncio.CancelledError:
@@ -489,6 +570,77 @@ class TcpServer:
         await client.send({"type": "result", **result.to_dict()})
         self.emitted += 1
 
+    # -------------------------- status role ---------------------------
+    async def _serve_status(
+        self, writer: asyncio.StreamWriter, hello: Dict[str, Any]
+    ) -> None:
+        """Stream telemetry snapshots to a ``repro status`` connection.
+
+        One snapshot per line; ``watch: true`` in the hello keeps the
+        stream open at ``interval`` seconds until the observer hangs up
+        or the server drains.  Observers are read-only: they never touch
+        the queue, so a stuck dashboard cannot interfere with work.
+        """
+        watch = bool(hello.get("watch"))
+        try:
+            interval = float(hello.get("interval", 1.0))
+        except (TypeError, ValueError):
+            interval = 1.0
+        interval = min(60.0, max(0.1, interval))
+        try:
+            while True:
+                snapshot = self.telemetry.sample()
+                writer.write(
+                    (json.dumps(snapshot) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+                if not watch or self._shutdown.is_set():
+                    return
+                try:
+                    await asyncio.wait_for(
+                        self._shutdown.wait(), interval
+                    )
+                    # Shutdown: emit one last snapshot, then hang up.
+                    watch = False
+                except asyncio.TimeoutError:
+                    pass
+        except (ConnectionError, OSError):
+            pass  # observer vanished; nothing to clean up
+
+    async def _serve_prometheus(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one HTTP scrape with the text exposition format.
+
+        Deliberately minimal HTTP: read the request head, answer 200
+        with ``Connection: close``, hang up.  Prometheus (and curl)
+        speak exactly this much; anything fancier belongs behind a real
+        exporter.
+        """
+        try:
+            try:
+                while True:
+                    line = await asyncio.wait_for(reader.readline(), 5.0)
+                    if not line or line in (b"\r\n", b"\n"):
+                        break
+            except asyncio.TimeoutError:
+                pass  # header never finished; scrape what we have anyway
+            body = render_prometheus(
+                self.runner.metrics, self.telemetry.sample()
+            ).encode("utf-8")
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode("ascii")
+                + b"Connection: close\r\n\r\n"
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
     # -------------------------- worker role ---------------------------
     async def _serve_worker(
         self,
@@ -498,8 +650,19 @@ class TcpServer:
     ) -> None:
         lanes = max(1, int(hello.get("lanes", 1) or 1))
         peer = writer.get_extra_info("peername")
-        conn = _WorkerConn(writer, name=f"{peer[0]}:{peer[1]}" if peer else "?")
+        try:
+            pid = int(hello.get("pid", 0) or 0)
+        except (TypeError, ValueError):
+            pid = 0
+        conn = _WorkerConn(
+            writer,
+            name=f"{peer[0]}:{peer[1]}" if peer else "?",
+            lanes=lanes,
+            host=str(hello.get("host", "") or ""),
+            pid=pid,
+        )
         self.runner._count("service.transport.workers")
+        self._workers.add(conn)
         await conn.send(
             {"type": "welcome", "ttl": self._remote_leases.ttl}
         )
@@ -511,6 +674,7 @@ class TcpServer:
             await self._worker_reader(reader, conn)
         finally:
             conn.fail_pending(ConnectionResetError("worker connection lost"))
+            self._workers.discard(conn)
             await asyncio.gather(*lane_tasks, return_exceptions=True)
 
     async def _worker_reader(
@@ -536,11 +700,26 @@ class TcpServer:
             fingerprint = str(msg.get("id", ""))
             if kind == "heartbeat":
                 self._remote_leases.heartbeat(fingerprint)
+                self._apply_delta(conn, msg.get("metrics"))
             elif kind == "result":
+                # The delta is applied even for stale answers (expired
+                # lease): the work genuinely happened on the worker, and
+                # the (source, seq) dedup already protects a re-run's
+                # fresh delta from colliding with it.
+                self._apply_delta(conn, msg.get("metrics"))
                 future = conn.pending.pop(fingerprint, None)
                 if future is not None and not future.done():
                     future.set_result(msg.get("out") or {})
                 # else: stale answer for a lease we already expired.
+
+    def _apply_delta(self, conn: _WorkerConn, delta: Any) -> None:
+        """Fold one worker metrics delta into the coordinator registry."""
+        if self._delta_fold is None or not isinstance(delta, dict):
+            return
+        if self._delta_fold.apply(
+            conn.key, delta.get("seq"), delta.get("data")
+        ):
+            self.runner._count("service.metrics.deltas_applied")
 
     async def _remote_lane(self, conn: _WorkerConn, index: int) -> None:
         """One server-side lane dispatching queue jobs to ``conn``."""
@@ -599,7 +778,17 @@ class TcpServer:
                     job, runner._poisoned_result(job, lane_label, leases)
                 )
                 continue
-            report_result = self._remote_result(job, lane_label, out)
+            try:
+                report_result = self._remote_result(job, lane_label, out)
+            except (KeyError, TypeError, ValueError):
+                # A malformed result dict (buggy or hostile worker) must
+                # not kill the lane task — that would strand the job and
+                # wedge the drain.  Settle it as a worker failure.
+                runner._count("service.transport.malformed_results")
+                report_result = runner._worker_failure_result(
+                    job, lane_label
+                )
+                out = {}
             runner._fold_observability(job, lane_label, report_result, out)
             await self._settle(job, report_result)
 
@@ -654,6 +843,14 @@ async def run_worker(
     third of the server-announced lease TTL, so a live-but-slow solve
     keeps its lease while a killed worker process loses it within one
     TTL.
+
+    Metrics stream back incrementally: each solved job's registry (plus
+    the worker's own ``service.worker.*`` bookkeeping) accumulates into
+    a pending delta that piggybacks on the next heartbeat or result line
+    as ``{"seq": N, "data": <registry dict>}``.  Sequence numbers let
+    the coordinator apply each delta exactly once however lines
+    interleave; the per-job ``out["metrics"]`` is nulled so the same
+    numbers never also travel the result path.
     """
     lanes = max(1, int(lanes))
     reader, writer = await asyncio.open_connection(
@@ -664,16 +861,37 @@ async def run_worker(
     lock = asyncio.Lock()
     solved = 0
     tasks: Set[asyncio.Task] = set()
+    pending = MetricsRegistry()
+    delta_seq = itertools.count(1)
 
-    async def send(payload: Dict[str, Any]) -> None:
+    def drain_delta() -> Optional[Dict[str, Any]]:
+        nonlocal pending
+        if not pending:
+            return None
+        delta = {"seq": next(delta_seq), "data": pending.to_dict()}
+        pending = MetricsRegistry()
+        return delta
+
+    async def send(
+        payload: Dict[str, Any], attach_delta: bool = False
+    ) -> None:
         async with lock:
+            if attach_delta:
+                # Drained under the lock: the delta rides exactly one
+                # line, so a send that fails loses it (the coordinator
+                # treats metrics as best-effort; results are the record).
+                delta = drain_delta()
+                if delta is not None:
+                    payload = dict(payload, metrics=delta)
             writer.write((json.dumps(payload) + "\n").encode("utf-8"))
             await writer.drain()
 
     async def heartbeat(fingerprint: str, interval: float) -> None:
         while True:
             await asyncio.sleep(interval)
-            await send({"type": "heartbeat", "id": fingerprint})
+            await send(
+                {"type": "heartbeat", "id": fingerprint}, attach_delta=True
+            )
 
     async def solve(msg: Dict[str, Any], interval: float) -> None:
         nonlocal solved
@@ -692,8 +910,21 @@ async def run_worker(
                 "events": [],
                 "metrics": None,
             }
+            pending.inc("service.worker.job_failures")
         finally:
             beat.cancel()
+        # Job metrics travel the delta stream, not the result line — the
+        # coordinator's fold merges out["metrics"] when present, so
+        # shipping both would double-count every engine counter.
+        if out.get("metrics"):
+            pending.merge(out["metrics"])
+        out["metrics"] = None
+        pending.inc("service.worker.jobs_solved")
+        pending.observe(
+            "service.worker.job_seconds",
+            float(out.get("elapsed", 0.0) or 0.0),
+            bounds=TIME_BUCKETS,
+        )
         if out.get("report") is None:
             # A worker-side failure with no report would crash the
             # server-side fold; ship a canonical worker-failure one.
@@ -707,11 +938,22 @@ async def run_worker(
                 reason=REASON_WORKER_FAILURE,
                 fingerprint=fingerprint,
             ).as_dict()
-        await send({"type": "result", "id": fingerprint, "out": out})
+        await send(
+            {"type": "result", "id": fingerprint, "out": out},
+            attach_delta=True,
+        )
         solved += 1
 
     try:
-        await send({"type": "hello", "role": "worker", "lanes": lanes})
+        await send(
+            {
+                "type": "hello",
+                "role": "worker",
+                "lanes": lanes,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+            }
+        )
         raw = await reader.readline()
         ttl = REMOTE_DEFAULT_TTL
         if raw:

@@ -1,0 +1,153 @@
+"""Benchmark regression gating: the `repro bench compare` semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    ABSOLUTE_FLOORS,
+    DEFAULT_THRESHOLDS,
+    compare_reports,
+    load_report,
+    parse_thresholds,
+    render_comparison,
+)
+
+
+def _report(**totals):
+    return {
+        "totals": {
+            mode: dict(values) for mode, values in totals.items()
+        },
+        "verdict_divergences": [],
+    }
+
+
+BASE = _report(
+    serial={"sat_queries": 100, "seconds": 1.0},
+    parallel={"sat_queries": 40, "seconds": 0.5},
+)
+
+
+class TestLoadAndThresholds:
+    def test_load_report_round_trip(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(BASE))
+        assert load_report(path)["totals"]["serial"]["sat_queries"] == 100
+
+    def test_load_rejects_non_report(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"rows": []}')
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_parse_thresholds_folds_over_defaults(self):
+        thresholds = parse_thresholds(["seconds=50", "extra_metric=5"])
+        assert thresholds["seconds"] == 50.0
+        assert thresholds["sat_queries"] == DEFAULT_THRESHOLDS["sat_queries"]
+        assert thresholds["extra_metric"] == 5.0
+
+    def test_parse_thresholds_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_thresholds(["seconds"])
+        with pytest.raises(ValueError):
+            parse_thresholds(["seconds=fast"])
+        with pytest.raises(ValueError):
+            parse_thresholds(["=20"])
+
+
+class TestCompare:
+    def test_baseline_vs_itself_passes(self):
+        deltas, failures = compare_reports(BASE, BASE)
+        assert failures == []
+        assert all(d.status == "ok" for d in deltas)
+        assert "PASS" in render_comparison(deltas, failures)
+
+    def test_regression_over_both_gates_fails(self):
+        fresh = _report(
+            serial={"sat_queries": 130, "seconds": 1.0},  # +30%, +30 abs
+            parallel={"sat_queries": 40, "seconds": 0.5},
+        )
+        deltas, failures = compare_reports(BASE, fresh)
+        assert len(failures) == 1
+        assert "serial.sat_queries" in failures[0]
+        assert "FAIL" in render_comparison(deltas, failures)
+
+    def test_absolute_floor_suppresses_tiny_regressions(self):
+        # +50% relative but only +2 queries: under the 3-query floor.
+        base = _report(tiny={"sat_queries": 4, "seconds": 0.001})
+        fresh = _report(tiny={"sat_queries": 6, "seconds": 0.002})
+        assert ABSOLUTE_FLOORS["sat_queries"] >= 2
+        deltas, failures = compare_reports(base, fresh)
+        assert failures == []
+
+    def test_improvement_reported_not_failed(self):
+        fresh = _report(
+            serial={"sat_queries": 50, "seconds": 0.4},
+            parallel={"sat_queries": 40, "seconds": 0.5},
+        )
+        deltas, failures = compare_reports(BASE, fresh)
+        assert failures == []
+        improved = {d.metric for d in deltas if d.status == "improved"}
+        assert "sat_queries" in improved
+
+    def test_missing_mode_fails(self):
+        fresh = _report(serial={"sat_queries": 100, "seconds": 1.0})
+        deltas, failures = compare_reports(BASE, fresh)
+        assert any("parallel" in f for f in failures)
+        assert any(d.status == "missing" for d in deltas)
+
+    def test_added_mode_is_not_a_failure(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["totals"]["new_mode"] = {"sat_queries": 9, "seconds": 0.1}
+        deltas, failures = compare_reports(BASE, fresh)
+        assert failures == []
+        assert any(d.status == "added" for d in deltas)
+
+    def test_verdict_divergence_fails_outright(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["verdict_divergences"] = [
+            {"pair": "p1", "serial": "eq", "parallel": "neq"}
+        ]
+        _, failures = compare_reports(BASE, fresh)
+        assert any("divergence" in f for f in failures)
+
+    def test_custom_threshold_tightens_gate(self):
+        fresh = _report(
+            serial={"sat_queries": 110, "seconds": 1.0},  # +10%, +10 abs
+            parallel={"sat_queries": 40, "seconds": 0.5},
+        )
+        _, default_failures = compare_reports(BASE, fresh)
+        assert default_failures == []  # within the default 20%
+        _, tight_failures = compare_reports(
+            BASE, fresh, parse_thresholds(["sat_queries=5"])
+        )
+        assert len(tight_failures) == 1
+
+    def test_zero_baseline_has_no_pct_but_compares(self):
+        base = _report(mode={"sat_queries": 0, "seconds": 0.0})
+        fresh = _report(mode={"sat_queries": 10, "seconds": 0.0})
+        deltas, failures = compare_reports(base, fresh)
+        row = next(d for d in deltas if d.metric == "sat_queries")
+        assert row.delta_pct is None
+        # 10 > 0*(1.2) and 10 > floor(3): a from-zero jump is real.
+        assert failures
+
+    def test_delta_rows_serialise(self):
+        deltas, _ = compare_reports(BASE, BASE)
+        for delta in deltas:
+            row = delta.to_dict()
+            assert json.loads(json.dumps(row)) == row
+
+
+class TestRealBaseline:
+    def test_checked_in_baseline_passes_against_itself(self):
+        """The identity check CI runs: BENCH_cec.json vs BENCH_cec.json."""
+        from pathlib import Path
+
+        report = load_report(Path(__file__).parents[2] / "BENCH_cec.json")
+        deltas, failures = compare_reports(report, report)
+        assert failures == []
+        assert deltas, "baseline has no comparable totals"

@@ -1,0 +1,140 @@
+"""Merge algebra of the metrics registry under worker delta streaming.
+
+The telemetry design leans on two facts proved here:
+
+* :meth:`MetricsRegistry.merge` is **commutative and associative** for
+  every metric family (counters add, gauges max, histograms bucket-wise
+  add, series are order-sensitive only in sequence, not in totals) — so
+  out-of-order application of distinct worker deltas converges to the
+  same totals;
+* counter merge is **not idempotent** (merging the same delta twice
+  double-counts) — which is exactly why the protocol layer
+  (:class:`MetricsDeltaFold`) enforces exactly-once per ``(source, seq)``
+  instead of hoping the transport never re-delivers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS
+from repro.obs.telemetry import MetricsDeltaFold
+
+
+def _random_delta(rng: random.Random) -> dict:
+    reg = MetricsRegistry()
+    for _ in range(rng.randint(1, 4)):
+        reg.inc(f"c.{rng.randint(0, 2)}", rng.randint(1, 5))
+    for _ in range(rng.randint(0, 2)):
+        reg.max_gauge(f"g.{rng.randint(0, 1)}", rng.uniform(0, 10))
+    for _ in range(rng.randint(0, 3)):
+        reg.observe("h.t", rng.uniform(0, 2), bounds=TIME_BUCKETS)
+    return reg.to_dict()
+
+
+def _totals(registry: MetricsRegistry) -> dict:
+    data = registry.to_dict()
+    hist = data["histograms"].get("h.t")
+    return {
+        "counters": data["counters"],
+        "gauges": {k: round(v, 9) for k, v in data["gauges"].items()},
+        "hist_counts": tuple(hist["counts"]) if hist else None,
+        "hist_sum": round(hist["sum"], 9) if hist else None,
+    }
+
+
+def _merged(deltas) -> dict:
+    registry = MetricsRegistry()
+    for delta in deltas:
+        registry.merge(delta)
+    return _totals(registry)
+
+
+class TestMergeAlgebra:
+    def test_commutative_any_order(self):
+        rng = random.Random(7)
+        deltas = [_random_delta(rng) for _ in range(6)]
+        reference = _merged(deltas)
+        for seed in range(5):
+            shuffled = list(deltas)
+            random.Random(seed).shuffle(shuffled)
+            assert _merged(shuffled) == reference
+
+    def test_associative_grouping(self):
+        rng = random.Random(11)
+        deltas = [_random_delta(rng) for _ in range(4)]
+        # (((a+b)+c)+d)  vs  (a+b) + (c+d) pre-combined.
+        left = MetricsRegistry()
+        for delta in deltas:
+            left.merge(delta)
+        ab = MetricsRegistry()
+        ab.merge(deltas[0])
+        ab.merge(deltas[1])
+        cd = MetricsRegistry()
+        cd.merge(deltas[2])
+        cd.merge(deltas[3])
+        grouped = MetricsRegistry()
+        grouped.merge(ab)
+        grouped.merge(cd)
+        assert _totals(grouped) == _totals(left)
+
+    def test_counter_merge_not_idempotent(self):
+        delta = _random_delta(random.Random(3))
+        once = _merged([delta])
+        twice = _merged([delta, delta])
+        assert once != twice  # the hazard the delta fold exists to stop
+
+    def test_gauge_merge_is_idempotent(self):
+        reg = MetricsRegistry()
+        reg.max_gauge("g", 5.0)
+        delta = reg.to_dict()
+        target = MetricsRegistry()
+        target.merge(delta)
+        target.merge(delta)
+        assert target.gauge("g") == 5.0
+
+
+class TestExactlyOnceUnderRedelivery:
+    def test_out_of_order_duplicated_deltas_converge(self):
+        """The fleet scenario: two workers, re-sent + shuffled deltas.
+
+        However the transport mangles delivery order and however many
+        times a delta is re-sent, folding through MetricsDeltaFold must
+        equal the clean in-order, exactly-once application.
+        """
+        rng = random.Random(42)
+        per_worker = {
+            "w1": [_random_delta(rng) for _ in range(5)],
+            "w2": [_random_delta(rng) for _ in range(5)],
+        }
+        clean = MetricsRegistry()
+        for deltas in per_worker.values():
+            for delta in deltas:
+                clean.merge(delta)
+
+        for seed in range(8):
+            shuffle_rng = random.Random(seed)
+            stream = [
+                (worker, seq, delta)
+                for worker, deltas in per_worker.items()
+                for seq, delta in enumerate(deltas, start=1)
+            ]
+            # Duplicate a random prefix (lease retry re-sends), shuffle all.
+            stream += stream[: shuffle_rng.randint(0, len(stream))]
+            shuffle_rng.shuffle(stream)
+            target = MetricsRegistry()
+            fold = MetricsDeltaFold(target)
+            for worker, seq, delta in stream:
+                fold.apply(worker, seq, delta)
+            assert _totals(target) == _totals(clean), f"seed {seed}"
+            assert fold.applied == 10
+
+    def test_interleaved_local_and_remote_counts_add(self):
+        # Coordinator-local increments and folded worker deltas coexist.
+        target = MetricsRegistry()
+        fold = MetricsDeltaFold(target)
+        target.inc("service.jobs.done", 3)
+        worker = MetricsRegistry()
+        worker.inc("service.jobs.done", 2)
+        fold.apply("w1", 1, worker.to_dict())
+        assert target.counter("service.jobs.done") == 5.0

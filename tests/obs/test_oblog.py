@@ -1,0 +1,187 @@
+"""The per-obligation feature log: extraction, round trip, live capture."""
+
+from __future__ import annotations
+
+from repro.obs.oblog import (
+    CASCADE_STAGES,
+    ObligationRecord,
+    extract_obligation_records,
+    read_obligation_log,
+    write_obligation_log,
+)
+from repro.obs.trace import Tracer
+
+
+def _span(name="cec.obligation", **args):
+    return {
+        "type": "span",
+        "name": name,
+        "cat": "obligation",
+        "ts": 1.0,
+        "dur": 0.25,
+        "host": "h1",
+        "pid": 11,
+        "args": args,
+    }
+
+
+def _instant(**args):
+    return {
+        "type": "instant",
+        "name": "cec.obligation.features",
+        "cat": "obligation",
+        "ts": 2.0,
+        "host": "h2",
+        "pid": 22,
+        "args": args,
+    }
+
+
+class TestExtraction:
+    def test_cascade_span_becomes_record(self):
+        events = [
+            _span(
+                output="y0",
+                decided_by="bdd",
+                verdict="eq",
+                cone=17,
+                width=64,
+            )
+        ]
+        (record,) = extract_obligation_records(events)
+        assert record.kind == "cascade"
+        assert record.output == "y0"
+        assert record.engine == "bdd"
+        assert record.stage == CASCADE_STAGES["bdd"] == 2
+        assert record.cone == 17 and record.width == 64
+        assert record.seconds == 0.25
+        assert (record.host, record.pid) == ("h1", 11)
+
+    def test_sweep_instant_becomes_record(self):
+        events = [
+            _instant(
+                kind="sweep",
+                round=1,
+                unit=3,
+                group=9,
+                width=4,
+                cone=120,
+                engine="sat",
+                verdict="neq",
+                seconds=0.01,
+            )
+        ]
+        (record,) = extract_obligation_records(events)
+        assert record.kind == "sweep"
+        assert (record.round, record.unit, record.group) == (1, 3, 9)
+        assert record.stage == CASCADE_STAGES["sat"] == 3
+        assert (record.host, record.pid) == ("h2", 22)
+
+    def test_unrelated_events_ignored(self):
+        events = [
+            {"type": "span", "name": "cec.phase.sweep", "args": {}},
+            {"type": "instant", "name": "sweep.unit.lost", "args": {}},
+            {"type": "meta", "name": "trace-start"},
+        ]
+        assert extract_obligation_records(events) == []
+
+    def test_pre_feature_traces_still_mine(self):
+        # Spans from before the feature stamps lack cone/width; rows
+        # still come out with those fields absent, not a crash.
+        events = [_span(output="y1", decided_by="sim", verdict="eq")]
+        (record,) = extract_obligation_records(events)
+        assert record.cone is None and record.width is None
+        assert record.stage == 1
+
+    def test_unknown_engine_has_no_stage(self):
+        events = [_span(output="y", decided_by="quantum", verdict="eq")]
+        (record,) = extract_obligation_records(events)
+        assert record.stage is None and record.engine == "quantum"
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        records = [
+            ObligationRecord(
+                kind="cascade",
+                output="o1",
+                cone=5,
+                width=32,
+                stage=2,
+                engine="bdd",
+                verdict="eq",
+                seconds=0.5,
+                host="h",
+                pid=1,
+            ),
+            ObligationRecord(
+                kind="sweep",
+                output=None,
+                cone=9,
+                width=3,
+                stage=3,
+                engine="sat",
+                verdict="deferred",
+                seconds=0.001,
+                round=2,
+                unit=0,
+                group=7,
+            ),
+        ]
+        path = tmp_path / "ob.jsonl"
+        assert write_obligation_log(records, path) == 2
+        loaded = read_obligation_log(path)
+        assert loaded == records
+
+    def test_reader_skips_garbage_lines(self, tmp_path):
+        path = tmp_path / "ob.jsonl"
+        path.write_text(
+            '{"kind": "cascade", "engine": "sat"}\n'
+            "not json at all\n"
+            "[1, 2, 3]\n"
+            "\n"
+        )
+        loaded = read_obligation_log(path)
+        assert len(loaded) == 1
+        assert loaded[0].engine == "sat"
+
+    def test_none_fields_dropped_from_rows(self):
+        record = ObligationRecord(
+            kind="cascade",
+            output=None,
+            cone=None,
+            width=None,
+            stage=None,
+            engine="sim",
+            verdict="eq",
+            seconds=None,
+        )
+        row = record.to_dict()
+        assert row == {"kind": "cascade", "engine": "sim", "verdict": "eq"}
+
+
+class TestLiveCapture:
+    def test_real_verify_emits_feature_records(self):
+        """A real engine run yields rows with plausible feature values."""
+        from repro.api import VerifyRequest, verify_pair
+        from repro.bench.minmax import minmax_circuit
+        from repro.synth.script import optimize_sequential_delay
+
+        golden = minmax_circuit(4)
+        revised = optimize_sequential_delay(golden)
+        tracer = Tracer(sink=[])
+        report = verify_pair(
+            VerifyRequest(golden=golden, revised=revised), tracer=tracer
+        )
+        tracer.close()
+        assert report.verdict == "equivalent"
+        records = extract_obligation_records(tracer.events)
+        assert records, "engine emitted no obligation evidence"
+        for record in records:
+            assert record.kind in ("cascade", "sweep")
+            assert record.engine is not None
+            assert record.host and record.pid
+            if record.cone is not None:
+                assert record.cone >= 0
+            if record.kind == "sweep":
+                assert record.width >= 2

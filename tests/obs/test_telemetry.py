@@ -1,0 +1,223 @@
+"""Telemetry snapshots: sampler, schema, delta fold, render surfaces."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, TIME_BUCKETS
+from repro.obs.telemetry import (
+    MetricsDeltaFold,
+    TelemetrySampler,
+    read_snapshots,
+    render_prometheus,
+    render_snapshot,
+    validate_snapshot,
+    validate_snapshots,
+)
+
+
+def _probe():
+    return {
+        "queue": {"depth": 3, "running": 1, "unfinished": 4, "closed": 0},
+        "jobs": {"done": 7, "failed": 1},
+    }
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSampler:
+    def test_sample_stamps_identity_and_seq(self):
+        sink = []
+        sampler = TelemetrySampler(probe=_probe, sink=sink)
+        first = sampler.sample()
+        second = sampler.sample()
+        assert first["type"] == "snapshot"
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert first["source"] == "service"
+        assert isinstance(first["host"], str) and first["host"]
+        assert isinstance(first["pid"], int) and first["pid"] > 0
+        assert first["queue"]["depth"] == 3
+        assert sink == [first, second]
+
+    def test_throughput_derived_from_done_delta(self):
+        clock = FakeClock()
+        state = {"done": 0.0}
+
+        def probe():
+            return {"jobs": {"done": state["done"], "failed": 0}}
+
+        sampler = TelemetrySampler(probe=probe, sink=[], clock=clock)
+        sampler.sample()
+        state["done"] = 10.0
+        clock.t += 2.0
+        snap = sampler.sample()
+        assert snap["throughput"]["jobs_per_sec"] == pytest.approx(5.0)
+        assert snap["throughput"]["interval_seconds"] == pytest.approx(2.0)
+
+    def test_file_round_trip_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        sampler = TelemetrySampler(probe=_probe, path=path)
+        sampler.sample()
+        sampler.sample()
+        sampler.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "snapsho')  # torn tail write
+        snapshots = read_snapshots(path)
+        assert [s["seq"] for s in snapshots] == [1, 2]
+        assert validate_snapshots(snapshots) == []
+
+    def test_periodic_task_records_and_final_sample_lands(self):
+        async def scenario():
+            sink = []
+            sampler = TelemetrySampler(
+                probe=_probe, sink=sink, interval=0.05
+            )
+            sampler.start()
+            await asyncio.sleep(0.12)
+            await sampler.aclose()
+            return sink
+
+        sink = asyncio.run(scenario())
+        # At least the initial tick plus the final flush.
+        assert len(sink) >= 2
+        assert validate_snapshots(sink) == []
+
+    def test_probe_exceptions_not_required(self):
+        # A probe-less sampler is legal (the status role samples lazily).
+        sampler = TelemetrySampler(sink=[])
+        snap = sampler.sample()
+        assert snap["type"] == "snapshot"
+        assert validate_snapshot(snap) == []
+
+    def test_path_and_sink_conflict(self, tmp_path):
+        with pytest.raises(ValueError):
+            TelemetrySampler(path=tmp_path / "x.jsonl", sink=[])
+
+
+class TestSnapshotSchema:
+    def _good(self):
+        sampler = TelemetrySampler(probe=_probe, sink=[])
+        return sampler.sample()
+
+    def test_good_snapshot_passes(self):
+        assert validate_snapshot(self._good()) == []
+
+    def test_missing_required_field_fails(self):
+        snap = self._good()
+        del snap["seq"]
+        assert validate_snapshot(snap)
+
+    def test_bool_leaf_rejected(self):
+        snap = self._good()
+        snap["queue"]["depth"] = True
+        assert validate_snapshot(snap)
+
+    def test_non_numeric_leaf_rejected(self):
+        snap = self._good()
+        snap["jobs"]["done"] = "seven"
+        assert validate_snapshot(snap)
+
+    def test_seq_regression_flagged_per_source(self):
+        sampler = TelemetrySampler(probe=_probe, sink=[])
+        a = sampler.sample()
+        b = sampler.sample()
+        assert validate_snapshots([a, b]) == []
+        assert validate_snapshots([b, a])  # out of order -> error
+        # A different source is an independent sequence.
+        other = dict(b, source="other", seq=1)
+        assert validate_snapshots([a, b, other]) == []
+
+
+class TestMetricsDeltaFold:
+    def _delta(self, jobs=1.0):
+        reg = MetricsRegistry()
+        reg.inc("service.worker.jobs_solved", jobs)
+        return reg.to_dict()
+
+    def test_applies_once_per_seq(self):
+        target = MetricsRegistry()
+        fold = MetricsDeltaFold(target)
+        assert fold.apply("w1", 1, self._delta())
+        assert not fold.apply("w1", 1, self._delta())  # duplicate
+        assert target.counter("service.worker.jobs_solved") == 1.0
+        assert (fold.applied, fold.skipped) == (1, 1)
+
+    def test_out_of_order_and_cross_source(self):
+        target = MetricsRegistry()
+        fold = MetricsDeltaFold(target)
+        assert fold.apply("w1", 2, self._delta())
+        assert fold.apply("w1", 1, self._delta())  # late but fresh
+        assert fold.apply("w2", 1, self._delta())  # same seq, other worker
+        assert target.counter("service.worker.jobs_solved") == 3.0
+
+    def test_bad_seq_or_payload_skipped(self):
+        target = MetricsRegistry()
+        fold = MetricsDeltaFold(target)
+        assert not fold.apply("w1", None, self._delta())
+        assert not fold.apply("w1", "x", self._delta())
+        assert not fold.apply("w1", 3, None)
+        assert not fold.apply("w1", 4, {"counters": "garbage"})
+        assert target.counter("service.worker.jobs_solved") == 0.0
+
+    def test_sources_listed(self):
+        fold = MetricsDeltaFold(MetricsRegistry())
+        fold.apply("b", 1, self._delta())
+        fold.apply("a", 1, self._delta())
+        assert fold.sources() == ["a", "b"]
+
+
+class TestPrometheusRender:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("service.jobs.done", 5)
+        reg.set_gauge("service.store.corrupt_lines", 2)
+        reg.observe("service.worker.job_seconds", 0.5, bounds=TIME_BUCKETS)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_service_jobs_done counter" in text
+        assert "repro_service_jobs_done 5" in text
+        assert "repro_service_store_corrupt_lines 2" in text
+        assert 'repro_service_worker_job_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_service_worker_job_seconds_count 1" in text
+
+    def test_snapshot_sections_become_gauges(self):
+        sampler = TelemetrySampler(probe=_probe, sink=[])
+        text = render_prometheus(None, sampler.sample())
+        assert "repro_telemetry_queue_depth 3" in text
+        assert "repro_telemetry_jobs_done 7" in text
+        assert "# TYPE repro_telemetry_seq counter" in text
+
+    def test_name_sanitisation(self):
+        reg = MetricsRegistry()
+        reg.inc("weird-name.1x")
+        text = render_prometheus(reg)
+        assert "repro_weird_name_1x 1" in text
+
+    def test_empty_inputs_render_empty_exposition(self):
+        assert render_prometheus(None, None) == "\n"
+
+
+class TestDashboardRender:
+    def test_rows_present(self):
+        sampler = TelemetrySampler(probe=_probe, sink=[], source="serve")
+        text = render_snapshot(sampler.sample())
+        assert "repro fleet [serve]" in text
+        assert "queue" in text and "depth=3" in text
+        assert "jobs" in text and "done=7" in text
+
+    def test_render_tolerates_sparse_snapshot(self):
+        text = render_snapshot({"type": "snapshot", "seq": 1})
+        assert "repro fleet" in text
+
+    def test_json_round_trip(self):
+        sampler = TelemetrySampler(probe=_probe, sink=[])
+        snap = sampler.sample()
+        assert json.loads(json.dumps(snap)) == snap

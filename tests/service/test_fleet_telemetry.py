@@ -1,0 +1,417 @@
+"""Fleet telemetry end-to-end: status role, Prometheus, worker deltas.
+
+Drives a real :class:`TcpServer` on loopback and exercises the three
+observation surfaces the fleet exposes: the ``status`` connection role
+(`repro status`), the Prometheus text endpoint (``--prom-port``) and the
+worker→coordinator metric-delta stream that makes remote work visible in
+the coordinator's registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    TelemetrySampler,
+    validate_snapshot,
+    validate_snapshots,
+)
+from repro.service import BatchRunner, TcpServer, run_worker
+
+
+@pytest.fixture(scope="module")
+def circuit_pair(tmp_path_factory):
+    from repro.bench.pipeline import pipeline_circuit
+    from repro.netlist.blif import write_blif
+
+    tmp = tmp_path_factory.mktemp("fleet")
+    circuit = pipeline_circuit(stages=2, width=3, seed=4, name="fleet")
+    path = tmp / "fleet.blif"
+    path.write_text(write_blif(circuit))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def circuit_pairs(tmp_path_factory):
+    """Two distinct pairs -> two fingerprints (dedup must not collapse)."""
+    from repro.bench.pipeline import pipeline_circuit
+    from repro.netlist.blif import write_blif
+
+    tmp = tmp_path_factory.mktemp("fleet2")
+    paths = []
+    for seed in (4, 5):
+        circuit = pipeline_circuit(
+            stages=2, width=3, seed=seed, name=f"fleet{seed}"
+        )
+        path = tmp / f"fleet{seed}.blif"
+        path.write_text(write_blif(circuit))
+        paths.append(str(path))
+    return paths
+
+
+def _row(path, name):
+    return json.dumps({"golden": path, "revised": path, "name": name})
+
+
+async def _client(port):
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
+async def _send_line(writer, text):
+    writer.write((text + "\n").encode())
+    await writer.drain()
+
+
+async def _read_msg(reader, timeout=30.0):
+    line = await asyncio.wait_for(reader.readline(), timeout)
+    assert line, "connection closed unexpectedly"
+    return json.loads(line)
+
+
+class TestStatusRole:
+    def test_one_shot_snapshot(self, circuit_pair):
+        async def main():
+            runner = BatchRunner(
+                jobs=1, use_processes=False, retries=0,
+                metrics=MetricsRegistry(),
+            )
+            server = TcpServer(runner, port=0)
+            await server.start()
+            try:
+                reader, writer = await _client(server.port)
+                await _send_line(writer, _row(circuit_pair, "j0"))
+                result = await _read_msg(reader)
+                assert result["type"] == "result"
+
+                obs_r, obs_w = await _client(server.port)
+                await _send_line(
+                    obs_w, json.dumps({"type": "hello", "role": "status"})
+                )
+                snap = await _read_msg(obs_r)
+                # One-shot: the server closes after a single snapshot.
+                tail = await asyncio.wait_for(obs_r.read(), 10.0)
+                writer.close()
+                return snap, tail
+            finally:
+                await server.aclose()
+
+        snap, tail = asyncio.run(main())
+        assert validate_snapshot(snap) == []
+        assert snap["source"] == "serve"
+        assert snap["jobs"]["done"] >= 1
+        assert snap["workers"] == {"connected": 0, "lanes": 0}
+        assert tail == b""
+
+    def test_watch_streams_until_hangup(self):
+        async def main():
+            runner = BatchRunner(jobs=1, use_processes=False, retries=0)
+            server = TcpServer(runner, port=0)
+            await server.start()
+            try:
+                obs_r, obs_w = await _client(server.port)
+                await _send_line(
+                    obs_w,
+                    json.dumps(
+                        {
+                            "type": "hello",
+                            "role": "status",
+                            "watch": True,
+                            "interval": 0.05,
+                        }
+                    ),
+                )
+                snaps = [await _read_msg(obs_r) for _ in range(3)]
+                obs_w.close()
+                return snaps
+            finally:
+                await server.aclose()
+
+        snaps = asyncio.run(main())
+        assert validate_snapshots(snaps) == []
+        seqs = [s["seq"] for s in snaps]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 3
+
+    def test_garbage_status_hello_is_harmless(self):
+        async def main():
+            runner = BatchRunner(jobs=1, use_processes=False, retries=0)
+            server = TcpServer(runner, port=0)
+            await server.start()
+            try:
+                obs_r, obs_w = await _client(server.port)
+                await _send_line(
+                    obs_w,
+                    json.dumps(
+                        {
+                            "type": "hello",
+                            "role": "status",
+                            "watch": "nonsense",
+                            "interval": "also nonsense",
+                        }
+                    ),
+                )
+                snap = await _read_msg(obs_r)
+                obs_w.close()
+                return snap
+            finally:
+                await server.aclose()
+
+        assert validate_snapshot(asyncio.run(main())) == []
+
+
+class TestPrometheusEndpoint:
+    def test_scrape_exposes_registry_and_snapshot(self, circuit_pair):
+        async def main():
+            runner = BatchRunner(
+                jobs=1, use_processes=False, retries=0,
+                metrics=MetricsRegistry(),
+            )
+            server = TcpServer(runner, port=0, prom_port=0)
+            await server.start()
+            assert server.prom_port not in (None, 0)
+            try:
+                reader, writer = await _client(server.port)
+                await _send_line(writer, _row(circuit_pair, "j0"))
+                await _read_msg(reader)
+
+                prom_r, prom_w = await asyncio.open_connection(
+                    "127.0.0.1", server.prom_port
+                )
+                prom_w.write(
+                    b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"
+                )
+                await prom_w.drain()
+                raw = await asyncio.wait_for(prom_r.read(), 10.0)
+                writer.close()
+                return raw.decode("utf-8", "replace")
+            finally:
+                await server.aclose()
+
+        response = asyncio.run(main())
+        head, _, body = response.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.1 200 OK")
+        assert "text/plain; version=0.0.4" in head
+        assert "# TYPE repro_service_jobs_done counter" in body
+        assert "repro_service_jobs_done 1" in body
+        assert "repro_telemetry_queue_depth" in body
+
+    def test_prom_endpoint_closes_with_server(self):
+        async def main():
+            runner = BatchRunner(jobs=1, use_processes=False, retries=0)
+            server = TcpServer(runner, port=0, prom_port=0)
+            await server.start()
+            port = server.prom_port
+            await server.aclose()
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.open_connection("127.0.0.1", port)
+
+        asyncio.run(main())
+
+
+class TestWorkerDeltaStream:
+    def test_remote_work_lands_in_coordinator_registry(self, circuit_pairs):
+        async def main():
+            metrics = MetricsRegistry()
+            runner = BatchRunner(
+                jobs=1,
+                use_processes=False,
+                retries=0,
+                metrics=metrics,
+                lease_ttl=5.0,
+            )
+            server = TcpServer(runner, port=0, local_lanes=0)
+            await server.start()
+            worker = asyncio.ensure_future(
+                run_worker(
+                    "127.0.0.1", server.port, lanes=1, use_processes=False
+                )
+            )
+            try:
+                reader, writer = await _client(server.port)
+                for i, path in enumerate(circuit_pairs):
+                    await _send_line(writer, _row(path, f"j{i}"))
+                for _ in circuit_pairs:
+                    await _read_msg(reader)
+                writer.close()
+            finally:
+                await server.aclose()
+            await asyncio.wait_for(worker, 10.0)
+            return metrics
+
+        metrics = asyncio.run(main())
+        # The workers' own counters arrived via the delta stream: remote
+        # solves are visible coordinator-side, not trapped in the worker.
+        assert metrics.counter("service.worker.jobs_solved") == 2.0
+        assert metrics.counter("service.metrics.deltas_applied") >= 1.0
+        hist = metrics.histogram("service.worker.job_seconds")
+        assert hist is not None and hist.count == 2
+
+    def test_worker_identity_on_connection(self, circuit_pair):
+        """The worker hello carries host/pid; the server keys deltas on it."""
+
+        async def main():
+            metrics = MetricsRegistry()
+            runner = BatchRunner(
+                jobs=1,
+                use_processes=False,
+                retries=0,
+                metrics=metrics,
+                lease_ttl=5.0,
+            )
+            server = TcpServer(runner, port=0, local_lanes=0)
+            await server.start()
+            seen = {}
+
+            async def observe_worker():
+                r, w = await _client(server.port)
+                await _send_line(
+                    w,
+                    json.dumps(
+                        {
+                            "type": "hello",
+                            "role": "worker",
+                            "lanes": 1,
+                            "host": "testhost",
+                            "pid": 4242,
+                        }
+                    ),
+                )
+                await _read_msg(r)  # welcome
+                job = await _read_msg(r)
+                assert job["type"] == "job"
+                delta = MetricsRegistry()
+                delta.inc("service.worker.jobs_solved")
+                out = {
+                    "report": {
+                        "verdict": "equivalent",
+                        "method": "edbf",
+                        "fingerprint": job["id"],
+                    },
+                    "error": None,
+                    "attempts": 1,
+                    "elapsed": 0.01,
+                    "events": [],
+                    "metrics": None,
+                }
+                await _send_line(
+                    w,
+                    json.dumps(
+                        {
+                            "type": "result",
+                            "id": job["id"],
+                            "out": out,
+                            "metrics": {
+                                "seq": 1,
+                                "data": delta.to_dict(),
+                            },
+                        }
+                    ),
+                )
+                seen.update(
+                    {c.key: True for c in server._workers}
+                )
+                w.close()
+
+            fake = asyncio.ensure_future(observe_worker())
+            try:
+                reader, writer = await _client(server.port)
+                await _send_line(writer, _row(circuit_pair, "j0"))
+                await _read_msg(reader)
+                writer.close()
+                await asyncio.wait_for(fake, 10.0)
+            finally:
+                await server.aclose()
+            return metrics, seen
+
+        metrics, seen = asyncio.run(main())
+        assert any("testhost:4242" in key for key in seen)
+        assert metrics.counter("service.worker.jobs_solved") == 1.0
+
+    def test_malformed_result_fails_job_without_wedging(self, circuit_pair):
+        """A worker answering garbage `out` must not strand the job."""
+
+        async def main():
+            metrics = MetricsRegistry()
+            runner = BatchRunner(
+                jobs=1,
+                use_processes=False,
+                retries=0,
+                metrics=metrics,
+                lease_ttl=5.0,
+            )
+            server = TcpServer(runner, port=0, local_lanes=0)
+            await server.start()
+
+            async def hostile_worker():
+                r, w = await _client(server.port)
+                await _send_line(
+                    w,
+                    json.dumps(
+                        {"type": "hello", "role": "worker", "lanes": 1}
+                    ),
+                )
+                await _read_msg(r)  # welcome
+                job = await _read_msg(r)
+                # `out` is not an execute_request dict: no "report" key.
+                await _send_line(
+                    w,
+                    json.dumps(
+                        {
+                            "type": "result",
+                            "id": job["id"],
+                            "out": {"nonsense": True},
+                        }
+                    ),
+                )
+                return w
+
+            hostile = asyncio.ensure_future(hostile_worker())
+            try:
+                reader, writer = await _client(server.port)
+                await _send_line(writer, _row(circuit_pair, "j0"))
+                answer = await _read_msg(reader)
+                writer.close()
+                (await asyncio.wait_for(hostile, 10.0)).close()
+            finally:
+                await server.aclose()
+            return metrics, answer
+
+        metrics, answer = asyncio.run(main())
+        assert answer["status"] == "failed"
+        assert answer["report"]["verdict"] == "unknown"
+        assert metrics.counter("service.transport.malformed_results") == 1.0
+
+
+class TestRunnerTelemetry:
+    def test_batch_run_records_schema_valid_series(self, circuit_pairs):
+        from repro.api import VerifyRequest
+
+        async def main():
+            sink = []
+            runner = BatchRunner(
+                jobs=1,
+                use_processes=False,
+                retries=0,
+                metrics=MetricsRegistry(),
+                telemetry=TelemetrySampler(
+                    sink=sink, interval=0.05, source="batch"
+                ),
+            )
+            requests = [
+                VerifyRequest(golden=path, revised=path, name=f"j{i}")
+                for i, path in enumerate(circuit_pairs)
+            ]
+            results = await runner.run(requests)
+            return sink, results
+
+        sink, results = asyncio.run(main())
+        assert all(r.report.verdict == "equivalent" for r in results)
+        assert sink, "no snapshots recorded"
+        assert validate_snapshots(sink) == []
+        final = sink[-1]
+        assert final["source"] == "batch"
+        assert final["jobs"]["done"] == 2
+        assert final["queue"]["unfinished"] == 0
