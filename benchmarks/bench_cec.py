@@ -22,6 +22,12 @@ refinement matters — and writes ``BENCH_cec.json``:
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_cec.py [-o BENCH_cec.json]
+                                                  [--dispatch-policy NAME]
+
+``--dispatch-policy`` folds an engine-dispatch policy into every mode
+(default ``cascade``, the historical ladder); running once per policy
+and diffing the reports with ``repro bench compare`` is how policy
+verdict-identity and SAT-query savings are gated in CI.
 
 Exit code 0 means all verdicts agreed; 1 means a divergence (the JSON is
 still written for the post-mortem).
@@ -250,7 +256,7 @@ def _timed_check(golden, revised, options) -> Tuple[object, float, int]:
             return result, best, repeats
 
 
-def run(pairs) -> Dict:
+def run(pairs, dispatch_policy: str = "cascade") -> Dict:
     rows = []
     totals = {name: {"sat_queries": 0, "seconds": 0.0} for name, _ in MODES}
     divergences = []
@@ -258,6 +264,7 @@ def run(pairs) -> Dict:
         row = {"pair": name}
         verdicts = {}
         for mode, options in MODES:
+            options = dict(options, dispatch_policy=dispatch_policy)
             result, elapsed, repeats = _timed_check(golden, revised, options)
             verdicts[mode] = result.verdict.value
             row[mode] = {
@@ -285,7 +292,7 @@ def run(pairs) -> Dict:
     )
     return {
         "benchmark": "cec_sweep",
-        "config": dict(NARROW),
+        "config": dict(NARROW, dispatch_policy=dispatch_policy),
         "pairs": rows,
         "totals": totals,
         "sat_queries_saved_by_refinement": saved,
@@ -300,8 +307,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-o", "--output", default="BENCH_cec.json", help="output JSON path"
     )
+    parser.add_argument(
+        "--dispatch-policy",
+        default="cascade",
+        metavar="NAME",
+        help="engine dispatch policy folded into every mode "
+        "(default: cascade, the historical ladder)",
+    )
     args = parser.parse_args(argv)
-    report = run(corpus())
+    report = run(corpus(), dispatch_policy=args.dispatch_policy)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

@@ -40,7 +40,8 @@ import hashlib
 import json
 import os
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import InitVar, dataclass, field
 from typing import (
     Any,
     Dict,
@@ -137,6 +138,11 @@ def exit_code_for_verdict(verdict: Union[str, SeqVerdict]) -> int:
     return EXIT_UNKNOWN
 
 
+# Sentinel for the deprecated ``cec_cache=`` constructor spelling: None
+# is a meaningful value, so absence needs its own marker.
+_UNSET: Any = object()
+
+
 def _blif_bytes(circuit: Union[str, os.PathLike, Circuit]) -> bytes:
     """The bytes that define a circuit's identity for fingerprinting."""
     if isinstance(circuit, Circuit):
@@ -179,8 +185,31 @@ class VerifyRequest:
     bdd_node_limit: Optional[int] = None
     # Free-form caller annotations, carried through to the report.
     metadata: Dict[str, Any] = field(default_factory=dict)
+    # Engine-portfolio dispatch (verdict-preserving; not fingerprinted).
+    # ``engines`` is a list of adapter names (or a comma-separated
+    # string, normalised to a list); None lets the policy choose.
+    engines: Optional[List[str]] = None
+    dispatch_policy: str = "cascade"
+    dispatch_store: Union[None, str, os.PathLike] = None
+    # Deprecated spelling of ``cache=`` (kept one release for manifests
+    # and callers written against the pre-facade kwarg).
+    cec_cache: InitVar[Any] = _UNSET
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, cec_cache: Any = _UNSET) -> None:
+        if cec_cache is not _UNSET:
+            warnings.warn(
+                "VerifyRequest(cec_cache=...) is deprecated; use cache=...",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.cache is None:
+                self.cache = cec_cache
+        if isinstance(self.engines, str):
+            self.engines = [
+                part.strip() for part in self.engines.split(",") if part.strip()
+            ]
+        elif self.engines is not None:
+            self.engines = list(self.engines)
         if not self.name:
             self.name = f"{self._label(self.golden)}~{self._label(self.revised)}"
 
@@ -228,7 +257,8 @@ class VerifyRequest:
         option, so two manifest rows naming byte-identical files dedup
         even under different names/paths, while requests differing in a
         way that can change the verdict never collide.  Engine options
-        (``jobs``, ``cache``, ``refine``, ``preprocess``) and budgets are
+        (``jobs``, ``cache``, ``refine``, ``preprocess``, ``engines``,
+        ``dispatch_policy``, ``dispatch_store``) and budgets are
         deliberately
         excluded: they affect *whether* a verdict is reached, not which
         one.
@@ -270,12 +300,16 @@ class VerifyRequest:
             "sat_conflicts",
             "sat_propagations",
             "bdd_node_limit",
+            "engines",
+            "dispatch_policy",
         ):
             value = getattr(self, attr)
             if value != getattr(defaults, attr):
                 out[attr] = value
         if self.cache is not None:
             out["cache"] = os.fspath(self.cache)
+        if self.dispatch_store is not None:
+            out["dispatch_store"] = os.fspath(self.dispatch_store)
         if self.metadata:
             out["metadata"] = dict(self.metadata)
         return out
@@ -314,6 +348,10 @@ class VerifyRequest:
             "sat_conflicts",
             "sat_propagations",
             "bdd_node_limit",
+            "engines",
+            "dispatch_policy",
+            "dispatch_store",
+            "cec_cache",
             "metadata",
         }
         unknown = set(data) - known
@@ -348,6 +386,10 @@ class VerifyRequest:
             "sat_conflicts",
             "sat_propagations",
             "bdd_node_limit",
+            "engines",
+            "dispatch_policy",
+            "dispatch_store",
+            "cec_cache",
         ):
             if attr in data:
                 kwargs[attr] = data[attr]
@@ -378,6 +420,10 @@ class VerifyReport:
     fingerprint: str = ""
     elapsed_seconds: float = 0.0
     metadata: Dict[str, Any] = field(default_factory=dict)
+    # Output obligations decided per engine adapter name (cache replays
+    # count under "structural"); empty when the core path did not run
+    # the CEC portfolio (e.g. structural short-circuits).
+    engine_used: Dict[str, int] = field(default_factory=dict)
 
     @property
     def equivalent(self) -> bool:
@@ -418,17 +464,26 @@ class VerifyReport:
         reason = data["reason"]
         if verdict == SeqVerdict.INCONCLUSIVE.value:
             reason = reason or REASON_INCONCLUSIVE
+        stats = dict(data["stats"])  # type: ignore[arg-type]
+        engine_used: Dict[str, int] = {}
+        for prefix in ("cec_engine_", "engine_"):
+            for key, value in stats.items():
+                if key.startswith(prefix):
+                    engine_used[key[len(prefix) :]] = int(value)
+            if engine_used:
+                break
         return cls(
             verdict=verdict,
             method=str(data["method"]),
             reason=reason,
             counterexample=data["counterexample"],
             failing_output=data["failing_output"],
-            stats=dict(data["stats"]),  # type: ignore[arg-type]
+            stats=stats,
             name=request.name if request is not None else "",
             fingerprint=fingerprint,
             elapsed_seconds=elapsed_seconds,
             metadata=dict(request.metadata) if request is not None else {},
+            engine_used=engine_used,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -446,6 +501,7 @@ class VerifyReport:
             "elapsed_seconds": self.elapsed_seconds,
             "exit_code": self.exit_code,
             "metadata": dict(self.metadata),
+            "engine_used": dict(self.engine_used),
         }
 
     @classmethod
@@ -462,6 +518,10 @@ class VerifyReport:
             fingerprint=str(data.get("fingerprint", "")),
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
             metadata=dict(data.get("metadata") or {}),
+            engine_used={
+                str(k): int(v)
+                for k, v in (data.get("engine_used") or {}).items()
+            },
         )
 
     def summary(self) -> str:
@@ -520,6 +580,9 @@ def verify_pair(
         budget=Budget.coerce(budget) if budget is not None else request.budget(),
         tracer=tracer,
         metrics=metrics,
+        engines=request.engines,
+        dispatch_policy=request.dispatch_policy,
+        dispatch_store=request.dispatch_store,
     )
     return VerifyReport.from_result(
         result,

@@ -23,10 +23,27 @@ Scaling layers on top of the serial filter pipeline:
   (``check_equivalence(..., n_jobs=N)``), verdict-identical to serial;
 * :mod:`repro.cec.cache` — a persistent proof cache keyed by canonical
   structural cone hashes, so repeated checks across a flow (or across
-  runs) replay proven merges instead of re-solving them.
+  runs) replay proven merges instead of re-solving them;
+* :mod:`repro.cec.engines` — the pluggable engine-adapter portfolio:
+  each ladder stage (structural, sim, BDD, SAT) is a registered
+  :class:`~repro.cec.engines.EngineAdapter`, and third-party engines
+  register the same way;
+* :mod:`repro.cec.dispatch` — dispatch policies that order the portfolio
+  per obligation (``"cascade"`` reproduces the fixed ladder bit for bit;
+  ``"heuristic"`` ranks engines from obligation features and a
+  persistent :class:`~repro.cec.dispatch.OutcomeStore`).
 """
 
 from repro.cec.cache import ProofCache
+from repro.cec.dispatch import (
+    CascadePolicy,
+    DispatchPolicy,
+    HeuristicPolicy,
+    OutcomeStore,
+    available_policies,
+    coerce_policy,
+    register_policy,
+)
 from repro.cec.engine import (
     CecVerdict,
     CheckResult,
@@ -35,19 +52,44 @@ from repro.cec.engine import (
     check_equivalence_bdd,
     check_miter_unsat,
 )
+from repro.cec.engines import (
+    EngineAdapter,
+    EngineContext,
+    EngineOutcome,
+    Obligation,
+    available_engines,
+    get_engine,
+    register_engine,
+    resolve_portfolio,
+)
 from repro.cec.miter import build_miter
 from repro.cec.partition import Candidate, WorkUnit, partition_candidates
 
 __all__ = [
     "Candidate",
+    "CascadePolicy",
     "CecVerdict",
     "CheckResult",
+    "DispatchPolicy",
+    "EngineAdapter",
+    "EngineContext",
+    "EngineOutcome",
     "EngineStats",
+    "HeuristicPolicy",
+    "Obligation",
+    "OutcomeStore",
     "ProofCache",
     "WorkUnit",
+    "available_engines",
+    "available_policies",
     "check_equivalence",
     "check_equivalence_bdd",
     "check_miter_unsat",
     "build_miter",
+    "coerce_policy",
+    "get_engine",
     "partition_candidates",
+    "register_engine",
+    "register_policy",
+    "resolve_portfolio",
 ]

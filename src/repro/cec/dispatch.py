@@ -1,0 +1,377 @@
+"""Metrics-driven engine dispatch: policies and the recorded-outcome store.
+
+A :class:`DispatchPolicy` turns the engine portfolio (an ordered list of
+:class:`~repro.cec.engines.EngineAdapter` objects) into a per-obligation
+order, using features the observability layer already exposes — the
+pair's fanin-cone size (annotated on every ``cec.obligation`` span and
+in the ``--oblog`` feature rows) and, when available, recorded outcomes
+of earlier runs.
+
+Two policies ship:
+
+* :class:`CascadePolicy` (``"cascade"``, the default) — the historical
+  fixed ladder, verbatim.  Verdicts, counterexamples and the
+  ``cec.cascade.*`` metric totals are bit-identical to the pre-adapter
+  engine, which is why it stays the default.
+* :class:`HeuristicPolicy` (``"heuristic"``) — orders the proving
+  engines per obligation: simulation first (refutes for free), then BDD
+  before SAT on small cones (a cone that fits the node bound decides in
+  microseconds) and SAT before BDD on large ones.  When an
+  :class:`OutcomeStore` has enough recorded attempts for *every* engine
+  in the pool, the static ranking is replaced by measured seconds per
+  decision — so repeated batch runs improve their own dispatch.  It also
+  asks the sweep to defer a signature class's remaining queries after
+  its first refutation even outside refinement rounds
+  (:attr:`DispatchPolicy.sweep_defer`), trading likely-refuted merges
+  for saved SAT queries — sound, since the sweep only accelerates.
+
+Every policy records per-engine outcomes into its store (when one is
+attached) regardless of which policy ordered the attempt, so a batch run
+under the default cascade still trains the heuristic for the next run.
+The store also ingests PR 8 ``--oblog`` rows directly
+(:meth:`OutcomeStore.ingest_records`).
+
+Only decided-vs-undecided and cost are learned — never verdicts: every
+engine is sound, so policy choice can change *whether* a pair is decided
+(UNKNOWNs may differ), not which way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.cec.engines.base import (
+    EQ,
+    NEQ,
+    EngineAdapter,
+    EngineContext,
+    EngineOutcome,
+    Obligation,
+)
+
+__all__ = [
+    "DispatchPolicy",
+    "CascadePolicy",
+    "HeuristicPolicy",
+    "OutcomeStore",
+    "available_policies",
+    "coerce_policy",
+    "register_policy",
+]
+
+
+class OutcomeStore:
+    """Persistent per-engine outcome statistics, bucketed by cone size.
+
+    One JSON file of cells keyed ``"<engine>|b<bucket>"`` where the
+    bucket is ``cone.bit_length()`` (powers of two — cone 300 and 500
+    share a cell, 300 and 3000 do not).  Each cell accumulates
+    ``attempts`` / ``decided`` / ``seconds``; :meth:`expected_cost`
+    prices an engine for a cone as mean seconds per *decision*, so an
+    engine that burns time without deciding sinks in the ranking.
+
+    Saves are atomic (write-temp + rename) and only happen when dirty,
+    mirroring the proof cache's discipline; a missing file is an empty
+    store, not an error.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Union[None, str, os.PathLike] = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self.cells: Dict[str, Dict[str, float]] = {}
+        self.dirty = False
+        if self.path is not None and os.path.exists(self.path):
+            self._load()
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, str, os.PathLike, "OutcomeStore"]
+    ) -> Optional["OutcomeStore"]:
+        """None passes through; a path opens (or creates) a store."""
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(value)
+
+    @staticmethod
+    def bucket(cone: int) -> int:
+        """Log2 cone-size bucket the store aggregates outcomes under."""
+        return max(0, int(cone)).bit_length()
+
+    @staticmethod
+    def _key(engine: str, bucket: int) -> str:
+        return f"{engine}|b{bucket}"
+
+    def _load(self) -> None:
+        assert self.path is not None
+        with open(self.path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict) or "cells" not in data:
+            raise ValueError(f"{self.path}: not a dispatch outcome store")
+        self.cells = {
+            str(key): {
+                "attempts": float(cell.get("attempts", 0)),
+                "decided": float(cell.get("decided", 0)),
+                "seconds": float(cell.get("seconds", 0.0)),
+            }
+            for key, cell in dict(data["cells"]).items()
+        }
+
+    def save(self) -> None:
+        """Atomically persist; no-op without a path or unchanged."""
+        if self.path is None or not self.dirty:
+            return
+        payload = {"version": self.VERSION, "cells": self.cells}
+        directory = os.path.dirname(self.path) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".outcomes-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.dirty = False
+
+    def record(
+        self, engine: str, cone: int, decided: bool, seconds: float
+    ) -> None:
+        """Fold one engine attempt into its cone-bucket cell."""
+        cell = self.cells.setdefault(
+            self._key(engine, self.bucket(cone)),
+            {"attempts": 0.0, "decided": 0.0, "seconds": 0.0},
+        )
+        cell["attempts"] += 1.0
+        if decided:
+            cell["decided"] += 1.0
+        cell["seconds"] += max(0.0, float(seconds))
+        self.dirty = True
+
+    def attempts(self, engine: str, cone: int) -> int:
+        """Recorded attempt count for this engine/cone bucket."""
+        cell = self.cells.get(self._key(engine, self.bucket(cone)))
+        return int(cell["attempts"]) if cell else 0
+
+    def expected_cost(self, engine: str, cone: int) -> Optional[float]:
+        """Mean seconds per decision for this engine/cone bucket.
+
+        None without data.  A cell with zero decisions gets a half-count
+        prior so its cost is finite but large — the engine is tried last,
+        not banned forever.
+        """
+        cell = self.cells.get(self._key(engine, self.bucket(cone)))
+        if not cell or cell["attempts"] <= 0:
+            return None
+        attempts = cell["attempts"]
+        mean_seconds = cell["seconds"] / attempts
+        rate = max(cell["decided"], 0.5) / attempts
+        return mean_seconds / rate
+
+    def ingest_records(self, records: Iterable[Any]) -> int:
+        """Fold per-obligation rows (PR 8 ``--oblog``) into the store.
+
+        Accepts :class:`repro.obs.oblog.ObligationRecord` objects or
+        plain mappings; anything with ``engine`` / ``verdict`` /
+        ``cone`` / ``seconds``.  Returns the number of rows ingested.
+        """
+
+        def get(rec: Any, key: str, default: Any = None) -> Any:
+            if isinstance(rec, Mapping):
+                return rec.get(key, default)
+            return getattr(rec, key, default)
+
+        count = 0
+        for rec in records:
+            engine = get(rec, "engine")
+            verdict = get(rec, "verdict")
+            if not engine or verdict is None:
+                continue
+            self.record(
+                str(engine),
+                int(get(rec, "cone", 0) or 0),
+                str(verdict) in (EQ, NEQ),
+                float(get(rec, "seconds", 0.0) or 0.0),
+            )
+            count += 1
+        return count
+
+
+class DispatchPolicy:
+    """Orders the engine portfolio per obligation; records outcomes.
+
+    Subclass contract: set :attr:`name`, implement
+    :meth:`default_portfolio` and (usually) :meth:`order`.
+    ``needs_features`` forces the per-obligation cone walk even when
+    tracing is off; ``sweep_defer`` asks sweep workers to defer a
+    signature class's remaining queries after its first refutation even
+    outside refinement rounds (always sound — deferral only loses
+    merges).
+    """
+
+    name: str = "?"
+    needs_features: bool = False
+    sweep_defer: bool = False
+
+    def __init__(self, store: Optional[OutcomeStore] = None) -> None:
+        self.store = store
+
+    def default_portfolio(self, budgeted: bool) -> Tuple[str, ...]:
+        """Engine names to run, in base order, when none were given."""
+        raise NotImplementedError
+
+    def order(
+        self,
+        ob: Obligation,
+        adapters: Sequence[EngineAdapter],
+        ctx: EngineContext,
+    ) -> List[EngineAdapter]:
+        """Per-obligation engine order; the base class keeps it as-is."""
+        return list(adapters)
+
+    def observe(
+        self,
+        ob: Obligation,
+        engine: str,
+        outcome: EngineOutcome,
+        seconds: float,
+        ctx: EngineContext,
+    ) -> None:
+        """Record one proving attempt's outcome (store-backed policies)."""
+        if self.store is not None:
+            self.store.record(
+                engine, ob.cone(ctx), outcome.status in (EQ, NEQ), seconds
+            )
+
+
+_POLICIES: Dict[str, Callable[..., DispatchPolicy]] = {}
+
+
+def register_policy(cls):
+    """Register a policy class under its ``name`` (class decorator)."""
+    _POLICIES[cls.name] = cls
+    return cls
+
+
+def available_policies() -> List[str]:
+    """Sorted names of every registered dispatch policy."""
+    return sorted(_POLICIES)
+
+
+def coerce_policy(
+    value: Union[None, str, DispatchPolicy],
+    store: Optional[OutcomeStore] = None,
+) -> DispatchPolicy:
+    """Name or instance → policy instance (None means ``"cascade"``)."""
+    if isinstance(value, DispatchPolicy):
+        if store is not None and value.store is None:
+            value.store = store
+        return value
+    name = "cascade" if value is None else str(value)
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dispatch policy {name!r}; available: "
+            + ", ".join(available_policies())
+        ) from None
+    return cls(store=store)
+
+
+@register_policy
+class CascadePolicy(DispatchPolicy):
+    """The historical fixed ladder — the bit-identical default.
+
+    Portfolio and order are exactly the pre-adapter engine's: budgeted
+    checks walk structural → sim → BDD → SAT; unbudgeted ("classic")
+    checks walk structural (cache) → SAT only.
+    """
+
+    name = "cascade"
+
+    def default_portfolio(self, budgeted: bool) -> Tuple[str, ...]:
+        if budgeted:
+            return ("structural", "sim", "bdd", "sat")
+        return ("structural", "sat")
+
+
+@register_policy
+class HeuristicPolicy(DispatchPolicy):
+    """Feature-ranked dispatch: cheapest-likely-decider first.
+
+    Static ranking (no store data): sim first — a refutation there costs
+    nothing; then BDD before SAT when the pair's cone is at most
+    :attr:`small_cone` AIG nodes (such cones build well under the node
+    bound), SAT before BDD otherwise.  With an attached
+    :class:`OutcomeStore` holding at least :attr:`min_attempts` recorded
+    attempts for *every* prover in the pool (for the cone's bucket), the
+    static ranks are replaced by measured seconds per decision.  The
+    all-provers gate keeps a lone well-sampled engine from leapfrogging
+    unsampled ones on data it doesn't have.
+
+    Unlike the cascade, the full four-engine pool is used even without a
+    budget — that is where the SAT-query savings come from: sim refutes
+    NEQ outputs and the BDD proves small EQ cones with zero SAT queries.
+    """
+
+    name = "heuristic"
+    needs_features = True
+    sweep_defer = True
+    #: Cone-size threshold (AIG nodes) under which the BDD goes first.
+    small_cone = 512
+    #: Minimum recorded attempts per engine before store ranks kick in.
+    min_attempts = 5
+
+    def default_portfolio(self, budgeted: bool) -> Tuple[str, ...]:
+        return ("structural", "sim", "bdd", "sat")
+
+    def _static_rank(self, name: str, cone: int) -> float:
+        if name == "sim":
+            return 0.0
+        if name == "bdd":
+            return 1.0 if cone <= self.small_cone else 3.0
+        if name == "sat":
+            return 2.0
+        return 4.0  # unregistered-by-us engines go last, stable order
+
+    def order(
+        self,
+        ob: Obligation,
+        adapters: Sequence[EngineAdapter],
+        ctx: EngineContext,
+    ) -> List[EngineAdapter]:
+        passive = [a for a in adapters if not a.proving]
+        provers = [a for a in adapters if a.proving]
+        cone = ob.cone(ctx)
+        store = self.store
+        if store is not None and provers and all(
+            store.attempts(a.name, cone) >= self.min_attempts
+            for a in provers
+        ):
+            def rank(a: EngineAdapter) -> Tuple[float, float, str]:
+                cost = store.expected_cost(a.name, cone)
+                return (
+                    cost if cost is not None else float("inf"),
+                    self._static_rank(a.name, cone),
+                    a.name,
+                )
+        else:
+            def rank(a: EngineAdapter) -> Tuple[float, float, str]:
+                return (self._static_rank(a.name, cone), 0.0, a.name)
+        return passive + sorted(provers, key=rank)

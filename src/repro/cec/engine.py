@@ -38,6 +38,24 @@ from repro.aig.rewrite import preprocess_miter
 from repro.bdd.bdd import BDD
 from repro.bdd.circuit2bdd import circuit_bdds
 from repro.cec.cache import EQ, NEQ, ProofCache
+from repro.cec.dispatch import (
+    DispatchPolicy,
+    OutcomeStore,
+    coerce_policy,
+)
+from repro.cec.engines import (
+    DEFAULT_BDD_NODE_LIMIT,
+    PASS,
+    EngineAdapter,
+    EngineContext,
+    Obligation,
+    bdd_decide_pair,
+    extract_counterexample,
+    lit_word,
+    resolve_portfolio,
+    sim_refute_pair,
+    validate_counterexample,
+)
 from repro.cec.miter import MiterAIG, build_miter
 from repro.cec.parallel import (
     DEFERRED,
@@ -51,6 +69,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, coerce_tracer
 from repro.runtime.budget import (
     REASON_BDD_BLOWUP,
+    REASON_RESOURCE_LIMIT,
     REASON_TIMEOUT,
     Budget,
 )
@@ -65,10 +84,6 @@ __all__ = [
     "check_equivalence_bdd",
     "check_miter_unsat",
 ]
-
-#: Node cap for the cascade's bounded BDD attempt when the budget does not
-#: set one explicitly; small enough that a blow-up costs milliseconds.
-DEFAULT_BDD_NODE_LIMIT = 100_000
 
 #: Cap on counterexample-guided refinement rounds.  Each round appends the
 #: previous round's refuting SAT models as simulation columns and
@@ -118,6 +133,8 @@ _TELEMETRY_METRICS: Dict[str, str] = {
 _PHASE_PREFIX = "cec.phase."
 _PHASE_SUFFIX = ".seconds"
 _WORKER_SECONDS = "cec.worker.seconds"
+_ENGINE_PREFIX = "cec.engine."
+_ENGINE_DECIDED_SUFFIX = ".decided"
 
 
 class CecVerdict(enum.Enum):
@@ -170,6 +187,10 @@ class EngineStats:
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     worker_seconds: List[float] = field(default_factory=list)
     parallel_wall: float = 0.0
+    #: Output obligations decided per engine adapter name (from the
+    #: ``cec.engine.<name>.decided`` counters); sweep-decided candidates
+    #: are not included — they are always SAT-decided by construction.
+    engines_used: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_metrics(cls, metrics: MetricsRegistry) -> "EngineStats":
@@ -184,6 +205,13 @@ class EngineStats:
             if name.startswith(_PHASE_PREFIX) and name.endswith(_PHASE_SUFFIX):
                 phase = name[len(_PHASE_PREFIX) : -len(_PHASE_SUFFIX)]
                 stats.phase_seconds[phase] = metrics.gauge(name)
+            elif name.startswith(_ENGINE_PREFIX) and name.endswith(
+                _ENGINE_DECIDED_SUFFIX
+            ):
+                engine = name[
+                    len(_ENGINE_PREFIX) : -len(_ENGINE_DECIDED_SUFFIX)
+                ]
+                stats.engines_used[engine] = int(metrics.counter(name))
         stats.worker_seconds = metrics.series(_WORKER_SECONDS)
         return stats
 
@@ -209,6 +237,8 @@ class EngineStats:
             out["worker_utilisation"] = self.worker_utilisation()
         for phase, seconds in self.phase_seconds.items():
             out[f"time_{phase}"] = seconds
+        for engine, count in sorted(self.engines_used.items()):
+            out[f"engine_{engine}"] = count
         return out
 
 
@@ -385,6 +415,7 @@ def _sweep_unit_serial(
     defer: bool = False,
     collect_models: bool = False,
     pi_nodes: Optional[Sequence[int]] = None,
+    engines: Optional[Sequence[str]] = None,
 ) -> UnitResult:
     """Sweep one unit on the parent's incremental solver (the serial path).
 
@@ -392,9 +423,21 @@ def _sweep_unit_serial(
     in a signature class the class's remaining queries are deferred to
     the refinement loop, and refuting models are shipped back as
     ``{pi node: value}`` assignments (``pi_nodes`` lists the AIG's PI
-    node ids; their CNF variable is ``node + 1``).
+    node ids; their CNF variable is ``node + 1``).  ``engines`` names the
+    active portfolio: sweeping is SAT work, so a portfolio without the
+    ``sat`` adapter leaves every candidate UNKNOWN (no merges, no
+    queries) and the output checks settle things with whatever engines
+    remain.
     """
     t0 = time.perf_counter()
+    if engines is not None and "sat" not in engines:
+        n = len(unit.candidates)
+        return UnitResult(
+            [UNKNOWN] * n,
+            0,
+            time.perf_counter() - t0,
+            models=[None] * n if collect_models else None,
+        )
     statuses: List[str] = []
     models: List[Optional[Dict[int, bool]]] = []
     refuted_groups: Set[int] = set()
@@ -523,314 +566,160 @@ def _refine_signatures(
     return refined, (mask << width) | new_mask, width
 
 
-def _extract_counterexample(
-    aig: AIG, model: Dict[int, bool], lit2cnf
-) -> Dict[str, bool]:
-    return {
-        pi: bool(model.get(lit2cnf(2 * node), False))
-        for node, pi in zip(aig.pis, aig.pi_names)
-    }
+# Backward-compatible aliases: the stage helpers moved into the engines
+# package (repro.cec.engines) when the ladder became an adapter
+# portfolio; tests and downstream code import them from here.
+_extract_counterexample = extract_counterexample
+_validate_counterexample = validate_counterexample
+_lit_word = lit_word
+_sim_refute_pair = sim_refute_pair
+_bdd_decide_pair = bdd_decide_pair
 
 
-def _validate_counterexample(
-    aig: AIG, cex: Dict[str, bool], l1: int, l2: int, name: str
-) -> None:
-    """Re-simulate an extracted assignment; raise unless it distinguishes.
-
-    A SAT model is only a counterexample if replaying it through the AIG
-    actually drives the paired output literals apart — anything else means
-    the encoding, the model extraction, or a cached merge is corrupt, and
-    returning it would be reporting NOT_EQUIVALENT on fiction.
-    """
-    v1, v2 = aig.eval_literals([l1, l2], cex)
-    if v1 == v2:
-        raise RuntimeError(
-            f"extracted counterexample does not distinguish output {name!r}; "
-            "CEC engine state is inconsistent"
-        )
-
-
-def _lit_word(words: List[int], mask: int, lit: int) -> int:
-    """Simulation word of an AIG literal (complement under the mask)."""
-    word = words[lit >> 1]
-    return (~word & mask) if lit & 1 else word
-
-
-def _sim_refute_pair(
-    aig: AIG,
-    l1: int,
-    l2: int,
-    name: str,
-    words: List[int],
-    mask: int,
-) -> Optional[Dict[str, bool]]:
-    """Cascade stage 2: refute an output pair from simulation alone.
-
-    If the pair's simulation words differ, the differing bit column *is* a
-    counterexample — extract the PI assignment of that column, re-validate
-    it, and no SAT/BDD work is needed at all.  Returns None when the
-    simulation cannot distinguish the pair.
-    """
-    diff = (_lit_word(words, mask, l1) ^ _lit_word(words, mask, l2)) & mask
-    if not diff:
-        return None
-    bit = (diff & -diff).bit_length() - 1
-    cex = {
-        pi_name: bool((words[pi_node] >> bit) & 1)
-        for pi_node, pi_name in zip(aig.pis, aig.pi_names)
-    }
-    _validate_counterexample(aig, cex, l1, l2, name)
-    return cex
-
-
-def _bdd_decide_pair(
-    aig: AIG,
-    l1: int,
-    l2: int,
-    name: str,
-    node_limit: int,
-    budget: Optional[Budget],
-    metrics: Optional[MetricsRegistry] = None,
-) -> Optional[Tuple[str, Optional[Dict[str, bool]]]]:
-    """Cascade stage 3: decide an output pair with a node-bounded BDD.
-
-    Builds BDDs for the pair's fanin cone only, with PI node order as the
-    variable order.  Returns ``(EQ, None)`` / ``(NEQ, cex)``, or None when
-    the attempt blows past ``node_limit`` (or the budget deadline) and the
-    cascade should fall through to SAT.
-    """
-    manager = BDD(node_limit=node_limit)
-    if metrics is not None:
-        manager.attach_metrics(metrics)
-    pi_name_of = dict(zip(aig.pis, aig.pi_names))
-    node_bdd: Dict[int, int] = {0: manager.ZERO}
-
-    def lit_bdd(lit: int) -> int:
-        bdd_node = node_bdd[lit >> 1]
-        return manager.apply_not(bdd_node) if lit & 1 else bdd_node
-
-    try:
-        cone = sorted(aig.cone_nodes([l1, l2]))
-        for count, node in enumerate(cone):
-            if budget is not None and (count & 255) == 0 and budget.expired():
-                return None
-            if node == 0:
-                continue
-            if aig.is_pi_node(node):
-                node_bdd[node] = manager.add_var(pi_name_of[node])
-            else:
-                f0, f1 = aig.fanins(node)
-                node_bdd[node] = manager.apply_and(lit_bdd(f0), lit_bdd(f1))
-        b1, b2 = lit_bdd(l1), lit_bdd(l2)
-        if b1 == b2:
-            return EQ, None
-        assignment = manager.pick_minterm(manager.apply_xor(b1, b2)) or {}
-    except BddBlowupError:
-        return None
-    finally:
-        manager.flush_metrics()
-    cex = {
-        pi: bool(assignment.get(pi, False)) for pi in aig.pi_names
-    }
-    _validate_counterexample(aig, cex, l1, l2, name)
-    return NEQ, cex
-
-
-def _check_outputs_cascade(
+def _check_outputs_portfolio(
     miter: MiterAIG,
     aig: AIG,
     solver: Solver,
     lit2cnf,
     proof_cache: Optional[ProofCache],
     conflict_limit: Optional[int],
-    budget: Budget,
+    budget: Optional[Budget],
     metrics: MetricsRegistry,
     tracer: Union[Tracer, NullTracer],
     sim_width: int,
     seed: int,
+    adapters: Sequence[EngineAdapter],
+    policy: DispatchPolicy,
 ) -> CheckResult:
-    """Budget-governed output checks: the explicit fallback cascade.
+    """Output checks over a pluggable engine portfolio.
 
-    Each output pair walks structural hash (``l1 == l2`` / cache) →
-    simulation refutation → bounded BDD → bounded SAT.  Whatever stage
-    decides the pair records its verdict; a budget that runs dry at any
-    stage returns UNKNOWN with the exhausted resource as the reason code.
-    Nothing in here raises on resource exhaustion.
+    Each output pair walks the adapters in the order the dispatch policy
+    picks for it.  Whatever engine decides the pair records its verdict;
+    an engine that cannot decide passes the pair along; an UNKNOWN stops
+    the whole check (budget-governed checks report the exhausted
+    resource as the reason code — nothing in here raises on resource
+    exhaustion).  With the default ``"cascade"`` policy this reproduces
+    the historical ladder bit for bit: structural → sim → BDD → SAT when
+    budgeted, structural (cache) → plain SAT otherwise.
     """
-    words, mask = aig.random_simulate(width=sim_width, seed=seed)
-    sat_limit = conflict_limit
-    if budget.sat_conflicts is not None:
-        sat_limit = (
-            budget.sat_conflicts
-            if sat_limit is None
-            else min(sat_limit, budget.sat_conflicts)
-        )
-    node_limit = budget.bdd_nodes or DEFAULT_BDD_NODE_LIMIT
+    ctx = EngineContext(
+        aig=aig,
+        solver=solver,
+        lit2cnf=lit2cnf,
+        proof_cache=proof_cache,
+        metrics=metrics,
+        tracer=tracer,
+        budget=budget,
+        conflict_limit=conflict_limit,
+        sim_width=sim_width,
+        seed=seed,
+    )
+    budgeted = budget is not None
+    skip_identical = any(a.name == "structural" for a in adapters)
 
-    def record(key: Optional[str], verdict: str) -> None:
-        if proof_cache is not None and key is not None:
-            proof_cache.put(key, verdict)
+    def record(ob: Obligation, verdict: str) -> None:
+        if proof_cache is not None and ob.cache_key is not None:
+            proof_cache.put(ob.cache_key, verdict)
             metrics.inc("cec.cache.stores")
 
     for name, l1, l2 in miter.output_pairs:
-        # Stage 1: structural — the miter already hashed both cones.
-        if l1 == l2:
+        if skip_identical and l1 == l2:
+            # Structural stage 1: the miter already hashed both cones
+            # onto one literal — decided before any span opens, exactly
+            # as the historical ladder did.
             continue
-        with tracer.span("cec.obligation", cat="obligation", output=name) as ob:
+        ob = Obligation(name=name, l1=l1, l2=l2)
+        if proof_cache is not None:
+            ob.cache_key = aig.pair_cone_key(l1, l2)
+        with tracer.span(
+            "cec.obligation", cat="obligation", output=name
+        ) as span:
             if tracer.enabled:
                 # Obligation features (cone size, sim width) feed the
-                # per-obligation log — dispatch-policy training data —
-                # so the cone walk only happens when tracing.
-                ob.annotate(
-                    cone=len(aig.cone_nodes((l1, l2))), width=sim_width
-                )
-            key: Optional[str] = None
-            if proof_cache is not None:
-                key = aig.pair_cone_key(l1, l2)
-                if proof_cache.get(key) == EQ:
-                    metrics.inc("cec.cache.hits")
-                    ob.annotate(decided_by="cache", verdict="eq")
-                    continue
-                # A cached NEQ still needs a fresh model for the
-                # counterexample, so only EQ skips the remaining stages.
-                metrics.inc("cec.cache.misses")
-            if budget.expired():
-                metrics.inc("cec.budget_exhausted")
-                tracer.instant(
-                    "budget.exhausted", output=name, reason=REASON_TIMEOUT
-                )
-                ob.annotate(verdict="unknown", reason=REASON_TIMEOUT)
-                return CheckResult(CecVerdict.UNKNOWN, reason=REASON_TIMEOUT)
-            # Stage 2: simulation refutation — a differing signature column
-            # is already a counterexample; no proving engine needed.
-            with tracer.span("stage.sim", cat="stage", output=name):
-                cex = _sim_refute_pair(aig, l1, l2, name, words, mask)
-            if cex is not None:
-                metrics.inc("cec.cascade.sim")
-                ob.annotate(decided_by="sim", verdict="neq")
-                record(key, NEQ)
-                return CheckResult(
-                    CecVerdict.NOT_EQUIVALENT,
-                    counterexample=cex,
-                    failing_output=name,
-                )
-            # Stage 3: bounded BDD on the pair's cone.
-            with tracer.span("stage.bdd", cat="stage", output=name):
-                decided = _bdd_decide_pair(
-                    aig, l1, l2, name, node_limit, budget, metrics
-                )
-            if decided is not None:
-                metrics.inc("cec.cascade.bdd")
-                status, cex = decided
-                ob.annotate(decided_by="bdd", verdict=status)
-                record(key, status)
-                if status == NEQ:
-                    return CheckResult(
-                        CecVerdict.NOT_EQUIVALENT,
-                        counterexample=cex,
-                        failing_output=name,
+                # per-obligation log — dispatch-policy training data.
+                if budgeted:
+                    span.annotate(cone=ob.cone(ctx), width=sim_width)
+                else:
+                    span.annotate(cone=ob.cone(ctx))
+            decided_eq = False
+            budget_checked = False
+            for adapter in policy.order(ob, adapters, ctx):
+                if budgeted and adapter.proving and not budget_checked:
+                    # One wall check per pair, before the first proving
+                    # engine (cache replays stay free, as always).
+                    budget_checked = True
+                    if budget.expired():
+                        metrics.inc("cec.budget_exhausted")
+                        tracer.instant(
+                            "budget.exhausted",
+                            output=name,
+                            reason=REASON_TIMEOUT,
+                        )
+                        span.annotate(
+                            verdict="unknown", reason=REASON_TIMEOUT
+                        )
+                        return CheckResult(
+                            CecVerdict.UNKNOWN, reason=REASON_TIMEOUT
+                        )
+                metrics.inc(f"cec.engine.{adapter.name}.attempts")
+                t_eng = time.perf_counter()
+                if adapter.proving:
+                    with tracer.span(
+                        f"stage.{adapter.name}", cat="stage", output=name
+                    ):
+                        outcome = adapter.decide(ob, ctx)
+                    policy.observe(
+                        ob,
+                        adapter.name,
+                        outcome,
+                        time.perf_counter() - t_eng,
+                        ctx,
                     )
-                continue
-            if not budget.expired():
-                # fell through on nodes, not time
-                metrics.inc("cec.bdd_blowups")
-                tracer.instant(
-                    "bdd.blowup", output=name, node_limit=node_limit
-                )
-            # Stage 4: bounded SAT.  An expired deadline makes the solver
-            # return UNKNOWN("timeout") immediately, which is the right end.
-            a = lit2cnf(l1)
-            b = lit2cnf(l2)
-            with tracer.span("stage.sat", cat="stage", output=name):
-                for assumptions in ([a, -b], [-a, b]):
-                    res = solver.solve(
-                        assumptions=assumptions,
-                        conflict_limit=sat_limit,
-                        propagation_limit=budget.sat_propagations,
-                        deadline=budget.deadline,
+                else:
+                    outcome = adapter.decide(ob, ctx)
+                if outcome.status in (EQ, NEQ):
+                    metrics.inc(f"cec.engine.{adapter.name}.decided")
+                    span.annotate(
+                        decided_by=outcome.via or adapter.name,
+                        verdict=outcome.status,
                     )
-                    metrics.inc("cec.sat_queries")
-                    if solver.last_unknown:
-                        reason = solver.last_unknown_reason or REASON_TIMEOUT
+                    if outcome.via not in ("cache", "structural"):
+                        record(ob, outcome.status)
+                    if outcome.status == NEQ:
+                        return CheckResult(
+                            CecVerdict.NOT_EQUIVALENT,
+                            counterexample=outcome.counterexample,
+                            failing_output=name,
+                        )
+                    decided_eq = True
+                    break
+                if outcome.status == UNKNOWN:
+                    if budgeted:
+                        reason = outcome.reason or REASON_TIMEOUT
                         metrics.inc("cec.budget_exhausted")
                         tracer.instant(
                             "budget.exhausted", output=name, reason=reason
                         )
-                        ob.annotate(verdict="unknown", reason=reason)
-                        return CheckResult(CecVerdict.UNKNOWN, reason=reason)
-                    if res.satisfiable:
-                        assert res.model is not None
-                        cex = _extract_counterexample(aig, res.model, lit2cnf)
-                        _validate_counterexample(aig, cex, l1, l2, name)
-                        metrics.inc("cec.cascade.sat")
-                        ob.annotate(decided_by="sat", verdict="neq")
-                        record(key, NEQ)
+                        span.annotate(verdict="unknown", reason=reason)
                         return CheckResult(
-                            CecVerdict.NOT_EQUIVALENT,
-                            counterexample=cex,
-                            failing_output=name,
+                            CecVerdict.UNKNOWN, reason=reason
                         )
-            metrics.inc("cec.cascade.sat")
-            ob.annotate(decided_by="sat", verdict="eq")
-            record(key, EQ)
-    return CheckResult(CecVerdict.EQUIVALENT)
-
-
-def _check_outputs_classic(
-    miter: MiterAIG,
-    aig: AIG,
-    solver: Solver,
-    lit2cnf,
-    proof_cache: Optional[ProofCache],
-    conflict_limit: Optional[int],
-    metrics: MetricsRegistry,
-    tracer: Union[Tracer, NullTracer],
-) -> CheckResult:
-    """Unbudgeted output checks: cache pass then plain SAT per pair."""
-    for name, l1, l2 in miter.output_pairs:
-        if l1 == l2:
-            continue
-        with tracer.span("cec.obligation", cat="obligation", output=name) as ob:
-            if tracer.enabled:
-                ob.annotate(cone=len(aig.cone_nodes((l1, l2))))
-            key: Optional[str] = None
-            if proof_cache is not None:
-                key = aig.pair_cone_key(l1, l2)
-                if proof_cache.get(key) == EQ:
-                    metrics.inc("cec.cache.hits")
-                    ob.annotate(decided_by="cache", verdict="eq")
-                    continue
-                # A cached NEQ still needs a fresh model for the
-                # counterexample, so only EQ skips the SAT work.
-                metrics.inc("cec.cache.misses")
-            a = lit2cnf(l1)
-            b = lit2cnf(l2)
-            with tracer.span("stage.sat", cat="stage", output=name):
-                for assumptions in ([a, -b], [-a, b]):
-                    res = solver.solve(
-                        assumptions=assumptions, conflict_limit=conflict_limit
+                    span.annotate(verdict="unknown")
+                    return CheckResult(
+                        CecVerdict.UNKNOWN, reason=outcome.reason
                     )
-                    metrics.inc("cec.sat_queries")
-                    if solver.last_unknown:
-                        ob.annotate(verdict="unknown")
-                        return CheckResult(CecVerdict.UNKNOWN)
-                    if res.satisfiable:
-                        assert res.model is not None
-                        cex = _extract_counterexample(aig, res.model, lit2cnf)
-                        _validate_counterexample(aig, cex, l1, l2, name)
-                        ob.annotate(decided_by="sat", verdict="neq")
-                        if proof_cache is not None and key is not None:
-                            proof_cache.put(key, NEQ)
-                            metrics.inc("cec.cache.stores")
-                        return CheckResult(
-                            CecVerdict.NOT_EQUIVALENT,
-                            counterexample=cex,
-                            failing_output=name,
-                        )
-            ob.annotate(decided_by="sat", verdict="eq")
-            if proof_cache is not None and key is not None:
-                proof_cache.put(key, EQ)
-                metrics.inc("cec.cache.stores")
+                # PASS: the next engine in the order gets the pair.
+            if not decided_eq:
+                # The portfolio ran dry without a decision — e.g. a
+                # sim-only portfolio on an equivalent pair.  UNKNOWN with
+                # the generic resource code: no engine was *exhausted*,
+                # the pool simply has no complete prover for this pair.
+                span.annotate(
+                    verdict="unknown", reason=REASON_RESOURCE_LIMIT
+                )
+                return CheckResult(
+                    CecVerdict.UNKNOWN, reason=REASON_RESOURCE_LIMIT
+                )
     return CheckResult(CecVerdict.EQUIVALENT)
 
 
@@ -850,6 +739,9 @@ def check_equivalence(
     budget: Union[None, int, float, Budget] = None,
     tracer: Union[None, Tracer, NullTracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    engines: Union[None, str, Sequence[str]] = None,
+    dispatch_policy: Union[str, DispatchPolicy] = "cascade",
+    dispatch_store: Union[None, str, os.PathLike, OutcomeStore] = None,
 ) -> CheckResult:
     """Check combinational equivalence of two circuits.
 
@@ -893,6 +785,22 @@ def check_equivalence(
     check's full metric set at finish (the engine always counts into its
     own per-check registry first, so passing a shared registry across
     checks cannot corrupt any single check's stats).
+
+    ``engines`` names the adapter portfolio for the output checks — a
+    sequence (or comma-separated string) of registered engine names, see
+    :func:`repro.cec.engines.available_engines`.  None (the default)
+    lets the dispatch policy pick: the default ``"cascade"`` policy
+    reproduces the historical ladder bit for bit (structural → sim →
+    BDD → SAT when budgeted; structural → SAT otherwise).
+    ``dispatch_policy`` selects how engines are ordered per obligation
+    (``"cascade"``, ``"heuristic"``, or a
+    :class:`~repro.cec.dispatch.DispatchPolicy` instance);
+    ``dispatch_store`` — an :class:`~repro.cec.dispatch.OutcomeStore` or
+    a path to one — records per-engine outcomes across runs so
+    metrics-driven policies improve with use.  A portfolio without the
+    ``sat`` adapter skips SAT sweeping entirely (sweeping is SAT work).
+    Unknown engine or policy names raise :class:`ValueError` before any
+    solving starts.
     """
     tracer = coerce_tracer(tracer)
     caller_metrics = metrics
@@ -908,6 +816,16 @@ def check_equivalence(
     if budget is not None:
         budget.start()
     deadline = budget.deadline if budget is not None else None
+    # Resolve the engine portfolio and dispatch policy up front so an
+    # unknown name raises before any miter/solver work happens.
+    store = OutcomeStore.coerce(dispatch_store)
+    policy = coerce_policy(dispatch_policy, store=store)
+    portfolio = resolve_portfolio(
+        engines
+        if engines is not None
+        else policy.default_portfolio(budgeted=budget is not None)
+    )
+    engine_names = [adapter.name for adapter in portfolio]
     root = tracer.span(
         "cec.check",
         cat="pair",
@@ -916,6 +834,10 @@ def check_equivalence(
         n_jobs=n_jobs,
         budgeted=budget is not None,
     )
+    if policy.name != "cascade" or engines is not None:
+        # Only non-default dispatch shows up in the trace: the default
+        # run's span shape stays bit-identical to the pre-portfolio one.
+        root.annotate(policy=policy.name, engines=",".join(engine_names))
     t0 = time.perf_counter()
     with tracer.span("cec.phase.build", cat="phase"):
         miter = build_miter(c1, c2)
@@ -935,6 +857,19 @@ def check_equivalence(
                 registry.inc("cec.cache.save_failures")
                 warnings.warn(
                     f"proof cache save failed: {exc}; verdict unaffected",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if store is not None:
+            try:
+                store.save()
+            except Exception as exc:  # noqa: BLE001 - same contract as the
+                # proof cache: dispatch telemetry is advisory, the
+                # verdict is already decided.
+                registry.inc("cec.dispatch.save_failures")
+                warnings.warn(
+                    "dispatch outcome-store save failed: "
+                    f"{exc}; verdict unaffected",
                     RuntimeWarning,
                     stacklevel=2,
                 )
@@ -992,7 +927,11 @@ def check_equivalence(
     def bump_gauge(name: str, delta: float) -> None:
         registry.set_gauge(name, registry.gauge(name, 0.0) + delta)
 
-    if sweep and (budget is None or not budget.expired()):
+    if (
+        sweep
+        and "sat" in engine_names
+        and (budget is None or not budget.expired())
+    ):
         t_sim = time.perf_counter()
         with tracer.span("cec.phase.simulate", cat="phase"):
             signatures, sig_mask = _initial_signatures(
@@ -1026,6 +965,11 @@ def check_equivalence(
         force_final = False
         while budget is None or not budget.expired():
             refining = refine and round_no < refine_rounds and not force_final
+            # Policies that opt into sweep deferral (heuristic) keep the
+            # one-NEQ-defers-the-class behaviour even in non-refining
+            # rounds; deferred queries that never reappear are SAT
+            # queries saved outright.
+            defer_flag = refining or (policy.sweep_defer and not force_final)
             classes = _signature_classes(signatures, sig_mask, active)
             class_list = _class_candidates(
                 aig, classes, signatures, resolved, group_offset
@@ -1118,9 +1062,10 @@ def check_equivalence(
                     telemetry=telemetry,
                     collect=collect,
                     trace_epoch=tracer.epoch,
-                    defer=refining,
+                    defer=defer_flag,
                     collect_models=refining,
                     pi_nodes=aig.pis,
+                    engines=engine_names,
                 )
                 for tele_key, value in telemetry.items():
                     registry.inc(_TELEMETRY_METRICS[tele_key], value)
@@ -1135,9 +1080,10 @@ def check_equivalence(
                         unit,
                         sweep_limit,
                         deadline=deadline,
-                        defer=refining,
+                        defer=defer_flag,
                         collect_models=refining,
                         pi_nodes=aig.pis,
+                        engines=engine_names,
                     )
                     for unit in units
                 ]
@@ -1278,34 +1224,24 @@ def check_equivalence(
     stats["sweep_refuted"] = registry.counter("cec.sweep.refuted")
     stats["sweep_unknown"] = registry.counter("cec.sweep.unknown")
 
-    # Final output checks.
+    # Final output checks: walk the engine portfolio per output pair.
     t_out = time.perf_counter()
     with tracer.span("cec.phase.outputs", cat="phase"):
-        if budget is not None:
-            result = _check_outputs_cascade(
-                miter,
-                aig,
-                solver,
-                lit2cnf,
-                proof_cache,
-                conflict_limit,
-                budget,
-                registry,
-                tracer,
-                sim_width,
-                seed,
-            )
-        else:
-            result = _check_outputs_classic(
-                miter,
-                aig,
-                solver,
-                lit2cnf,
-                proof_cache,
-                conflict_limit,
-                registry,
-                tracer,
-            )
+        result = _check_outputs_portfolio(
+            miter,
+            aig,
+            solver,
+            lit2cnf,
+            proof_cache,
+            conflict_limit,
+            budget,
+            registry,
+            tracer,
+            sim_width,
+            seed,
+            portfolio,
+            policy,
+        )
     registry.set_gauge("cec.phase.outputs.seconds", time.perf_counter() - t_out)
     return finish(result)
 

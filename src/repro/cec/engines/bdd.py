@@ -1,0 +1,111 @@
+"""BDD adapter: decide an output pair with a node-bounded BDD build.
+
+Stage 3 of the historical ladder.  Builds BDDs for the pair's fanin cone
+only, with PI node order as the variable order.  Decides EQ or NEQ when
+the build fits under the context's node limit; a blow-up past it (or the
+budget deadline) passes the pair to the next engine — recorded as
+``cec.bdd_blowups`` plus a ``bdd.blowup`` trace instant, unless the
+budget itself expired (then falling through is the budget's doing, not
+the BDD's).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.bdd.bdd import BDD
+from repro.cec.engines.base import (
+    EQ,
+    NEQ,
+    PASS,
+    EngineAdapter,
+    EngineContext,
+    EngineOutcome,
+    Obligation,
+    register_engine,
+    validate_counterexample,
+)
+from repro.runtime.errors import BddBlowupError
+
+__all__ = ["BddEngine", "bdd_decide_pair"]
+
+
+def bdd_decide_pair(
+    aig,
+    l1: int,
+    l2: int,
+    name: str,
+    node_limit: int,
+    budget,
+    metrics=None,
+) -> Optional[Tuple[str, Optional[Dict[str, bool]]]]:
+    """Decide an output pair with a node-bounded BDD.
+
+    Returns ``(EQ, None)`` / ``(NEQ, cex)``, or None when the attempt
+    blows past ``node_limit`` (or the budget deadline) and the portfolio
+    should fall through to the next engine.
+    """
+    manager = BDD(node_limit=node_limit)
+    if metrics is not None:
+        manager.attach_metrics(metrics)
+    pi_name_of = dict(zip(aig.pis, aig.pi_names))
+    node_bdd: Dict[int, int] = {0: manager.ZERO}
+
+    def lit_bdd(lit: int) -> int:
+        bdd_node = node_bdd[lit >> 1]
+        return manager.apply_not(bdd_node) if lit & 1 else bdd_node
+
+    try:
+        cone = sorted(aig.cone_nodes([l1, l2]))
+        for count, node in enumerate(cone):
+            if budget is not None and (count & 255) == 0 and budget.expired():
+                return None
+            if node == 0:
+                continue
+            if aig.is_pi_node(node):
+                node_bdd[node] = manager.add_var(pi_name_of[node])
+            else:
+                f0, f1 = aig.fanins(node)
+                node_bdd[node] = manager.apply_and(lit_bdd(f0), lit_bdd(f1))
+        b1, b2 = lit_bdd(l1), lit_bdd(l2)
+        if b1 == b2:
+            return EQ, None
+        assignment = manager.pick_minterm(manager.apply_xor(b1, b2)) or {}
+    except BddBlowupError:
+        return None
+    finally:
+        manager.flush_metrics()
+    cex = {pi: bool(assignment.get(pi, False)) for pi in aig.pi_names}
+    validate_counterexample(aig, cex, l1, l2, name)
+    return NEQ, cex
+
+
+@register_engine
+class BddEngine(EngineAdapter):
+    name = "bdd"
+
+    def decide(self, ob: Obligation, ctx: EngineContext) -> EngineOutcome:
+        """Build node-bounded BDDs of both cones: EQ on identical roots,
+        NEQ with an extracted cube otherwise; PASS on a node blow-up.
+        """
+        decided = bdd_decide_pair(
+            ctx.aig,
+            ob.l1,
+            ob.l2,
+            ob.name,
+            ctx.node_limit,
+            ctx.budget,
+            ctx.metrics,
+        )
+        if decided is None:
+            if ctx.budget is None or not ctx.budget.expired():
+                # fell through on nodes, not time
+                ctx.metrics.inc("cec.bdd_blowups")
+                ctx.tracer.instant(
+                    "bdd.blowup", output=ob.name, node_limit=ctx.node_limit
+                )
+            return EngineOutcome(PASS)
+        if ctx.budgeted:
+            ctx.metrics.inc("cec.cascade.bdd")
+        status, cex = decided
+        return EngineOutcome(status, counterexample=cex)

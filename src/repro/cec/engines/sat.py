@@ -1,0 +1,80 @@
+"""SAT adapter: decide an output pair on the shared incremental solver.
+
+The final (and only complete) stage of the historical ladder.  Proves
+``l1 == l2`` by UNSAT in both assumption directions on the *parent's*
+incremental solver — so every merge clause the sweep learned strengthens
+these queries.  Budget-governed checks bound each solve with the folded
+conflict limit, the budget's propagation limit, and its deadline; an
+unknown solver outcome stops the portfolio with the solver's reason
+code.  Unbudgeted checks solve with the caller's conflict limit only and
+report a reasonless UNKNOWN, exactly as the classic path always did.
+
+``cec.cascade.sat`` is incremented here and nowhere else — once per
+*decided* obligation (NEQ on a model, EQ after both UNSATs), never on
+the unknown path — fixing the old double-site counting in
+``_check_outputs_cascade``.
+"""
+
+from __future__ import annotations
+
+from repro.cec.engines.base import (
+    EQ,
+    NEQ,
+    UNKNOWN,
+    EngineAdapter,
+    EngineContext,
+    EngineOutcome,
+    Obligation,
+    extract_counterexample,
+    register_engine,
+    validate_counterexample,
+)
+from repro.runtime.budget import REASON_TIMEOUT
+
+__all__ = ["SatEngine"]
+
+
+@register_engine
+class SatEngine(EngineAdapter):
+    name = "sat"
+
+    def decide(self, ob: Obligation, ctx: EngineContext) -> EngineOutcome:
+        """Prove both SAT directions UNSAT on the shared solver (EQ),
+        extract a validated counterexample on SAT (NEQ), or report
+        UNKNOWN when the conflict/propagation budget runs out.
+        """
+        solver = ctx.solver
+        a = ctx.lit2cnf(ob.l1)
+        b = ctx.lit2cnf(ob.l2)
+        # UNSAT(a != b) in both directions means equal.
+        for assumptions in ([a, -b], [-a, b]):
+            if ctx.budgeted:
+                res = solver.solve(
+                    assumptions=assumptions,
+                    conflict_limit=ctx.sat_limit,
+                    propagation_limit=ctx.budget.sat_propagations,
+                    deadline=ctx.budget.deadline,
+                )
+            else:
+                res = solver.solve(
+                    assumptions=assumptions,
+                    conflict_limit=ctx.conflict_limit,
+                )
+            ctx.metrics.inc("cec.sat_queries")
+            if solver.last_unknown:
+                reason = (
+                    (solver.last_unknown_reason or REASON_TIMEOUT)
+                    if ctx.budgeted
+                    else None
+                )
+                return EngineOutcome(UNKNOWN, reason=reason)
+            if res.satisfiable:
+                assert res.model is not None
+                cex = extract_counterexample(ctx.aig, res.model, ctx.lit2cnf)
+                validate_counterexample(ctx.aig, cex, ob.l1, ob.l2, ob.name)
+                if ctx.budgeted:
+                    ctx.metrics.inc("cec.cascade.sat")
+                return EngineOutcome(NEQ, counterexample=cex)
+        if ctx.budgeted:
+            ctx.metrics.inc("cec.cascade.sat")
+        return EngineOutcome(EQ)

@@ -1,0 +1,64 @@
+"""Simulation adapter: refute an output pair from signatures alone.
+
+Stage 2 of the historical ladder.  If the pair's random-simulation words
+differ, the differing bit column *is* a counterexample — extract the PI
+assignment of that column, re-validate it, and no SAT/BDD work is needed
+at all.  The adapter can only refute (NEQ) or pass; equal words prove
+nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cec.engines.base import (
+    NEQ,
+    PASS,
+    EngineAdapter,
+    EngineContext,
+    EngineOutcome,
+    Obligation,
+    lit_word,
+    register_engine,
+    validate_counterexample,
+)
+
+__all__ = ["SimEngine", "sim_refute_pair"]
+
+
+def sim_refute_pair(
+    aig,
+    l1: int,
+    l2: int,
+    name: str,
+    words: List[int],
+    mask: int,
+) -> Optional[Dict[str, bool]]:
+    """Refute an output pair from simulation words, or return None."""
+    diff = (lit_word(words, mask, l1) ^ lit_word(words, mask, l2)) & mask
+    if not diff:
+        return None
+    bit = (diff & -diff).bit_length() - 1
+    cex = {
+        pi_name: bool((words[pi_node] >> bit) & 1)
+        for pi_node, pi_name in zip(aig.pis, aig.pi_names)
+    }
+    validate_counterexample(aig, cex, l1, l2, name)
+    return cex
+
+
+@register_engine
+class SimEngine(EngineAdapter):
+    name = "sim"
+
+    def decide(self, ob: Obligation, ctx: EngineContext) -> EngineOutcome:
+        """NEQ with a replayed counterexample when the shared simulation
+        signature separates the pair's columns; PASS when it cannot.
+        """
+        words, mask = ctx.signature()
+        cex = sim_refute_pair(ctx.aig, ob.l1, ob.l2, ob.name, words, mask)
+        if cex is None:
+            return EngineOutcome(PASS)
+        if ctx.budgeted:
+            ctx.metrics.inc("cec.cascade.sim")
+        return EngineOutcome(NEQ, counterexample=cex)

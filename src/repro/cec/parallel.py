@@ -65,11 +65,14 @@ DEFERRED = "deferred"
 
 # payload: (num_vars, clauses, queries, conflict_limit, wall_remaining,
 #           unit_index, collect, trace_epoch, defer, collect_models,
-#           pi_map) — the first five fields are the original layout; the
-# next three carry observability context; the trailing three carry the
-# refinement context (per-group deferral and NEQ-model collection, with
-# ``pi_map`` mapping the unit's dense solver variables back to global PI
-# node ids so models make sense to the parent).
+#           pi_map, engines) — the first five fields are the original
+# layout; the next three carry observability context; the following
+# three carry the refinement context (per-group deferral and NEQ-model
+# collection, with ``pi_map`` mapping the unit's dense solver variables
+# back to global PI node ids so models make sense to the parent); and
+# ``engines`` names the active adapter portfolio (None = unrestricted)
+# so workers honor the dispatch selection — a portfolio without ``sat``
+# makes the whole unit UNKNOWN without building a solver.
 _Payload = Tuple[
     int,
     List[List[int]],
@@ -82,6 +85,7 @@ _Payload = Tuple[
     bool,
     bool,
     List[Tuple[int, int]],
+    Optional[Tuple[str, ...]],
 ]
 # (statuses, sat_queries, seconds, obs, models) where obs is None or
 # {"metrics": registry.to_dict(), "events": [trace events]} and models
@@ -155,6 +159,7 @@ def sweep_unit_payload(
     defer: bool = False,
     collect_models: bool = False,
     pi_nodes: Optional[Sequence[int]] = None,
+    engines: Optional[Sequence[str]] = None,
 ) -> _Payload:
     """Build one worker payload from the parent solver's clause slice.
 
@@ -171,6 +176,10 @@ def sweep_unit_payload(
     of every NEQ, translated back to global node ids via ``pi_nodes``
     (the AIG's PI node list — only PIs inside the unit's cone appear in a
     model, the rest are unconstrained).
+
+    ``engines`` names the active adapter portfolio; workers honor the
+    dispatch selection, so a portfolio without the ``sat`` engine turns
+    the whole unit into UNKNOWN statuses with zero queries.
     """
     nodes = sorted(unit.cone)
     var_of: Dict[int, int] = {node + 1: i + 1 for i, node in enumerate(nodes)}
@@ -201,6 +210,7 @@ def sweep_unit_payload(
         defer,
         collect_models,
         pi_map,
+        tuple(engines) if engines is not None else None,
     )
 
 
@@ -225,6 +235,7 @@ def _sweep_unit_worker(
         defer,
         collect_models,
         pi_map,
+        engines,
     ) = payload
     if _fault_hook is not None:
         _fault_hook(payload)
@@ -243,6 +254,24 @@ def _sweep_unit_worker(
         span = tracer.span(
             "sweep.unit", cat="worker", unit=unit_index, candidates=len(queries)
         )
+    if engines is not None and "sat" not in engines:
+        # The dispatch portfolio excludes the SAT engine; sweeping is
+        # SAT work, so the whole unit is UNKNOWN with zero queries and
+        # no solver is ever built.
+        statuses = [UNKNOWN] * len(queries)
+        skipped_models: Optional[List[Optional[Dict[int, bool]]]] = (
+            [None] * len(queries) if collect_models else None
+        )
+        if progress is not None:
+            progress["statuses"] = statuses
+            progress["models"] = [None] * len(queries)
+            progress["sat_queries"] = 0
+        obs_out: Optional[Dict[str, Any]] = None
+        if registry is not None and tracer is not None and span is not None:
+            span.annotate(sat_queries=0, skipped="no-sat-engine")
+            span.close()
+            obs_out = {"metrics": registry.to_dict(), "events": tracer.events}
+        return statuses, 0, time.perf_counter() - t0, obs_out, skipped_models
     solver = Solver()
     if registry is not None:
         solver.metrics = registry
@@ -404,6 +433,7 @@ def sweep_units_parallel(
     defer: bool = False,
     collect_models: bool = False,
     pi_nodes: Optional[Sequence[int]] = None,
+    engines: Optional[Sequence[str]] = None,
 ) -> List[UnitResult]:
     """Sweep all units; results align with ``units``, faults contained.
 
@@ -418,7 +448,8 @@ def sweep_units_parallel(
     ``units_requeued`` / ``pool_failures`` counters.  ``collect`` turns on
     worker-side span/metric collection (shipped back per unit).
     ``defer`` / ``collect_models`` / ``pi_nodes`` carry the refinement
-    context into each payload (see :func:`sweep_unit_payload`).
+    context into each payload, and ``engines`` the active adapter
+    portfolio (see :func:`sweep_unit_payload`).
     """
     payloads = [
         sweep_unit_payload(
@@ -432,6 +463,7 @@ def sweep_units_parallel(
             defer=defer,
             collect_models=collect_models,
             pi_nodes=pi_nodes,
+            engines=engines,
         )
         for i, u in enumerate(units)
     ]

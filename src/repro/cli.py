@@ -6,6 +6,8 @@
                             [--jobs N] [--cec-cache FILE] [--no-refine]
                             [--no-preprocess] [--time-limit S]
                             [--bdd-node-limit N]
+                            [--engines NAMES] [--dispatch-policy NAME]
+                            [--dispatch-store FILE]
                             [--trace FILE] [--metrics-out FILE]
                             [--oblog FILE]
                             [--quiet] [--verbose]
@@ -21,6 +23,8 @@
     python -m repro batch   manifest.json [--jobs N] [--time-limit S]
                             [--cache FILE] [--store FILE --resume]
                             [--retries N] [--in-process]
+                            [--engines NAMES] [--dispatch-policy NAME]
+                            [--dispatch-store FILE]
                             [--lease-ttl S --lease-attempts N]
                             [--chaos PLAN.json --chaos-log FILE]
                             [--trace FILE] [--metrics-out FILE]
@@ -114,6 +118,9 @@ def _cmd_verify(args) -> int:
         preprocess=not args.no_preprocess,
         time_limit=args.time_limit,
         bdd_node_limit=args.bdd_node_limit,
+        engines=args.engines,
+        dispatch_policy=args.dispatch_policy,
+        dispatch_store=args.dispatch_store,
     )
     tracer = _make_tracer(
         args,
@@ -132,6 +139,12 @@ def _cmd_verify(args) -> int:
     console.result(f"verdict: {report.verdict} (method: {report.method})")
     if report.reason is not None:
         console.result(f"  reason: {report.reason}")
+    if report.engine_used:
+        breakdown = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(report.engine_used.items())
+        )
+        console.info(f"  engines: {breakdown}")
     shown = (
         dict(report.stats) if args.verbose else compact_stats(report.stats)
     )
@@ -225,6 +238,19 @@ def _cmd_batch(args) -> int:
     if not requests:
         console.error(f"manifest {args.manifest} has no jobs")
         return 2
+    # CLI dispatch overrides trump per-row manifest settings (they are
+    # verdict-preserving engine options, not obligation identity).
+    for request in requests:
+        if args.engines is not None:
+            request.engines = [
+                part.strip()
+                for part in args.engines.split(",")
+                if part.strip()
+            ]
+        if args.dispatch_policy is not None:
+            request.dispatch_policy = args.dispatch_policy
+        if args.dispatch_store is not None:
+            request.dispatch_store = args.dispatch_store
     tracer = _make_tracer(
         args,
         meta={"command": "batch", "manifest": args.manifest, "jobs": args.jobs},
@@ -786,6 +812,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="live-node cap for the engine's bounded BDD attempts",
     )
     p.add_argument(
+        "--engines",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated CEC engine portfolio (e.g. 'sim,sat'); "
+        "default: the dispatch policy picks (structural,sim,bdd,sat)",
+    )
+    p.add_argument(
+        "--dispatch-policy",
+        default="cascade",
+        metavar="NAME",
+        help="engine dispatch policy: 'cascade' (fixed ladder, default) "
+        "or 'heuristic' (feature/outcome-driven ordering)",
+    )
+    p.add_argument(
+        "--dispatch-store",
+        default=None,
+        metavar="FILE",
+        help="persistent per-engine outcome store; repeated runs train "
+        "metrics-driven dispatch policies",
+    )
+    p.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -995,6 +1042,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="lease expiries before a job is quarantined as poison "
         "(default 3)",
+    )
+    p.add_argument(
+        "--engines",
+        default=None,
+        metavar="NAMES",
+        help="override every job's CEC engine portfolio "
+        "(comma-separated adapter names, e.g. 'sim,sat')",
+    )
+    p.add_argument(
+        "--dispatch-policy",
+        default=None,
+        metavar="NAME",
+        help="override every job's engine dispatch policy "
+        "('cascade' or 'heuristic')",
+    )
+    p.add_argument(
+        "--dispatch-store",
+        default=None,
+        metavar="FILE",
+        help="per-engine outcome store shared by every job; repeated "
+        "batch runs train metrics-driven dispatch policies",
     )
     p.add_argument(
         "--chaos",

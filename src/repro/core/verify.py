@@ -135,6 +135,9 @@ def check_sequential_equivalence(
     tracer=None,
     metrics=None,
     cec_cache=_UNSET,
+    engines=None,
+    dispatch_policy="cascade",
+    dispatch_store=None,
 ) -> SeqCheckResult:
     """Check exact-3-valued sequential equivalence of two circuits.
 
@@ -165,6 +168,10 @@ def check_sequential_equivalence(
     :class:`repro.obs.metrics.MetricsRegistry` — record the span tree
     (``seq.check`` → preparation/lowering phases → the CEC engine's own
     spans) and the full metric set; both default to no-ops.
+    ``engines`` / ``dispatch_policy`` / ``dispatch_store`` select the CEC
+    engine-adapter portfolio and how it is ordered per obligation (see
+    :func:`repro.cec.check_equivalence`); the defaults reproduce the
+    historical cascade bit for bit.
 
     Prefer calling through the stable facade :func:`repro.api.verify_pair`,
     which wraps this function behind one request/report pair of types.
@@ -232,6 +239,9 @@ def check_sequential_equivalence(
                 budget,
                 tracer,
                 metrics,
+                engines=engines,
+                dispatch_policy=dispatch_policy,
+                dispatch_store=dispatch_store,
             )
         else:
             result = _check_via_cbf(
@@ -248,6 +258,9 @@ def check_sequential_equivalence(
                 budget,
                 tracer,
                 metrics,
+                engines=engines,
+                dispatch_policy=dispatch_policy,
+                dispatch_store=dispatch_store,
             )
         result.stats["total_time"] = time.perf_counter() - t0
         root.annotate(verdict=result.verdict.value, method=result.method)
@@ -272,6 +285,9 @@ def _check_via_cbf(
     budget=None,
     tracer=None,
     metrics=None,
+    engines=None,
+    dispatch_policy="cascade",
+    dispatch_store=None,
 ) -> SeqCheckResult:
     tracer = coerce_tracer(tracer)
     with tracer.span("seq.phase.lower", cat="phase", method="cbf"):
@@ -300,6 +316,9 @@ def _check_via_cbf(
         budget=budget,
         tracer=tracer,
         metrics=metrics,
+        engines=engines,
+        dispatch_policy=dispatch_policy,
+        dispatch_store=dispatch_store,
     )
     stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
     if cec.verdict is CecVerdict.EQUIVALENT:
@@ -386,6 +405,9 @@ def _check_via_edbf(
     budget=None,
     tracer=None,
     metrics=None,
+    engines=None,
+    dispatch_policy="cascade",
+    dispatch_store=None,
 ) -> SeqCheckResult:
     tracer = coerce_tracer(tracer)
     with tracer.span("seq.phase.lower", cat="phase", method="edbf"):
@@ -412,6 +434,9 @@ def _check_via_edbf(
         budget=budget,
         tracer=tracer,
         metrics=metrics,
+        engines=engines,
+        dispatch_policy=dispatch_policy,
+        dispatch_store=dispatch_store,
     )
     stats.update({f"cec_{k}": v for k, v in cec.stats.items()})
     if cec.verdict is CecVerdict.EQUIVALENT:

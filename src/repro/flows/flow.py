@@ -160,6 +160,8 @@ def run_flow(
     budget=None,
     tracer=None,
     metrics=None,
+    engines=None,
+    dispatch_policy="cascade",
 ) -> FlowResult:
     """Run the full Fig. 19 experiment on one circuit.
 
@@ -178,7 +180,10 @@ def run_flow(
     :attr:`FlowResult.verify_reason` set, never a hang.  ``tracer`` /
     ``metrics`` thread the observability sinks through the flow: the row
     gets a ``flow.row`` span enclosing exposure, synthesis, and the
-    verification step's full span tree.
+    verification step's full span tree.  ``engines`` /
+    ``dispatch_policy`` select the CEC engine-adapter portfolio for the
+    verification step (see :func:`repro.cec.check_equivalence`); the
+    defaults reproduce the historical cascade.
     """
     tracer = coerce_tracer(tracer)
     row_span = tracer.span("flow.row", cat="flow", circuit=circuit.name)
@@ -197,6 +202,8 @@ def run_flow(
             tracer,
             metrics,
             row_span,
+            engines=engines,
+            dispatch_policy=dispatch_policy,
         )
     finally:
         row_span.close()
@@ -216,6 +223,8 @@ def _run_flow(
     tracer,
     metrics,
     row_span,
+    engines=None,
+    dispatch_policy="cascade",
 ) -> FlowResult:
     result = FlowResult(circuit.name)
     result.latches_a = circuit.num_latches()
@@ -314,6 +323,8 @@ def _run_flow(
                 cache=cec_cache,
                 refine=refine,
                 preprocess=preprocess,
+                engines=engines,
+                dispatch_policy=dispatch_policy,
             ),
             budget=budget,
             tracer=tracer,

@@ -60,6 +60,8 @@ def table1_row(
     budget: Union[None, int, float, Budget] = None,
     tracer=None,
     metrics=None,
+    engines=None,
+    dispatch_policy="cascade",
 ) -> FlowResult:
     """Run the flow for one Table 1 circuit."""
     circuit = build_table1_circuit(name)
@@ -74,6 +76,8 @@ def table1_row(
         budget=budget,
         tracer=tracer,
         metrics=metrics,
+        engines=engines,
+        dispatch_policy=dispatch_policy,
     )
 
 
@@ -103,6 +107,8 @@ def run_table1(
     console: Optional[Console] = None,
     tracer=None,
     metrics=None,
+    engines=None,
+    dispatch_policy="cascade",
 ) -> List[FlowResult]:
     """Run the Table 1 harness and print the table.
 
@@ -173,6 +179,8 @@ def run_table1(
                 budget=_row_budget(time_limit, bdd_node_limit),
                 tracer=tracer,
                 metrics=metrics,
+                engines=engines,
+                dispatch_policy=dispatch_policy,
             )
             if result.verify_reason == REASON_TIMEOUT:
                 result.status = "timeout"

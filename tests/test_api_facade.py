@@ -253,6 +253,95 @@ class TestDeprecationShims:
             result = check_sequential_equivalence(circuit, circuit, cache=None)
         assert result.equivalent
 
+    def test_request_cec_cache_kwarg_warns_and_maps(self, pair, tmp_path):
+        cache_path = str(tmp_path / "proofs.json")
+        with pytest.warns(DeprecationWarning, match="cec_cache"):
+            request = VerifyRequest(
+                golden=pair[0], revised=pair[1], cec_cache=cache_path
+            )
+        assert request.cache == cache_path
+
+    def test_request_new_spelling_is_warning_clean(self, pair, tmp_path):
+        # The satellite contract: constructing with the new spelling must
+        # survive ``PYTHONWARNINGS=error::DeprecationWarning``.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            request = VerifyRequest(
+                golden=pair[0],
+                revised=pair[1],
+                cache=str(tmp_path / "proofs.json"),
+                engines=["sat"],
+                dispatch_policy="heuristic",
+            )
+        assert request.engines == ["sat"]
+
+    def test_request_explicit_cache_wins_over_shim(self, pair):
+        with pytest.warns(DeprecationWarning):
+            request = VerifyRequest(
+                golden=pair[0],
+                revised=pair[1],
+                cache="keep.json",
+                cec_cache="ignored.json",
+            )
+        assert request.cache == "keep.json"
+
+
+class TestEngineDispatchKnobs:
+    """Satellite 1: engines / dispatch_policy on the request and report."""
+
+    def test_engines_string_normalised_to_list(self, pair):
+        request = VerifyRequest(
+            golden=pair[0], revised=pair[1], engines="sim, sat"
+        )
+        assert request.engines == ["sim", "sat"]
+
+    def test_round_trip_preserves_dispatch_fields(self, pair, tmp_path):
+        request = VerifyRequest(
+            golden=pair[0],
+            revised=pair[1],
+            engines=["structural", "sat"],
+            dispatch_policy="heuristic",
+            dispatch_store=str(tmp_path / "outcomes.json"),
+        )
+        data = json.loads(json.dumps(request.to_dict()))
+        back = VerifyRequest.from_dict(data)
+        assert back.engines == ["structural", "sat"]
+        assert back.dispatch_policy == "heuristic"
+        assert back.dispatch_store == str(tmp_path / "outcomes.json")
+
+    def test_dispatch_knobs_do_not_change_fingerprint(self, pair):
+        base = VerifyRequest(golden=pair[0], revised=pair[1])
+        tweaked = VerifyRequest(
+            golden=pair[0],
+            revised=pair[1],
+            engines=["structural", "sim", "bdd", "sat"],
+            dispatch_policy="heuristic",
+            dispatch_store="outcomes.json",
+        )
+        assert base.fingerprint() == tweaked.fingerprint()
+
+    def test_report_engine_used_breakdown(self, pair):
+        report = verify_pair(pair[0], pair[1])
+        assert report.engine_used  # some engine decided something
+        assert all(
+            isinstance(count, int) and count >= 0
+            for count in report.engine_used.values()
+        )
+        data = json.loads(json.dumps(report.as_dict()))
+        assert VerifyReport.from_dict(data).engine_used == report.engine_used
+
+    def test_heuristic_policy_same_verdict(self, pair):
+        default = verify_pair(pair[0], pair[1])
+        heuristic = verify_pair(
+            pair[0], pair[1], dispatch_policy="heuristic"
+        )
+        assert heuristic.verdict == default.verdict
+
+    def test_sat_only_portfolio_through_facade(self, pair):
+        report = verify_pair(pair[0], pair[1], engines=["sat"])
+        assert report.exit_code == EXIT_EQUIVALENT
+        assert set(report.engine_used) <= {"sat"}
+
 
 class TestPackageSurface:
     def test_facade_reexported_from_repro(self):
