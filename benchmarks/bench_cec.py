@@ -258,7 +258,10 @@ def _timed_check(golden, revised, options) -> Tuple[object, float, int]:
 
 def run(pairs, dispatch_policy: str = "cascade") -> Dict:
     rows = []
-    totals = {name: {"sat_queries": 0, "seconds": 0.0} for name, _ in MODES}
+    totals = {
+        name: {"sat_queries": 0, "core_retired": 0, "seconds": 0.0}
+        for name, _ in MODES
+    }
     divergences = []
     for name, golden, revised in pairs:
         row = {"pair": name}
@@ -270,6 +273,7 @@ def run(pairs, dispatch_policy: str = "cascade") -> Dict:
             row[mode] = {
                 "verdict": result.verdict.value,
                 "sat_queries": int(result.stats["sat_queries"]),
+                "core_retired": int(result.stats["core_retired"]),
                 "seconds": round(elapsed, 4),
                 "repeats": repeats,
                 "refine_rounds": int(result.stats["refine_rounds"]),
@@ -280,6 +284,7 @@ def run(pairs, dispatch_policy: str = "cascade") -> Dict:
                 ),
             }
             totals[mode]["sat_queries"] += int(result.stats["sat_queries"])
+            totals[mode]["core_retired"] += int(result.stats["core_retired"])
             totals[mode]["seconds"] += elapsed
         if len(set(verdicts.values())) != 1:
             divergences.append({"pair": name, "verdicts": verdicts})
@@ -322,6 +327,7 @@ def main(argv=None) -> int:
     totals = report["totals"]
     for mode, agg in totals.items():
         print(f"{mode:20s} sat_queries={agg['sat_queries']:6d} "
+              f"core_retired={agg['core_retired']:5d} "
               f"seconds={agg['seconds']:.3f}")
     print(f"refinement saved {report['sat_queries_saved_by_refinement']} "
           f"SAT queries (serial)")

@@ -178,6 +178,7 @@ class VerifyRequest:
     cache: Union[None, str, os.PathLike] = None
     refine: bool = True
     preprocess: bool = True
+    share_learned: bool = True
     # Resource budget (None = unlimited).
     time_limit: Optional[float] = None
     sat_conflicts: Optional[int] = None
@@ -257,7 +258,8 @@ class VerifyRequest:
         option, so two manifest rows naming byte-identical files dedup
         even under different names/paths, while requests differing in a
         way that can change the verdict never collide.  Engine options
-        (``jobs``, ``cache``, ``refine``, ``preprocess``, ``engines``,
+        (``jobs``, ``cache``, ``refine``, ``preprocess``,
+        ``share_learned``, ``engines``,
         ``dispatch_policy``, ``dispatch_store``) and budgets are
         deliberately
         excluded: they affect *whether* a verdict is reached, not which
@@ -296,6 +298,7 @@ class VerifyRequest:
             "jobs",
             "refine",
             "preprocess",
+            "share_learned",
             "time_limit",
             "sat_conflicts",
             "sat_propagations",
@@ -344,6 +347,7 @@ class VerifyRequest:
             "cache",
             "refine",
             "preprocess",
+            "share_learned",
             "time_limit",
             "sat_conflicts",
             "sat_propagations",
@@ -382,6 +386,7 @@ class VerifyRequest:
             "cache",
             "refine",
             "preprocess",
+            "share_learned",
             "time_limit",
             "sat_conflicts",
             "sat_propagations",
@@ -577,6 +582,7 @@ def verify_pair(
         cache=request.cache,
         refine=request.refine,
         preprocess=request.preprocess,
+        share_learned=request.share_learned,
         budget=Budget.coerce(budget) if budget is not None else request.budget(),
         tracer=tracer,
         metrics=metrics,

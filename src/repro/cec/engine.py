@@ -74,6 +74,7 @@ from repro.runtime.budget import (
     Budget,
 )
 from repro.runtime.errors import BddBlowupError
+from repro.sat.cores import CoreIndex, core_retires
 from repro.sat.solver import Solver
 
 __all__ = [
@@ -91,6 +92,11 @@ __all__ = [
 #: as a round yields no new pattern, so this cap only bounds adversarial
 #: worst cases.
 DEFAULT_REFINE_ROUNDS = 8
+
+#: Cap on the cross-worker shared-clause pool.  Clause sharing is an
+#: accelerator; past this point the payload cost of shipping more peer
+#: clauses outweighs their pruning value, so later exports are dropped.
+SHARED_POOL_CAP = 4096
 
 #: EngineStats counter field → canonical registry metric.  One table used
 #: in both directions so the flat stats view and the metrics sink can
@@ -112,6 +118,10 @@ _COUNTER_METRICS: Dict[str, str] = {
     "cascade_sim": "cec.cascade.sim",
     "cascade_bdd": "cec.cascade.bdd",
     "cascade_sat": "cec.cascade.sat",
+    "core_retired": "cec.sat.core_retired",
+    "shared_clauses_exported": "cec.parallel.shared_clauses_exported",
+    "shared_clauses_imported": "cec.parallel.shared_clauses_imported",
+    "shared_clauses_folded": "cec.parallel.shared_clauses_folded",
     "bdd_blowups": "cec.bdd_blowups",
     "budget_exhausted": "cec.budget_exhausted",
     "worker_failures": "cec.worker.failures",
@@ -172,10 +182,15 @@ class EngineStats:
     refine_patterns: int = 0
     refine_splits: int = 0
     refine_saved: int = 0
-    # Cascade outcomes (budget-governed checks only).
+    # Cascade outcomes (budgeted and classic checks alike).
     cascade_sim: int = 0
     cascade_bdd: int = 0
     cascade_sat: int = 0
+    # Assumption-core retirement and cross-worker clause sharing.
+    core_retired: int = 0
+    shared_clauses_exported: int = 0
+    shared_clauses_imported: int = 0
+    shared_clauses_folded: int = 0
     bdd_blowups: int = 0
     budget_exhausted: int = 0
     # Fault-tolerance telemetry from the parallel sweep.
@@ -416,6 +431,7 @@ def _sweep_unit_serial(
     collect_models: bool = False,
     pi_nodes: Optional[Sequence[int]] = None,
     engines: Optional[Sequence[str]] = None,
+    cores: Optional[CoreIndex] = None,
 ) -> UnitResult:
     """Sweep one unit on the parent's incremental solver (the serial path).
 
@@ -428,6 +444,12 @@ def _sweep_unit_serial(
     ``sat`` adapter leaves every candidate UNKNOWN (no merges, no
     queries) and the output checks settle things with whatever engines
     remain.
+
+    ``cores`` is the run's shared :class:`~repro.sat.cores.CoreIndex`:
+    a query direction subsumed by a known core (or containing a
+    root-false assumption) is retired as UNSAT without a solver call —
+    counted on :attr:`UnitResult.core_retired` — and every fresh UNSAT
+    core feeds the index.
     """
     t0 = time.perf_counter()
     if engines is not None and "sat" not in engines:
@@ -447,6 +469,7 @@ def _sweep_unit_serial(
         else []
     )
     sat_queries = 0
+    core_retired = 0
 
     def record_neq(model: Optional[Dict[int, bool]]) -> None:
         statuses.append(NEQ)
@@ -457,6 +480,27 @@ def _sweep_unit_serial(
         else:
             models.append(None)
 
+    def query(assumptions: List[int]):
+        # One direction: "unsat" from a subsuming core or the solver,
+        # "sat" with the model, "unknown" on a resource limit.
+        nonlocal sat_queries, core_retired
+        if core_retires(solver, cores, assumptions):
+            core_retired += 1
+            return "unsat", None
+        res = solver.solve(
+            assumptions=assumptions,
+            conflict_limit=conflict_limit,
+            deadline=deadline,
+        )
+        sat_queries += 1
+        if solver.last_unknown:
+            return "unknown", None
+        if res.satisfiable:
+            return "sat", res.model
+        if cores is not None and res.core is not None:
+            cores.add(res.core)
+        return "unsat", None
+
     for cand in unit.candidates:
         if defer and cand.group in refuted_groups:
             statuses.append(DEFERRED)
@@ -465,31 +509,21 @@ def _sweep_unit_serial(
         a = lit2cnf(cand.rep_lit)
         b = lit2cnf(cand.node_lit)
         # UNSAT(a != b) in both directions means equal.
-        r1 = solver.solve(
-            assumptions=[a, -b],
-            conflict_limit=conflict_limit,
-            deadline=deadline,
-        )
-        sat_queries += 1
-        if r1.satisfiable:
-            record_neq(r1.model)
+        outcome, model = query([a, -b])
+        if outcome == "sat":
+            record_neq(model)
             refuted_groups.add(cand.group)
             continue
-        if solver.last_unknown:
+        if outcome == "unknown":
             statuses.append(UNKNOWN)
             models.append(None)
             continue
-        r2 = solver.solve(
-            assumptions=[-a, b],
-            conflict_limit=conflict_limit,
-            deadline=deadline,
-        )
-        sat_queries += 1
-        if r2.satisfiable:
-            record_neq(r2.model)
+        outcome, model = query([-a, b])
+        if outcome == "sat":
+            record_neq(model)
             refuted_groups.add(cand.group)
             continue
-        if solver.last_unknown:
+        if outcome == "unknown":
             statuses.append(UNKNOWN)
             models.append(None)
             continue
@@ -503,6 +537,7 @@ def _sweep_unit_serial(
         sat_queries,
         time.perf_counter() - t0,
         models=models if collect_models else None,
+        core_retired=core_retired,
     )
 
 
@@ -590,6 +625,7 @@ def _check_outputs_portfolio(
     seed: int,
     adapters: Sequence[EngineAdapter],
     policy: DispatchPolicy,
+    cores: Optional[CoreIndex] = None,
 ) -> CheckResult:
     """Output checks over a pluggable engine portfolio.
 
@@ -613,6 +649,7 @@ def _check_outputs_portfolio(
         conflict_limit=conflict_limit,
         sim_width=sim_width,
         seed=seed,
+        cores=cores,
     )
     budgeted = budget is not None
     skip_identical = any(a.name == "structural" for a in adapters)
@@ -742,6 +779,7 @@ def check_equivalence(
     engines: Union[None, str, Sequence[str]] = None,
     dispatch_policy: Union[str, DispatchPolicy] = "cascade",
     dispatch_store: Union[None, str, os.PathLike, OutcomeStore] = None,
+    share_learned: bool = True,
 ) -> CheckResult:
     """Check combinational equivalence of two circuits.
 
@@ -801,6 +839,17 @@ def check_equivalence(
     ``sat`` adapter skips SAT sweeping entirely (sweeping is SAT work).
     Unknown engine or policy names raise :class:`ValueError` before any
     solving starts.
+
+    Every UNSAT under assumptions feeds a shared
+    :class:`~repro.sat.cores.CoreIndex`; sweep and output queries whose
+    assumptions a known core subsumes are retired without a solver call
+    (``cec.sat.core_retired``).  ``share_learned`` (default on) adds
+    cross-worker clause sharing on top for parallel sweeps: each
+    worker's short/low-LBD learned clauses join a deduplicated pool that
+    seeds the next round's workers, respawned units, and — before the
+    final output checks — the coordinator's own solver
+    (``cec.parallel.shared_clauses_*``).  Both reduce work only; they
+    never change a verdict.
     """
     tracer = coerce_tracer(tracer)
     caller_metrics = metrics
@@ -926,6 +975,15 @@ def check_equivalence(
 
     def bump_gauge(name: str, delta: float) -> None:
         registry.set_gauge(name, registry.gauge(name, 0.0) + delta)
+
+    # Assumption cores discovered anywhere in this check (sweep, workers,
+    # output pairs) accumulate here; every query consults the index
+    # before burning a solver call.
+    cores = CoreIndex()
+    # Cross-worker clause pool: normalised clause → literals, insertion
+    # ordered (dict semantics), capped so an adversarial run cannot grow
+    # payloads without bound.
+    shared_pool: Dict[Tuple[int, ...], List[int]] = {}
 
     if (
         sweep
@@ -1066,6 +1124,10 @@ def check_equivalence(
                     collect_models=refining,
                     pi_nodes=aig.pis,
                     engines=engine_names,
+                    shared_clauses=(
+                        list(shared_pool.values()) if share_learned else None
+                    ),
+                    known_cores=cores.export(),
                 )
                 for tele_key, value in telemetry.items():
                     registry.inc(_TELEMETRY_METRICS[tele_key], value)
@@ -1084,6 +1146,7 @@ def check_equivalence(
                         collect_models=refining,
                         pi_nodes=aig.pis,
                         engines=engine_names,
+                        cores=cores,
                     )
                     for unit in units
                 ]
@@ -1116,6 +1179,29 @@ def check_equivalence(
                     )
                 registry.append(_WORKER_SECONDS, result.seconds)
                 registry.inc("cec.sat_queries", result.sat_queries)
+                if result.core_retired:
+                    registry.inc("cec.sat.core_retired", result.core_retired)
+                # Fold the unit's solver knowledge home: cores join the
+                # shared index (worker results arrive already remapped to
+                # the parent's variable space), learned clauses join the
+                # cross-worker pool for the next round and the final pass.
+                cores.add_many(result.cores)
+                if share_learned and result.learned:
+                    registry.inc(
+                        "cec.parallel.shared_clauses_exported",
+                        len(result.learned),
+                    )
+                    for clause in result.learned:
+                        if len(shared_pool) >= SHARED_POOL_CAP:
+                            break
+                        shared_pool.setdefault(
+                            tuple(sorted(clause)), list(clause)
+                        )
+                if result.shared_imported:
+                    registry.inc(
+                        "cec.parallel.shared_clauses_imported",
+                        result.shared_imported,
+                    )
                 for ci, (cand, status) in enumerate(
                     zip(unit.candidates, result.statuses)
                 ):
@@ -1220,6 +1306,13 @@ def check_equivalence(
                 continue
             break
         registry.inc("cec.refine.queries_saved", len(deferred_open))
+        if share_learned and shared_pool:
+            # Fold the workers' pooled learned clauses into the
+            # coordinator's solver so the final output queries start
+            # from everything the fleet learned.
+            folded = solver.import_learned(shared_pool.values())
+            if folded:
+                registry.inc("cec.parallel.shared_clauses_folded", folded)
     stats["sweep_merges"] = registry.counter("cec.sweep.merges")
     stats["sweep_refuted"] = registry.counter("cec.sweep.refuted")
     stats["sweep_unknown"] = registry.counter("cec.sweep.unknown")
@@ -1241,6 +1334,7 @@ def check_equivalence(
             seed,
             portfolio,
             policy,
+            cores=cores,
         )
     registry.set_gauge("cec.phase.outputs.seconds", time.perf_counter() - t_out)
     return finish(result)

@@ -24,9 +24,12 @@ Contract of an adapter (narrative form in ``docs/API.md``):
   ``cec.*`` names catalogued in ``docs/OBSERVABILITY.md``.  The
   historical ladder's decision counters (``cec.cascade.<stage>``) are
   incremented *inside* the deciding adapter, exactly once per decided
-  obligation, and only for budget-governed checks — which keeps the
-  pre-refactor metric totals bit-identical and makes double counting
-  (the old two-site ``cec.cascade.sat`` bug) structurally impossible.
+  obligation, on budgeted and unbudgeted checks alike — so a classic
+  run's cascade breakdown matches a budgeted run of the same miter
+  (counting used to be gated on ``ctx.budgeted``, which made unbudgeted
+  runs report empty breakdowns).  Single-site counting still makes
+  double counting (the old two-site ``cec.cascade.sat`` bug)
+  structurally impossible.
 * NEQ outcomes must carry a counterexample already re-validated against
   the AIG (:func:`validate_counterexample`); the runner trusts it.
 
@@ -103,9 +106,12 @@ class EngineContext:
     Owns the derived resource limits so every adapter prices work the
     same way: ``sat_limit`` folds the caller's conflict limit with the
     budget's, ``node_limit`` is the budget's BDD cap (or the default),
-    and ``budgeted`` says whether the check is resource-governed at all —
-    unbudgeted ("classic") checks must not record ``cec.cascade.*``
-    decision counters, exactly as the pre-adapter engine behaved.
+    and ``budgeted`` says whether the check is resource-governed at all.
+
+    ``cores`` is the run's shared :class:`~repro.sat.cores.CoreIndex`
+    (when the caller maintains one): the SAT adapter consults it to
+    retire assumption sets subsumed by an already-known core without a
+    solver call, and feeds every fresh core back into it.
 
     :meth:`signature` lazily computes (and caches) the random-simulation
     words the sim adapter refutes from, so portfolios without a sim stage
@@ -125,6 +131,7 @@ class EngineContext:
         conflict_limit: Optional[int],
         sim_width: int,
         seed: int,
+        cores=None,
     ) -> None:
         self.aig = aig
         self.solver = solver
@@ -134,6 +141,7 @@ class EngineContext:
         self.tracer = tracer
         self.budget = budget
         self.budgeted = budget is not None
+        self.cores = cores
         self.conflict_limit = conflict_limit
         self.sim_width = sim_width
         self.seed = seed

@@ -105,7 +105,6 @@ class BddEngine(EngineAdapter):
                     "bdd.blowup", output=ob.name, node_limit=ctx.node_limit
                 )
             return EngineOutcome(PASS)
-        if ctx.budgeted:
-            ctx.metrics.inc("cec.cascade.bdd")
+        ctx.metrics.inc("cec.cascade.bdd")
         status, cex = decided
         return EngineOutcome(status, counterexample=cex)

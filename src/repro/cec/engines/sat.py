@@ -6,13 +6,22 @@ incremental solver — so every merge clause the sweep learned strengthens
 these queries.  Budget-governed checks bound each solve with the folded
 conflict limit, the budget's propagation limit, and its deadline; an
 unknown solver outcome stops the portfolio with the solver's reason
-code.  Unbudgeted checks solve with the caller's conflict limit only and
-report a reasonless UNKNOWN, exactly as the classic path always did.
+code on budgeted and unbudgeted checks alike (classic checks used to
+report a reasonless UNKNOWN, discarding ``last_unknown_reason``).
+
+When the context carries a :class:`~repro.sat.cores.CoreIndex`, each
+direction is first checked against the known assumption cores (plus the
+solver's root-level values): a subsumed direction is UNSAT by
+construction and is retired without a solver call, counted under
+``cec.sat.core_retired``; every fresh UNSAT core is fed back into the
+index so later pairs benefit.
 
 ``cec.cascade.sat`` is incremented here and nowhere else — once per
 *decided* obligation (NEQ on a model, EQ after both UNSATs), never on
-the unknown path — fixing the old double-site counting in
-``_check_outputs_cascade``.
+the unknown path, whether or not the check is budget-governed — fixing
+both the old double-site counting in ``_check_outputs_cascade`` and the
+later ``ctx.budgeted`` gate that left classic runs with empty cascade
+breakdowns.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from repro.cec.engines.base import (
     validate_counterexample,
 )
 from repro.runtime.budget import REASON_TIMEOUT
+from repro.sat.cores import core_retires
 
 __all__ = ["SatEngine"]
 
@@ -48,6 +58,9 @@ class SatEngine(EngineAdapter):
         b = ctx.lit2cnf(ob.l2)
         # UNSAT(a != b) in both directions means equal.
         for assumptions in ([a, -b], [-a, b]):
+            if core_retires(solver, ctx.cores, assumptions):
+                ctx.metrics.inc("cec.sat.core_retired")
+                continue
             if ctx.budgeted:
                 res = solver.solve(
                     assumptions=assumptions,
@@ -62,19 +75,15 @@ class SatEngine(EngineAdapter):
                 )
             ctx.metrics.inc("cec.sat_queries")
             if solver.last_unknown:
-                reason = (
-                    (solver.last_unknown_reason or REASON_TIMEOUT)
-                    if ctx.budgeted
-                    else None
-                )
+                reason = solver.last_unknown_reason or REASON_TIMEOUT
                 return EngineOutcome(UNKNOWN, reason=reason)
             if res.satisfiable:
                 assert res.model is not None
                 cex = extract_counterexample(ctx.aig, res.model, ctx.lit2cnf)
                 validate_counterexample(ctx.aig, cex, ob.l1, ob.l2, ob.name)
-                if ctx.budgeted:
-                    ctx.metrics.inc("cec.cascade.sat")
+                ctx.metrics.inc("cec.cascade.sat")
                 return EngineOutcome(NEQ, counterexample=cex)
-        if ctx.budgeted:
-            ctx.metrics.inc("cec.cascade.sat")
+            if ctx.cores is not None and res.core is not None:
+                ctx.cores.add(res.core)
+        ctx.metrics.inc("cec.cascade.sat")
         return EngineOutcome(EQ)

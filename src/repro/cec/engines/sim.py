@@ -59,6 +59,5 @@ class SimEngine(EngineAdapter):
         cex = sim_refute_pair(ctx.aig, ob.l1, ob.l2, ob.name, words, mask)
         if cex is None:
             return EngineOutcome(PASS)
-        if ctx.budgeted:
-            ctx.metrics.inc("cec.cascade.sim")
+        ctx.metrics.inc("cec.cascade.sim")
         return EngineOutcome(NEQ, counterexample=cex)

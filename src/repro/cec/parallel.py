@@ -10,6 +10,24 @@ as in the serial sweep — and return one status per candidate.  The engine
 then merges proven equivalences back into the parent solver before the
 final output checks.
 
+Two kinds of solver knowledge cross process boundaries with the unit:
+
+* **Shared learned clauses** — the engine's clause pool (quality-filtered
+  learned clauses harvested from earlier rounds' workers) is sliced to
+  each unit's variable map and imported into the worker's solver before
+  it starts; at exit the worker exports its own short/low-LBD learned
+  clauses back (already remapped to the parent's variable space).  A
+  unit requeued onto the serial path after a pool fault additionally
+  folds in the clauses its surviving siblings exported this round.
+  Every clause in the pool is a consequence of clauses every solver
+  shares (unit slices are subsets of the parent's clause set, merge
+  clauses hold on all circuit-consistent assignments), so sharing can
+  never change a verdict.
+* **Assumption cores** — known cores (same variable-space discipline)
+  seed a per-worker :class:`~repro.sat.cores.CoreIndex`; queries whose
+  assumptions a core subsumes are retired without solving, and fresh
+  cores ship home for the engine's shared index.
+
 Dispatch is resource-governed and degrades instead of aborting:
 
 * a ``fork`` process pool is used when available; any environment that
@@ -50,6 +68,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.runtime import chaos
 from repro.runtime.retry import run_with_retries
+from repro.sat.cores import CoreIndex, core_retires
 from repro.sat.solver import Solver
 
 __all__ = ["UnitResult", "sweep_units_parallel", "sweep_unit_payload"]
@@ -65,14 +84,19 @@ DEFERRED = "deferred"
 
 # payload: (num_vars, clauses, queries, conflict_limit, wall_remaining,
 #           unit_index, collect, trace_epoch, defer, collect_models,
-#           pi_map, engines) — the first five fields are the original
-# layout; the next three carry observability context; the following
-# three carry the refinement context (per-group deferral and NEQ-model
-# collection, with ``pi_map`` mapping the unit's dense solver variables
-# back to global PI node ids so models make sense to the parent); and
-# ``engines`` names the active adapter portfolio (None = unrestricted)
-# so workers honor the dispatch selection — a portfolio without ``sat``
-# makes the whole unit UNKNOWN without building a solver.
+#           pi_map, engines, shared_clauses, known_cores, global_vars)
+# — the first five fields are the original layout; the next three carry
+# observability context; the following three carry the refinement
+# context (per-group deferral and NEQ-model collection, with ``pi_map``
+# mapping the unit's dense solver variables back to global PI node ids
+# so models make sense to the parent); ``engines`` names the active
+# adapter portfolio (None = unrestricted) so workers honor the dispatch
+# selection — a portfolio without ``sat`` makes the whole unit UNKNOWN
+# without building a solver.  The final three carry the clause-sharing /
+# core context: peer learned clauses and known assumption cores already
+# sliced+remapped to the unit's variable space, and ``global_vars``
+# (local var ``i+1`` → parent CNF var ``global_vars[i]``) so the worker
+# can emit its own learned clauses and cores in the parent's space.
 _Payload = Tuple[
     int,
     List[List[int]],
@@ -86,17 +110,24 @@ _Payload = Tuple[
     bool,
     List[Tuple[int, int]],
     Optional[Tuple[str, ...]],
+    List[List[int]],
+    List[List[int]],
+    List[int],
 ]
-# (statuses, sat_queries, seconds, obs, models) where obs is None or
-# {"metrics": registry.to_dict(), "events": [trace events]} and models
-# aligns with statuses (a {pi node: value} dict per NEQ when collection
-# is on, None otherwise).
+# (statuses, sat_queries, seconds, obs, models, extras) where obs is
+# None or {"metrics": registry.to_dict(), "events": [trace events]},
+# models aligns with statuses (a {pi node: value} dict per NEQ when
+# collection is on, None otherwise), and extras is None or
+# {"learned": [...], "cores": [...], "core_retired": n,
+#  "shared_imported": n} with clauses/cores in the parent's variable
+# space.
 _WorkerOutput = Tuple[
     List[str],
     int,
     float,
     Optional[Dict[str, Any]],
     Optional[List[Optional[Dict[int, bool]]]],
+    Optional[Dict[str, Any]],
 ]
 
 # Legacy test seam: fault-injection hook run at worker entry (both in
@@ -119,6 +150,12 @@ class UnitResult:
     ``models`` aligns with ``statuses`` when NEQ-model collection was on:
     the refuting PI assignment (``{pi node id: value}``) per NEQ status,
     None elsewhere — the raw material of the refinement loop.
+
+    ``learned`` / ``cores`` carry the worker's quality-filtered learned
+    clauses and the assumption cores it knows at exit, both already in
+    the parent's CNF variable space; ``core_retired`` counts queries the
+    worker answered from a core without solving, ``shared_imported`` the
+    peer clauses it actually installed.
     """
 
     def __init__(
@@ -131,6 +168,10 @@ class UnitResult:
         events: Optional[List[Dict[str, Any]]] = None,
         metrics: Optional[Dict[str, Any]] = None,
         models: Optional[List[Optional[Dict[int, bool]]]] = None,
+        learned: Optional[List[List[int]]] = None,
+        cores: Optional[List[List[int]]] = None,
+        core_retired: int = 0,
+        shared_imported: int = 0,
     ) -> None:
         self.statuses = statuses
         self.sat_queries = sat_queries
@@ -140,6 +181,10 @@ class UnitResult:
         self.events = events
         self.metrics = metrics
         self.models = models
+        self.learned = learned or []
+        self.cores = cores or []
+        self.core_retired = core_retired
+        self.shared_imported = shared_imported
 
     def model_for(self, index: int) -> Optional[Dict[int, bool]]:
         """The refuting model for candidate ``index``, if one was shipped."""
@@ -160,6 +205,8 @@ def sweep_unit_payload(
     collect_models: bool = False,
     pi_nodes: Optional[Sequence[int]] = None,
     engines: Optional[Sequence[str]] = None,
+    shared_clauses: Optional[Sequence[Sequence[int]]] = None,
+    known_cores: Optional[Sequence[Sequence[int]]] = None,
 ) -> _Payload:
     """Build one worker payload from the parent solver's clause slice.
 
@@ -180,9 +227,27 @@ def sweep_unit_payload(
     ``engines`` names the active adapter portfolio; workers honor the
     dispatch selection, so a portfolio without the ``sat`` engine turns
     the whole unit into UNKNOWN statuses with zero queries.
+
+    ``shared_clauses`` / ``known_cores`` are the engine's clause pool
+    and assumption cores in the *parent's* variable space; only entries
+    falling entirely inside the unit's variable map are shipped (a
+    clause mentioning a foreign variable is meaningless to the slice),
+    remapped to the unit's dense space.
     """
     nodes = sorted(unit.cone)
     var_of: Dict[int, int] = {node + 1: i + 1 for i, node in enumerate(nodes)}
+
+    def remap_all(groups: Optional[Sequence[Sequence[int]]]) -> List[List[int]]:
+        # Slice to the unit: keep only literal groups whose variables
+        # all live in the unit's map, remapped to local space.
+        out: List[List[int]] = []
+        for group in groups or ():
+            if all(abs(lit) in var_of for lit in group):
+                out.append(
+                    [var_of[abs(lit)] * (1 if lit > 0 else -1) for lit in group]
+                )
+        return out
+
     clauses = [
         [var_of[abs(lit)] * (1 if lit > 0 else -1) for lit in clause]
         for clause in solver.export_clauses(var_of)
@@ -211,6 +276,9 @@ def sweep_unit_payload(
         collect_models,
         pi_map,
         tuple(engines) if engines is not None else None,
+        remap_all(shared_clauses),
+        remap_all(known_cores),
+        [node + 1 for node in nodes],
     )
 
 
@@ -236,6 +304,9 @@ def _sweep_unit_worker(
         collect_models,
         pi_map,
         engines,
+        shared_clauses,
+        known_cores,
+        global_vars,
     ) = payload
     if _fault_hook is not None:
         _fault_hook(payload)
@@ -271,7 +342,14 @@ def _sweep_unit_worker(
             span.annotate(sat_queries=0, skipped="no-sat-engine")
             span.close()
             obs_out = {"metrics": registry.to_dict(), "events": tracer.events}
-        return statuses, 0, time.perf_counter() - t0, obs_out, skipped_models
+        return (
+            statuses,
+            0,
+            time.perf_counter() - t0,
+            obs_out,
+            skipped_models,
+            None,
+        )
     solver = Solver()
     if registry is not None:
         solver.metrics = registry
@@ -279,6 +357,10 @@ def _sweep_unit_worker(
     for clause in clauses:
         if not solver.add_clause(clause):
             raise RuntimeError("inconsistent CNF slice in sweep worker")
+    shared_imported = solver.import_learned(shared_clauses)
+    core_index = CoreIndex()
+    core_index.add_many(known_cores)
+    core_retired = 0
     statuses: List[str] = []
     models: List[Optional[Dict[int, bool]]] = []
     refuted_groups: set = set()
@@ -297,41 +379,50 @@ def _sweep_unit_worker(
         else:
             models.append(None)
 
+    def query(assumptions: List[int]) -> Tuple[str, Optional[Dict[int, bool]]]:
+        # One direction: "unsat" from a subsuming core or the solver,
+        # "sat" with the model, "unknown" on a resource limit.
+        nonlocal sat_queries, core_retired
+        if core_retires(solver, core_index, assumptions):
+            core_retired += 1
+            return "unsat", None
+        res = solver.solve(
+            assumptions=assumptions,
+            conflict_limit=conflict_limit,
+            deadline=deadline,
+        )
+        sat_queries += 1
+        if progress is not None:
+            progress["sat_queries"] = sat_queries
+        if solver.last_unknown:
+            return "unknown", None
+        if res.satisfiable:
+            return "sat", res.model
+        if res.core is not None:
+            core_index.add(res.core)
+        return "unsat", None
+
     for a, b_var, phase_equal, group in queries:
         if defer and group in refuted_groups:
             statuses.append(DEFERRED)
             models.append(None)
             continue
         b = b_var if phase_equal else -b_var
-        r1 = solver.solve(
-            assumptions=[a, -b],
-            conflict_limit=conflict_limit,
-            deadline=deadline,
-        )
-        sat_queries += 1
-        if progress is not None:
-            progress["sat_queries"] = sat_queries
-        if r1.satisfiable:
-            record_neq(r1.model)
+        outcome, model = query([a, -b])
+        if outcome == "sat":
+            record_neq(model)
             refuted_groups.add(group)
             continue
-        if solver.last_unknown:
+        if outcome == "unknown":
             statuses.append(UNKNOWN)
             models.append(None)
             continue
-        r2 = solver.solve(
-            assumptions=[-a, b],
-            conflict_limit=conflict_limit,
-            deadline=deadline,
-        )
-        sat_queries += 1
-        if progress is not None:
-            progress["sat_queries"] = sat_queries
-        if r2.satisfiable:
-            record_neq(r2.model)
+        outcome, model = query([-a, b])
+        if outcome == "sat":
+            record_neq(model)
             refuted_groups.add(group)
             continue
-        if solver.last_unknown:
+        if outcome == "unknown":
             statuses.append(UNKNOWN)
             models.append(None)
             continue
@@ -341,11 +432,35 @@ def _sweep_unit_worker(
         models.append(None)
     obs: Optional[Dict[str, Any]] = None
     if registry is not None and tracer is not None and span is not None:
-        span.annotate(sat_queries=sat_queries)
+        span.annotate(sat_queries=sat_queries, core_retired=core_retired)
         span.close()
         obs = {"metrics": registry.to_dict(), "events": tracer.events}
     out_models = models if collect_models else None
-    return statuses, sat_queries, time.perf_counter() - t0, obs, out_models
+
+    def unmap(groups: List[List[int]]) -> List[List[int]]:
+        # Worker-local literals back to the parent's CNF variables.
+        return [
+            [
+                global_vars[abs(lit) - 1] * (1 if lit > 0 else -1)
+                for lit in group
+            ]
+            for group in groups
+        ]
+
+    extras: Dict[str, Any] = {
+        "learned": unmap(solver.export_learned()),
+        "cores": unmap(core_index.export()),
+        "core_retired": core_retired,
+        "shared_imported": shared_imported,
+    }
+    return (
+        statuses,
+        sat_queries,
+        time.perf_counter() - t0,
+        obs,
+        out_models,
+        extras,
+    )
 
 
 def _bump(telemetry: Optional[Dict[str, int]], key: str, by: int = 1) -> None:
@@ -434,6 +549,8 @@ def sweep_units_parallel(
     collect_models: bool = False,
     pi_nodes: Optional[Sequence[int]] = None,
     engines: Optional[Sequence[str]] = None,
+    shared_clauses: Optional[Sequence[Sequence[int]]] = None,
+    known_cores: Optional[Sequence[Sequence[int]]] = None,
 ) -> List[UnitResult]:
     """Sweep all units; results align with ``units``, faults contained.
 
@@ -449,24 +566,35 @@ def sweep_units_parallel(
     worker-side span/metric collection (shipped back per unit).
     ``defer`` / ``collect_models`` / ``pi_nodes`` carry the refinement
     context into each payload, and ``engines`` the active adapter
-    portfolio (see :func:`sweep_unit_payload`).
+    portfolio (see :func:`sweep_unit_payload`).  ``shared_clauses`` /
+    ``known_cores`` (parent variable space) are sliced into every
+    payload; units requeued onto the serial path additionally fold in
+    the learned clauses their surviving pool siblings exported this
+    round, so a respawned unit starts from its peers' knowledge.
     """
-    payloads = [
-        sweep_unit_payload(
+
+    def build_payload(
+        index: int, unit: WorkUnit, extra_shared: Sequence[Sequence[int]] = ()
+    ) -> _Payload:
+        pool = list(shared_clauses or ())
+        pool.extend(extra_shared)
+        return sweep_unit_payload(
             solver,
-            u,
+            unit,
             conflict_limit,
             wall_remaining,
-            unit_index=i,
+            unit_index=index,
             collect=collect,
             trace_epoch=trace_epoch,
             defer=defer,
             collect_models=collect_models,
             pi_nodes=pi_nodes,
             engines=engines,
+            shared_clauses=pool,
+            known_cores=known_cores,
         )
-        for i, u in enumerate(units)
-    ]
+
+    payloads = [build_payload(i, u) for i, u in enumerate(units)]
     outputs: List[Optional[_WorkerOutput]] = [None] * len(payloads)
     retries = [0] * len(payloads)
     errors: List[Optional[str]] = [None] * len(payloads)
@@ -487,6 +615,27 @@ def sweep_units_parallel(
             payloads, outputs, n_jobs, unit_timeout, telemetry
         )
         _bump(telemetry, "units_requeued", len(pending))
+    if pending and len(pending) < len(payloads):
+        # Respawn with peer knowledge: the serial requeue of a lost unit
+        # starts from the learned clauses its surviving siblings shipped
+        # home this round (deduplicated; the payload build re-slices
+        # them to each unit's variable map).
+        peer_learned: List[List[int]] = []
+        seen_peer: set = set()
+        for out in outputs:
+            if out is None:
+                continue
+            extras = out[5] or {}
+            for clause in extras.get("learned", ()):
+                key = tuple(sorted(clause))
+                if key not in seen_peer:
+                    seen_peer.add(key)
+                    peer_learned.append(list(clause))
+        if peer_learned:
+            for index in pending:
+                payloads[index] = build_payload(
+                    index, units[index], extra_shared=peer_learned
+                )
     for index in pending:
         payload = payloads[index]
         attempt_states: List[Dict[str, Any]] = []
@@ -565,7 +714,8 @@ def sweep_units_parallel(
                 )
             )
         else:
-            statuses, sat_queries, seconds, obs, models = out
+            statuses, sat_queries, seconds, obs, models, extras = out
+            extras = extras or {}
             results.append(
                 UnitResult(
                     statuses,
@@ -575,6 +725,10 @@ def sweep_units_parallel(
                     events=(obs or {}).get("events"),
                     metrics=(obs or {}).get("metrics"),
                     models=models,
+                    learned=extras.get("learned"),
+                    cores=extras.get("cores"),
+                    core_retired=int(extras.get("core_retired", 0)),
+                    shared_imported=int(extras.get("shared_imported", 0)),
                 )
             )
     return results

@@ -4,7 +4,8 @@
 
     python -m repro verify  golden.blif revised.blif [--rewrite] [--no-unate]
                             [--jobs N] [--cec-cache FILE] [--no-refine]
-                            [--no-preprocess] [--time-limit S]
+                            [--no-preprocess] [--no-share-learned]
+                            [--time-limit S]
                             [--bdd-node-limit N]
                             [--engines NAMES] [--dispatch-policy NAME]
                             [--dispatch-store FILE]
@@ -116,6 +117,7 @@ def _cmd_verify(args) -> int:
         cache=args.cec_cache,
         refine=not args.no_refine,
         preprocess=not args.no_preprocess,
+        share_learned=not args.no_share_learned,
         time_limit=args.time_limit,
         bdd_node_limit=args.bdd_node_limit,
         engines=args.engines,
@@ -706,6 +708,8 @@ def _cmd_table1(args) -> int:
         forwarded.append("--no-refine")
     if args.no_preprocess:
         forwarded.append("--no-preprocess")
+    if args.no_share_learned:
+        forwarded.append("--no-share-learned")
     if args.time_limit is not None:
         forwarded.extend(["--time-limit", str(args.time_limit)])
     if args.bdd_node_limit is not None:
@@ -795,6 +799,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-preprocess",
         action="store_true",
         help="disable pre-sweep AIG rewriting of the CEC miter",
+    )
+    p.add_argument(
+        "--no-share-learned",
+        action="store_true",
+        help="disable learned-clause and assumption-core pooling "
+        "across sweep workers",
     )
     p.add_argument(
         "--time-limit",
@@ -932,6 +942,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-preprocess",
         action="store_true",
         help="disable pre-sweep AIG rewriting of the CEC miter",
+    )
+    p.add_argument(
+        "--no-share-learned",
+        action="store_true",
+        help="disable learned-clause and assumption-core pooling "
+        "across sweep workers",
     )
     p.add_argument(
         "--time-limit",

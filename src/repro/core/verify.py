@@ -131,6 +131,7 @@ def check_sequential_equivalence(
     cache=None,
     refine: bool = True,
     preprocess: bool = True,
+    share_learned: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -160,6 +161,10 @@ def check_sequential_equivalence(
     rewrites the lowered miter AIG before sweeping — constant
     propagation, strashing, local two-level rewrites and dead-node
     elimination; semantics-preserving, so verdicts are unchanged.
+    ``share_learned`` (default on) lets the CEC sweep pool
+    quality-filtered learned clauses and assumption cores across
+    parallel workers and the final output pass; pass False to isolate
+    every solve (verdicts are unaffected either way).
     ``budget`` — a
     :class:`repro.runtime.Budget` or bare wall-clock
     seconds — resource-governs the CEC step; exhaustion yields verdict
@@ -236,6 +241,7 @@ def check_sequential_equivalence(
                 cache,
                 refine,
                 preprocess,
+                share_learned,
                 budget,
                 tracer,
                 metrics,
@@ -255,6 +261,7 @@ def check_sequential_equivalence(
                 cache,
                 refine,
                 preprocess,
+                share_learned,
                 budget,
                 tracer,
                 metrics,
@@ -282,6 +289,7 @@ def _check_via_cbf(
     cache=None,
     refine: bool = True,
     preprocess: bool = True,
+    share_learned: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -313,6 +321,7 @@ def _check_via_cbf(
         cache=cache,
         refine=refine,
         preprocess=preprocess,
+        share_learned=share_learned,
         budget=budget,
         tracer=tracer,
         metrics=metrics,
@@ -402,6 +411,7 @@ def _check_via_edbf(
     cache=None,
     refine: bool = True,
     preprocess: bool = True,
+    share_learned: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -431,6 +441,7 @@ def _check_via_edbf(
         cache=cache,
         refine=refine,
         preprocess=preprocess,
+        share_learned=share_learned,
         budget=budget,
         tracer=tracer,
         metrics=metrics,

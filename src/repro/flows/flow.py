@@ -157,6 +157,7 @@ def run_flow(
     cec_cache=None,
     refine: bool = True,
     preprocess: bool = True,
+    share_learned: bool = True,
     budget=None,
     tracer=None,
     metrics=None,
@@ -174,7 +175,9 @@ def run_flow(
     merges of structurally recurring cones.  ``refine=False`` disables the
     engine's counterexample-guided refinement loop and ``preprocess=False``
     its pre-sweep AIG rewriting (the ``--no-refine`` / ``--no-preprocess``
-    escape hatches).  ``budget`` (a
+    escape hatches); ``share_learned=False`` turns off learned-clause and
+    assumption-core pooling in the sweep (``--no-share-learned``).
+    ``budget`` (a
     :class:`repro.runtime.Budget` or bare seconds) resource-governs the
     verification step; exhaustion yields an UNKNOWN verdict with
     :attr:`FlowResult.verify_reason` set, never a hang.  ``tracer`` /
@@ -198,6 +201,7 @@ def run_flow(
             cec_cache,
             refine,
             preprocess,
+            share_learned,
             budget,
             tracer,
             metrics,
@@ -219,6 +223,7 @@ def _run_flow(
     cec_cache,
     refine: bool,
     preprocess: bool,
+    share_learned: bool,
     budget,
     tracer,
     metrics,
@@ -323,6 +328,7 @@ def _run_flow(
                 cache=cec_cache,
                 refine=refine,
                 preprocess=preprocess,
+                share_learned=share_learned,
                 engines=engines,
                 dispatch_policy=dispatch_policy,
             ),

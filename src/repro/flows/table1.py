@@ -57,6 +57,7 @@ def table1_row(
     cec_cache=None,
     refine: bool = True,
     preprocess: bool = True,
+    share_learned: bool = True,
     budget: Union[None, int, float, Budget] = None,
     tracer=None,
     metrics=None,
@@ -73,6 +74,7 @@ def table1_row(
         cec_cache=cec_cache,
         refine=refine,
         preprocess=preprocess,
+        share_learned=share_learned,
         budget=budget,
         tracer=tracer,
         metrics=metrics,
@@ -99,6 +101,7 @@ def run_table1(
     cec_cache=None,
     refine: bool = True,
     preprocess: bool = True,
+    share_learned: bool = True,
     time_limit: Optional[float] = None,
     bdd_node_limit: Optional[int] = None,
     on_error: str = "skip",
@@ -117,7 +120,9 @@ def run_table1(
     of the harness replays the proven merges instead of re-solving them.
     ``refine=False`` disables the CEC engine's counterexample-guided
     refinement loop and ``preprocess=False`` its pre-sweep AIG rewriting
-    (the ``--no-refine`` / ``--no-preprocess`` escape hatches).
+    (the ``--no-refine`` / ``--no-preprocess`` escape hatches);
+    ``share_learned=False`` turns off learned-clause and assumption-core
+    pooling in the sweep (``--no-share-learned``).
 
     ``time_limit`` / ``bdd_node_limit`` build a fresh per-row
     :class:`~repro.runtime.Budget` for the verification step; a row whose
@@ -176,6 +181,7 @@ def run_table1(
                 cache,
                 refine=refine,
                 preprocess=preprocess,
+                share_learned=share_learned,
                 budget=_row_budget(time_limit, bdd_node_limit),
                 tracer=tracer,
                 metrics=metrics,
@@ -310,6 +316,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="disable pre-sweep AIG rewriting of the CEC miter",
     )
     parser.add_argument(
+        "--no-share-learned",
+        action="store_true",
+        help="disable learned-clause and assumption-core pooling "
+        "across sweep workers",
+    )
+    parser.add_argument(
         "--time-limit",
         type=float,
         default=None,
@@ -390,6 +402,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cec_cache=args.cache,
             refine=not args.no_refine,
             preprocess=not args.no_preprocess,
+            share_learned=not args.no_share_learned,
             time_limit=args.time_limit,
             bdd_node_limit=args.bdd_node_limit,
             on_error=args.on_error,

@@ -5,12 +5,21 @@ Implements the standard modern architecture:
 * two-watched-literal unit propagation;
 * first-UIP conflict analysis with clause learning and non-chronological
   backjumping;
-* exponential-decay variable activities (VSIDS-style) with phase saving;
+* EVSIDS variable activities (exponentially rescaled bumps on an indexed
+  max-heap, with a MiniSat-style decay ramp) and phase saving that skips
+  assumption levels so one query's polarity cannot pollute the next;
 * Luby-sequence restarts;
-* learned-clause garbage collection by activity.
+* learned-clause garbage collection by activity, with LBD tracked per
+  clause for quality-filtered sharing (:meth:`Solver.export_learned` /
+  :meth:`Solver.import_learned`).
 
 The solver supports incremental solving under assumptions, which the CEC
-engine uses for equivalence sweeping (one CNF, many queries).
+engine uses for equivalence sweeping (one CNF, many queries).  When a
+call comes back UNSAT under assumptions, final-conflict analysis (the
+``analyzeFinal`` of MiniSat) reports *which* assumptions the refutation
+actually used in :attr:`SATResult.core` — the incremental-SAT analogue
+of an unsatisfiable core, which the sweep uses to retire whole families
+of candidate queries without re-solving them.
 
 Every ``solve`` call can be resource-bounded: ``conflict_limit`` and
 ``propagation_limit`` cap the search effort, and ``deadline`` (an absolute
@@ -50,6 +59,13 @@ class SATResult:
     *cumulative lifetime totals* at the end of the call, not this call's
     effort — on an incremental solver they grow monotonically across
     calls.  Per-call deltas live in :attr:`Solver.last_call_stats`.
+
+    ``core`` is only meaningful on UNSAT results: the subset of this
+    call's assumption literals (verbatim, as passed) that final-conflict
+    analysis found the refutation to depend on.  An empty core means the
+    formula is unsatisfiable regardless of assumptions; any superset of
+    a reported core is guaranteed UNSAT without another solver call.  On
+    SAT and UNKNOWN results ``core`` is None.
     """
 
     satisfiable: bool
@@ -57,6 +73,7 @@ class SATResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    core: Optional[List[int]] = None
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -82,16 +99,105 @@ def _luby(i: int) -> int:
 
 
 class _Clause:
-    __slots__ = ("lits", "learned", "activity")
+    __slots__ = ("lits", "learned", "activity", "lbd")
 
     def __init__(self, lits: List[int], learned: bool) -> None:
         self.lits = lits
         self.learned = learned
         self.activity = 0.0
+        #: Literal block distance (distinct decision levels at learn
+        #: time); the clause-quality measure ``export_learned`` filters
+        #: on.  0 for original clauses.
+        self.lbd = 0
+
+
+class _VarOrder:
+    """Indexed binary max-heap of variables ordered by activity.
+
+    The MiniSat ``Heap`` (sst-sat's ``heap.h``): ``pos`` maps each
+    variable to its heap slot (-1 when absent) so an activity bump can
+    percolate the variable up in O(log n) instead of the old O(n) linear
+    scan per decision.  Rescaling multiplies every activity by the same
+    factor, which preserves heap order — only bumps need fixing up.
+    """
+
+    __slots__ = ("heap", "pos", "activity")
+
+    def __init__(self, activity: List[float]) -> None:
+        self.heap: List[int] = []
+        self.pos: List[int] = []
+        self.activity = activity
+
+    def insert(self, var: int) -> None:
+        while len(self.pos) <= var:
+            self.pos.append(-1)
+        if self.pos[var] >= 0:
+            return
+        self.pos[var] = len(self.heap)
+        self.heap.append(var)
+        self._up(self.pos[var])
+
+    def pop(self) -> int:
+        heap, pos = self.heap, self.pos
+        top = heap[0]
+        last = heap.pop()
+        pos[top] = -1
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._down(0)
+        return top
+
+    def update(self, var: int) -> None:
+        """Restore heap order after ``var``'s activity increased."""
+        if var < len(self.pos) and self.pos[var] >= 0:
+            self._up(self.pos[var])
+
+    def _up(self, i: int) -> None:
+        heap, pos, act = self.heap, self.pos, self.activity
+        var = heap[i]
+        key = act[var]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pvar = heap[parent]
+            if act[pvar] >= key:
+                break
+            heap[i] = pvar
+            pos[pvar] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
+
+    def _down(self, i: int) -> None:
+        heap, pos, act = self.heap, self.pos, self.activity
+        var = heap[i]
+        key = act[var]
+        size = len(heap)
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                break
+            child = left
+            right = left + 1
+            if right < size and act[heap[right]] > act[heap[left]]:
+                child = right
+            cvar = heap[child]
+            if key >= act[cvar]:
+                break
+            heap[i] = cvar
+            pos[cvar] = i
+            i = child
+        heap[i] = var
+        pos[var] = i
 
 
 class Solver:
     """CDCL solver over DIMACS-style integer literals."""
+
+    #: Conflicts between each +0.01 step of the variable-decay ramp.
+    _DECAY_RAMP_CONFLICTS = 5000
+    #: Decay ramp endpoint.
+    _DECAY_RAMP_TARGET = 0.95
 
     def __init__(self) -> None:
         self._num_vars = 0
@@ -106,11 +212,22 @@ class Solver:
         self._trail_lim: List[int] = []
         self._qhead = 0
         self._activity: List[float] = []
+        self._order = _VarOrder(self._activity)
         self._var_inc = 1.0
-        self._var_decay = 0.95
+        # EVSIDS decay ramp (MiniSat-style): start forgetful at 0.8 so
+        # early bumps wash out fast, then step toward 0.95 every
+        # _DECAY_RAMP_CONFLICTS conflicts as the search matures.
+        self._var_decay = 0.8
+        self._decay_countdown = self._DECAY_RAMP_CONFLICTS
         self._cla_inc = 1.0
         self._cla_decay = 0.999
         self._phase: List[bool] = []
+        # Marks variables currently assigned *as assumption
+        # pseudo-decisions* — the trail positions final-conflict
+        # analysis must report as core members (a formula-implied unit
+        # enqueued at an assumption level also has reason None, so
+        # reasonlessness alone cannot identify assumptions).
+        self._assumption_mark: List[bool] = []
         self._ok = True
         self.stats_conflicts = 0
         self.stats_decisions = 0
@@ -128,6 +245,12 @@ class Solver:
         self.last_unknown = False
         #: The ``REASON_*`` code of the exhausted resource, else None.
         self.last_unknown_reason: Optional[str] = None
+        #: Mirror of the last UNSAT result's assumption core (None on
+        #: SAT/UNKNOWN), for callers that only kept the solver handle.
+        self.last_core: Optional[List[int]] = None
+        # Core computed by _search at the conflict site, before
+        # backtracking erases the trail it was derived from.
+        self._pending_core: Optional[List[int]] = None
         #: Per-call effort deltas of the last ``solve`` call.
         self.last_call_stats: Dict[str, int] = {}
         #: Optional ``repro.obs.metrics.MetricsRegistry``; when attached,
@@ -146,6 +269,8 @@ class Solver:
             self._reason.append(None)
             self._activity.append(0.0)
             self._phase.append(False)
+            self._assumption_mark.append(False)
+            self._order.insert(self._num_vars - 1)
 
     def add_clause(self, literals: Iterable[int]) -> bool:
         """Add a clause; returns False if the formula became trivially UNSAT."""
@@ -217,6 +342,111 @@ class Solver:
                 clauses.append(list(clause.lits))
         return clauses
 
+    def export_learned(
+        self,
+        variables: Optional[Iterable[int]] = None,
+        max_len: int = 8,
+        max_lbd: int = 4,
+    ) -> List[List[int]]:
+        """Quality-filtered snapshot of the learned-clause database.
+
+        Returns copies of learned clauses no longer than ``max_len``
+        literals and no "wider" than ``max_lbd`` decision levels at
+        learn time — the short, low-LBD clauses worth shipping to a
+        sibling solver.  With ``variables``, only clauses falling
+        entirely inside that variable set are returned: since every
+        learned clause is a logical consequence of the clause database,
+        a clause scoped to a work unit's variable slice stays valid on
+        any peer whose slice subsumes those variables.  Clauses imported
+        via :meth:`import_learned` carry a pessimistic LBD and are not
+        re-exported, which keeps shared clauses from echoing between
+        workers.
+        """
+        var_set = set(variables) if variables is not None else None
+        out: List[List[int]] = []
+        for clause in self._learned:
+            lits = clause.lits
+            if len(lits) > max_len or clause.lbd > max_lbd:
+                continue
+            if var_set is not None and not all(abs(l) in var_set for l in lits):
+                continue
+            out.append(list(lits))
+        return out
+
+    def import_learned(self, clauses: Iterable[Iterable[int]]) -> int:
+        """Install peer-learned clauses; returns how many were added.
+
+        Each clause must be a logical consequence of this solver's
+        problem (the :meth:`export_learned` contract).  Clauses are
+        root-simplified like :meth:`add_clause` — satisfied ones are
+        skipped, root-false literals dropped — then added as learned
+        (garbage-collectable) clauses; units are enqueued at the root.
+        A clause emptied by simplification proves the formula UNSAT.
+        """
+        if not self._ok:
+            return 0
+        if self._decision_level() != 0:
+            raise RuntimeError("learned clauses must be imported at root level")
+        added = 0
+        for literals in clauses:
+            lits: List[int] = []
+            seen = set()
+            skip = False
+            for lit in literals:
+                self.ensure_vars(abs(lit))
+                if -lit in seen:
+                    skip = True  # tautological
+                    break
+                if lit in seen:
+                    continue
+                seen.add(lit)
+                val = self._value(lit)
+                if self._level[abs(lit) - 1] == 0:
+                    if val == 1:
+                        skip = True  # satisfied at root
+                        break
+                    if val == 0:
+                        continue  # falsified at root: drop literal
+                lits.append(lit)
+            if skip:
+                continue
+            if not lits:
+                self._ok = False
+                return added
+            if len(lits) == 1:
+                if not self._enqueue(lits[0], None):
+                    self._ok = False
+                    return added
+                if self._propagate() is not None:
+                    self._ok = False
+                    return added
+                added += 1
+                continue
+            clause = _Clause(lits, learned=True)
+            clause.activity = self._cla_inc
+            clause.lbd = len(lits)  # pessimistic: blocks re-export echo
+            self._learned.append(clause)
+            self._watch(clause)
+            added += 1
+        return added
+
+    def root_value(self, lit: int) -> int:
+        """``lit``'s value *at the root level*: -1 unknown, 0 false, 1 true.
+
+        A non-(-1) answer means the formula itself implies the literal's
+        value, independent of any assumptions — the fast path that lets
+        the sweep retire an assumption set containing a root-false
+        literal without a solver call.
+        """
+        var = abs(lit) - 1
+        if (
+            var >= self._num_vars
+            or self._assign[var] == -1
+            or self._level[var] != 0
+        ):
+            return -1
+        return self._value(lit)
+
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
@@ -266,6 +496,9 @@ class Solver:
         registry.inc("sat.calls")
         if self.last_unknown:
             registry.inc("sat.unknowns")
+        if self.last_core is not None:
+            registry.inc("sat.cores")
+            registry.observe("sat.core_size_per_call", len(self.last_core))
         for key, value in self.last_call_stats.items():
             registry.inc(f"sat.{key}", value)
             registry.observe(f"sat.{key}_per_call", value)
@@ -279,8 +512,11 @@ class Solver:
     ) -> SATResult:
         self.last_unknown = False
         self.last_unknown_reason = None
+        self.last_core = None
+        self._pending_core: Optional[List[int]] = None
         if not self._ok:
-            return self._result(False)
+            # Formula UNSAT before any assumption: the empty core.
+            return self._result(False, core=[])
         self._cancel_until(0)
         conflicts_this_call = 0
         restart_count = 0
@@ -331,11 +567,13 @@ class Solver:
                     self.stats_propagations,
                 )
             if status == "unsat":
+                # Refuted at the root: UNSAT under *any* assumptions.
                 self._cancel_until(0)
-                return self._result(False)
+                return self._result(False, core=[])
             if status == "assumption-conflict":
+                core = self._pending_core
                 self._cancel_until(0)
-                return self._result(False)
+                return self._result(False, core=core if core is not None else [])
             # restart
             self._cancel_until(0)
             if conflict_limit is not None and conflicts_this_call >= conflict_limit:
@@ -348,13 +586,17 @@ class Solver:
         self._cancel_until(0)
         return self._result(False)
 
-    def _result(self, sat: bool) -> SATResult:
+    def _result(
+        self, sat: bool, core: Optional[List[int]] = None
+    ) -> SATResult:
+        self.last_core = core
         return SATResult(
             sat,
             None,
             self.stats_conflicts,
             self.stats_decisions,
             self.stats_propagations,
+            core=core,
         )
 
     # ------------------------------------------------------------------
@@ -384,7 +626,13 @@ class Solver:
         self._assign[var] = 1 if lit > 0 else 0
         self._level[var] = self._decision_level()
         self._reason[var] = reason
-        self._phase[var] = lit > 0
+        if self._decision_level() > self._num_assumed:
+            # Save phases only below the assumption prefix: an
+            # assumption pseudo-decision (and everything it propagates)
+            # is the *query's* polarity, not the search's preference,
+            # and saving it would bias the next query's opposite
+            # direction toward the just-refuted phase.
+            self._phase[var] = lit > 0
         self._trail.append(lit)
         return True
 
@@ -457,6 +705,7 @@ class Solver:
                 if self._decision_level() == 0:
                     return "unsat"
                 if self._decision_level() <= self._num_assumed:
+                    self._pending_core = self._analyze_final(conflict, None)
                     return "assumption-conflict"
                 learned, backjump = self._analyze(conflict)
                 self._cancel_until(max(backjump, self._num_assumed))
@@ -470,6 +719,7 @@ class Solver:
                 lit = assumptions[self._decision_level()]
                 val = self._value(lit)
                 if val == 0:
+                    self._pending_core = self._analyze_final(None, lit)
                     return "assumption-conflict"
                 if val == 1:
                     # Already implied: open an empty decision level.
@@ -481,6 +731,7 @@ class Solver:
                 self._trail_lim.append(len(self._trail))
                 self._num_assumed = max(self._num_assumed, self._decision_level())
                 self._enqueue(lit, None)
+                self._assumption_mark[abs(lit) - 1] = True
                 continue
             lit = self._pick_branch()
             if lit == 0:
@@ -490,15 +741,58 @@ class Solver:
             self._enqueue(lit, None)
 
     def _pick_branch(self) -> int:
-        best = -1
-        best_act = -1.0
-        for var in range(self._num_vars):
-            if self._assign[var] == -1 and self._activity[var] > best_act:
-                best_act = self._activity[var]
-                best = var
-        if best < 0:
-            return 0
-        return (best + 1) if self._phase[best] else -(best + 1)
+        # Lazy heap discipline: assigned variables stay in the heap
+        # until popped here (and are re-inserted by _cancel_until when
+        # unassigned), so each decision costs O(log n) amortised.
+        order = self._order
+        while order.heap:
+            var = order.pop()
+            if self._assign[var] == -1:
+                return (var + 1) if self._phase[var] else -(var + 1)
+        return 0
+
+    def _analyze_final(
+        self, conflict: Optional[_Clause], failed: Optional[int]
+    ) -> List[int]:
+        """Final-conflict analysis (MiniSat's ``analyzeFinal``).
+
+        Called at an assumption conflict, *before* backtracking, with
+        either the conflicting clause or the assumption literal that was
+        already falsified at install time.  Walks the trail from the top
+        resolving each marked literal through its reason; literals whose
+        reason is an assumption pseudo-decision are the assumptions the
+        refutation rests on — returned verbatim as the core.  Reasonless
+        trail literals that are *not* assumptions (formula-implied units
+        enqueued at an assumption level by clause learning) need no
+        assumption support and are skipped.
+        """
+        core: List[int] = []
+        seen = [False] * self._num_vars
+        if failed is not None:
+            core.append(failed)
+            seen[abs(failed) - 1] = True
+        if conflict is not None:
+            for lit in conflict.lits:
+                var = abs(lit) - 1
+                if self._level[var] > 0:
+                    seen[var] = True
+        root_len = self._trail_lim[0] if self._trail_lim else len(self._trail)
+        for i in range(len(self._trail) - 1, root_len - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit) - 1
+            if not seen[var]:
+                continue
+            seen[var] = False
+            reason = self._reason[var]
+            if reason is None:
+                if self._assumption_mark[var]:
+                    core.append(lit)
+            else:
+                for q in reason.lits:
+                    qvar = abs(q) - 1
+                    if self._level[qvar] > 0:
+                        seen[qvar] = True
+        return core
 
     def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
         """First-UIP learning; returns (learned clause, backjump level)."""
@@ -579,6 +873,7 @@ class Solver:
         lits[1], lits[max_idx] = lits[max_idx], lits[1]
         clause = _Clause(lits, learned=True)
         clause.activity = self._cla_inc
+        clause.lbd = len({self._level[abs(l) - 1] for l in lits})
         self._learned.append(clause)
         self._watch(clause)
         self._enqueue(lits[0], clause)
@@ -610,6 +905,8 @@ class Solver:
             self._assign[var] = -1
             self._reason[var] = None
             self._level[var] = -1
+            self._assumption_mark[var] = False
+            self._order.insert(var)
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = min(self._qhead, len(self._trail))
@@ -618,9 +915,13 @@ class Solver:
     def _bump_var(self, var: int) -> None:
         self._activity[var] += self._var_inc
         if self._activity[var] > 1e100:
+            # EVSIDS rescale: multiply everything down by the same
+            # factor.  Relative order is preserved, so the heap needs no
+            # repair — only the single bumped variable percolates.
             for i in range(self._num_vars):
                 self._activity[i] *= 1e-100
             self._var_inc *= 1e-100
+        self._order.update(var)
 
     def _bump_clause(self, clause: _Clause) -> None:
         clause.activity += self._cla_inc
@@ -632,3 +933,10 @@ class Solver:
     def _decay_activities(self) -> None:
         self._var_inc /= self._var_decay
         self._cla_inc /= self._cla_decay
+        self._decay_countdown -= 1
+        if self._decay_countdown <= 0:
+            self._decay_countdown = self._DECAY_RAMP_CONFLICTS
+            if self._var_decay < self._DECAY_RAMP_TARGET:
+                self._var_decay = min(
+                    self._DECAY_RAMP_TARGET, self._var_decay + 0.01
+                )

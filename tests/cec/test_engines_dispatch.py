@@ -267,8 +267,8 @@ class TestPortfolioSelection:
             payload = sweep_unit_payload(
                 solver, unit, 2000, engines=("structural", "sim")
             )
-            statuses, n_queries, _elapsed, _obs, _models = _sweep_unit_worker(
-                payload
+            statuses, n_queries, _elapsed, _obs, _models, _extras = (
+                _sweep_unit_worker(payload)
             )
             assert n_queries == 0
             assert statuses == [SWEEP_UNKNOWN] * len(unit.candidates)
@@ -290,13 +290,17 @@ class TestSingleSiteSatCounting:
         assert r.stats["cascade_sat"] >= 1
         assert r.stats["cascade_sat"] == r.stats["engine_sat"]
 
-    def test_classic_run_keeps_cascade_counters_zero(self):
+    def test_classic_run_counts_cascade_like_budgeted(self):
+        # Satellite 2: the old adapter gated the cascade counters on
+        # ``ctx.budgeted``, so classic runs reported an empty cascade
+        # breakdown even though the SAT engine decided every output.
+        # Both paths now count once per decided obligation.
         r = check_equivalence(
             xor_chain(8, "a"), xor_tree(8, "b"), preprocess=False
         )
         assert r.equivalent
-        assert r.stats["cascade_sat"] == 0
         assert r.stats.get("engine_sat", 0) >= 1
+        assert r.stats["cascade_sat"] == r.stats["engine_sat"]
 
 
 class TestOutcomeStore:

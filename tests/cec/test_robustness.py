@@ -24,6 +24,7 @@ from repro.cec.engine import (
 from repro.runtime.budget import (
     KNOWN_REASONS,
     REASON_BDD_BLOWUP,
+    REASON_CONFLICT_LIMIT,
     REASON_TIMEOUT,
     Budget,
 )
@@ -254,14 +255,26 @@ class TestBudgetedEngine:
         nulled = check_equivalence(c1, c2, budget=Budget())
         assert plain.verdict is nulled.verdict
         assert plain.reason is None and nulled.reason is None
-        # Canonical keys are always present; an all-None budget takes the
-        # classic path, so the cascade counters must all stay zero.
-        assert nulled.stats["cascade_sat"] == 0
-        assert nulled.stats["cascade_bdd"] == 0
-        assert nulled.stats["cascade_sim"] == 0
+        # Canonical keys are always present, and the cascade counters
+        # record decided obligations on both paths (satellite: the old
+        # ``ctx.budgeted`` gate left classic runs with zero cascades).
+        assert nulled.stats["cascade_sat"] == plain.stats["cascade_sat"]
+        assert nulled.stats["cascade_bdd"] == plain.stats["cascade_bdd"]
+        assert nulled.stats["cascade_sim"] == plain.stats["cascade_sim"]
         # The two paths must agree key-for-key (satellite of the
         # zero-suppression fix: suppression happens at render time only).
         assert set(plain.stats) == set(nulled.stats)
+
+    def test_classic_unknown_carries_solver_reason(self):
+        # Satellite: the unbudgeted SAT path used to discard the
+        # solver's reason (reason=None on UNKNOWN); it now propagates
+        # ``last_unknown_reason`` exactly like the budgeted path.
+        r = check_equivalence(
+            xor_chain(40), xor_tree(40), conflict_limit=1, preprocess=False
+        )
+        assert r.verdict is CecVerdict.UNKNOWN
+        assert r.reason == REASON_CONFLICT_LIMIT
+        assert r.reason in KNOWN_REASONS
 
     def test_hard_miter_budget_returns_within_two_x(self):
         c1, c2 = xor_chain(1500), xor_tree(1500)

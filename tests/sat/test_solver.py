@@ -285,3 +285,113 @@ class TestInstanceState:
         assert r2.propagations >= r1.propagations
         # ...while per-call effort lives in last_call_stats.
         assert s.last_call_stats["conflicts"] == r2.conflicts - r1.conflicts
+
+
+class TestAssumptionCores:
+    """Final-conflict analysis: ``SATResult.core`` on UNSAT answers."""
+
+    def test_sat_has_no_core(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        r = s.solve(assumptions=[1])
+        assert r.satisfiable and r.core is None
+
+    def test_formula_unsat_gives_empty_core(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        r = s.solve(assumptions=[2, 3])
+        assert not r.satisfiable
+        assert r.core == []
+
+    def test_contradictory_assumptions(self):
+        s = Solver()
+        s.ensure_vars(1)
+        r = s.solve(assumptions=[1, -1])
+        assert not r.satisfiable
+        assert sorted(r.core) == [-1, 1]
+
+    def test_root_false_assumption_is_singleton_core(self):
+        s = Solver()
+        s.add_clause([-1])
+        r = s.solve(assumptions=[1])
+        assert not r.satisfiable
+        assert r.core == [1]
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        # 1 -> 2 -> ... -> 5; assuming 1 and -5 is UNSAT, assuming 6 is
+        # idle decoration the refutation never touches.
+        s = Solver()
+        for v in range(1, 5):
+            s.add_clause([-v, v + 1])
+        s.ensure_vars(6)
+        r = s.solve(assumptions=[6, 1, -5])
+        assert not r.satisfiable
+        assert r.core is not None
+        assert set(r.core) <= {1, -5}
+        assert set(r.core) == {1, -5}  # both really needed here
+
+    def test_core_is_subset_and_unsat_on_its_own(self):
+        s = Solver()
+        s.add_clause([-1, -2])
+        r = s.solve(assumptions=[3, 1, 2])
+        assert not r.satisfiable
+        core = r.core
+        assert core is not None and set(core) <= {3, 1, 2}
+        # The core alone must already be refutable.
+        s2 = Solver()
+        s2.add_clause([-1, -2])
+        assert not s2.solve(assumptions=core).satisfiable
+
+    def test_any_superset_of_core_stays_unsat(self):
+        s = Solver()
+        s.add_clause([-1, -2])
+        core = s.solve(assumptions=[1, 2]).core
+        assert core is not None
+        assert not s.solve(assumptions=core + [3, -4]).satisfiable
+
+    def test_incremental_cores_across_calls(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve(assumptions=[-1]).satisfiable
+        s.add_clause([-2])
+        r = s.solve(assumptions=[-1])
+        assert not r.satisfiable
+        assert r.core == [-1]
+        # Formula-level UNSAT after one more unit: empty core.
+        s.add_clause([-1])
+        assert s.solve(assumptions=[-1]).core == []
+
+
+class TestPhaseSavingUnderAssumptions:
+    """Assumption pseudo-decisions must not pollute saved phases."""
+
+    def test_assumptions_leave_saved_phases_alone(self):
+        # 1 <-> 2, plus 1 -> (3 and -3) so assuming 1 is always UNSAT.
+        s = Solver()
+        for cl in ([-1, 2], [1, -2], [-1, 3], [-1, -3]):
+            s.add_clause(cl)
+        assert s.solve().satisfiable
+        saved = list(s._phase)
+        # Two-direction EQ query on the pair (1, 2): both UNSAT.
+        assert not s.solve(assumptions=[-1, 2]).satisfiable
+        assert not s.solve(assumptions=[1, -2]).satisfiable
+        assert list(s._phase) == saved
+
+    def test_decisions_do_not_regress_after_eq_query(self):
+        # Regression for the phase-pollution bug: the second direction's
+        # assumption 1=True used to overwrite var 1's saved phase, so the
+        # follow-up model search re-decided 1=True, hit the 3/-3 conflict
+        # it had already avoided, and paid an extra conflict + decision.
+        s = Solver()
+        for cl in ([-1, 2], [1, -2], [-1, 3], [-1, -3]):
+            s.add_clause(cl)
+        r_first = s.solve()
+        assert r_first.satisfiable
+        first_decisions = s.last_call_stats["decisions"]
+        assert not s.solve(assumptions=[-1, 2]).satisfiable
+        assert not s.solve(assumptions=[1, -2]).satisfiable
+        r_final = s.solve()
+        assert r_final.satisfiable
+        assert s.last_call_stats["conflicts"] == 0
+        assert s.last_call_stats["decisions"] <= first_decisions
